@@ -1,0 +1,163 @@
+// Command tingdata inspects and compares the all-pairs RTT datasets that
+// cmd/ting and cmd/experiments produce (the paper published its measured
+// matrices; this is the companion tooling a consumer of such datasets
+// needs).
+//
+// Usage:
+//
+//	tingdata stats   matrix.ting          # distribution summary
+//	tingdata tivs    matrix.ting          # triangle inequality violations
+//	tingdata compare old.ting new.ting    # stability between two scans
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ting/internal/pathsel"
+	"ting/internal/stats"
+	"ting/internal/ting"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tingdata: ")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 2 {
+		log.Fatal("usage: tingdata stats|tivs|compare <matrix.ting> [matrix2.ting]")
+	}
+	switch args[0] {
+	case "stats":
+		runStats(args[1])
+	case "tivs":
+		runTIVs(args[1])
+	case "compare":
+		if len(args) != 3 {
+			log.Fatal("usage: tingdata compare old.ting new.ting")
+		}
+		runCompare(args[1], args[2])
+	default:
+		log.Fatalf("unknown command %q", args[0])
+	}
+}
+
+func load(path string) *ting.Matrix {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	m, err := ting.DecodeMatrix(f)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	return m
+}
+
+func runStats(path string) {
+	m := load(path)
+	vals := m.PairValues()
+	min, _ := stats.Min(vals)
+	max, _ := stats.Max(vals)
+	med, _ := stats.Median(vals)
+	mean, _ := stats.Mean(vals)
+	p10, _ := stats.Quantile(vals, 0.1)
+	p90, _ := stats.Quantile(vals, 0.9)
+	fmt.Printf("%s: %d relays, %d pairs\n", path, m.N(), len(vals))
+	fmt.Printf("  RTT ms: min %.1f  p10 %.1f  median %.1f  mean %.1f  p90 %.1f  max %.1f\n",
+		min, p10, med, mean, p90, max)
+	unmeasured := 0
+	for _, v := range vals {
+		if v == 0 {
+			unmeasured++
+		}
+	}
+	if unmeasured > 0 {
+		fmt.Printf("  WARNING: %d pairs unmeasured (zero)\n", unmeasured)
+	}
+}
+
+func runTIVs(path string) {
+	m := load(path)
+	sum, err := pathsel.SummarizeTIVs(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d of %d pairs (%.1f%%) have a TIV detour\n",
+		path, sum.WithTIV, sum.Pairs, 100*sum.FractionWithTIV())
+	if len(sum.Savings) == 0 {
+		return
+	}
+	med, _ := stats.Median(sum.Savings)
+	p90, _ := stats.Quantile(sum.Savings, 0.9)
+	fmt.Printf("  savings: median %.1f%%, p90 %.1f%%\n", 100*med, 100*p90)
+
+	tivs, err := pathsel.FindTIVs(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Show the five biggest detour wins.
+	for i := 0; i < len(tivs); i++ {
+		for j := i; j > 0 && tivs[j].SavingsFraction() > tivs[j-1].SavingsFraction(); j-- {
+			tivs[j], tivs[j-1] = tivs[j-1], tivs[j]
+		}
+	}
+	n := 5
+	if len(tivs) < n {
+		n = len(tivs)
+	}
+	fmt.Println("  top detours:")
+	for _, t := range tivs[:n] {
+		fmt.Printf("    %s ↔ %s: %.1fms direct, %.1fms via %s (−%.1f%%)\n",
+			m.Names[t.S], m.Names[t.D], t.DirectMs, t.DetourMs, m.Names[t.R],
+			100*t.SavingsFraction())
+	}
+}
+
+func runCompare(oldPath, newPath string) {
+	a, b := load(oldPath), load(newPath)
+	shared := make(map[string]bool)
+	for _, n := range a.Names {
+		shared[n] = true
+	}
+	var common []string
+	for _, n := range b.Names {
+		if shared[n] {
+			common = append(common, n)
+		}
+	}
+	if len(common) < 2 {
+		log.Fatal("matrices share fewer than two relays")
+	}
+	var ratios, diffs []float64
+	for i := 0; i < len(common); i++ {
+		for j := i + 1; j < len(common); j++ {
+			va, _ := a.RTT(common[i], common[j])
+			vb, _ := b.RTT(common[i], common[j])
+			if va <= 0 || vb <= 0 {
+				continue
+			}
+			ratios = append(ratios, vb/va)
+			d := vb - va
+			if d < 0 {
+				d = -d
+			}
+			diffs = append(diffs, d)
+		}
+	}
+	if len(ratios) == 0 {
+		log.Fatal("no measured pairs in common")
+	}
+	medR, _ := stats.Median(ratios)
+	medD, _ := stats.Median(diffs)
+	p90D, _ := stats.Quantile(diffs, 0.9)
+	within := stats.FractionWithin(ratios, 0.1)
+	fmt.Printf("compare %s → %s: %d shared relays, %d measured pairs\n",
+		oldPath, newPath, len(common), len(ratios))
+	fmt.Printf("  median new/old ratio %.3f; |Δ| median %.1fms, p90 %.1fms; %.1f%% within 10%%\n",
+		medR, medD, p90D, 100*within)
+	fmt.Println("  (§4.6: Ting scans stay stable for a week; large drift here means re-measure)")
+}

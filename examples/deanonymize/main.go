@@ -1,0 +1,60 @@
+// Deanonymize: reproduce the §5.1 study end to end — measure an all-pairs
+// RTT matrix with Ting, then show how much faster an attacker who holds
+// that matrix identifies the entry and middle relays of victim circuits.
+//
+//	go run ./examples/deanonymize
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ting/internal/deanon"
+	"ting/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Step 1: the all-pairs dataset (Figure 11). The model-direct prober
+	// keeps this example fast; see examples/quickstart for the full stack.
+	fmt.Println("measuring all-pairs RTT matrix over 30 relays…")
+	f11, err := experiments.Fig11(experiments.Fig11Config{Nodes: 30, Samples: 100, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  mean inter-relay RTT µ = %.1f ms\n\n", f11.Matrix.Mean())
+
+	// Step 2: simulate victims and attackers (Figure 12).
+	sim := &deanon.Simulation{
+		Matrix: f11.Matrix,
+		Strategies: []deanon.Strategy{
+			&deanon.RTTUnaware{},
+			deanon.IgnoreTooLarge{},
+			&deanon.Informed{UseMu: true},
+		},
+		Seed: 2,
+	}
+	const trials = 400
+	fmt.Printf("running %d deanonymization trials…\n", trials)
+	ts, err := sim.Run(trials)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nmedian fraction of the network an attacker must probe:")
+	for _, name := range []string{"rtt-unaware", "ignore-too-large", "informed"} {
+		med, err := deanon.MedianFracTested(ts, name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-18s %.1f%%\n", name, 100*med)
+	}
+	speedup, err := deanon.Speedup(ts, "rtt-unaware", "informed")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nTing's RTT knowledge speeds deanonymization up %.2fx (paper: 1.5x).\n", speedup)
+	fmt.Println("Low-RTT circuits are the most exposed: the too-large-RTT rules rule")
+	fmt.Println("out the most relays exactly when the end-to-end RTT is small (Fig 13).")
+}

@@ -1,0 +1,112 @@
+// Livenet: the full deployment pipeline in one process — boot a mintor
+// overlay whose relays speak real TCP on loopback, expose a Tor-style
+// control port and data port, and drive Ting through them exactly as the
+// paper drove an unmodified Tor via the Stem controller.
+//
+//	go run ./examples/livenet
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	"ting/internal/control"
+	"ting/internal/experiments"
+	"ting/internal/inet"
+	"ting/internal/ting"
+	"ting/internal/tornet"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A geographically spread 4-relay world.
+	world, err := experiments.NewTestbedWorld(4, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ids := make([]inet.NodeID, 0, len(world.Names))
+	for _, n := range world.Names {
+		ids = append(ids, world.NodeOf[n])
+	}
+
+	// Relay links over real TCP sockets; 4x compressed time.
+	overlay, err := tornet.Build(tornet.Config{
+		Topology:   world.Topo,
+		RelayNodes: ids,
+		Host:       world.Host,
+		TimeScale:  0.25,
+		TCP:        true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer overlay.Close()
+
+	// Control + data ports, like a local Tor's control port and SOCKS.
+	srv, err := control.NewServer(control.ServerConfig{
+		Client:   overlay.Client,
+		Registry: overlay.Registry,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	ctrlLn := mustListen()
+	dataLn := mustListen()
+	go srv.ServeControl(ctrlLn)
+	go srv.ServeData(dataLn)
+	fmt.Printf("overlay up; control=%s data=%s\n", ctrlLn.Addr(), dataLn.Addr())
+
+	// The controller side: authenticate, fetch the consensus, measure.
+	conn, err := control.Dial(ctrlLn.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Authenticate(""); err != nil {
+		log.Fatal(err)
+	}
+	reg, err := conn.Consensus()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("consensus lists %d relays\n", reg.Len())
+
+	measurer, err := ting.NewMeasurer(ting.Config{
+		Prober: &ting.ControlProber{
+			Conn:     conn,
+			DataAddr: dataLn.Addr().String(),
+			Target:   tornet.EchoTarget,
+			ToMs:     overlay.VirtualMs,
+		},
+		W:       tornet.WName,
+		Z:       tornet.ZName,
+		Samples: 6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	x, y := world.Names[0], world.Names[1]
+	truth, err := world.TrueRTT(x, y)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measuring R(%s, %s) through the control port…\n", x, y)
+	res, err := measurer.MeasurePair(x, y)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Ting estimate %.1f ms, ground truth %.1f ms (error %+.1f%%)\n",
+		res.RTT, truth, 100*(res.RTT-truth)/truth)
+}
+
+func mustListen() net.Listener {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ln
+}

@@ -1,0 +1,75 @@
+// Quickstart: build an in-process mintor overlay, run Ting's three-circuit
+// measurement for one relay pair through the full onion-routing stack, and
+// compare the estimate against the exact ground truth the synthetic
+// Internet prescribes.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ting/internal/geo"
+	"ting/internal/inet"
+	"ting/internal/ting"
+	"ting/internal/tornet"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A small synthetic Internet plus a measurement host on the US east
+	// coast (where s, d, w, and z all live, as in §3.3 of the paper).
+	topo, err := inet.Generate(inet.Config{N: 5, Seed: 7, FlatRegions: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	host := topo.AddHost("host", geo.Coord{Lat: 38.99, Lon: -76.94}, 8)
+
+	// Boot the overlay: 5 relays at their topology positions plus the
+	// local w and z, wired with the topology's exact latencies.
+	net, err := tornet.Build(tornet.Config{
+		Topology:  topo,
+		Host:      host,
+		TimeScale: 0.25, // run 4x faster than real time
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer net.Close()
+
+	x, _ := net.NodeName(0)
+	y, _ := net.NodeName(1)
+	truth := topo.RTT(0, 1)
+	fmt.Printf("measuring R(%s, %s); ground truth %.1f ms\n", x, y, truth)
+
+	// Ting over the real stack: circuits are built hop by hop with X25519
+	// handshakes, every cell is onion-encrypted, and echo probes flow
+	// through the exit.
+	measurer, err := ting.NewMeasurer(ting.Config{
+		Prober: &ting.StackProber{
+			Client:   net.Client,
+			Registry: net.Registry,
+			Target:   tornet.EchoTarget,
+			ToMs:     net.VirtualMs,
+		},
+		W:       tornet.WName,
+		Z:       tornet.ZName,
+		Samples: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := measurer.MeasurePair(x, y)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("circuit minimums: C_xy=%.1f ms, C_x=%.1f ms, C_y=%.1f ms\n",
+		res.MinFull, res.MinX, res.MinY)
+	fmt.Printf("Ting estimate (Eq. 4): %.1f ms  (error %+.1f ms, %+.1f%%)\n",
+		res.RTT, res.RTT-truth, 100*(res.RTT-truth)/truth)
+	fmt.Printf("took %v of wall-clock time for %d samples/circuit\n",
+		res.Elapsed.Round(1e6), res.SamplesPerCircuit)
+}

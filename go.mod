@@ -1,0 +1,3 @@
+module ting
+
+go 1.22

@@ -1,0 +1,48 @@
+package cell
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EncodeExtend packs the body of a RELAY_EXTEND cell: the next relay's link
+// address followed by the client's handshake onionskin.
+//
+// Layout: addrLen(2) | addr | skinLen(2) | onionskin.
+func EncodeExtend(addr string, onionskin []byte) ([]byte, error) {
+	if addr == "" {
+		return nil, fmt.Errorf("cell: extend with empty address")
+	}
+	n := 2 + len(addr) + 2 + len(onionskin)
+	if n > RelayDataLen {
+		return nil, fmt.Errorf("cell: extend body %d bytes exceeds %d", n, RelayDataLen)
+	}
+	out := make([]byte, n)
+	binary.BigEndian.PutUint16(out[0:2], uint16(len(addr)))
+	copy(out[2:], addr)
+	off := 2 + len(addr)
+	binary.BigEndian.PutUint16(out[off:off+2], uint16(len(onionskin)))
+	copy(out[off+2:], onionskin)
+	return out, nil
+}
+
+// DecodeExtend unpacks a RELAY_EXTEND body.
+func DecodeExtend(data []byte) (addr string, onionskin []byte, err error) {
+	if len(data) < 2 {
+		return "", nil, fmt.Errorf("cell: extend body too short")
+	}
+	alen := int(binary.BigEndian.Uint16(data[0:2]))
+	if len(data) < 2+alen+2 {
+		return "", nil, fmt.Errorf("cell: extend body truncated")
+	}
+	addr = string(data[2 : 2+alen])
+	off := 2 + alen
+	slen := int(binary.BigEndian.Uint16(data[off : off+2]))
+	if len(data) < off+2+slen {
+		return "", nil, fmt.Errorf("cell: extend onionskin truncated")
+	}
+	if addr == "" {
+		return "", nil, fmt.Errorf("cell: extend with empty address")
+	}
+	return addr, data[off+2 : off+2+slen], nil
+}

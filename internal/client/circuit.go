@@ -1,0 +1,387 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ting/internal/cell"
+	"ting/internal/directory"
+	"ting/internal/link"
+	"ting/internal/onion"
+)
+
+// Circuit is an established client circuit.
+type Circuit struct {
+	c    *Client
+	lk   link.Link
+	id   cell.CircID
+	path []*directory.Descriptor
+
+	crypto onion.CircuitCrypto
+	// cryptoMu guards every use of crypto: forward crypt+send (keeping
+	// each hop's CTR keystream and digest in cell order), backward
+	// decryption, and hop addition during Extend.
+	cryptoMu sync.Mutex
+
+	created chan []byte         // CREATED payload during build
+	ctrl    chan cell.RelayCell // stream-0 relay cells (EXTENDED / END)
+
+	mu        sync.Mutex
+	streams   map[cell.StreamID]*Stream
+	nextSID   cell.StreamID
+	destroyed bool
+	err       error
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+func newCircuit(c *Client, lk link.Link, id cell.CircID, path []*directory.Descriptor) *Circuit {
+	circ := &Circuit{
+		c:       c,
+		lk:      lk,
+		id:      id,
+		path:    append([]*directory.Descriptor(nil), path...),
+		created: make(chan []byte, 1),
+		ctrl:    make(chan cell.RelayCell, 16),
+		streams: make(map[cell.StreamID]*Stream),
+		nextSID: 1,
+		closed:  make(chan struct{}),
+	}
+	go circ.readLoop()
+	return circ
+}
+
+// Path returns the circuit's relay path.
+func (circ *Circuit) Path() []*directory.Descriptor {
+	circ.mu.Lock()
+	defer circ.mu.Unlock()
+	return append([]*directory.Descriptor(nil), circ.path...)
+}
+
+func (circ *Circuit) pathSnapshot() []*directory.Descriptor {
+	circ.mu.Lock()
+	defer circ.mu.Unlock()
+	return circ.path
+}
+
+// Len returns the number of hops.
+func (circ *Circuit) Len() int {
+	circ.mu.Lock()
+	defer circ.mu.Unlock()
+	return len(circ.path)
+}
+
+// Extend adds one more hop to an established circuit, performing the
+// handshake through the current last hop. Existing streams keep flowing at
+// their original hops (leaky pipe). The new relay must not already be on
+// the circuit.
+func (circ *Circuit) Extend(d *directory.Descriptor) error {
+	if d == nil {
+		return errors.New("client: nil descriptor")
+	}
+	circ.mu.Lock()
+	if circ.destroyed {
+		circ.mu.Unlock()
+		return circ.closeErr()
+	}
+	for _, h := range circ.path {
+		if h.Nickname == d.Nickname {
+			circ.mu.Unlock()
+			return fmt.Errorf("%w: %s", ErrRepeatedRelay, d.Nickname)
+		}
+	}
+	last := len(circ.path) - 1
+	circ.mu.Unlock()
+
+	hs, err := onion.StartHandshake(d.OnionKey, nil)
+	if err != nil {
+		return err
+	}
+	body, err := cell.EncodeExtend(d.Addr, hs.Onionskin())
+	if err != nil {
+		return err
+	}
+	if err := circ.sendForward(last, cell.RelayCell{Cmd: cell.RelayExtend, Data: body}); err != nil {
+		return fmt.Errorf("client: extend to %s: %w", d.Nickname, err)
+	}
+	rc, err := circ.waitCtrl()
+	if err != nil {
+		return fmt.Errorf("client: extend to %s: %w", d.Nickname, err)
+	}
+	switch rc.Cmd {
+	case cell.RelayExtended:
+		hop, err := hs.Complete(rc.Data)
+		if err != nil {
+			return fmt.Errorf("client: extend to %s: %w", d.Nickname, err)
+		}
+		circ.cryptoMu.Lock()
+		circ.crypto.AddHop(hop)
+		circ.cryptoMu.Unlock()
+		circ.mu.Lock()
+		circ.path = append(circ.path, d)
+		circ.mu.Unlock()
+		return nil
+	case cell.RelayEnd:
+		return fmt.Errorf("client: extend to %s refused: %s", d.Nickname, rc.Data)
+	default:
+		return fmt.Errorf("client: extend to %s: unexpected %s", d.Nickname, rc.Cmd)
+	}
+}
+
+// build performs the CREATE + EXTEND sequence for every hop.
+func (circ *Circuit) build() error {
+	// First hop: CREATE/CREATED directly on the link.
+	hs, err := onion.StartHandshake(circ.path[0].OnionKey, nil)
+	if err != nil {
+		return err
+	}
+	var create cell.Cell
+	create.Circ = circ.id
+	create.Cmd = cell.Create
+	copy(create.Payload[:], hs.Onionskin())
+	if err := circ.lk.Send(create); err != nil {
+		return fmt.Errorf("client: send CREATE: %w", err)
+	}
+	reply, err := circ.waitCreated()
+	if err != nil {
+		return fmt.Errorf("client: hop 1 (%s): %w", circ.path[0].Nickname, err)
+	}
+	hop, err := hs.Complete(reply)
+	if err != nil {
+		return fmt.Errorf("client: hop 1 (%s): %w", circ.path[0].Nickname, err)
+	}
+	circ.cryptoMu.Lock()
+	circ.crypto.AddHop(hop)
+	circ.cryptoMu.Unlock()
+
+	// Remaining hops: RELAY_EXTEND through the current last hop.
+	for i := 1; i < len(circ.path); i++ {
+		d := circ.path[i]
+		hs, err := onion.StartHandshake(d.OnionKey, nil)
+		if err != nil {
+			return err
+		}
+		body, err := cell.EncodeExtend(d.Addr, hs.Onionskin())
+		if err != nil {
+			return err
+		}
+		if err := circ.sendForward(i-1, cell.RelayCell{Cmd: cell.RelayExtend, Data: body}); err != nil {
+			return fmt.Errorf("client: extend to %s: %w", d.Nickname, err)
+		}
+		rc, err := circ.waitCtrl()
+		if err != nil {
+			return fmt.Errorf("client: extend to %s: %w", d.Nickname, err)
+		}
+		switch rc.Cmd {
+		case cell.RelayExtended:
+			hop, err := hs.Complete(rc.Data)
+			if err != nil {
+				return fmt.Errorf("client: extend to %s: %w", d.Nickname, err)
+			}
+			circ.cryptoMu.Lock()
+			circ.crypto.AddHop(hop)
+			circ.cryptoMu.Unlock()
+		case cell.RelayEnd:
+			return fmt.Errorf("client: extend to %s refused: %s", d.Nickname, rc.Data)
+		default:
+			return fmt.Errorf("client: extend to %s: unexpected %s", d.Nickname, rc.Cmd)
+		}
+	}
+	return nil
+}
+
+func (circ *Circuit) waitCreated() ([]byte, error) {
+	select {
+	case reply := <-circ.created:
+		return reply, nil
+	case <-circ.closed:
+		return nil, circ.closeErr()
+	case <-time.After(circ.c.cfg.Timeout):
+		return nil, errors.New("timeout waiting for CREATED")
+	}
+}
+
+func (circ *Circuit) waitCtrl() (cell.RelayCell, error) {
+	select {
+	case rc := <-circ.ctrl:
+		return rc, nil
+	case <-circ.closed:
+		return cell.RelayCell{}, circ.closeErr()
+	case <-time.After(circ.c.cfg.Timeout):
+		return cell.RelayCell{}, errors.New("timeout waiting for circuit reply")
+	}
+}
+
+func (circ *Circuit) closeErr() error {
+	circ.mu.Lock()
+	defer circ.mu.Unlock()
+	if circ.err != nil {
+		return circ.err
+	}
+	return errors.New("client: circuit closed")
+}
+
+// sendForward seals rc for hop index hop and transmits it.
+func (circ *Circuit) sendForward(hop int, rc cell.RelayCell) error {
+	p, err := rc.MarshalPayload()
+	if err != nil {
+		return err
+	}
+	circ.cryptoMu.Lock()
+	defer circ.cryptoMu.Unlock()
+	if err := circ.crypto.EncryptForward(hop, &p); err != nil {
+		return err
+	}
+	return circ.lk.Send(cell.Cell{Circ: circ.id, Cmd: cell.Relay, Payload: p})
+}
+
+// readLoop dispatches inbound cells until the link dies or the circuit is
+// closed.
+func (circ *Circuit) readLoop() {
+	for {
+		c, err := circ.lk.Recv()
+		if err != nil {
+			circ.fail(fmt.Errorf("client: link lost: %w", err))
+			return
+		}
+		if c.Circ != circ.id {
+			circ.c.cfg.Logf("client: cell for unknown circ %d", c.Circ)
+			continue
+		}
+		switch c.Cmd {
+		case cell.Created:
+			select {
+			case circ.created <- append([]byte(nil), c.Payload[:onion.ReplyLen]...):
+			default:
+			}
+		case cell.Relay:
+			circ.handleRelay(&c)
+		case cell.Destroy:
+			circ.fail(errors.New("client: circuit destroyed by relay"))
+			return
+		case cell.Padding:
+		default:
+			circ.c.cfg.Logf("client: unexpected %s", c.Cmd)
+		}
+	}
+}
+
+func (circ *Circuit) handleRelay(c *cell.Cell) {
+	circ.cryptoMu.Lock()
+	hop, err := circ.crypto.DecryptBackward(&c.Payload)
+	circ.cryptoMu.Unlock()
+	if err != nil {
+		circ.c.cfg.Logf("client: %v", err)
+		circ.fail(errors.New("client: undecryptable relay cell"))
+		return
+	}
+	rc, err := cell.UnmarshalPayload(&c.Payload)
+	if err != nil {
+		circ.c.cfg.Logf("client: bad relay cell from hop %d: %v", hop, err)
+		return
+	}
+	if rc.Stream == 0 {
+		select {
+		case circ.ctrl <- rc:
+		default:
+			circ.c.cfg.Logf("client: dropping control cell %s", rc.Cmd)
+		}
+		return
+	}
+	circ.mu.Lock()
+	st := circ.streams[rc.Stream]
+	circ.mu.Unlock()
+	if st == nil {
+		circ.c.cfg.Logf("client: cell for unknown stream %d", rc.Stream)
+		return
+	}
+	st.deliver(rc)
+}
+
+// OpenStream asks the last hop to connect to target and returns the
+// attached stream.
+func (circ *Circuit) OpenStream(target string) (*Stream, error) {
+	return circ.OpenStreamAt(len(circ.pathSnapshot())-1, target)
+}
+
+// OpenStreamAt opens a stream exiting from the given hop index — Tor's
+// "leaky pipe" topology, where traffic may leave the circuit before its
+// end. The hop's relay must permit exiting to target.
+func (circ *Circuit) OpenStreamAt(hop int, target string) (*Stream, error) {
+	circ.mu.Lock()
+	if circ.destroyed {
+		circ.mu.Unlock()
+		return nil, circ.closeErr()
+	}
+	if hop < 0 || hop >= len(circ.path) {
+		circ.mu.Unlock()
+		return nil, fmt.Errorf("client: hop %d out of range (circuit has %d)", hop, len(circ.path))
+	}
+	sid := circ.nextSID
+	circ.nextSID++
+	st := newStream(circ, sid, hop)
+	circ.streams[sid] = st
+	circ.mu.Unlock()
+
+	if err := circ.sendForward(hop, cell.RelayCell{
+		Cmd: cell.RelayBegin, Stream: sid, Data: []byte(target),
+	}); err != nil {
+		circ.dropStream(sid)
+		return nil, err
+	}
+	select {
+	case <-st.connected:
+		return st, nil
+	case <-st.closedCh:
+		circ.dropStream(sid)
+		return nil, fmt.Errorf("client: stream refused: %s", st.endReason())
+	case <-circ.closed:
+		return nil, circ.closeErr()
+	case <-time.After(circ.c.cfg.Timeout):
+		circ.dropStream(sid)
+		return nil, errors.New("client: timeout opening stream")
+	}
+}
+
+func (circ *Circuit) dropStream(sid cell.StreamID) {
+	circ.mu.Lock()
+	delete(circ.streams, sid)
+	circ.mu.Unlock()
+}
+
+// fail tears the circuit down because of err.
+func (circ *Circuit) fail(err error) {
+	circ.mu.Lock()
+	if circ.err == nil {
+		circ.err = err
+	}
+	circ.mu.Unlock()
+	circ.shutdown(false)
+}
+
+// Close tears the circuit down, notifying the entry relay.
+func (circ *Circuit) Close() error {
+	circ.shutdown(true)
+	return nil
+}
+
+func (circ *Circuit) shutdown(notify bool) {
+	circ.closeOnce.Do(func() {
+		circ.mu.Lock()
+		circ.destroyed = true
+		streams := circ.streams
+		circ.streams = make(map[cell.StreamID]*Stream)
+		circ.mu.Unlock()
+		for _, st := range streams {
+			st.closeLocal()
+		}
+		if notify {
+			_ = circ.lk.Send(cell.Cell{Circ: circ.id, Cmd: cell.Destroy})
+		}
+		close(circ.closed)
+		circ.lk.Close()
+	})
+}

@@ -1,0 +1,136 @@
+// Package client implements the mintor onion proxy: it builds circuits
+// through explicitly chosen relays and attaches byte streams to them.
+//
+// It enforces the two local-client policies the paper works within (§3.1):
+// one-hop circuits are disallowed, and a relay cannot appear on a circuit
+// more than once. Ting never needs to violate these — its circuits are
+// (w, x), (w, y), and (w, x, y, z) — but it must function under them, which
+// is exactly why the measurement host runs two local relays.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"ting/internal/cell"
+	"ting/internal/directory"
+	"ting/internal/link"
+)
+
+// BuildAutoCircuit builds a circuit of the given length through relays
+// chosen by default Tor policy: bandwidth-weighted picks without
+// replacement, exit-capable relay last (§5.2: "a Tor client selects these
+// relays at random according to the bandwidth capacity of each router").
+func (c *Client) BuildAutoCircuit(reg *directory.Registry, length int) (*Circuit, error) {
+	if reg == nil {
+		return nil, errors.New("client: nil registry")
+	}
+	c.rng.Lock()
+	path, err := directory.PickPath(reg.Consensus(), length, c.rng.Rand)
+	c.rng.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return c.BuildCircuit(path)
+}
+
+// Config configures an onion proxy.
+type Config struct {
+	// Dialer opens links to entry relays. Required.
+	Dialer link.Dialer
+	// Timeout bounds every protocol wait (circuit build steps, stream
+	// opens). Default 15s.
+	Timeout time.Duration
+	// StreamWindow is the per-stream flow-control window in DATA cells for
+	// client→destination traffic (Tor's stream window is 500). Default 500.
+	StreamWindow int
+	// SendmeEvery is how many delivered DATA cells earn one SENDME
+	// acknowledgement to the exit. Default 50.
+	SendmeEvery int
+	// Logf, if non-nil, receives debug logs.
+	Logf func(format string, args ...any)
+}
+
+// Client is an onion proxy. It is safe for concurrent use; each circuit
+// gets its own link to its entry relay.
+type Client struct {
+	cfg Config
+	rng struct {
+		sync.Mutex
+		*rand.Rand
+	}
+}
+
+// New creates a Client.
+func New(cfg Config) (*Client, error) {
+	if cfg.Dialer == nil {
+		return nil, errors.New("client: config missing Dialer")
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 15 * time.Second
+	}
+	if cfg.StreamWindow <= 0 {
+		cfg.StreamWindow = 500
+	}
+	if cfg.SendmeEvery <= 0 {
+		cfg.SendmeEvery = 50
+	}
+	if cfg.SendmeEvery > cfg.StreamWindow {
+		return nil, errors.New("client: SendmeEvery larger than StreamWindow")
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	c := &Client{cfg: cfg}
+	c.rng.Rand = rand.New(rand.NewSource(time.Now().UnixNano()))
+	return c, nil
+}
+
+// ErrPathTooShort is returned for paths of fewer than two hops: the local
+// client refuses one-hop circuits, as Tor does.
+var ErrPathTooShort = errors.New("client: one-hop circuits are disallowed")
+
+// ErrRepeatedRelay is returned when a relay appears twice on a path.
+var ErrRepeatedRelay = errors.New("client: a relay cannot appear on a circuit more than once")
+
+// BuildCircuit constructs a circuit through exactly the given relays, in
+// order, performing one handshake per hop. The last relay is the exit.
+func (c *Client) BuildCircuit(path []*directory.Descriptor) (*Circuit, error) {
+	if len(path) < 2 {
+		return nil, ErrPathTooShort
+	}
+	seen := make(map[string]bool, len(path))
+	for _, d := range path {
+		if d == nil {
+			return nil, errors.New("client: nil descriptor in path")
+		}
+		if seen[d.Nickname] {
+			return nil, fmt.Errorf("%w: %s", ErrRepeatedRelay, d.Nickname)
+		}
+		seen[d.Nickname] = true
+	}
+
+	lk, err := c.cfg.Dialer.Dial(path[0].Addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial entry %s: %w", path[0].Nickname, err)
+	}
+	circ := newCircuit(c, lk, c.newCircID(), path)
+	if err := circ.build(); err != nil {
+		circ.Close()
+		return nil, err
+	}
+	return circ, nil
+}
+
+func (c *Client) newCircID() cell.CircID {
+	c.rng.Lock()
+	defer c.rng.Unlock()
+	for {
+		if id := cell.CircID(c.rng.Uint32()); id != 0 {
+			return id
+		}
+	}
+}

@@ -1,0 +1,369 @@
+package client
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"ting/internal/cell"
+	"ting/internal/directory"
+	"ting/internal/echo"
+	"ting/internal/link"
+	"ting/internal/onion"
+	"ting/internal/relay"
+)
+
+// Tests for the two Tor behaviours added on top of the basic stack:
+// connection multiplexing between relay pairs and SENDME stream flow
+// control.
+
+func smallWindow(i int, cfg *relay.Config) {
+	cfg.StreamWindow = 8
+	cfg.SendmeEvery = 2
+}
+
+func newSmallWindowClient(t *testing.T, tn *testNet) *Client {
+	t.Helper()
+	c, err := New(Config{
+		Dialer:       tn.pn,
+		Timeout:      5 * time.Second,
+		StreamWindow: 8,
+		SendmeEvery:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFlowControlLargeTransfer(t *testing.T) {
+	// A transfer of many times the window only completes if SENDMEs
+	// circulate in both directions.
+	tn := buildTestNet(t, 3, smallWindow)
+	c := newSmallWindowClient(t, tn)
+	circ, err := c.BuildCircuit(tn.descs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer circ.Close()
+	st, err := circ.OpenStream("echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	// 60 cells' worth of data against an 8-cell window.
+	payload := make([]byte, 60*cell.RelayDataLen)
+	rand.New(rand.NewSource(1)).Read(payload)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := st.Write(payload)
+		done <- err
+	}()
+	got := make([]byte, len(payload))
+	if _, err := io.ReadFull(st, got); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("payload corrupted across flow-controlled transfer")
+	}
+}
+
+// stallConn is an exit-side connection whose writes block until released.
+type stallConn struct {
+	release chan struct{}
+	closed  chan struct{}
+	once    sync.Once
+}
+
+func (s *stallConn) Read(p []byte) (int, error) {
+	<-s.closed
+	return 0, io.EOF
+}
+
+func (s *stallConn) Write(p []byte) (int, error) {
+	select {
+	case <-s.release:
+		return len(p), nil
+	case <-s.closed:
+		return 0, io.ErrClosedPipe
+	}
+}
+
+func (s *stallConn) Close() error {
+	s.once.Do(func() { close(s.closed) })
+	return nil
+}
+
+type stallDialer struct {
+	mu    sync.Mutex
+	conns []*stallConn
+}
+
+func (d *stallDialer) DialStream(target string) (io.ReadWriteCloser, error) {
+	c := &stallConn{release: make(chan struct{}), closed: make(chan struct{})}
+	d.mu.Lock()
+	d.conns = append(d.conns, c)
+	d.mu.Unlock()
+	return c, nil
+}
+
+func (d *stallDialer) releaseAll() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, c := range d.conns {
+		close(c.release)
+	}
+	d.conns = nil
+}
+
+func TestFlowControlWindowBlocksWriter(t *testing.T) {
+	// When the destination stops consuming, the client's Write must stall
+	// after at most one window of cells — the bound that keeps a stuck
+	// stream from flooding the circuit.
+	stall := &stallDialer{}
+	tn := buildTestNet(t, 2, smallWindow, func(i int, cfg *relay.Config) {
+		cfg.ExitDialer = stall
+	})
+	c := newSmallWindowClient(t, tn)
+	circ, err := c.BuildCircuit(tn.descs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer circ.Close()
+	st, err := circ.OpenStream("echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	// 20 cells against an 8-cell window and a stalled consumer.
+	payload := make([]byte, 20*cell.RelayDataLen)
+	done := make(chan int, 1)
+	go func() {
+		n, _ := st.Write(payload)
+		done <- n
+	}()
+	select {
+	case n := <-done:
+		t.Fatalf("write of %d cells completed (%d bytes) despite stalled exit", 20, n)
+	case <-time.After(300 * time.Millisecond):
+		// blocked, as required
+	}
+	stall.releaseAll()
+	select {
+	case n := <-done:
+		if n != len(payload) {
+			t.Errorf("wrote %d of %d bytes after release", n, len(payload))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("write did not resume after exit recovered")
+	}
+}
+
+func TestOutConnMultiplexing(t *testing.T) {
+	// Many circuits through the same relay pair must share one onward
+	// connection at the entry relay.
+	tn := buildTestNet(t, 2)
+	c := newTestClient(t, tn)
+	var circs []*Circuit
+	for i := 0; i < 5; i++ {
+		circ, err := c.BuildCircuit(tn.descs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		circs = append(circs, circ)
+	}
+	defer func() {
+		for _, circ := range circs {
+			circ.Close()
+		}
+	}()
+	if n := tn.relays[0].OutConnCount(); n != 1 {
+		t.Errorf("entry relay has %d onward connections for 5 circuits, want 1", n)
+	}
+	// Every circuit still works.
+	for i, circ := range circs {
+		st, err := circ.OpenStream("echo")
+		if err != nil {
+			t.Fatalf("circuit %d: %v", i, err)
+		}
+		if _, err := echo.NewClient(st).Probe(); err != nil {
+			t.Fatalf("circuit %d: %v", i, err)
+		}
+		st.Close()
+	}
+}
+
+func TestOutConnSurvivesCircuitClose(t *testing.T) {
+	// Destroying one circuit must not kill its siblings on the shared
+	// connection.
+	tn := buildTestNet(t, 2)
+	c := newTestClient(t, tn)
+	c1, err := c.BuildCircuit(tn.descs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := c.BuildCircuit(tn.descs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	c1.Close()
+	time.Sleep(50 * time.Millisecond)
+
+	st, err := c2.OpenStream("echo")
+	if err != nil {
+		t.Fatalf("sibling circuit broken after destroy: %v", err)
+	}
+	defer st.Close()
+	if _, err := echo.NewClient(st).Probe(); err != nil {
+		t.Fatal(err)
+	}
+	if n := tn.relays[0].OutConnCount(); n != 1 {
+		t.Errorf("onward connection count = %d after sibling close, want 1", n)
+	}
+}
+
+func TestOutConnThreeHopSharing(t *testing.T) {
+	// A 3-hop network where both hops multiplex: r0→r1 and r1→r2.
+	tn := buildTestNet(t, 3)
+	c := newTestClient(t, tn)
+	var circs []*Circuit
+	for i := 0; i < 3; i++ {
+		circ, err := c.BuildCircuit(tn.descs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		circs = append(circs, circ)
+		st, err := circ.OpenStream("echo")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := echo.NewClient(st).Probe(); err != nil {
+			t.Fatal(err)
+		}
+		st.Close()
+	}
+	defer func() {
+		for _, circ := range circs {
+			circ.Close()
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		if n := tn.relays[i].OutConnCount(); n != 1 {
+			t.Errorf("relay %d has %d onward connections, want 1", i, n)
+		}
+	}
+}
+
+func TestConcurrentBuildsShareConn(t *testing.T) {
+	// Racing circuit builds must not open duplicate onward connections.
+	tn := buildTestNet(t, 2)
+	c := newTestClient(t, tn)
+	const n = 8
+	errs := make(chan error, n)
+	circs := make(chan *Circuit, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			circ, err := c.BuildCircuit(tn.descs)
+			if err != nil {
+				errs <- err
+				return
+			}
+			circs <- circ
+			errs <- nil
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(circs)
+	for circ := range circs {
+		defer circ.Close()
+	}
+	if got := tn.relays[0].OutConnCount(); got != 1 {
+		t.Errorf("racing builds opened %d onward connections, want 1", got)
+	}
+}
+
+func TestSendmeConfigValidation(t *testing.T) {
+	if _, err := New(Config{Dialer: link.NewPipeNet(), StreamWindow: 10, SendmeEvery: 20}); err == nil {
+		t.Error("SendmeEvery > StreamWindow accepted by client")
+	}
+	pn := link.NewPipeNet()
+	ln, err := pn.Listen("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := testIdentityForFlow(t)
+	if _, err := relay.New(relay.Config{
+		Nickname: "r", Addr: "r", Identity: id, Listener: ln, RelayDialer: pn,
+		StreamWindow: 10, SendmeEvery: 20,
+	}); err == nil {
+		t.Error("SendmeEvery > StreamWindow accepted by relay")
+	}
+}
+
+func testIdentityForFlow(t *testing.T) *onion.Identity {
+	t.Helper()
+	id, err := onion.NewIdentity(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestBuildAutoCircuit(t *testing.T) {
+	tn := buildTestNet(t, 6)
+	reg := directoryRegistry(t, tn)
+	c := newTestClient(t, tn)
+	for trial := 0; trial < 5; trial++ {
+		circ, err := c.BuildAutoCircuit(reg, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if circ.Len() != 3 {
+			t.Errorf("auto circuit has %d hops", circ.Len())
+		}
+		if !circ.Path()[2].Exit {
+			t.Error("auto circuit exit not exit-capable")
+		}
+		st, err := circ.OpenStream("echo")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := echo.NewClient(st).Probe(); err != nil {
+			t.Fatal(err)
+		}
+		st.Close()
+		circ.Close()
+	}
+	if _, err := c.BuildAutoCircuit(nil, 3); err == nil {
+		t.Error("nil registry accepted")
+	}
+	if _, err := c.BuildAutoCircuit(reg, 1); err == nil {
+		t.Error("1-hop auto circuit accepted")
+	}
+}
+
+func directoryRegistry(t *testing.T, tn *testNet) *directory.Registry {
+	t.Helper()
+	reg := directory.NewRegistry()
+	for _, d := range tn.descs {
+		if err := reg.Publish(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return reg
+}

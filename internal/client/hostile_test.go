@@ -1,0 +1,185 @@
+package client
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"ting/internal/cell"
+	"ting/internal/directory"
+	"ting/internal/link"
+	"ting/internal/onion"
+)
+
+// Robustness against a hostile or broken first hop: the client must fail
+// cleanly (never hang, never accept forged crypto).
+
+// scriptedRelay runs fn for each accepted link on addr.
+func scriptedRelay(t *testing.T, pn *link.PipeNet, addr string, fn func(lk link.Link)) *directory.Descriptor {
+	t.Helper()
+	ln, err := pn.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			lk, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go fn(lk)
+		}
+	}()
+	id, err := onion.NewIdentity(rand.New(rand.NewSource(4040)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &directory.Descriptor{
+		Nickname: addr, Addr: addr, OnionKey: id.Public(), BandwidthKBps: 1, Exit: true,
+	}
+}
+
+func hostileClient(t *testing.T, pn *link.PipeNet) *Client {
+	t.Helper()
+	c, err := New(Config{Dialer: pn, Timeout: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func twoHopPath(t *testing.T, pn *link.PipeNet, first *directory.Descriptor) []*directory.Descriptor {
+	t.Helper()
+	second := *first
+	second.Nickname = "second"
+	second.Addr = "second-unused"
+	return []*directory.Descriptor{first, &second}
+}
+
+func TestClientTimesOutOnSilentRelay(t *testing.T) {
+	pn := link.NewPipeNet()
+	d := scriptedRelay(t, pn, "silent", func(lk link.Link) {
+		// Accept and say nothing.
+		for {
+			if _, err := lk.Recv(); err != nil {
+				return
+			}
+		}
+	})
+	c := hostileClient(t, pn)
+	start := time.Now()
+	_, err := c.BuildCircuit(twoHopPath(t, pn, d))
+	if err == nil {
+		t.Fatal("build against silent relay succeeded")
+	}
+	if !strings.Contains(err.Error(), "timeout") {
+		t.Errorf("error %v does not mention timeout", err)
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Error("timeout took far too long")
+	}
+}
+
+func TestClientRejectsForgedCreated(t *testing.T) {
+	pn := link.NewPipeNet()
+	d := scriptedRelay(t, pn, "forger", func(lk link.Link) {
+		c, err := lk.Recv()
+		if err != nil {
+			return
+		}
+		// Answer with a CREATED full of garbage: the ntor auth check must
+		// reject it.
+		var reply cell.Cell
+		reply.Circ = c.Circ
+		reply.Cmd = cell.Created
+		for i := 0; i < onion.ReplyLen; i++ {
+			reply.Payload[i] = byte(i*7 + 1)
+		}
+		_ = lk.Send(reply)
+	})
+	c := hostileClient(t, pn)
+	if _, err := c.BuildCircuit(twoHopPath(t, pn, d)); err == nil {
+		t.Fatal("forged CREATED accepted")
+	}
+}
+
+func TestClientSurvivesJunkRelayCells(t *testing.T) {
+	pn := link.NewPipeNet()
+	d := scriptedRelay(t, pn, "junker", func(lk link.Link) {
+		c, err := lk.Recv()
+		if err != nil {
+			return
+		}
+		// Spray junk RELAY cells before any CREATED: undecryptable cells
+		// on an un-built circuit must not crash the client.
+		var junk cell.Cell
+		junk.Circ = c.Circ
+		junk.Cmd = cell.Relay
+		for i := 0; i < 5; i++ {
+			junk.Payload[0] = byte(i)
+			if err := lk.Send(junk); err != nil {
+				return
+			}
+		}
+	})
+	c := hostileClient(t, pn)
+	if _, err := c.BuildCircuit(twoHopPath(t, pn, d)); err == nil {
+		t.Fatal("junk-spraying relay produced a circuit")
+	}
+}
+
+func TestClientHandlesImmediateDestroy(t *testing.T) {
+	pn := link.NewPipeNet()
+	d := scriptedRelay(t, pn, "destroyer", func(lk link.Link) {
+		c, err := lk.Recv()
+		if err != nil {
+			return
+		}
+		_ = lk.Send(cell.Cell{Circ: c.Circ, Cmd: cell.Destroy})
+	})
+	c := hostileClient(t, pn)
+	_, err := c.BuildCircuit(twoHopPath(t, pn, d))
+	if err == nil {
+		t.Fatal("destroyed circuit returned as built")
+	}
+	if !strings.Contains(err.Error(), "destroy") && !strings.Contains(err.Error(), "closed") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestClientHandlesConnDropMidBuild(t *testing.T) {
+	pn := link.NewPipeNet()
+	d := scriptedRelay(t, pn, "dropper", func(lk link.Link) {
+		if _, err := lk.Recv(); err != nil {
+			return
+		}
+		lk.Close()
+	})
+	c := hostileClient(t, pn)
+	if _, err := c.BuildCircuit(twoHopPath(t, pn, d)); err == nil {
+		t.Fatal("dropped connection produced a circuit")
+	}
+}
+
+func TestClientIgnoresWrongCircuitID(t *testing.T) {
+	pn := link.NewPipeNet()
+	d := scriptedRelay(t, pn, "misdirect", func(lk link.Link) {
+		c, err := lk.Recv()
+		if err != nil {
+			return
+		}
+		// A CREATED for a different circuit must be ignored; the build
+		// then times out rather than mis-binding crypto state.
+		var reply cell.Cell
+		reply.Circ = c.Circ + 1
+		reply.Cmd = cell.Created
+		_ = lk.Send(reply)
+	})
+	c := hostileClient(t, pn)
+	_, err := c.BuildCircuit(twoHopPath(t, pn, d))
+	if err == nil || !strings.Contains(err.Error(), "timeout") {
+		t.Errorf("mis-addressed CREATED not ignored: %v", err)
+	}
+}

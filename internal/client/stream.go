@@ -1,0 +1,195 @@
+package client
+
+import (
+	"errors"
+	"io"
+	"sync"
+
+	"ting/internal/cell"
+)
+
+// Stream is a byte stream attached to a circuit. It implements
+// io.ReadWriteCloser; Ting's echo probes are ordinary Reads and Writes.
+type Stream struct {
+	circ *Circuit
+	id   cell.StreamID
+	// hop is the circuit position the stream is attached to (Tor's
+	// "leaky pipe": streams may exit from any hop, not just the last).
+	hop int
+
+	connected chan struct{}
+
+	mu       sync.Mutex
+	leftover []byte
+	inbox    chan []byte
+	reason   string
+
+	// sendTokens implements the outbound flow-control window: one token
+	// per DATA cell we may send before the exit acknowledges consumption
+	// with a SENDME. recvSinceSendme counts delivered inbound DATA cells
+	// toward our own SENDME (touched only by the circuit's read loop).
+	sendTokens      chan struct{}
+	recvSinceSendme int
+
+	closeOnce sync.Once
+	closedCh  chan struct{}
+}
+
+func newStream(circ *Circuit, id cell.StreamID, hop int) *Stream {
+	window := circ.c.cfg.StreamWindow
+	s := &Stream{
+		circ:      circ,
+		id:        id,
+		hop:       hop,
+		connected: make(chan struct{}),
+		// The inbox must hold a full window or the circuit read loop could
+		// stall on a slow application reader before flow control engages.
+		inbox:      make(chan []byte, window+16),
+		sendTokens: make(chan struct{}, window),
+		closedCh:   make(chan struct{}),
+	}
+	for i := 0; i < window; i++ {
+		s.sendTokens <- struct{}{}
+	}
+	return s
+}
+
+// ID returns the stream's circuit-local identifier.
+func (s *Stream) ID() cell.StreamID { return cell.StreamID(s.id) }
+
+// deliver handles an inbound relay cell for this stream (called from the
+// circuit's read loop).
+func (s *Stream) deliver(rc cell.RelayCell) {
+	switch rc.Cmd {
+	case cell.RelayConnected:
+		select {
+		case <-s.connected:
+		default:
+			close(s.connected)
+		}
+	case cell.RelayData:
+		select {
+		case s.inbox <- rc.Data:
+		case <-s.closedCh:
+			return
+		}
+		// Acknowledge consumed cells so the exit's window refills.
+		s.recvSinceSendme++
+		if s.recvSinceSendme >= s.circ.c.cfg.SendmeEvery {
+			s.recvSinceSendme = 0
+			_ = s.circ.sendForward(s.hop, cell.RelayCell{Cmd: cell.RelaySendme, Stream: s.id})
+		}
+	case cell.RelaySendme:
+		for i := 0; i < s.circ.c.cfg.SendmeEvery; i++ {
+			select {
+			case s.sendTokens <- struct{}{}:
+			default:
+				i = s.circ.c.cfg.SendmeEvery // window full; drop excess credit
+			}
+		}
+	case cell.RelayEnd:
+		s.mu.Lock()
+		s.reason = string(rc.Data)
+		s.mu.Unlock()
+		s.closeLocal()
+	default:
+		s.circ.c.cfg.Logf("client: stream %d: unexpected %s", s.id, rc.Cmd)
+	}
+}
+
+func (s *Stream) endReason() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.reason == "" {
+		return "closed"
+	}
+	return s.reason
+}
+
+// Read returns data from the exit, blocking until some arrives or the
+// stream closes.
+func (s *Stream) Read(p []byte) (int, error) {
+	s.mu.Lock()
+	if len(s.leftover) > 0 {
+		n := copy(p, s.leftover)
+		s.leftover = s.leftover[n:]
+		s.mu.Unlock()
+		return n, nil
+	}
+	s.mu.Unlock()
+
+	select {
+	case chunk := <-s.inbox:
+		n := copy(p, chunk)
+		if n < len(chunk) {
+			s.mu.Lock()
+			s.leftover = chunk[n:]
+			s.mu.Unlock()
+		}
+		return n, nil
+	case <-s.closedCh:
+		// Drain anything that raced with closure.
+		select {
+		case chunk := <-s.inbox:
+			n := copy(p, chunk)
+			if n < len(chunk) {
+				s.mu.Lock()
+				s.leftover = chunk[n:]
+				s.mu.Unlock()
+			}
+			return n, nil
+		default:
+			return 0, io.EOF
+		}
+	}
+}
+
+// Write sends data toward the destination, fragmenting into relay cells.
+func (s *Stream) Write(p []byte) (int, error) {
+	select {
+	case <-s.closedCh:
+		return 0, errors.New("client: write on closed stream")
+	default:
+	}
+	written := 0
+	for len(p) > 0 {
+		n := len(p)
+		if n > cell.RelayDataLen {
+			n = cell.RelayDataLen
+		}
+		// Flow control: one window token per DATA cell.
+		select {
+		case <-s.sendTokens:
+		case <-s.closedCh:
+			return written, errors.New("client: write on closed stream")
+		}
+		if err := s.circ.sendForward(s.hop, cell.RelayCell{
+			Cmd: cell.RelayData, Stream: s.id, Data: p[:n],
+		}); err != nil {
+			return written, err
+		}
+		written += n
+		p = p[n:]
+	}
+	return written, nil
+}
+
+// Close ends the stream, telling the exit to drop its side.
+func (s *Stream) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.closedCh)
+		err = s.circ.sendForward(s.hop, cell.RelayCell{Cmd: cell.RelayEnd, Stream: s.id})
+		s.circ.dropStream(s.id)
+	})
+	return err
+}
+
+// closeLocal closes without notifying the exit (it already knows, or the
+// circuit is gone).
+func (s *Stream) closeLocal() {
+	s.closeOnce.Do(func() {
+		close(s.closedCh)
+		s.circ.dropStream(s.id)
+	})
+}

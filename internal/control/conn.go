@@ -1,0 +1,256 @@
+package control
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ting/internal/directory"
+)
+
+// Conn is a controller-side control connection — the role Stem played for
+// the paper's measurement client.
+type Conn struct {
+	conn net.Conn
+	wmu  sync.Mutex
+
+	replies chan reply
+	// Events receives asynchronous "650 …" lines (after SetEvents). The
+	// channel is buffered; stale events are dropped rather than blocking
+	// the reader.
+	Events chan string
+
+	closeOnce sync.Once
+	closed    chan struct{}
+
+	// Timeout bounds each request/response exchange. Default 15s.
+	Timeout time.Duration
+}
+
+type reply struct {
+	code  int
+	text  string
+	multi []string
+}
+
+// Dial connects to a control port.
+func Dial(addr string) (*Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("control: dial: %w", err)
+	}
+	return NewConn(conn), nil
+}
+
+// NewConn wraps an established connection as a controller.
+func NewConn(conn net.Conn) *Conn {
+	c := &Conn{
+		conn:    conn,
+		replies: make(chan reply, 4),
+		Events:  make(chan string, 64),
+		closed:  make(chan struct{}),
+		Timeout: 15 * time.Second,
+	}
+	go c.readLoop()
+	return c
+}
+
+// Close shuts the controller connection down.
+func (c *Conn) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		err = c.conn.Close()
+	})
+	return err
+}
+
+func (c *Conn) readLoop() {
+	sc := bufio.NewScanner(c.conn)
+	sc.Buffer(make([]byte, 64*1024), 64*1024)
+	var multi []string
+	inMulti := false
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), "\r")
+		switch {
+		case inMulti:
+			if line == "." {
+				inMulti = false
+				// The terminating "250 OK" arrives next and carries the
+				// accumulated body.
+				continue
+			}
+			multi = append(multi, line)
+		case strings.HasPrefix(line, "650 "):
+			select {
+			case c.Events <- strings.TrimPrefix(line, "650 "):
+			default:
+			}
+		case strings.HasPrefix(line, "250+"):
+			inMulti = true
+			multi = nil
+		default:
+			code := 0
+			text := line
+			if len(line) >= 3 {
+				if n, err := strconv.Atoi(line[:3]); err == nil {
+					code = n
+					text = strings.TrimSpace(line[3:])
+				}
+			}
+			r := reply{code: code, text: text, multi: multi}
+			multi = nil
+			select {
+			case c.replies <- r:
+			case <-c.closed:
+				return
+			}
+		}
+	}
+}
+
+func (c *Conn) roundTrip(cmd string) (reply, error) {
+	c.wmu.Lock()
+	_, err := fmt.Fprintf(c.conn, "%s\r\n", cmd)
+	c.wmu.Unlock()
+	if err != nil {
+		return reply{}, fmt.Errorf("control: send %q: %w", cmd, err)
+	}
+	select {
+	case r := <-c.replies:
+		return r, nil
+	case <-c.closed:
+		return reply{}, errors.New("control: connection closed")
+	case <-time.After(c.Timeout):
+		return reply{}, fmt.Errorf("control: timeout awaiting reply to %q", cmd)
+	}
+}
+
+func (c *Conn) expect250(cmd string) (reply, error) {
+	r, err := c.roundTrip(cmd)
+	if err != nil {
+		return r, err
+	}
+	if r.code != 250 {
+		return r, fmt.Errorf("control: %s: %d %s", strings.Fields(cmd)[0], r.code, r.text)
+	}
+	return r, nil
+}
+
+// Authenticate presents the (possibly empty) password.
+func (c *Conn) Authenticate(password string) error {
+	cmd := "AUTHENTICATE"
+	if password != "" {
+		cmd = fmt.Sprintf("AUTHENTICATE %q", password)
+	}
+	_, err := c.expect250(cmd)
+	return err
+}
+
+// ExtendCircuit builds a new circuit through the named relays and returns
+// its controller-side ID.
+func (c *Conn) ExtendCircuit(nicknames []string) (int, error) {
+	if len(nicknames) == 0 {
+		return 0, errors.New("control: empty path")
+	}
+	r, err := c.expect250("EXTENDCIRCUIT 0 " + strings.Join(nicknames, ","))
+	if err != nil {
+		return 0, err
+	}
+	fields := strings.Fields(r.text)
+	if len(fields) != 2 || fields[0] != "EXTENDED" {
+		return 0, fmt.Errorf("control: unexpected reply %q", r.text)
+	}
+	id, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return 0, fmt.Errorf("control: bad circuit id %q", fields[1])
+	}
+	return id, nil
+}
+
+// CloseCircuit tears a circuit down.
+func (c *Conn) CloseCircuit(id int) error {
+	_, err := c.expect250(fmt.Sprintf("CLOSECIRCUIT %d", id))
+	return err
+}
+
+// SetEvents enables (or with no names, disables) async CIRC events.
+func (c *Conn) SetEvents(names ...string) error {
+	_, err := c.expect250(strings.TrimSpace("SETEVENTS " + strings.Join(names, " ")))
+	return err
+}
+
+// GetInfo fetches a multiline info key, returning the body lines.
+func (c *Conn) GetInfo(key string) ([]string, error) {
+	r, err := c.expect250("GETINFO " + key)
+	if err != nil {
+		return nil, err
+	}
+	return r.multi, nil
+}
+
+// Consensus fetches and parses ns/all.
+func (c *Conn) Consensus() (*directory.Registry, error) {
+	lines, err := c.GetInfo("ns/all")
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, errors.New("control: empty consensus")
+	}
+	// First line is "ns/all=" marker followed by the document.
+	doc := strings.Join(lines, "\n")
+	doc = strings.TrimPrefix(doc, "ns/all=\n")
+	doc = strings.TrimPrefix(doc, "ns/all=")
+	return directory.DecodeConsensus(strings.NewReader(doc))
+}
+
+// Quit ends the session politely.
+func (c *Conn) Quit() error {
+	_, err := c.roundTrip("QUIT")
+	if err == nil {
+		c.Close()
+	}
+	return err
+}
+
+// DialStream connects to the data port and attaches a raw byte stream to
+// circuit id toward target. The returned connection carries application
+// bytes end to end.
+func DialStream(dataAddr string, circID int, target string) (net.Conn, error) {
+	conn, err := net.Dial("tcp", dataAddr)
+	if err != nil {
+		return nil, fmt.Errorf("control: dial data port: %w", err)
+	}
+	if _, err := fmt.Fprintf(conn, "CONNECT %s VIA %d\n", target, circID); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("control: attach: %w", err)
+	}
+	status, err := bufio.NewReader(&oneByteReader{c: conn}).ReadString('\n')
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("control: attach reply: %w", err)
+	}
+	status = strings.TrimSpace(status)
+	if !strings.HasPrefix(status, "250") {
+		conn.Close()
+		return nil, fmt.Errorf("control: attach refused: %s", status)
+	}
+	return conn, nil
+}
+
+// oneByteReader prevents bufio from reading past the status line into the
+// application byte stream.
+type oneByteReader struct{ c net.Conn }
+
+func (r *oneByteReader) Read(p []byte) (int, error) {
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	return r.c.Read(p)
+}

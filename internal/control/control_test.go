@@ -1,0 +1,362 @@
+package control
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"ting/internal/client"
+	"ting/internal/directory"
+	"ting/internal/echo"
+	"ting/internal/link"
+	"ting/internal/onion"
+	"ting/internal/relay"
+)
+
+type memExitDialer struct{}
+
+func (memExitDialer) DialStream(target string) (io.ReadWriteCloser, error) {
+	if target != "echo" {
+		return nil, fmt.Errorf("unknown target %q", target)
+	}
+	a, b := net.Pipe()
+	go echo.Handle(b)
+	return a, nil
+}
+
+// testEnv runs relays on a PipeNet and a control+data server on loopback
+// TCP.
+type testEnv struct {
+	srv         *Server
+	controlAddr string
+	dataAddr    string
+	reg         *directory.Registry
+}
+
+func newTestEnv(t *testing.T, nRelays int, password string) *testEnv {
+	t.Helper()
+	pn := link.NewPipeNet()
+	reg := directory.NewRegistry()
+	for i := 0; i < nRelays; i++ {
+		name := fmt.Sprintf("r%d", i)
+		id, err := onion.NewIdentity(rand.New(rand.NewSource(int64(2000 + i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := pn.Listen(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := relay.New(relay.Config{
+			Nickname: name, Addr: name, Identity: id,
+			Listener: ln, RelayDialer: pn, ExitDialer: memExitDialer{},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Start()
+		t.Cleanup(func() { r.Close() })
+		if err := reg.Publish(&directory.Descriptor{
+			Nickname: name, Addr: name, OnionKey: id.Public(),
+			BandwidthKBps: 100, Exit: true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl, err := client.New(client.Config{Dialer: pn, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{Client: cl, Registry: reg, Password: password})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrlLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.ServeControl(ctrlLn)
+	go srv.ServeData(dataLn)
+	t.Cleanup(func() { srv.Close() })
+	return &testEnv{
+		srv:         srv,
+		controlAddr: ctrlLn.Addr().String(),
+		dataAddr:    dataLn.Addr().String(),
+		reg:         reg,
+	}
+}
+
+func dialAuthed(t *testing.T, env *testEnv, password string) *Conn {
+	t.Helper()
+	c, err := Dial(env.controlAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	if err := c.Authenticate(password); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestAuthRequired(t *testing.T) {
+	env := newTestEnv(t, 2, "sekrit")
+	c, err := Dial(env.controlAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.ExtendCircuit([]string{"r0", "r1"}); err == nil {
+		t.Error("unauthenticated EXTENDCIRCUIT accepted")
+	}
+	if err := c.Authenticate("wrong"); err == nil {
+		t.Error("wrong password accepted")
+	}
+	if err := c.Authenticate("sekrit"); err != nil {
+		t.Errorf("correct password rejected: %v", err)
+	}
+}
+
+func TestExtendAndCloseCircuit(t *testing.T) {
+	env := newTestEnv(t, 3, "")
+	c := dialAuthed(t, env, "")
+
+	id, err := c.ExtendCircuit([]string{"r0", "r1", "r2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id <= 0 {
+		t.Errorf("circuit id %d", id)
+	}
+	status, err := c.GetInfo("circuit-status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(status, "\n")
+	if !strings.Contains(joined, "r0,r1,r2") {
+		t.Errorf("circuit-status = %q", joined)
+	}
+	if err := c.CloseCircuit(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CloseCircuit(id); err == nil {
+		t.Error("double close accepted")
+	}
+	if _, err := c.ExtendCircuit([]string{"r0", "ghost"}); err == nil {
+		t.Error("unknown relay accepted")
+	}
+	if _, err := c.ExtendCircuit([]string{"r0"}); err == nil {
+		t.Error("one-hop circuit accepted")
+	}
+	if _, err := c.ExtendCircuit(nil); err == nil {
+		t.Error("empty path accepted")
+	}
+}
+
+func TestConsensusOverControlPort(t *testing.T) {
+	env := newTestEnv(t, 3, "")
+	c := dialAuthed(t, env, "")
+	reg, err := c.Consensus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != 3 {
+		t.Errorf("consensus has %d relays, want 3", reg.Len())
+	}
+	if _, ok := reg.Lookup("r1"); !ok {
+		t.Error("r1 missing from consensus")
+	}
+}
+
+func TestGetInfoUnknownKey(t *testing.T) {
+	env := newTestEnv(t, 2, "")
+	c := dialAuthed(t, env, "")
+	if _, err := c.GetInfo("version"); err == nil {
+		t.Error("unknown key accepted")
+	}
+}
+
+func TestDataPortEcho(t *testing.T) {
+	env := newTestEnv(t, 2, "")
+	c := dialAuthed(t, env, "")
+	id, err := c.ExtendCircuit([]string{"r0", "r1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := DialStream(env.dataAddr, id, "echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	ec := echo.NewClient(conn)
+	rtt, err := ec.Probe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt <= 0 {
+		t.Errorf("rtt = %v", rtt)
+	}
+	rtts, err := ec.ProbeN(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rtts) != 10 {
+		t.Errorf("%d probes", len(rtts))
+	}
+}
+
+func TestDataPortErrors(t *testing.T) {
+	env := newTestEnv(t, 2, "")
+	if _, err := DialStream(env.dataAddr, 999, "echo"); err == nil {
+		t.Error("attach to unknown circuit accepted")
+	}
+	c := dialAuthed(t, env, "")
+	id, err := c.ExtendCircuit([]string{"r0", "r1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DialStream(env.dataAddr, id, "no-such-target"); err == nil {
+		t.Error("attach to unknown target accepted")
+	}
+
+	// Malformed first line.
+	raw, err := net.Dial("tcp", env.dataAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	fmt.Fprintf(raw, "GIBBERISH\n")
+	buf := make([]byte, 64)
+	n, _ := raw.Read(buf)
+	if !strings.HasPrefix(string(buf[:n]), "500") {
+		t.Errorf("malformed attach answered %q", buf[:n])
+	}
+}
+
+func TestCircuitEvents(t *testing.T) {
+	env := newTestEnv(t, 2, "")
+	c := dialAuthed(t, env, "")
+	if err := c.SetEvents("CIRC"); err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.ExtendCircuit([]string{"r0", "r1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-c.Events:
+		if !strings.Contains(ev, "BUILT") {
+			t.Errorf("event %q", ev)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("no BUILT event")
+	}
+	if err := c.CloseCircuit(id); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-c.Events:
+		if !strings.Contains(ev, "CLOSED") {
+			t.Errorf("event %q", ev)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("no CLOSED event")
+	}
+}
+
+func TestQuit(t *testing.T) {
+	env := newTestEnv(t, 2, "")
+	c := dialAuthed(t, env, "")
+	if err := c.Quit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	env := newTestEnv(t, 2, "")
+	conn, err := net.Dial("tcp", env.controlAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "AUTHENTICATE\r\nFROBNICATE\r\n")
+	buf := make([]byte, 256)
+	time.Sleep(100 * time.Millisecond)
+	n, _ := conn.Read(buf)
+	out := string(buf[:n])
+	if !strings.Contains(out, "250") {
+		t.Errorf("no auth OK in %q", out)
+	}
+}
+
+func TestServerConfigValidation(t *testing.T) {
+	if _, err := NewServer(ServerConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	cl, _ := client.New(client.Config{Dialer: link.NewPipeNet()})
+	if _, err := NewServer(ServerConfig{Client: cl}); err == nil {
+		t.Error("missing registry accepted")
+	}
+}
+
+func TestAutoCircuit(t *testing.T) {
+	env := newTestEnv(t, 5, "")
+	c := dialAuthed(t, env, "")
+	id, err := c.ExtendCircuit([]string{"auto"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, err := c.GetInfo("circuit-status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(status, "\n")
+	if !strings.Contains(joined, fmt.Sprintf("%d BUILT", id)) {
+		t.Errorf("auto circuit missing from status: %q", joined)
+	}
+	// Auto circuits carry streams like any other.
+	conn, err := DialStream(env.dataAddr, id, "echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := echo.NewClient(conn).Probe(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Explicit length.
+	id4, err := c.ExtendCircuit([]string{"auto/4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, _ = c.GetInfo("circuit-status")
+	found := false
+	for _, line := range status {
+		if strings.HasPrefix(line, fmt.Sprintf("%d BUILT ", id4)) {
+			hops := strings.Split(strings.Fields(line)[2], ",")
+			if len(hops) != 4 {
+				t.Errorf("auto/4 built %d hops: %q", len(hops), line)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Error("auto/4 circuit not in status")
+	}
+
+	// Bad specs.
+	for _, bad := range []string{"auto/1", "auto/x", "autoxyz"} {
+		if _, err := c.ExtendCircuit([]string{bad}); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}

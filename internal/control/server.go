@@ -1,0 +1,392 @@
+// Package control implements mintor's control-port protocol: the interface
+// Ting drives instead of the Stem controller library the paper used (§3.1).
+//
+// The protocol is a line-oriented subset of Tor's control spec:
+//
+//	AUTHENTICATE [password]        → 250 OK
+//	EXTENDCIRCUIT 0 r1,r2,...      → 250 EXTENDED <circID>
+//	CLOSECIRCUIT <circID>          → 250 OK
+//	GETINFO ns/all                 → 250+ consensus … .
+//	GETINFO circuit-status         → 250+ one line per circuit … .
+//	SETEVENTS [CIRC]               → 250 OK, then async "650 CIRC …" lines
+//	QUIT                           → 250 closing
+//
+// Streams attach through a companion data port: the application connects
+// and sends "CONNECT <target> VIA <circID>\n"; after the "250 OK" line the
+// connection bridges raw bytes to a stream on that circuit. This replaces
+// Tor's SOCKS-plus-ATTACHSTREAM dance with an explicit binding, which is
+// all Ting needs.
+package control
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"ting/internal/client"
+	"ting/internal/directory"
+)
+
+// ServerConfig configures a control server.
+type ServerConfig struct {
+	// Client is the onion proxy the controller drives. Required.
+	Client *client.Client
+	// Registry resolves relay nicknames. Required.
+	Registry *directory.Registry
+	// Password, if nonempty, must be presented by AUTHENTICATE.
+	Password string
+	// Logf, if non-nil, receives debug logs.
+	Logf func(format string, args ...any)
+}
+
+// Server exposes an onion proxy over the control protocol.
+type Server struct {
+	cfg ServerConfig
+
+	mu       sync.Mutex
+	nextCirc int
+	circuits map[int]*client.Circuit
+	closed   bool
+	lns      []net.Listener
+}
+
+// NewServer creates a control server.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Client == nil {
+		return nil, errors.New("control: config missing Client")
+	}
+	if cfg.Registry == nil {
+		return nil, errors.New("control: config missing Registry")
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Server{cfg: cfg, nextCirc: 1, circuits: make(map[int]*client.Circuit)}, nil
+}
+
+// ServeControl accepts control sessions on ln until it closes.
+func (s *Server) ServeControl(ln net.Listener) error {
+	s.track(ln)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go s.handleControl(conn)
+	}
+}
+
+// ServeData accepts stream-attach connections on ln until it closes.
+func (s *Server) ServeData(ln net.Listener) error {
+	s.track(ln)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go s.handleData(conn)
+	}
+}
+
+func (s *Server) track(ln net.Listener) {
+	s.mu.Lock()
+	s.lns = append(s.lns, ln)
+	s.mu.Unlock()
+}
+
+// Close shuts down listeners and every circuit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	lns := s.lns
+	circs := s.circuits
+	s.circuits = make(map[int]*client.Circuit)
+	s.mu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	for _, c := range circs {
+		c.Close()
+	}
+	return nil
+}
+
+// session is one control connection.
+type session struct {
+	s      *Server
+	conn   net.Conn
+	wmu    sync.Mutex
+	authed bool
+	events bool
+}
+
+func (s *Server) handleControl(conn net.Conn) {
+	sess := &session{s: s, conn: conn}
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64*1024), 64*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if quit := sess.dispatch(line); quit {
+			return
+		}
+	}
+}
+
+func (sess *session) writeLine(line string) {
+	sess.wmu.Lock()
+	defer sess.wmu.Unlock()
+	fmt.Fprintf(sess.conn, "%s\r\n", line)
+}
+
+func (sess *session) writeMulti(header string, body []string) {
+	sess.wmu.Lock()
+	defer sess.wmu.Unlock()
+	fmt.Fprintf(sess.conn, "250+%s\r\n", header)
+	for _, l := range body {
+		fmt.Fprintf(sess.conn, "%s\r\n", l)
+	}
+	fmt.Fprintf(sess.conn, ".\r\n250 OK\r\n")
+}
+
+func (sess *session) dispatch(line string) (quit bool) {
+	fields := strings.Fields(line)
+	cmd := strings.ToUpper(fields[0])
+	args := fields[1:]
+
+	if cmd == "QUIT" {
+		sess.writeLine("250 closing connection")
+		return true
+	}
+	if cmd == "AUTHENTICATE" {
+		sess.handleAuth(args)
+		return false
+	}
+	if !sess.authed {
+		sess.writeLine("514 authentication required")
+		return false
+	}
+	switch cmd {
+	case "EXTENDCIRCUIT":
+		sess.handleExtendCircuit(args)
+	case "CLOSECIRCUIT":
+		sess.handleCloseCircuit(args)
+	case "GETINFO":
+		sess.handleGetInfo(args)
+	case "SETEVENTS":
+		sess.events = len(args) > 0 && strings.EqualFold(args[0], "CIRC")
+		sess.writeLine("250 OK")
+	default:
+		sess.writeLine(fmt.Sprintf("510 unrecognized command %q", cmd))
+	}
+	return false
+}
+
+func (sess *session) handleAuth(args []string) {
+	given := ""
+	if len(args) > 0 {
+		given = strings.Trim(args[0], `"`)
+	}
+	if sess.s.cfg.Password != "" && given != sess.s.cfg.Password {
+		sess.writeLine("515 bad authentication")
+		return
+	}
+	sess.authed = true
+	sess.writeLine("250 OK")
+}
+
+func (sess *session) handleExtendCircuit(args []string) {
+	// Only "EXTENDCIRCUIT 0 <path>" (build new) is supported, as in Ting.
+	// The path may be "auto" or "auto/<length>" for default
+	// bandwidth-weighted selection.
+	if len(args) != 2 || args[0] != "0" {
+		sess.writeLine("512 usage: EXTENDCIRCUIT 0 nick1,nick2,...|auto[/len]")
+		return
+	}
+	if spec, ok := strings.CutPrefix(args[1], "auto"); ok {
+		length := 3
+		if rest, ok := strings.CutPrefix(spec, "/"); ok {
+			n, err := strconv.Atoi(rest)
+			if err != nil || n < 2 {
+				sess.writeLine("512 bad auto length")
+				return
+			}
+			length = n
+		} else if spec != "" {
+			sess.writeLine("512 usage: EXTENDCIRCUIT 0 auto[/len]")
+			return
+		}
+		circ, err := sess.s.cfg.Client.BuildAutoCircuit(sess.s.cfg.Registry, length)
+		if err != nil {
+			sess.writeLine("551 circuit build failed: " + flat(err.Error()))
+			return
+		}
+		id := sess.s.register(circ)
+		sess.writeLine(fmt.Sprintf("250 EXTENDED %d", id))
+		if sess.events {
+			sess.writeLine(fmt.Sprintf("650 CIRC %d BUILT", id))
+		}
+		return
+	}
+	names := strings.Split(args[1], ",")
+	path := make([]*directory.Descriptor, 0, len(names))
+	for _, n := range names {
+		d, ok := sess.s.cfg.Registry.Lookup(strings.TrimSpace(n))
+		if !ok {
+			sess.writeLine(fmt.Sprintf("552 unknown relay %q", n))
+			return
+		}
+		path = append(path, d)
+	}
+	circ, err := sess.s.cfg.Client.BuildCircuit(path)
+	if err != nil {
+		sess.writeLine("551 circuit build failed: " + flat(err.Error()))
+		return
+	}
+	id := sess.s.register(circ)
+	sess.writeLine(fmt.Sprintf("250 EXTENDED %d", id))
+	if sess.events {
+		sess.writeLine(fmt.Sprintf("650 CIRC %d BUILT", id))
+	}
+}
+
+func (s *Server) register(circ *client.Circuit) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextCirc
+	s.nextCirc++
+	s.circuits[id] = circ
+	return id
+}
+
+func (s *Server) circuit(id int) *client.Circuit {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.circuits[id]
+}
+
+func (sess *session) handleCloseCircuit(args []string) {
+	if len(args) != 1 {
+		sess.writeLine("512 usage: CLOSECIRCUIT <id>")
+		return
+	}
+	id, err := strconv.Atoi(args[0])
+	if err != nil {
+		sess.writeLine("512 bad circuit id")
+		return
+	}
+	s := sess.s
+	s.mu.Lock()
+	circ := s.circuits[id]
+	delete(s.circuits, id)
+	s.mu.Unlock()
+	if circ == nil {
+		sess.writeLine(fmt.Sprintf("552 unknown circuit %d", id))
+		return
+	}
+	circ.Close()
+	sess.writeLine("250 OK")
+	if sess.events {
+		sess.writeLine(fmt.Sprintf("650 CIRC %d CLOSED", id))
+	}
+}
+
+func (sess *session) handleGetInfo(args []string) {
+	if len(args) != 1 {
+		sess.writeLine("512 usage: GETINFO <key>")
+		return
+	}
+	switch args[0] {
+	case "ns/all":
+		var sb strings.Builder
+		if err := sess.s.cfg.Registry.EncodeConsensus(&sb); err != nil {
+			sess.writeLine("551 " + flat(err.Error()))
+			return
+		}
+		lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+		sess.writeMulti("ns/all=", lines)
+	case "circuit-status":
+		s := sess.s
+		s.mu.Lock()
+		var lines []string
+		for id, circ := range s.circuits {
+			names := make([]string, 0, circ.Len())
+			for _, d := range circ.Path() {
+				names = append(names, d.Nickname)
+			}
+			lines = append(lines, fmt.Sprintf("%d BUILT %s", id, strings.Join(names, ",")))
+		}
+		s.mu.Unlock()
+		sess.writeMulti("circuit-status=", lines)
+	default:
+		sess.writeLine(fmt.Sprintf("552 unknown key %q", args[0]))
+	}
+}
+
+// handleData bridges one data-port connection to a circuit stream.
+func (s *Server) handleData(conn net.Conn) {
+	defer conn.Close()
+	rd := bufio.NewReader(conn)
+	line, err := rd.ReadString('\n')
+	if err != nil {
+		return
+	}
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) != 4 || !strings.EqualFold(fields[0], "CONNECT") || !strings.EqualFold(fields[2], "VIA") {
+		fmt.Fprintf(conn, "500 usage: CONNECT <target> VIA <circID>\r\n")
+		return
+	}
+	id, err := strconv.Atoi(fields[3])
+	if err != nil {
+		fmt.Fprintf(conn, "500 bad circuit id\r\n")
+		return
+	}
+	circ := s.circuit(id)
+	if circ == nil {
+		fmt.Fprintf(conn, "552 unknown circuit %d\r\n", id)
+		return
+	}
+	st, err := circ.OpenStream(fields[1])
+	if err != nil {
+		fmt.Fprintf(conn, "551 %s\r\n", flat(err.Error()))
+		return
+	}
+	defer st.Close()
+	fmt.Fprintf(conn, "250 OK\r\n")
+
+	done := make(chan struct{}, 2)
+	go func() {
+		// Client → circuit. Any bytes buffered in the bufio reader first.
+		if n := rd.Buffered(); n > 0 {
+			buf := make([]byte, n)
+			if _, err := io.ReadFull(rd, buf); err == nil {
+				if _, err := st.Write(buf); err != nil {
+					done <- struct{}{}
+					return
+				}
+			}
+		}
+		_, _ = io.Copy(st, conn)
+		done <- struct{}{}
+	}()
+	go func() {
+		_, _ = io.Copy(conn, st)
+		done <- struct{}{}
+	}()
+	<-done
+}
+
+// flat collapses newlines so an error fits one protocol line.
+func flat(s string) string { return strings.ReplaceAll(s, "\n", " / ") }

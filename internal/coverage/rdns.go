@@ -1,0 +1,163 @@
+// Package coverage implements the measurement-platform study of §5.3:
+// how much of the Internet the Tor relay population lets Ting reach. It
+// synthesizes a consensus history with relay churn (the paper used Tor
+// Metrics archives from Feb 28 to Apr 28, 2015), counts unique /24
+// prefixes (Figure 18), and classifies relays as residential or hosted by
+// their reverse-DNS names, extending the Schulman–Spring technique to
+// European ISPs as the paper does.
+package coverage
+
+import (
+	"strings"
+)
+
+// HostClass is a reverse-DNS-based classification.
+type HostClass int
+
+// Classifications.
+const (
+	Unknown HostClass = iota
+	ResidentialClass
+	HostingClass
+	UniversityClass
+)
+
+// String names the class.
+func (c HostClass) String() string {
+	switch c {
+	case ResidentialClass:
+		return "residential"
+	case HostingClass:
+		return "hosting"
+	case UniversityClass:
+		return "university"
+	default:
+		return "unknown"
+	}
+}
+
+// hostingDomains are the hosting-site suffixes the paper identifies by
+// reverse DNS (§5.3), plus a few synonyms.
+var hostingDomains = []string{
+	"linode.com", "amazonaws.com", "ovh.com", "ovh.net", "cloudatcost.com",
+	"your-server.de", "leaseweb.com", "digitalocean.com", "hetzner.de",
+	"vultr.com", "online.net", "serverprofi24.de",
+}
+
+// residentialSuffixes mark consumer ISPs in the US and Europe; the
+// original technique covered only the US, and the paper extends it to
+// Europe.
+var residentialSuffixes = []string{
+	// US
+	"comcast.net", "verizon.net", "rr.com", "cox.net", "charter.com",
+	"qwest.net", "att.net", "sbcglobal.net", "frontiernet.net",
+	// Europe
+	"t-ipconnect.de", "t-dialin.net", "orange.fr", "proxad.net",
+	"bbox.fr", "telecomitalia.it", "virginm.net", "btcentralplus.com",
+	"ziggo.nl", "upc.nl", "telia.com", "skbroadband.com", "vodafone.de",
+	"kabel-deutschland.de", "telefonica.de", "wanadoo.fr", "numericable.fr",
+	"bredband.net", "chello.at", "swisscom.ch",
+}
+
+// residentialKeywords appear inside consumer-line hostnames.
+var residentialKeywords = []string{
+	"pool", "dsl", "dyn", "dialup", "cable", "dhcp", "ppp", "cust",
+	"client", "broadband", "fttx", "fiber", "docsis", "res", "home",
+}
+
+var universityKeywords = []string{".edu", "uni-", ".ac.", "univ"}
+
+// Classify assigns a class to a reverse-DNS name. Empty names are
+// Unknown — the paper notes 1150 of 6634 relays had no reverse DNS.
+func Classify(rdns string) HostClass {
+	if rdns == "" {
+		return Unknown
+	}
+	name := strings.ToLower(strings.TrimSuffix(rdns, "."))
+	for _, d := range hostingDomains {
+		if name == d || strings.HasSuffix(name, "."+d) {
+			return HostingClass
+		}
+	}
+	for _, k := range universityKeywords {
+		if strings.Contains(name, k) {
+			return UniversityClass
+		}
+	}
+	suffixHit := false
+	for _, s := range residentialSuffixes {
+		if strings.HasSuffix(name, "."+s) || name == s {
+			suffixHit = true
+			break
+		}
+	}
+	// The Schulman–Spring style signal: a consumer suffix, or consumer
+	// keywords combined with embedded numbers (pool-96-225-…, dyn123…).
+	if suffixHit {
+		return ResidentialClass
+	}
+	if hasDigit(name) {
+		for _, k := range residentialKeywords {
+			if strings.Contains(name, k) {
+				return ResidentialClass
+			}
+		}
+	}
+	return Unknown
+}
+
+func hasDigit(s string) bool {
+	for _, r := range s {
+		if r >= '0' && r <= '9' {
+			return true
+		}
+	}
+	return false
+}
+
+// ClassCounts tallies classifications over a set of rDNS names.
+type ClassCounts struct {
+	Residential int
+	Hosting     int
+	University  int
+	Unknown     int
+	NoRDNS      int
+}
+
+// Total returns the number of classified hosts.
+func (c ClassCounts) Total() int {
+	return c.Residential + c.Hosting + c.University + c.Unknown + c.NoRDNS
+}
+
+// ResidentialFractionOfNamed returns residential / (hosts with rDNS),
+// the paper's "of the 5484 currently running Tor relays with a reverse
+// DNS name, at least 3355, or roughly 61%, are residential".
+func (c ClassCounts) ResidentialFractionOfNamed() float64 {
+	named := c.Total() - c.NoRDNS
+	if named == 0 {
+		return 0
+	}
+	return float64(c.Residential) / float64(named)
+}
+
+// Count classifies every name ("" meaning no rDNS).
+func Count(names []string) ClassCounts {
+	var out ClassCounts
+	for _, n := range names {
+		if n == "" {
+			out.NoRDNS++
+			continue
+		}
+		switch Classify(n) {
+		case ResidentialClass:
+			out.Residential++
+		case HostingClass:
+			out.Hosting++
+		case UniversityClass:
+			out.University++
+		default:
+			out.Unknown++
+		}
+	}
+	return out
+}

@@ -1,0 +1,279 @@
+package deanon
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// RTTUnaware is the baseline: probe relays in random order (or, with
+// Weights, in decreasing-weight order, modeling an attacker who knows
+// bandwidth-weighted selection makes heavy relays likelier).
+type RTTUnaware struct {
+	// Weights, if non-nil, orders probes by decreasing weight instead of
+	// randomly.
+	Weights []float64
+}
+
+// Name implements Strategy.
+func (s *RTTUnaware) Name() string {
+	if s.Weights != nil {
+		return "weight-ordered"
+	}
+	return "rtt-unaware"
+}
+
+// Run implements Strategy.
+func (s *RTTUnaware) Run(sc *Scenario, rng *rand.Rand) Result {
+	order := candidateOrder(sc, s.Weights, rng)
+	res := Result{Candidates: len(order)}
+	for _, c := range order {
+		res.Probes++
+		if sc.Probe(c) {
+			res.Found++
+			if res.Found == 2 {
+				return res
+			}
+		}
+	}
+	return res
+}
+
+func candidateOrder(sc *Scenario, weights []float64, rng *rand.Rand) []int {
+	n := sc.m.N()
+	order := make([]int, 0, n-1)
+	for i := 0; i < n; i++ {
+		if i != sc.circ.Exit {
+			order = append(order, i)
+		}
+	}
+	if weights == nil {
+		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+	} else {
+		sort.SliceStable(order, func(a, b int) bool {
+			return weights[order[a]] > weights[order[b]]
+		})
+	}
+	return order
+}
+
+// ruleState tracks which relays remain viable under the
+// "ignore too-large RTTs" rules of §5.1.1.
+type ruleState struct {
+	sc        *Scenario
+	viable    map[int]bool
+	probed    map[int]bool
+	foundC    int // discovered on-circuit relay, -1 if none yet
+	initalCut int
+}
+
+func newRuleState(sc *Scenario) *ruleState {
+	st := &ruleState{sc: sc, viable: make(map[int]bool), probed: make(map[int]bool), foundC: -1}
+	n := sc.m.N()
+	for i := 0; i < n; i++ {
+		if i == sc.circ.Exit {
+			continue
+		}
+		if st.fitsEntry(i) || st.fitsMiddle(i) {
+			st.viable[i] = true
+		} else {
+			st.initalCut++
+		}
+	}
+	return st
+}
+
+// fitsMiddle reports whether some entry e exists making (e, c, exit) fit
+// within E2E: ∃e R(e,c)+R(c,x)+r ≤ R_e2e.
+func (st *ruleState) fitsMiddle(c int) bool {
+	sc := st.sc
+	base := sc.m.At(c, sc.circ.Exit) + sc.AttackerExitRTT
+	if base > sc.E2E {
+		return false
+	}
+	n := sc.m.N()
+	for e := 0; e < n; e++ {
+		if e == c || e == sc.circ.Exit {
+			continue
+		}
+		if sc.m.At(e, c)+base <= sc.E2E {
+			return true
+		}
+	}
+	return false
+}
+
+// fitsEntry reports whether some middle m exists making (c, m, exit) fit:
+// ∃m R(c,m)+R(m,x)+r ≤ R_e2e.
+func (st *ruleState) fitsEntry(c int) bool {
+	sc := st.sc
+	n := sc.m.N()
+	for m := 0; m < n; m++ {
+		if m == c || m == sc.circ.Exit {
+			continue
+		}
+		if sc.m.At(c, m)+sc.m.At(m, sc.circ.Exit)+sc.AttackerExitRTT <= sc.E2E {
+			return true
+		}
+	}
+	return false
+}
+
+// observePositive applies the discovery rules after relay c probes
+// positive.
+func (st *ruleState) observePositive(c int) {
+	sc := st.sc
+	st.foundC = c
+	fitsMid := st.fitsMiddle(c)
+	fitsEnt := st.fitsEntry(c)
+	for k := range st.viable {
+		if k == c {
+			continue
+		}
+		// k can only remain viable as c's partner.
+		asEntry := fitsMid && sc.m.At(k, c)+sc.m.At(c, sc.circ.Exit)+sc.AttackerExitRTT <= sc.E2E
+		asMiddle := fitsEnt && sc.m.At(c, k)+sc.m.At(k, sc.circ.Exit)+sc.AttackerExitRTT <= sc.E2E
+		if !asEntry && !asMiddle {
+			delete(st.viable, k)
+		}
+	}
+}
+
+// IgnoreTooLarge probes in random order but skips relays the RTT rules
+// exclude, re-applying the rules after each discovery.
+type IgnoreTooLarge struct{}
+
+// Name implements Strategy.
+func (IgnoreTooLarge) Name() string { return "ignore-too-large" }
+
+// Run implements Strategy.
+func (IgnoreTooLarge) Run(sc *Scenario, rng *rand.Rand) Result {
+	st := newRuleState(sc)
+	order := candidateOrder(sc, nil, rng)
+	res := Result{Candidates: len(order), ImplicitlyRuledOut: st.initalCut}
+	for _, c := range order {
+		if !st.viable[c] || st.probed[c] {
+			continue
+		}
+		st.probed[c] = true
+		res.Probes++
+		if sc.Probe(c) {
+			res.Found++
+			if res.Found == 2 {
+				return res
+			}
+			st.observePositive(c)
+		}
+	}
+	return res
+}
+
+// Informed implements Algorithm 1: among viable relays, probe first the
+// one whose best-fitting circuit most closely explains the observed
+// end-to-end RTT, approximating the unknown source→entry leg with µ.
+type Informed struct {
+	// UseMu includes the µ term; disabling it is the ablation bench.
+	UseMu bool
+	// Weights, if non-nil, divides scores by relay weight (§5.1.1,
+	// "Weighted Node Selection").
+	Weights []float64
+}
+
+// Name implements Strategy.
+func (s *Informed) Name() string {
+	if s.Weights != nil {
+		return "informed-weighted"
+	}
+	if !s.UseMu {
+		return "informed-no-mu"
+	}
+	return "informed"
+}
+
+// Run implements Strategy.
+func (s *Informed) Run(sc *Scenario, rng *rand.Rand) Result {
+	st := newRuleState(sc)
+	mu := 0.0
+	if s.UseMu {
+		mu = sc.m.Mean()
+	}
+	res := Result{Candidates: sc.m.N() - 1, ImplicitlyRuledOut: st.initalCut}
+	for {
+		c, ok := st.bestCandidate(mu, s.Weights)
+		if !ok {
+			return res
+		}
+		st.probed[c] = true
+		res.Probes++
+		if sc.Probe(c) {
+			res.Found++
+			if res.Found == 2 {
+				return res
+			}
+			st.observePositive(c)
+		}
+	}
+}
+
+// bestCandidate scores every unprobed viable relay per Algorithm 1 and
+// returns the lowest-scoring one.
+func (st *ruleState) bestCandidate(mu float64, weights []float64) (int, bool) {
+	sc := st.sc
+	best := -1
+	bestScore := math.Inf(1)
+	n := sc.m.N()
+	// Deterministic candidate order: map iteration order would otherwise
+	// leak into results (and into how much randomness a run consumes).
+	cands := make([]int, 0, len(st.viable))
+	for i := range st.viable {
+		if !st.probed[i] {
+			cands = append(cands, i)
+		}
+	}
+	sort.Ints(cands)
+	for _, i := range cands {
+		score := math.Inf(1)
+		// Enumerate circuits involving i: (i as entry, m as middle) and
+		// (e as entry, i as middle), partners restricted to viable relays
+		// — and to the discovered relay once one is known.
+		for j := 0; j < n; j++ {
+			if j == i || j == sc.circ.Exit || !st.viable[j] {
+				continue
+			}
+			if st.foundC >= 0 && j != st.foundC {
+				continue
+			}
+			// i entry, j middle.
+			c1 := sc.m.At(i, j) + sc.m.At(j, sc.circ.Exit) + sc.AttackerExitRTT
+			if c1 <= sc.E2E {
+				if d := math.Abs(sc.E2E - (c1 + mu)); d < score {
+					score = d
+				}
+			}
+			// j entry, i middle.
+			c2 := sc.m.At(j, i) + sc.m.At(i, sc.circ.Exit) + sc.AttackerExitRTT
+			if c2 <= sc.E2E {
+				if d := math.Abs(sc.E2E - (c2 + mu)); d < score {
+					score = d
+				}
+			}
+		}
+		if weights != nil && weights[i] > 0 {
+			score /= weights[i]
+		}
+		if score < bestScore {
+			bestScore = score
+			best = i
+		}
+	}
+	if best < 0 {
+		// Rules exhausted every scored candidate; fall back to the first
+		// unprobed viable relay (conservatism guarantees the true members
+		// stay viable).
+		if len(cands) > 0 {
+			return cands[0], true
+		}
+		return 0, false
+	}
+	return best, true
+}

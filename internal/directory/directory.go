@@ -1,0 +1,300 @@
+// Package directory implements mintor's relay directory: descriptors, a
+// consensus document with a text encoding, bandwidth-weighted relay
+// selection, and a minimal fetch protocol.
+//
+// The paper's client learns relays from the Tor directory authorities and
+// can optionally keep its two local relays unpublished by hard-coding their
+// descriptors (§4.1, "PublishDescriptors 0"); Registry supports both
+// published and unpublished descriptors for the same reason.
+package directory
+
+import (
+	"bufio"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"unicode"
+
+	"ting/internal/onion"
+)
+
+// Descriptor describes one relay: everything a client needs to extend a
+// circuit through it.
+type Descriptor struct {
+	// Nickname is the relay's unique name.
+	Nickname string
+	// Addr is the relay's link address (a PipeNet name or host:port).
+	Addr string
+	// OnionKey is the relay's public handshake key.
+	OnionKey onion.PublicKey
+	// BandwidthKBps is the advertised bandwidth used for weighted
+	// selection.
+	BandwidthKBps float64
+	// Exit reports whether the relay permits exit streams.
+	Exit bool
+}
+
+// Validate checks the descriptor for completeness.
+func (d *Descriptor) Validate() error {
+	switch {
+	case d.Nickname == "":
+		return errors.New("directory: descriptor missing nickname")
+	case strings.IndexFunc(d.Nickname, unicode.IsSpace) >= 0:
+		return fmt.Errorf("directory: nickname %q contains whitespace", d.Nickname)
+	case d.Addr == "":
+		return fmt.Errorf("directory: descriptor %s missing address", d.Nickname)
+	case strings.IndexFunc(d.Addr, unicode.IsSpace) >= 0:
+		return fmt.Errorf("directory: address %q contains whitespace", d.Addr)
+	case d.OnionKey.IsZero():
+		return fmt.Errorf("directory: descriptor %s missing onion key", d.Nickname)
+	case d.BandwidthKBps < 0:
+		return fmt.Errorf("directory: descriptor %s negative bandwidth", d.Nickname)
+	}
+	return nil
+}
+
+// Line encodes the descriptor as one consensus line:
+//
+//	relay <nickname> <addr> <onionkey-hex> <bandwidth-kbps> <exit|noexit>
+func (d *Descriptor) Line() string {
+	exit := "noexit"
+	if d.Exit {
+		exit = "exit"
+	}
+	return fmt.Sprintf("relay %s %s %s %.1f %s",
+		d.Nickname, d.Addr, hex.EncodeToString(d.OnionKey[:]), d.BandwidthKBps, exit)
+}
+
+// ParseLine decodes one consensus line.
+func ParseLine(line string) (*Descriptor, error) {
+	f := strings.Fields(line)
+	if len(f) != 6 || f[0] != "relay" {
+		return nil, fmt.Errorf("directory: malformed line %q", line)
+	}
+	keyRaw, err := hex.DecodeString(f[3])
+	if err != nil || len(keyRaw) != onion.KeyLen {
+		return nil, fmt.Errorf("directory: bad onion key in %q", line)
+	}
+	bw, err := strconv.ParseFloat(f[4], 64)
+	if err != nil {
+		return nil, fmt.Errorf("directory: bad bandwidth in %q", line)
+	}
+	d := &Descriptor{Nickname: f[1], Addr: f[2], BandwidthKBps: bw}
+	copy(d.OnionKey[:], keyRaw)
+	switch f[5] {
+	case "exit":
+		d.Exit = true
+	case "noexit":
+	default:
+		return nil, fmt.Errorf("directory: bad exit flag in %q", line)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Registry holds the published relay population plus unpublished
+// descriptors known only locally. It is safe for concurrent use.
+type Registry struct {
+	mu     sync.RWMutex
+	byName map[string]*Descriptor
+	public []string // published nicknames in insertion order
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*Descriptor)}
+}
+
+// Publish adds a descriptor to the public consensus.
+func (r *Registry) Publish(d *Descriptor) error { return r.add(d, true) }
+
+// AddUnpublished registers a descriptor without listing it in the
+// consensus — the "PublishDescriptors 0" path the paper mentions for the
+// measurer's local relays w and z.
+func (r *Registry) AddUnpublished(d *Descriptor) error { return r.add(d, false) }
+
+func (r *Registry) add(d *Descriptor, public bool) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[d.Nickname]; dup {
+		return fmt.Errorf("directory: duplicate relay %s", d.Nickname)
+	}
+	cp := *d
+	r.byName[d.Nickname] = &cp
+	if public {
+		r.public = append(r.public, d.Nickname)
+	}
+	return nil
+}
+
+// Lookup returns the descriptor for nickname (published or not).
+func (r *Registry) Lookup(nickname string) (*Descriptor, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.byName[nickname]
+	if !ok {
+		return nil, false
+	}
+	cp := *d
+	return &cp, true
+}
+
+// Consensus returns the published descriptors in insertion order.
+func (r *Registry) Consensus() []*Descriptor {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Descriptor, 0, len(r.public))
+	for _, name := range r.public {
+		cp := *r.byName[name]
+		out = append(out, &cp)
+	}
+	return out
+}
+
+// Len returns the number of published relays.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.public)
+}
+
+// EncodeConsensus writes the consensus document.
+func (r *Registry) EncodeConsensus(w io.Writer) error {
+	descs := r.Consensus()
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "consensus relays=%d\n", len(descs))
+	for _, d := range descs {
+		fmt.Fprintln(bw, d.Line())
+	}
+	fmt.Fprintln(bw, "end")
+	return bw.Flush()
+}
+
+// DecodeConsensus parses a consensus document into a fresh registry.
+func DecodeConsensus(rd io.Reader) (*Registry, error) {
+	sc := bufio.NewScanner(rd)
+	if !sc.Scan() {
+		return nil, errors.New("directory: empty consensus")
+	}
+	header := sc.Text()
+	if !strings.HasPrefix(header, "consensus relays=") {
+		return nil, fmt.Errorf("directory: bad header %q", header)
+	}
+	want, err := strconv.Atoi(strings.TrimPrefix(header, "consensus relays="))
+	if err != nil {
+		return nil, fmt.Errorf("directory: bad header %q", header)
+	}
+	reg := NewRegistry()
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "end" {
+			if reg.Len() != want {
+				return nil, fmt.Errorf("directory: header says %d relays, got %d", want, reg.Len())
+			}
+			return reg, nil
+		}
+		d, err := ParseLine(line)
+		if err != nil {
+			return nil, err
+		}
+		if err := reg.Publish(d); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("directory: read consensus: %w", err)
+	}
+	return nil, errors.New("directory: truncated consensus (no end line)")
+}
+
+// WeightedPick selects one of descs with probability proportional to
+// bandwidth, the default Tor relay-selection rule the paper describes in
+// §5.2 ("a Tor client selects these relays at random according to the
+// bandwidth capacity of each router"). A nil or all-zero-bandwidth input
+// falls back to uniform selection.
+func WeightedPick(descs []*Descriptor, rng *rand.Rand) (*Descriptor, error) {
+	if len(descs) == 0 {
+		return nil, errors.New("directory: no relays to pick from")
+	}
+	var total float64
+	for _, d := range descs {
+		total += d.BandwidthKBps
+	}
+	if total <= 0 {
+		return descs[rng.Intn(len(descs))], nil
+	}
+	x := rng.Float64() * total
+	for _, d := range descs {
+		x -= d.BandwidthKBps
+		if x < 0 {
+			return d, nil
+		}
+	}
+	return descs[len(descs)-1], nil
+}
+
+// PickPath selects a distinct-relay path of the given length: weighted
+// picks without replacement, exit-capable relay last. This mirrors default
+// Tor path construction closely enough for the reproduction's purposes.
+func PickPath(descs []*Descriptor, length int, rng *rand.Rand) ([]*Descriptor, error) {
+	if length < 2 {
+		return nil, fmt.Errorf("directory: paths need ≥ 2 hops, got %d", length)
+	}
+	if len(descs) < length {
+		return nil, fmt.Errorf("directory: %d relays cannot form a %d-hop path", len(descs), length)
+	}
+	pool := append([]*Descriptor(nil), descs...)
+	// Exit first: pick from exit-capable relays.
+	var exits []*Descriptor
+	for _, d := range pool {
+		if d.Exit {
+			exits = append(exits, d)
+		}
+	}
+	if len(exits) == 0 {
+		return nil, errors.New("directory: no exit-capable relays")
+	}
+	exit, err := WeightedPick(exits, rng)
+	if err != nil {
+		return nil, err
+	}
+	path := make([]*Descriptor, length)
+	path[length-1] = exit
+	remove(&pool, exit.Nickname)
+	for i := 0; i < length-1; i++ {
+		d, err := WeightedPick(pool, rng)
+		if err != nil {
+			return nil, err
+		}
+		path[i] = d
+		remove(&pool, d.Nickname)
+	}
+	return path, nil
+}
+
+func remove(pool *[]*Descriptor, nickname string) {
+	s := *pool
+	for i, d := range s {
+		if d.Nickname == nickname {
+			s[i] = s[len(s)-1]
+			*pool = s[:len(s)-1]
+			return
+		}
+	}
+}
+
+// SortByName orders descriptors by nickname, for stable output.
+func SortByName(descs []*Descriptor) {
+	sort.Slice(descs, func(i, j int) bool { return descs[i].Nickname < descs[j].Nickname })
+}

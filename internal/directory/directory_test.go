@@ -1,0 +1,337 @@
+package directory
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode"
+
+	"ting/internal/onion"
+)
+
+func testDesc(t *testing.T, name string, exit bool, bw float64) *Descriptor {
+	t.Helper()
+	id, err := onion.NewIdentity(rand.New(rand.NewSource(int64(len(name)) + int64(name[len(name)-1]))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Descriptor{
+		Nickname:      name,
+		Addr:          "addr-" + name,
+		OnionKey:      id.Public(),
+		BandwidthKBps: bw,
+		Exit:          exit,
+	}
+}
+
+func TestDescriptorValidate(t *testing.T) {
+	good := testDesc(t, "r1", true, 100)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid descriptor rejected: %v", err)
+	}
+	bad := []*Descriptor{
+		{},
+		{Nickname: "has space", Addr: "a", OnionKey: good.OnionKey},
+		{Nickname: "r", Addr: "", OnionKey: good.OnionKey},
+		{Nickname: "r", Addr: "a b", OnionKey: good.OnionKey},
+		{Nickname: "r", Addr: "a"},
+		{Nickname: "r", Addr: "a", OnionKey: good.OnionKey, BandwidthKBps: -1},
+		{Nickname: "nb\u00a0sp", Addr: "a", OnionKey: good.OnionKey}, // unicode space
+		{Nickname: "r", Addr: "a\u2028b", OnionKey: good.OnionKey},   // line separator
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("bad descriptor %d accepted", i)
+		}
+	}
+}
+
+func TestLineRoundTrip(t *testing.T) {
+	for _, exit := range []bool{true, false} {
+		d := testDesc(t, "roundtrip", exit, 1234.5)
+		got, err := ParseLine(d.Line())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *got != *d {
+			t.Errorf("round trip: %+v vs %+v", got, d)
+		}
+	}
+}
+
+func TestParseLineErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"relay",
+		"notrelay a b c d e",
+		"relay nick addr nothex 100 exit",
+		"relay nick addr abcd 100 exit", // short key
+		"relay nick addr " + strings.Repeat("ab", 32) + " NaNNaN exit",
+		"relay nick addr " + strings.Repeat("ab", 32) + " 100 maybe",
+		"relay nick addr " + strings.Repeat("00", 32) + " 100 exit", // zero key
+	}
+	for _, line := range bad {
+		if _, err := ParseLine(line); err == nil {
+			t.Errorf("ParseLine(%q) succeeded", line)
+		}
+	}
+}
+
+func TestRegistryPublishLookup(t *testing.T) {
+	reg := NewRegistry()
+	d1 := testDesc(t, "alpha", true, 100)
+	d2 := testDesc(t, "beta", false, 200)
+	hidden := testDesc(t, "w-local", false, 50)
+	if err := reg.Publish(d1); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Publish(d2); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.AddUnpublished(hidden); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != 2 {
+		t.Errorf("Len = %d, want 2 (unpublished excluded)", reg.Len())
+	}
+	if _, ok := reg.Lookup("w-local"); !ok {
+		t.Error("unpublished descriptor not found by Lookup")
+	}
+	if _, ok := reg.Lookup("ghost"); ok {
+		t.Error("ghost found")
+	}
+	cons := reg.Consensus()
+	if len(cons) != 2 || cons[0].Nickname != "alpha" || cons[1].Nickname != "beta" {
+		t.Errorf("consensus = %v", cons)
+	}
+	if err := reg.Publish(d1); err == nil {
+		t.Error("duplicate publish accepted")
+	}
+	// Mutating the returned copy must not affect the registry.
+	cons[0].Addr = "mutated"
+	if d, _ := reg.Lookup("alpha"); d.Addr == "mutated" {
+		t.Error("Consensus returned aliased descriptors")
+	}
+}
+
+func TestConsensusEncodeDecode(t *testing.T) {
+	reg := NewRegistry()
+	for i, name := range []string{"r1", "r2", "r3"} {
+		if err := reg.Publish(testDesc(t, name, i%2 == 0, float64(100*(i+1)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := reg.EncodeConsensus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeConsensus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 {
+		t.Fatalf("decoded %d relays", got.Len())
+	}
+	for _, want := range reg.Consensus() {
+		d, ok := got.Lookup(want.Nickname)
+		if !ok || *d != *want {
+			t.Errorf("relay %s not preserved: %+v", want.Nickname, d)
+		}
+	}
+}
+
+func TestDecodeConsensusErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"bogus header\n",
+		"consensus relays=2\nrelay broken\nend\n",
+		"consensus relays=5\nend\n", // count mismatch
+		"consensus relays=0\n",      // truncated, no end
+	}
+	for _, in := range cases {
+		if _, err := DecodeConsensus(strings.NewReader(in)); err == nil {
+			t.Errorf("DecodeConsensus(%q) succeeded", in)
+		}
+	}
+}
+
+func TestWeightedPickDistribution(t *testing.T) {
+	descs := []*Descriptor{
+		testDesc(t, "small", false, 100),
+		testDesc(t, "big", false, 900),
+	}
+	rng := rand.New(rand.NewSource(1))
+	counts := map[string]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		d, err := WeightedPick(descs, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[d.Nickname]++
+	}
+	frac := float64(counts["big"]) / n
+	if math.Abs(frac-0.9) > 0.02 {
+		t.Errorf("big picked %.3f of the time, want ≈ 0.9", frac)
+	}
+	if _, err := WeightedPick(nil, rng); err == nil {
+		t.Error("empty pick should fail")
+	}
+}
+
+func TestWeightedPickUniformFallback(t *testing.T) {
+	descs := []*Descriptor{
+		testDesc(t, "a", false, 0),
+		testDesc(t, "b", false, 0),
+	}
+	rng := rand.New(rand.NewSource(2))
+	counts := map[string]int{}
+	for i := 0; i < 10000; i++ {
+		d, _ := WeightedPick(descs, rng)
+		counts[d.Nickname]++
+	}
+	if math.Abs(float64(counts["a"])/10000-0.5) > 0.03 {
+		t.Errorf("zero-bandwidth fallback not uniform: %v", counts)
+	}
+}
+
+func TestPickPath(t *testing.T) {
+	var descs []*Descriptor
+	for _, name := range []string{"a", "b", "c", "d", "e"} {
+		descs = append(descs, testDesc(t, name, name == "e" || name == "d", 100))
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		path, err := PickPath(descs, 3, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(path) != 3 {
+			t.Fatalf("path length %d", len(path))
+		}
+		if !path[2].Exit {
+			t.Errorf("last hop %s not exit-capable", path[2].Nickname)
+		}
+		seen := map[string]bool{}
+		for _, d := range path {
+			if seen[d.Nickname] {
+				t.Fatalf("relay %s repeated in path", d.Nickname)
+			}
+			seen[d.Nickname] = true
+		}
+	}
+	if _, err := PickPath(descs, 1, rng); err == nil {
+		t.Error("1-hop path should be rejected (no one-hop circuits)")
+	}
+	if _, err := PickPath(descs[:2], 3, rng); err == nil {
+		t.Error("path longer than population should fail")
+	}
+	noExit := []*Descriptor{testDesc(t, "x", false, 1), testDesc(t, "y", false, 1)}
+	if _, err := PickPath(noExit, 2, rng); err == nil {
+		t.Error("pathless exit population should fail")
+	}
+}
+
+func TestSortByName(t *testing.T) {
+	descs := []*Descriptor{testDesc(t, "zz", false, 1), testDesc(t, "aa", false, 1)}
+	SortByName(descs)
+	if descs[0].Nickname != "aa" {
+		t.Error("not sorted")
+	}
+}
+
+func TestServerFetch(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Publish(testDesc(t, "served", true, 500)); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(reg)
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	got, err := Fetch(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 {
+		t.Fatalf("fetched %d relays", got.Len())
+	}
+	if _, ok := got.Lookup("served"); !ok {
+		t.Error("served relay missing")
+	}
+
+	// Unknown requests get an error line, not a consensus.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("DELETE everything\n")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	n, _ := conn.Read(buf)
+	if !strings.HasPrefix(string(buf[:n]), "error") {
+		t.Errorf("unknown request answered with %q", buf[:n])
+	}
+}
+
+func TestFetchErrors(t *testing.T) {
+	if _, err := Fetch("127.0.0.1:1"); err == nil {
+		t.Error("fetch from dead address should fail")
+	}
+}
+
+func TestLineRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	f := func(nickRaw, addrRaw string, bwRaw float64, exit bool) bool {
+		nick := sanitizeToken(nickRaw, "nick")
+		addr := sanitizeToken(addrRaw, "addr")
+		id, err := onion.NewIdentity(rng)
+		if err != nil {
+			return false
+		}
+		bw := math.Abs(bwRaw)
+		if math.IsNaN(bw) || math.IsInf(bw, 0) || bw > 1e12 {
+			bw = 100
+		}
+		// Line() prints bandwidth at one decimal; round to match.
+		bw = math.Round(bw*10) / 10
+		d := &Descriptor{Nickname: nick, Addr: addr, OnionKey: id.Public(), BandwidthKBps: bw, Exit: exit}
+		got, err := ParseLine(d.Line())
+		if err != nil {
+			return false
+		}
+		// Bandwidth survives one trip through "%.1f" with only float
+		// round-off; everything else must be exact.
+		bwClose := math.Abs(got.BandwidthKBps-d.BandwidthKBps) <= 1e-9*(1+math.Abs(d.BandwidthKBps))
+		return got.Nickname == d.Nickname && got.Addr == d.Addr &&
+			got.OnionKey == d.OnionKey && got.Exit == d.Exit && bwClose
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// sanitizeToken maps arbitrary strings to valid whitespace-free nonempty
+// tokens, preserving enough variety for the property to be meaningful.
+func sanitizeToken(s, fallback string) string {
+	var b []rune
+	for _, r := range s {
+		if r > ' ' && r != 0x7f && !unicode.IsSpace(r) {
+			b = append(b, r)
+		}
+	}
+	if len(b) == 0 {
+		return fallback
+	}
+	return string(b)
+}

@@ -1,0 +1,72 @@
+package directory
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+)
+
+// Server serves the consensus over a one-request text protocol: the client
+// sends "GET consensus\n" and receives the encoded document. It stands in
+// for Tor's directory port in the live-TCP deployment mode.
+type Server struct {
+	reg *Registry
+
+	mu sync.Mutex
+	ln net.Listener
+}
+
+// NewServer creates a directory server over reg.
+func NewServer(reg *Registry) *Server { return &Server{reg: reg} }
+
+// Serve accepts and answers requests on ln until the listener closes.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go s.handle(conn)
+	}
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Close()
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return
+	}
+	if strings.TrimSpace(line) != "GET consensus" {
+		fmt.Fprintln(conn, "error unknown request")
+		return
+	}
+	_ = s.reg.EncodeConsensus(conn)
+}
+
+// Fetch downloads and parses the consensus from a directory server at addr.
+func Fetch(addr string) (*Registry, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("directory: fetch: %w", err)
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintln(conn, "GET consensus"); err != nil {
+		return nil, fmt.Errorf("directory: fetch: %w", err)
+	}
+	return DecodeConsensus(conn)
+}

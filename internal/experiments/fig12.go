@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"ting/internal/deanon"
+	"ting/internal/stats"
+)
+
+// Fig12Config parameterizes the deanonymization study (§5.1.2): 1000
+// simulated circuits over the 50-node all-pairs matrix.
+type Fig12Config struct {
+	Trials   int // default 1000
+	Seed     int64
+	Weighted bool // run the footnote-5 weighted comparison instead
+}
+
+func (c *Fig12Config) setDefaults() {
+	if c.Trials == 0 {
+		c.Trials = 1000
+	}
+}
+
+// Fig12Result carries the trials plus per-strategy summaries.
+type Fig12Result struct {
+	Trials []deanon.Trial
+	// Strategies in presentation order.
+	Strategies []string
+	// Medians maps strategy → median fraction of relays probed.
+	Medians map[string]float64
+}
+
+// CDF returns one strategy's fraction-tested distribution (the Figure 12
+// curves).
+func (r *Fig12Result) CDF(strategy string) (*stats.CDF, error) {
+	vals := make([]float64, 0, len(r.Trials))
+	for _, tr := range r.Trials {
+		if v, ok := tr.FracTested[strategy]; ok {
+			vals = append(vals, v)
+		}
+	}
+	return stats.NewCDF(vals)
+}
+
+// Speedup returns median(first strategy) / median(last strategy) — the
+// paper's headline 1.5× (unweighted) and 2× (weighted).
+func (r *Fig12Result) Speedup() (float64, error) {
+	return deanon.Speedup(r.Trials, r.Strategies[0], r.Strategies[len(r.Strategies)-1])
+}
+
+// Fig12 runs the three deanonymization strategies over the all-pairs
+// matrix from Figure 11.
+func Fig12(f11 *Fig11Result, cfg Fig12Config) (*Fig12Result, error) {
+	cfg.setDefaults()
+	var strats []deanon.Strategy
+	var weights []float64
+	if cfg.Weighted {
+		weights = f11.Weights()
+		strats = []deanon.Strategy{
+			&deanon.RTTUnaware{Weights: weights},
+			&deanon.Informed{UseMu: true, Weights: weights},
+		}
+	} else {
+		strats = []deanon.Strategy{
+			&deanon.RTTUnaware{},
+			deanon.IgnoreTooLarge{},
+			&deanon.Informed{UseMu: true},
+		}
+	}
+	sim := &deanon.Simulation{
+		Matrix:     f11.Matrix,
+		Strategies: strats,
+		Weights:    weights,
+		Seed:       cfg.Seed + 9,
+	}
+	trials, err := sim.Run(cfg.Trials)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig12Result{Trials: trials, Medians: make(map[string]float64)}
+	for _, s := range strats {
+		res.Strategies = append(res.Strategies, s.Name())
+		med, err := deanon.MedianFracTested(trials, s.Name())
+		if err != nil {
+			return nil, err
+		}
+		res.Medians[s.Name()] = med
+	}
+	return res, nil
+}
+
+// Fig13Point is one trial of Figure 13: end-to-end RTT versus the
+// fraction of relays ruled out implicitly.
+type Fig13Point struct {
+	E2EMs        float64
+	FracRuledOut float64
+}
+
+// Fig13 extracts the scatter from the Figure 12 trials.
+func Fig13(f12 *Fig12Result) []Fig13Point {
+	out := make([]Fig13Point, 0, len(f12.Trials))
+	for _, tr := range f12.Trials {
+		out = append(out, Fig13Point{E2EMs: tr.E2E, FracRuledOut: tr.FracRuledOut})
+	}
+	return out
+}

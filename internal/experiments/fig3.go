@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ting/internal/stats"
+)
+
+// Fig3Config parameterizes the ground-truth validation (§4.2). The paper
+// measures all 930 ordered pairs of a 31-node PlanetLab testbed with 1000
+// Ting samples per circuit and 100 pings as ground truth.
+type Fig3Config struct {
+	Nodes       int   // testbed size; default 31
+	Samples     int   // Ting samples per circuit; default 1000
+	PingSamples int   // ground-truth pings per pair; default 100
+	Ordered     bool  // measure both (x,y) and (y,x), as in the paper's 930
+	Seed        int64 // determinism
+}
+
+func (c *Fig3Config) setDefaults() {
+	if c.Nodes == 0 {
+		c.Nodes = 31
+	}
+	if c.Samples == 0 {
+		c.Samples = 1000
+	}
+	if c.PingSamples == 0 {
+		c.PingSamples = 100
+	}
+}
+
+// PairAccuracy is one validated pair.
+type PairAccuracy struct {
+	X, Y      string
+	Estimate  float64 // Ting's Eq. (4) estimate, ms
+	PingTruth float64 // min-of-pings "real" value, ms
+	TrueRTT   float64 // the model's exact Tor-path ground truth, ms
+}
+
+// Ratio is Estimate / PingTruth, Figure 3's x-axis.
+func (p PairAccuracy) Ratio() float64 {
+	if p.PingTruth == 0 {
+		return 0
+	}
+	return p.Estimate / p.PingTruth
+}
+
+// Fig3Result carries the validation dataset; Figures 4 and 7 and the
+// Spearman headline reuse it.
+type Fig3Result struct {
+	Pairs []PairAccuracy
+}
+
+// Ratios returns every pair's measured/real ratio.
+func (r *Fig3Result) Ratios() []float64 {
+	out := make([]float64, len(r.Pairs))
+	for i, p := range r.Pairs {
+		out[i] = p.Ratio()
+	}
+	return out
+}
+
+// Within returns the fraction of pairs within frac of the truth; the
+// paper reports 91% within 10% and <2% with error over 30%.
+func (r *Fig3Result) Within(frac float64) float64 {
+	return stats.FractionWithin(r.Ratios(), frac)
+}
+
+// Spearman returns the rank correlation between estimates and ground
+// truth (paper: 0.997).
+func (r *Fig3Result) Spearman() (float64, error) {
+	est := make([]float64, len(r.Pairs))
+	truth := make([]float64, len(r.Pairs))
+	for i, p := range r.Pairs {
+		est[i] = p.Estimate
+		truth[i] = p.PingTruth
+	}
+	return stats.Spearman(est, truth)
+}
+
+// Fig3 runs the ground-truth validation: Ting versus min-of-pings on
+// every testbed pair.
+func Fig3(cfg Fig3Config) (*Fig3Result, error) {
+	cfg.setDefaults()
+	w, err := NewTestbedWorld(cfg.Nodes, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return fig3Over(w, cfg)
+}
+
+// fig3Over runs the validation over an existing world (Fig 7 reuses the
+// same testbed at a different sample count).
+func fig3Over(w *World, cfg Fig3Config) (*Fig3Result, error) {
+	cfg.setDefaults()
+	m, err := w.Measurer(cfg.Samples, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	pingProber := w.Prober(cfg.Seed + 2)
+
+	var pairs [][2]string
+	for i := 0; i < len(w.Names); i++ {
+		for j := i + 1; j < len(w.Names); j++ {
+			pairs = append(pairs, [2]string{w.Names[i], w.Names[j]})
+			if cfg.Ordered {
+				pairs = append(pairs, [2]string{w.Names[j], w.Names[i]})
+			}
+		}
+	}
+	// Probe in randomized order, as the paper does.
+	rng := rand.New(rand.NewSource(cfg.Seed + 3))
+	rng.Shuffle(len(pairs), func(a, b int) { pairs[a], pairs[b] = pairs[b], pairs[a] })
+
+	res := &Fig3Result{Pairs: make([]PairAccuracy, 0, len(pairs))}
+	for _, p := range pairs {
+		meas, err := m.MeasurePair(p[0], p[1])
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig3 pair %v: %w", p, err)
+		}
+		truth, err := w.PingTruth(pingProber, p[0], p[1], cfg.PingSamples)
+		if err != nil {
+			return nil, err
+		}
+		exact, err := w.TrueRTT(p[0], p[1])
+		if err != nil {
+			return nil, err
+		}
+		res.Pairs = append(res.Pairs, PairAccuracy{
+			X: p[0], Y: p[1],
+			Estimate:  meas.RTT,
+			PingTruth: truth,
+			TrueRTT:   exact,
+		})
+	}
+	return res, nil
+}
+
+// Fig4Bucket is one latency regime of Figure 4.
+type Fig4Bucket struct {
+	Label      string
+	LoMs, HiMs float64
+	Ratios     []float64
+	Within10   float64
+}
+
+// Fig4 splits Figure 3's data into the paper's four regimes: <50ms,
+// 50–150ms, 150–250ms, >250ms, keyed on the ground-truth RTT.
+func Fig4(f3 *Fig3Result) []Fig4Bucket {
+	buckets := []Fig4Bucket{
+		{Label: "<50ms", LoMs: 0, HiMs: 50},
+		{Label: "50-150ms", LoMs: 50, HiMs: 150},
+		{Label: "150-250ms", LoMs: 150, HiMs: 250},
+		{Label: ">250ms", LoMs: 250, HiMs: 1e18},
+	}
+	for _, p := range f3.Pairs {
+		for i := range buckets {
+			if p.PingTruth >= buckets[i].LoMs && p.PingTruth < buckets[i].HiMs {
+				buckets[i].Ratios = append(buckets[i].Ratios, p.Ratio())
+				break
+			}
+		}
+	}
+	for i := range buckets {
+		buckets[i].Within10 = stats.FractionWithin(buckets[i].Ratios, 0.1)
+	}
+	return buckets
+}
+
+// Fig7Result compares two sample counts over the same testbed.
+type Fig7Result struct {
+	SamplesA, SamplesB int
+	A, B               *Fig3Result
+}
+
+// Fig7 re-measures the Figure 3 testbed with two different sample counts
+// (the paper: 200 vs 1000) and returns both ratio distributions.
+func Fig7(cfg Fig3Config, samplesA, samplesB int) (*Fig7Result, error) {
+	cfg.setDefaults()
+	w, err := NewTestbedWorld(cfg.Nodes, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cfgA := cfg
+	cfgA.Samples = samplesA
+	a, err := fig3Over(w, cfgA)
+	if err != nil {
+		return nil, err
+	}
+	cfgB := cfg
+	cfgB.Samples = samplesB
+	cfgB.Seed += 1000
+	b, err := fig3Over(w, cfgB)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig7Result{SamplesA: samplesA, SamplesB: samplesB, A: a, B: b}, nil
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"ting/internal/stats"
+)
+
+// Fig5Config parameterizes the forwarding-delay study (§4.3): hourly
+// estimates for every testbed relay over 48 hours, with both ICMP and TCP
+// direct probes.
+type Fig5Config struct {
+	Nodes          int // default 31
+	Rounds         int // default 48 (hourly over 48 hours)
+	CircuitSamples int // per-circuit samples; default 200
+	PingSamples    int // default 100
+	Seed           int64
+}
+
+func (c *Fig5Config) setDefaults() {
+	if c.Nodes == 0 {
+		c.Nodes = 31
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 48
+	}
+	if c.CircuitSamples == 0 {
+		c.CircuitSamples = 200
+	}
+	if c.PingSamples == 0 {
+		c.PingSamples = 100
+	}
+}
+
+// Fig5Host is one relay's distribution of forwarding-delay estimates.
+type Fig5Host struct {
+	Name   string
+	Biased bool // ground truth: does this network treat protocols unequally?
+	ICMP   stats.BoxStats
+	TCP    stats.BoxStats
+}
+
+// Abnormal flags hosts whose estimates are clearly not plain forwarding
+// delay — Figure 5's "extremely odd behavior": negative medians (Tor
+// faster than ping is impossible on a shared path), medians beyond any
+// plausible forwarding floor, or visible ICMP/TCP disagreement.
+func (h Fig5Host) Abnormal() bool {
+	disagree := h.ICMP.Median - h.TCP.Median
+	if disagree < 0 {
+		disagree = -disagree
+	}
+	return h.ICMP.Median < -1 || h.TCP.Median < -1 ||
+		h.ICMP.Median > 5 || h.TCP.Median > 5 || disagree > 3
+}
+
+// Fig5Result is the per-host panel, sorted by ICMP median as in the plot.
+type Fig5Result struct {
+	Hosts []Fig5Host
+}
+
+// AbnormalFraction is the share of hosts flagged abnormal (paper: ~35%).
+func (r *Fig5Result) AbnormalFraction() float64 {
+	if len(r.Hosts) == 0 {
+		return 0
+	}
+	n := 0
+	for _, h := range r.Hosts {
+		if h.Abnormal() {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Hosts))
+}
+
+// Fig5 estimates forwarding delays for every relay, repeatedly, with both
+// protocols.
+func Fig5(cfg Fig5Config) (*Fig5Result, error) {
+	cfg.setDefaults()
+	w, err := NewTestbedWorld(cfg.Nodes, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	m, err := w.Measurer(cfg.CircuitSamples, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	direct := w.Prober(cfg.Seed + 2)
+
+	icmp := make(map[string][]float64, cfg.Nodes)
+	tcp := make(map[string][]float64, cfg.Nodes)
+	for round := 0; round < cfg.Rounds; round++ {
+		for _, name := range w.Names {
+			est, err := m.EstimateForwarding(name, direct, cfg.PingSamples)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig5 %s round %d: %w", name, round, err)
+			}
+			icmp[name] = append(icmp[name], est.ICMPMs)
+			tcp[name] = append(tcp[name], est.TCPMs)
+		}
+	}
+
+	res := &Fig5Result{}
+	for _, name := range w.Names {
+		bi, err := stats.Box(icmp[name])
+		if err != nil {
+			return nil, err
+		}
+		bt, err := stats.Box(tcp[name])
+		if err != nil {
+			return nil, err
+		}
+		res.Hosts = append(res.Hosts, Fig5Host{
+			Name:   name,
+			Biased: w.Topo.Node(w.NodeOf[name]).Biased,
+			ICMP:   bi,
+			TCP:    bt,
+		})
+	}
+	sort.Slice(res.Hosts, func(a, b int) bool {
+		return res.Hosts[a].ICMP.Median < res.Hosts[b].ICMP.Median
+	})
+	return res, nil
+}

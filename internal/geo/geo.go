@@ -1,0 +1,103 @@
+// Package geo provides geographic coordinates, great-circle distance, and a
+// synthetic geolocation database used by the Ting reproduction.
+//
+// The paper (§4.5, Figure 8) compares Ting-measured RTTs against great-circle
+// distances derived from the Neustar IP geolocation service. We have no such
+// service offline, so this package supplies (a) exact coordinates for
+// synthetic topology nodes and (b) a GeoDB that deliberately injects lookup
+// error into a small fraction of entries, reproducing the paper's observation
+// that the handful of points below the 2/3 c line "are almost all likely
+// errors in the underlying geolocation database".
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// EarthRadiusKm is the mean Earth radius used for great-circle distances.
+const EarthRadiusKm = 6371.0
+
+// SpeedOfLightKmPerMs is the vacuum speed of light expressed in km per
+// millisecond. Packets in fiber travel at roughly 2/3 of this.
+const SpeedOfLightKmPerMs = 299.792458
+
+// FiberFactor is the generally accepted maximum fraction of c at which
+// packets traverse the Internet (the "(2/3)c" line of Figure 8).
+const FiberFactor = 2.0 / 3.0
+
+// Coord is a point on the Earth's surface in decimal degrees.
+type Coord struct {
+	Lat float64 // latitude, -90..90
+	Lon float64 // longitude, -180..180
+}
+
+// Valid reports whether the coordinate lies within the legal lat/lon ranges.
+func (c Coord) Valid() bool {
+	return c.Lat >= -90 && c.Lat <= 90 && c.Lon >= -180 && c.Lon <= 180
+}
+
+// String renders the coordinate as "lat,lon" with 4 decimal places.
+func (c Coord) String() string {
+	return fmt.Sprintf("%.4f,%.4f", c.Lat, c.Lon)
+}
+
+func radians(deg float64) float64 { return deg * math.Pi / 180 }
+
+// DistanceKm returns the great-circle (haversine) distance between a and b
+// in kilometers.
+func DistanceKm(a, b Coord) float64 {
+	la1, lo1 := radians(a.Lat), radians(a.Lon)
+	la2, lo2 := radians(b.Lat), radians(b.Lon)
+	dLat := la2 - la1
+	dLon := lo2 - lo1
+	h := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(la1)*math.Cos(la2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	// Clamp for numerical safety before Asin.
+	h = math.Min(1, math.Max(0, h))
+	return 2 * EarthRadiusKm * math.Asin(math.Sqrt(h))
+}
+
+// MinRTTMs returns the theoretical minimum round-trip time in milliseconds
+// for the great-circle distance between a and b, assuming propagation at
+// FiberFactor times the speed of light. This is the "(2/3)c" sanity line in
+// Figure 8: no honest measurement should fall below it.
+func MinRTTMs(a, b Coord) float64 {
+	return MinRTTMsForDistance(DistanceKm(a, b))
+}
+
+// MinRTTMsForDistance is MinRTTMs for a precomputed distance in km.
+func MinRTTMsForDistance(km float64) float64 {
+	return 2 * km / (SpeedOfLightKmPerMs * FiberFactor)
+}
+
+// Region is a coarse geographic region used to shape synthetic topologies so
+// they resemble the real Tor network's concentration in the US and Europe
+// with sparse coverage elsewhere (§4.1).
+type Region struct {
+	Name string
+	// Center of the region and the radius (in degrees) within which nodes
+	// are scattered.
+	Center Coord
+	Spread float64
+	// Weight is the relative probability that a relay lands in this region.
+	Weight float64
+}
+
+// Regions returns the region catalogue used by the topology generator. The
+// weights mirror the paper's testbed guidance: a concentration of relays in
+// the US and Europe, and only a few nodes sparsely distributed elsewhere.
+func Regions() []Region {
+	return []Region{
+		{Name: "us-east", Center: Coord{39.0, -77.0}, Spread: 6, Weight: 0.22},
+		{Name: "us-central", Center: Coord{41.9, -93.1}, Spread: 7, Weight: 0.08},
+		{Name: "us-west", Center: Coord{37.4, -122.1}, Spread: 5, Weight: 0.12},
+		{Name: "eu-west", Center: Coord{48.8, 2.3}, Spread: 6, Weight: 0.20},
+		{Name: "eu-central", Center: Coord{50.1, 8.7}, Spread: 5, Weight: 0.18},
+		{Name: "eu-north", Center: Coord{59.3, 18.1}, Spread: 4, Weight: 0.06},
+		{Name: "asia-east", Center: Coord{35.7, 139.7}, Spread: 6, Weight: 0.05},
+		{Name: "south-america", Center: Coord{-23.5, -46.6}, Spread: 5, Weight: 0.03},
+		{Name: "australia", Center: Coord{-33.9, 151.2}, Spread: 4, Weight: 0.03},
+		{Name: "middle-east", Center: Coord{32.1, 34.8}, Spread: 4, Weight: 0.03},
+	}
+}

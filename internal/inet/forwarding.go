@@ -1,0 +1,64 @@
+package inet
+
+import "math/rand"
+
+// ForwardingModel describes the stochastic delay a Tor relay adds to each
+// cell it forwards (§3.2: user-space swap + queueing + crypto). The paper's
+// key empirical facts, which this model reproduces:
+//
+//   - The minimum forwarding delay is small, typically 0–3 ms in total per
+//     node once queueing is excluded (§4.3).
+//   - Reaching that minimum takes many samples, because the queueing
+//     component rarely hits zero (§4.4, Figure 6, confirming Jansen et al.).
+//
+// A sample is BaseMs (deterministic floor: symmetric crypto and context
+// switching) plus an exponential queueing delay, plus an occasional large
+// scheduling spike.
+type ForwardingModel struct {
+	// BaseMs is the deterministic per-traversal floor in milliseconds.
+	BaseMs float64
+	// QueueMeanMs is the mean of the exponential queueing component.
+	QueueMeanMs float64
+	// SpikeProb is the per-sample probability of a scheduling spike.
+	SpikeProb float64
+	// SpikeMeanMs is the mean size of a spike.
+	SpikeMeanMs float64
+}
+
+// Sample draws one forwarding delay in milliseconds.
+func (f ForwardingModel) Sample(rng *rand.Rand) float64 {
+	d := f.BaseMs + rng.ExpFloat64()*f.QueueMeanMs
+	if f.SpikeProb > 0 && rng.Float64() < f.SpikeProb {
+		d += rng.ExpFloat64() * f.SpikeMeanMs
+	}
+	return d
+}
+
+// Floor returns the deterministic minimum of the distribution. Ting's
+// estimate of R(x,y) converges to R(x,y) + Floor(x) + Floor(y) (Eq. 4):
+// forwarding delays are accounted for but not eliminated.
+func (f ForwardingModel) Floor() float64 { return f.BaseMs }
+
+// randomForwardingModel draws a relay's forwarding behaviour. Most relays
+// are lightly loaded (sub-millisecond floor, ~1–4 ms typical queueing);
+// a minority are busy, with larger queues and more frequent spikes.
+func randomForwardingModel(rng *rand.Rand) ForwardingModel {
+	m := ForwardingModel{
+		BaseMs:      0.05 + rng.Float64()*0.7,
+		QueueMeanMs: 0.5 + rng.ExpFloat64()*2.0,
+		SpikeProb:   0.01 + rng.Float64()*0.04,
+		SpikeMeanMs: 5 + rng.ExpFloat64()*10,
+	}
+	if rng.Float64() < 0.2 { // busy relay
+		m.QueueMeanMs += 2 + rng.ExpFloat64()*4
+		m.SpikeProb += 0.05
+	}
+	return m
+}
+
+// LocalForwardingModel returns the forwarding model used for relays the
+// measurer runs itself (w and z in §3.3): colocated, dedicated, and lightly
+// loaded, so they contribute almost nothing beyond their crypto cost.
+func LocalForwardingModel() ForwardingModel {
+	return ForwardingModel{BaseMs: 0.05, QueueMeanMs: 0.05, SpikeProb: 0.001, SpikeMeanMs: 1}
+}

@@ -1,0 +1,125 @@
+package inet
+
+import (
+	"ting/internal/geo"
+
+	"fmt"
+	"math/rand"
+)
+
+// Prober draws latency samples from a Topology's ground-truth model. It is
+// the model-direct measurement plane: the discrete-event simulator and the
+// TCP transport produce the same numbers by construction, but the Prober is
+// orders of magnitude faster, which the large experiments (930 pairs × 1000
+// samples, 10,000 live pairs) require.
+//
+// A Prober is not safe for concurrent use; create one per goroutine with
+// distinct seeds.
+type Prober struct {
+	topo *Topology
+	rng  *rand.Rand
+
+	// LinkJitterMs is the mean of the exponential per-sample jitter added
+	// once per path (queueing outside the relays). Default 0.15.
+	LinkJitterMs float64
+}
+
+// NewProber creates a prober over topo with a deterministic seed.
+func NewProber(topo *Topology, seed int64) *Prober {
+	return &Prober{topo: topo, rng: rand.New(rand.NewSource(seed)), LinkJitterMs: 0.15}
+}
+
+// Topology returns the underlying topology.
+func (p *Prober) Topology() *Topology { return p.topo }
+
+// Ping returns one ICMP round-trip sample between two nodes, in
+// milliseconds. Biased networks shift ICMP traffic relative to the Tor path
+// (§3.2), which is what makes the strawman of Figure 1 untenable.
+func (p *Prober) Ping(from, to NodeID) float64 {
+	a, b := p.topo.Node(from), p.topo.Node(to)
+	rtt := p.topo.RTT(from, to) + a.ICMPBiasMs + b.ICMPBiasMs + p.jitter()
+	if rtt < 0.05 {
+		rtt = 0.05
+	}
+	return rtt
+}
+
+// TCPPing returns one direct (non-Tor) TCP round-trip sample, as measured by
+// tcptraceroute in §4.3. Biased networks shift it too, differently from ICMP.
+func (p *Prober) TCPPing(from, to NodeID) float64 {
+	a, b := p.topo.Node(from), p.topo.Node(to)
+	rtt := p.topo.RTT(from, to) + a.TCPBiasMs + b.TCPBiasMs + p.jitter()
+	if rtt < 0.05 {
+		rtt = 0.05
+	}
+	return rtt
+}
+
+// TorPathRTT returns one end-to-end RTT sample for an echo through the Tor
+// circuit host → relays[0] → … → relays[k-1] → host. Every relay forwards
+// the probe twice (ping and pong directions), contributing two independent
+// forwarding-delay samples, exactly as in Eq. (1).
+func (p *Prober) TorPathRTT(host NodeID, relays []NodeID) (float64, error) {
+	if len(relays) == 0 {
+		return 0, fmt.Errorf("inet: empty circuit")
+	}
+	var sum float64
+	prev := host
+	for _, r := range relays {
+		if p.topo.Node(r) == nil {
+			return 0, fmt.Errorf("inet: unknown relay %d", r)
+		}
+		sum += p.topo.RTT(prev, r)
+		prev = r
+	}
+	sum += p.topo.RTT(prev, host)
+	for _, r := range relays {
+		fwd := p.topo.Node(r).Fwd
+		sum += fwd.Sample(p.rng) + fwd.Sample(p.rng)
+	}
+	return sum + p.jitter(), nil
+}
+
+func (p *Prober) jitter() float64 {
+	if p.LinkJitterMs <= 0 {
+		return 0
+	}
+	return p.rng.ExpFloat64() * p.LinkJitterMs
+}
+
+// AddHost appends a measurement host to the topology: an unbiased,
+// well-connected node at the given coordinate (the machine running s, d, w,
+// and z in §3.3). It returns the new node's ID. RTTs from the host to every
+// existing node are generated with the same model as relay-relay paths;
+// the host's self-RTT is the loopback floor.
+func (t *Topology) AddHost(name string, coord geo.Coord, seed int64) NodeID {
+	rng := rand.New(rand.NewSource(seed))
+	id := NodeID(len(t.Nodes))
+	n := &Node{
+		ID:            id,
+		Name:          name,
+		Coord:         coord,
+		Region:        "host",
+		Class:         Datacenter,
+		AccessMs:      0.2,
+		Fwd:           LocalForwardingModel(),
+		BandwidthKBps: 50000,
+	}
+	t.Nodes = append(t.Nodes, n)
+	for i := range t.rtt {
+		base := geo.MinRTTMs(t.Nodes[i].Coord, coord)
+		infl := 1 + lognormal(-0.4, 0.4, rng)
+		rtt := base*infl + t.Nodes[i].AccessMs + n.AccessMs
+		if rtt < 0.2 {
+			rtt = 0.2
+		}
+		t.rtt[i] = append(t.rtt[i], rtt)
+	}
+	row := make([]float64, len(t.Nodes))
+	for i := range t.rtt {
+		row[i] = t.rtt[i][id]
+	}
+	row[id] = 0.05 // loopback
+	t.rtt = append(t.rtt, row)
+	return id
+}

@@ -1,0 +1,136 @@
+package link
+
+import (
+	"sync"
+	"time"
+
+	"ting/internal/cell"
+)
+
+// Delayed wraps a Link so that cells experience the given one-way delays:
+// outbound cells arrive at the peer sendDelay later, and inbound cells are
+// surfaced recvDelay after the peer sent them. Ordering is preserved in
+// both directions. This is how the loopback overlay acquires the synthetic
+// Internet's ground-truth latencies.
+//
+// The returned Link owns the inner link: closing it closes the inner link.
+func Delayed(inner Link, sendDelay, recvDelay time.Duration) Link {
+	d := &delayedLink{
+		inner:  inner,
+		sendQ:  make(chan timedCell, 1024),
+		recvQ:  make(chan timedResult, 1024),
+		closed: make(chan struct{}),
+	}
+	d.sendDelay = sendDelay
+	d.recvDelay = recvDelay
+	go d.sendPump()
+	go d.recvPump()
+	return d
+}
+
+type timedCell struct {
+	c   cell.Cell
+	due time.Time
+}
+
+type timedResult struct {
+	c   cell.Cell
+	err error
+	due time.Time
+}
+
+type delayedLink struct {
+	inner     Link
+	sendDelay time.Duration
+	recvDelay time.Duration
+
+	sendQ chan timedCell
+	recvQ chan timedResult
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+func (d *delayedLink) Send(c cell.Cell) error {
+	select {
+	case <-d.closed:
+		return ErrClosed
+	default:
+	}
+	select {
+	case <-d.closed:
+		return ErrClosed
+	case d.sendQ <- timedCell{c: c, due: time.Now().Add(d.sendDelay)}:
+		return nil
+	}
+}
+
+func (d *delayedLink) sendPump() {
+	for {
+		select {
+		case <-d.closed:
+			return
+		case tc := <-d.sendQ:
+			sleepUntil(tc.due, d.closed)
+			if err := d.inner.Send(tc.c); err != nil {
+				// The peer is gone; nothing useful to do with the error
+				// here — the caller will learn via Recv or the next Send
+				// after close.
+				return
+			}
+		}
+	}
+}
+
+func (d *delayedLink) recvPump() {
+	for {
+		c, err := d.inner.Recv()
+		tr := timedResult{c: c, err: err, due: time.Now().Add(d.recvDelay)}
+		select {
+		case <-d.closed:
+			return
+		case d.recvQ <- tr:
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (d *delayedLink) Recv() (cell.Cell, error) {
+	select {
+	case <-d.closed:
+		return cell.Cell{}, ErrClosed
+	case tr := <-d.recvQ:
+		if tr.err != nil {
+			return cell.Cell{}, tr.err
+		}
+		sleepUntil(tr.due, d.closed)
+		return tr.c, nil
+	}
+}
+
+func (d *delayedLink) Close() error {
+	var err error
+	d.closeOnce.Do(func() {
+		close(d.closed)
+		err = d.inner.Close()
+	})
+	return err
+}
+
+func (d *delayedLink) RemoteAddr() string { return d.inner.RemoteAddr() }
+
+// sleepUntil sleeps until t or until cancel closes, whichever is first.
+func sleepUntil(t time.Time, cancel <-chan struct{}) {
+	d := time.Until(t)
+	if d <= 0 {
+		return
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case <-cancel:
+	}
+}

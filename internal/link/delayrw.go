@@ -1,0 +1,136 @@
+package link
+
+import (
+	"io"
+	"sync"
+	"time"
+)
+
+// DelayedRW wraps a byte stream so writes arrive sendDelay later and reads
+// surface recvDelay after the peer wrote them — the byte-stream counterpart
+// of Delayed, used for exit-relay connections to destinations.
+func DelayedRW(inner io.ReadWriteCloser, sendDelay, recvDelay time.Duration) io.ReadWriteCloser {
+	d := &delayedRW{
+		inner:  inner,
+		sendQ:  make(chan timedBytes, 1024),
+		recvQ:  make(chan timedBytesResult, 1024),
+		closed: make(chan struct{}),
+	}
+	d.sendDelay = sendDelay
+	d.recvDelay = recvDelay
+	go d.sendPump()
+	go d.recvPump()
+	return d
+}
+
+type timedBytes struct {
+	b   []byte
+	due time.Time
+}
+
+type timedBytesResult struct {
+	b   []byte
+	err error
+	due time.Time
+}
+
+type delayedRW struct {
+	inner     io.ReadWriteCloser
+	sendDelay time.Duration
+	recvDelay time.Duration
+
+	sendQ chan timedBytes
+	recvQ chan timedBytesResult
+
+	mu       sync.Mutex
+	leftover []byte
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+func (d *delayedRW) Write(p []byte) (int, error) {
+	cp := append([]byte(nil), p...)
+	select {
+	case <-d.closed:
+		return 0, ErrClosed
+	default:
+	}
+	select {
+	case <-d.closed:
+		return 0, ErrClosed
+	case d.sendQ <- timedBytes{b: cp, due: time.Now().Add(d.sendDelay)}:
+		return len(p), nil
+	}
+}
+
+func (d *delayedRW) sendPump() {
+	for {
+		select {
+		case <-d.closed:
+			return
+		case tb := <-d.sendQ:
+			sleepUntil(tb.due, d.closed)
+			if _, err := d.inner.Write(tb.b); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (d *delayedRW) recvPump() {
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := d.inner.Read(buf)
+		var cp []byte
+		if n > 0 {
+			cp = append([]byte(nil), buf[:n]...)
+		}
+		tr := timedBytesResult{b: cp, err: err, due: time.Now().Add(d.recvDelay)}
+		select {
+		case <-d.closed:
+			return
+		case d.recvQ <- tr:
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (d *delayedRW) Read(p []byte) (int, error) {
+	d.mu.Lock()
+	if len(d.leftover) > 0 {
+		n := copy(p, d.leftover)
+		d.leftover = d.leftover[n:]
+		d.mu.Unlock()
+		return n, nil
+	}
+	d.mu.Unlock()
+
+	select {
+	case <-d.closed:
+		return 0, ErrClosed
+	case tr := <-d.recvQ:
+		if tr.err != nil && len(tr.b) == 0 {
+			return 0, tr.err
+		}
+		sleepUntil(tr.due, d.closed)
+		n := copy(p, tr.b)
+		if n < len(tr.b) {
+			d.mu.Lock()
+			d.leftover = tr.b[n:]
+			d.mu.Unlock()
+		}
+		return n, nil
+	}
+}
+
+func (d *delayedRW) Close() error {
+	var err error
+	d.closeOnce.Do(func() {
+		close(d.closed)
+		err = d.inner.Close()
+	})
+	return err
+}

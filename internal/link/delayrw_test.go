@@ -1,0 +1,124 @@
+package link
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestDelayedRWRoundTrip(t *testing.T) {
+	a, b := net.Pipe()
+	d := DelayedRW(a, 0, 0)
+	defer d.Close()
+	go func() {
+		buf := make([]byte, 64)
+		n, err := b.Read(buf)
+		if err != nil {
+			return
+		}
+		b.Write(buf[:n])
+	}()
+	msg := []byte("through the delayed pipe")
+	if _, err := d.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(d, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestDelayedRWInjectsLatency(t *testing.T) {
+	a, b := net.Pipe()
+	const oneWay = 25 * time.Millisecond
+	d := DelayedRW(a, oneWay, oneWay)
+	defer d.Close()
+	go func() {
+		buf := make([]byte, 16)
+		for {
+			n, err := b.Read(buf)
+			if err != nil {
+				return
+			}
+			if _, err := b.Write(buf[:n]); err != nil {
+				return
+			}
+		}
+	}()
+	start := time.Now()
+	if _, err := d.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(d, buf); err != nil {
+		t.Fatal(err)
+	}
+	rtt := time.Since(start)
+	if rtt < 2*oneWay {
+		t.Errorf("RTT %v below injected 2×%v", rtt, oneWay)
+	}
+	if rtt > 2*oneWay+150*time.Millisecond {
+		t.Errorf("RTT %v far above injected", rtt)
+	}
+}
+
+func TestDelayedRWPartialReads(t *testing.T) {
+	a, b := net.Pipe()
+	d := DelayedRW(a, 0, 0)
+	defer d.Close()
+	go func() {
+		b.Write([]byte("0123456789"))
+	}()
+	// Read in tiny pieces: the leftover buffer must preserve order.
+	var got []byte
+	buf := make([]byte, 3)
+	for len(got) < 10 {
+		n, err := d.Read(buf)
+		if err != nil {
+			t.Errorf("read: %v", err)
+			return
+		}
+		got = append(got, buf[:n]...)
+	}
+	if string(got) != "0123456789" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestDelayedRWCloseUnblocks(t *testing.T) {
+	a, _ := net.Pipe()
+	d := DelayedRW(a, time.Millisecond, time.Millisecond)
+	done := make(chan error, 1)
+	go func() {
+		_, err := d.Read(make([]byte, 4))
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	d.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("read on closed DelayedRW succeeded")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("read did not unblock on close")
+	}
+	if _, err := d.Write([]byte("x")); err == nil {
+		t.Error("write after close succeeded")
+	}
+}
+
+func TestDelayedRWPeerEOF(t *testing.T) {
+	a, b := net.Pipe()
+	d := DelayedRW(a, 0, 0)
+	defer d.Close()
+	b.Close()
+	if _, err := d.Read(make([]byte, 4)); err == nil {
+		t.Error("read past peer EOF succeeded")
+	}
+}

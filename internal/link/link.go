@@ -1,0 +1,124 @@
+// Package link provides cell-oriented transport between mintor nodes: a
+// Link abstraction, a TCP implementation, an in-process pipe implementation,
+// and a latency-injecting wrapper that turns either into a long-haul path.
+//
+// The Ting reproduction runs its overlay on loopback (there is no real
+// Internet offline), so inter-node latency is injected here, at the link
+// layer, from the ground-truth model in package inet. Everything above —
+// relays, clients, Ting itself — is transport-agnostic.
+package link
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"ting/internal/cell"
+)
+
+// ErrClosed is returned by operations on a closed link.
+var ErrClosed = errors.New("link: closed")
+
+// Link is an ordered, reliable, cell-oriented connection between two nodes.
+// Send and Recv may be used concurrently with each other; neither may be
+// called concurrently with itself.
+type Link interface {
+	// Send transmits one cell.
+	Send(c cell.Cell) error
+	// Recv blocks for the next cell.
+	Recv() (cell.Cell, error)
+	// Close tears the link down; pending Recv calls fail.
+	Close() error
+	// RemoteAddr names the peer, for logs and circuit bookkeeping.
+	RemoteAddr() string
+}
+
+// Dialer opens Links to named peers.
+type Dialer interface {
+	Dial(addr string) (Link, error)
+}
+
+// Listener accepts inbound Links.
+type Listener interface {
+	Accept() (Link, error)
+	Close() error
+	Addr() string
+}
+
+// --- TCP implementation ---
+
+// netLink frames cells over a stream connection: each cell is exactly
+// cell.Size bytes, so framing is trivial and constant-rate.
+type netLink struct {
+	conn net.Conn
+	wmu  sync.Mutex
+	rbuf [cell.Size]byte
+	wbuf [cell.Size]byte
+}
+
+// NewNetLink wraps a stream connection as a Link.
+func NewNetLink(conn net.Conn) Link { return &netLink{conn: conn} }
+
+func (l *netLink) Send(c cell.Cell) error {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	c.MarshalInto(l.wbuf[:])
+	if _, err := l.conn.Write(l.wbuf[:]); err != nil {
+		return fmt.Errorf("link: send: %w", err)
+	}
+	return nil
+}
+
+func (l *netLink) Recv() (cell.Cell, error) {
+	if _, err := io.ReadFull(l.conn, l.rbuf[:]); err != nil {
+		return cell.Cell{}, fmt.Errorf("link: recv: %w", err)
+	}
+	c, err := cell.Unmarshal(l.rbuf[:])
+	if err != nil {
+		return cell.Cell{}, err
+	}
+	return c, nil
+}
+
+func (l *netLink) Close() error       { return l.conn.Close() }
+func (l *netLink) RemoteAddr() string { return l.conn.RemoteAddr().String() }
+
+// tcpListener adapts net.Listener to Listener.
+type tcpListener struct {
+	ln net.Listener
+}
+
+// ListenTCP starts a cell listener on a TCP address ("127.0.0.1:0" picks a
+// free port; read the actual one back from Addr).
+func ListenTCP(addr string) (Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("link: listen %s: %w", addr, err)
+	}
+	return &tcpListener{ln: ln}, nil
+}
+
+func (t *tcpListener) Accept() (Link, error) {
+	conn, err := t.ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewNetLink(conn), nil
+}
+
+func (t *tcpListener) Close() error { return t.ln.Close() }
+func (t *tcpListener) Addr() string { return t.ln.Addr().String() }
+
+// TCPDialer dials cell links over TCP.
+type TCPDialer struct{}
+
+// Dial connects to addr.
+func (TCPDialer) Dial(addr string) (Link, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("link: dial %s: %w", addr, err)
+	}
+	return NewNetLink(conn), nil
+}

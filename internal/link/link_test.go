@@ -1,0 +1,356 @@
+package link
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ting/internal/cell"
+)
+
+func testCell(circ uint32, tag byte) cell.Cell {
+	c := cell.Cell{Circ: cell.CircID(circ), Cmd: cell.Relay}
+	c.Payload[0] = tag
+	return c
+}
+
+func TestPipeRoundTrip(t *testing.T) {
+	a, b := Pipe(4, "a", "b")
+	defer a.Close()
+	defer b.Close()
+
+	if a.RemoteAddr() != "b" || b.RemoteAddr() != "a" {
+		t.Errorf("RemoteAddrs: %q, %q", a.RemoteAddr(), b.RemoteAddr())
+	}
+	want := testCell(7, 0x42)
+	if err := a.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Error("cell mismatch over pipe")
+	}
+	// And the other direction.
+	if err := b.Send(testCell(8, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := a.Recv(); err != nil || got.Circ != 8 {
+		t.Errorf("reverse direction: %v, %v", got, err)
+	}
+}
+
+func TestPipeOrdering(t *testing.T) {
+	a, b := Pipe(100, "a", "b")
+	defer a.Close()
+	defer b.Close()
+	for i := 0; i < 100; i++ {
+		if err := a.Send(testCell(uint32(i), byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		got, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Circ != cell.CircID(i) {
+			t.Fatalf("out of order: got %d at position %d", got.Circ, i)
+		}
+	}
+}
+
+func TestPipeCloseUnblocksRecv(t *testing.T) {
+	a, b := Pipe(1, "a", "b")
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Recv()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("Recv after peer close should error")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock on peer close")
+	}
+	if err := a.Send(testCell(1, 1)); !errors.Is(err, ErrClosed) {
+		t.Errorf("Send on closed link = %v, want ErrClosed", err)
+	}
+}
+
+func TestPipeDrainsBufferAfterPeerClose(t *testing.T) {
+	a, b := Pipe(4, "a", "b")
+	if err := a.Send(testCell(5, 5)); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatalf("buffered cell lost on close: %v", err)
+	}
+	if got.Circ != 5 {
+		t.Errorf("got circ %d", got.Circ)
+	}
+	if _, err := b.Recv(); err == nil {
+		t.Error("second Recv should fail after drain")
+	}
+}
+
+func TestTCPLinkRoundTrip(t *testing.T) {
+	ln, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	var serverLink Link
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		serverLink, _ = ln.Accept()
+	}()
+
+	clientLink, err := TCPDialer{}.Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if serverLink == nil {
+		t.Fatal("accept failed")
+	}
+	defer clientLink.Close()
+	defer serverLink.Close()
+
+	want := testCell(99, 0xAB)
+	if err := clientLink.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := serverLink.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Error("cell mismatch over TCP")
+	}
+	// Reverse direction.
+	if err := serverLink.Send(testCell(100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := clientLink.Recv(); err != nil || got.Circ != 100 {
+		t.Errorf("reverse: %v %v", got, err)
+	}
+}
+
+func TestTCPDialError(t *testing.T) {
+	if _, err := (TCPDialer{}).Dial("127.0.0.1:1"); err == nil {
+		t.Error("dial to closed port should fail")
+	}
+}
+
+func TestDelayedLinkInjectsLatency(t *testing.T) {
+	a, b := Pipe(16, "a", "b")
+	const oneWay = 30 * time.Millisecond
+	da := Delayed(a, oneWay, oneWay)
+	defer da.Close()
+	defer b.Close()
+
+	// Echo server on the raw side.
+	go func() {
+		for {
+			c, err := b.Recv()
+			if err != nil {
+				return
+			}
+			if err := b.Send(c); err != nil {
+				return
+			}
+		}
+	}()
+
+	start := time.Now()
+	if err := da.Send(testCell(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := da.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	rtt := time.Since(start)
+	if rtt < 2*oneWay {
+		t.Errorf("RTT %v below injected 2×%v", rtt, oneWay)
+	}
+	if rtt > 2*oneWay+150*time.Millisecond {
+		t.Errorf("RTT %v far above injected latency", rtt)
+	}
+}
+
+func TestDelayedLinkPreservesOrder(t *testing.T) {
+	a, b := Pipe(64, "a", "b")
+	da := Delayed(a, 5*time.Millisecond, 0)
+	defer da.Close()
+	defer b.Close()
+	for i := 0; i < 20; i++ {
+		if err := da.Send(testCell(uint32(i), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		got, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Circ != cell.CircID(i) {
+			t.Fatalf("reordered: got %d at %d", got.Circ, i)
+		}
+	}
+}
+
+func TestDelayedLinkClose(t *testing.T) {
+	a, b := Pipe(4, "a", "b")
+	da := Delayed(a, time.Millisecond, time.Millisecond)
+	done := make(chan error, 1)
+	go func() {
+		_, err := da.Recv()
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	da.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("Recv on closed delayed link should error")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock")
+	}
+	if err := da.Send(testCell(0, 0)); !errors.Is(err, ErrClosed) {
+		t.Errorf("Send after close = %v", err)
+	}
+	b.Close()
+}
+
+func TestDelayedPropagatesPeerClose(t *testing.T) {
+	a, b := Pipe(4, "a", "b")
+	da := Delayed(a, 0, 0)
+	defer da.Close()
+	b.Close()
+	if _, err := da.Recv(); err == nil {
+		t.Error("Recv should fail once peer closes")
+	}
+}
+
+func TestPipeNetDialAndListen(t *testing.T) {
+	n := NewPipeNet()
+	ln, err := n.Listen("relay1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ln.Addr() != "relay1" {
+		t.Errorf("Addr = %q", ln.Addr())
+	}
+	go func() {
+		l, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		c, err := l.Recv()
+		if err != nil {
+			return
+		}
+		_ = l.Send(c)
+	}()
+	lk, err := n.Dial("relay1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lk.Close()
+	if err := lk.Send(testCell(3, 3)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := lk.Recv()
+	if err != nil || got.Circ != 3 {
+		t.Errorf("echo through pipenet: %v %v", got, err)
+	}
+}
+
+func TestPipeNetErrors(t *testing.T) {
+	n := NewPipeNet()
+	if _, err := n.Dial("ghost"); err == nil {
+		t.Error("dial to unknown address should fail")
+	}
+	if _, err := n.Listen("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("x"); err == nil {
+		t.Error("duplicate listen should fail")
+	}
+}
+
+func TestPipeNetListenerClose(t *testing.T) {
+	n := NewPipeNet()
+	ln, err := n.Listen("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := ln.Accept()
+		done <- err
+	}()
+	ln.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("Accept on closed listener should fail")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Accept did not unblock")
+	}
+	if _, err := n.Dial("r"); err == nil {
+		t.Error("dial after listener close should fail")
+	}
+	// Address is reusable after close.
+	if _, err := n.Listen("r"); err != nil {
+		t.Errorf("re-listen after close: %v", err)
+	}
+}
+
+func TestConcurrentSendRecv(t *testing.T) {
+	a, b := Pipe(8, "a", "b")
+	defer a.Close()
+	defer b.Close()
+	const n = 500
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if err := a.Send(testCell(uint32(i), 0)); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			got, err := b.Recv()
+			if err != nil {
+				t.Errorf("recv %d: %v", i, err)
+				return
+			}
+			if got.Circ != cell.CircID(i) {
+				t.Errorf("order broken at %d", i)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,79 @@
+package link
+
+import (
+	"fmt"
+	"sync"
+
+	"ting/internal/cell"
+)
+
+// pipeHalf is one end of an in-process Link pair.
+type pipeHalf struct {
+	peerAddr string
+	in       chan cell.Cell
+	out      chan cell.Cell
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	// peerClosed is the other half's closed channel; Recv fails once the
+	// peer is gone and the buffer drains.
+	peerClosed chan struct{}
+}
+
+// Pipe returns a connected pair of in-process Links with the given buffer
+// capacity per direction. It is the zero-latency building block the
+// in-process network uses; wrap with Delayed for long-haul paths.
+func Pipe(capacity int, addrA, addrB string) (Link, Link) {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	ab := make(chan cell.Cell, capacity)
+	ba := make(chan cell.Cell, capacity)
+	a := &pipeHalf{peerAddr: addrB, in: ba, out: ab, closed: make(chan struct{})}
+	b := &pipeHalf{peerAddr: addrA, in: ab, out: ba, closed: make(chan struct{})}
+	a.peerClosed = b.closed
+	b.peerClosed = a.closed
+	return a, b
+}
+
+func (p *pipeHalf) Send(c cell.Cell) error {
+	// Check our own closure first: a buffered out channel could otherwise
+	// win the select below even after Close.
+	select {
+	case <-p.closed:
+		return ErrClosed
+	default:
+	}
+	select {
+	case <-p.closed:
+		return ErrClosed
+	case <-p.peerClosed:
+		return fmt.Errorf("link: peer %s closed", p.peerAddr)
+	case p.out <- c:
+		return nil
+	}
+}
+
+func (p *pipeHalf) Recv() (cell.Cell, error) {
+	select {
+	case <-p.closed:
+		return cell.Cell{}, ErrClosed
+	case c := <-p.in:
+		return c, nil
+	case <-p.peerClosed:
+		// Drain anything already buffered before reporting closure.
+		select {
+		case c := <-p.in:
+			return c, nil
+		default:
+			return cell.Cell{}, fmt.Errorf("link: peer %s closed", p.peerAddr)
+		}
+	}
+}
+
+func (p *pipeHalf) Close() error {
+	p.closeOnce.Do(func() { close(p.closed) })
+	return nil
+}
+
+func (p *pipeHalf) RemoteAddr() string { return p.peerAddr }

@@ -1,0 +1,132 @@
+package onion
+
+import (
+	"crypto/ecdh"
+	"crypto/hmac"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ReplyLen is the length of the handshake reply carried in a CREATED cell:
+// the server's ephemeral public key plus a 32-byte authentication tag.
+const ReplyLen = KeyLen + 32
+
+// ErrHandshakeAuth is returned when the server's authentication tag does
+// not verify.
+var ErrHandshakeAuth = errors.New("onion: handshake authentication failed")
+
+// ClientHandshake is the client half of the ntor-style handshake for one
+// hop. Create it with StartHandshake, send Onionskin() in a CREATE or
+// EXTEND, then call Complete with the reply.
+type ClientHandshake struct {
+	relayPub PublicKey
+	eph      *ecdh.PrivateKey
+}
+
+// StartHandshake begins a handshake with the relay owning relayPub.
+// rnd nil means crypto/rand.
+func StartHandshake(relayPub PublicKey, rnd io.Reader) (*ClientHandshake, error) {
+	if rnd == nil {
+		rnd = rand.Reader
+	}
+	if relayPub.IsZero() {
+		return nil, errors.New("onion: zero relay public key")
+	}
+	eph, err := ecdh.X25519().GenerateKey(rnd)
+	if err != nil {
+		return nil, fmt.Errorf("onion: ephemeral key: %w", err)
+	}
+	return &ClientHandshake{relayPub: relayPub, eph: eph}, nil
+}
+
+// Onionskin returns the client's handshake message (its ephemeral public
+// key), exactly KeyLen bytes.
+func (ch *ClientHandshake) Onionskin() []byte {
+	return ch.eph.PublicKey().Bytes()
+}
+
+// Complete processes the relay's reply and returns the established hop
+// state.
+func (ch *ClientHandshake) Complete(reply []byte) (*HopState, error) {
+	if len(reply) != ReplyLen {
+		return nil, fmt.Errorf("onion: reply length %d, want %d", len(reply), ReplyLen)
+	}
+	var serverEph PublicKey
+	copy(serverEph[:], reply[:KeyLen])
+	yPub, err := serverEph.ecdh()
+	if err != nil {
+		return nil, err
+	}
+	bPub, err := ch.relayPub.ecdh()
+	if err != nil {
+		return nil, err
+	}
+	s1, err := ch.eph.ECDH(yPub) // x·Y
+	if err != nil {
+		return nil, fmt.Errorf("onion: ecdh: %w", err)
+	}
+	s2, err := ch.eph.ECDH(bPub) // x·B
+	if err != nil {
+		return nil, fmt.Errorf("onion: ecdh: %w", err)
+	}
+	ks := deriveKeys(secretInput(s1, s2, ch.relayPub[:], ch.Onionskin(), serverEph[:]))
+	want := computeAuth(ks.auth)
+	if !hmac.Equal(want[:], reply[KeyLen:]) {
+		return nil, ErrHandshakeAuth
+	}
+	return newHopState(ks)
+}
+
+// ServerHandshake processes a client onionskin at a relay holding id,
+// returning the reply to send back in a CREATED/EXTENDED cell and the
+// established hop state.
+func ServerHandshake(id *Identity, onionskin []byte, rnd io.Reader) (reply []byte, hop *HopState, err error) {
+	if rnd == nil {
+		rnd = rand.Reader
+	}
+	if len(onionskin) != KeyLen {
+		return nil, nil, fmt.Errorf("onion: onionskin length %d, want %d", len(onionskin), KeyLen)
+	}
+	xPub, err := ecdh.X25519().NewPublicKey(onionskin)
+	if err != nil {
+		return nil, nil, fmt.Errorf("onion: bad onionskin: %w", err)
+	}
+	eph, err := ecdh.X25519().GenerateKey(rnd)
+	if err != nil {
+		return nil, nil, fmt.Errorf("onion: ephemeral key: %w", err)
+	}
+	s1, err := eph.ECDH(xPub) // y·X
+	if err != nil {
+		return nil, nil, fmt.Errorf("onion: ecdh: %w", err)
+	}
+	s2, err := id.priv.ECDH(xPub) // b·X
+	if err != nil {
+		return nil, nil, fmt.Errorf("onion: ecdh: %w", err)
+	}
+	pub := id.Public()
+	ks := deriveKeys(secretInput(s1, s2, pub[:], onionskin, eph.PublicKey().Bytes()))
+	hop, err = newHopState(ks)
+	if err != nil {
+		return nil, nil, err
+	}
+	auth := computeAuth(ks.auth)
+	reply = make([]byte, 0, ReplyLen)
+	reply = append(reply, eph.PublicKey().Bytes()...)
+	reply = append(reply, auth[:]...)
+	return reply, hop, nil
+}
+
+// secretInput builds the transcript-bound secret for the KDF:
+// ECDH results followed by all public values, as in ntor.
+func secretInput(s1, s2, relayPub, clientEph, serverEph []byte) []byte {
+	in := make([]byte, 0, len(s1)+len(s2)+3*KeyLen+len(protoID))
+	in = append(in, s1...)
+	in = append(in, s2...)
+	in = append(in, relayPub...)
+	in = append(in, clientEph...)
+	in = append(in, serverEph...)
+	in = append(in, protoID...)
+	return in
+}

@@ -1,0 +1,159 @@
+package onion
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"encoding"
+	"fmt"
+	"hash"
+
+	"ting/internal/cell"
+)
+
+// HopState holds the established symmetric state shared between a client
+// and one hop of a circuit: AES-CTR keystreams in both directions plus
+// running digests for relay-cell recognition. The client keeps one HopState
+// per hop; the relay keeps the mirror-image state for each circuit.
+//
+// CTR keystreams advance as cells are processed, so both ends must process
+// every relay cell in order — exactly Tor's discipline.
+type HopState struct {
+	fwd cipher.Stream
+	bwd cipher.Stream
+	// fwdDigest is the running hash over forward relay payloads addressed
+	// to this hop (sealed by the client, verified by the relay); bwdDigest
+	// is the reverse.
+	fwdDigest hash.Hash
+	bwdDigest hash.Hash
+}
+
+func newHopState(ks keySchedule) (*HopState, error) {
+	fwdBlock, err := aes.NewCipher(ks.kf)
+	if err != nil {
+		return nil, fmt.Errorf("onion: forward cipher: %w", err)
+	}
+	bwdBlock, err := aes.NewCipher(ks.kb)
+	if err != nil {
+		return nil, fmt.Errorf("onion: backward cipher: %w", err)
+	}
+	h := &HopState{
+		fwd:       cipher.NewCTR(fwdBlock, ks.ivf),
+		bwd:       cipher.NewCTR(bwdBlock, ks.ivb),
+		fwdDigest: sha256.New(),
+		bwdDigest: sha256.New(),
+	}
+	h.fwdDigest.Write(ks.df)
+	h.bwdDigest.Write(ks.db)
+	return h, nil
+}
+
+// CryptForward applies (or removes — CTR is an XOR) this hop's forward
+// keystream over a cell payload in place.
+func (h *HopState) CryptForward(p *[cell.PayloadLen]byte) { h.fwd.XORKeyStream(p[:], p[:]) }
+
+// CryptBackward applies or removes this hop's backward keystream.
+func (h *HopState) CryptBackward(p *[cell.PayloadLen]byte) { h.bwd.XORKeyStream(p[:], p[:]) }
+
+// SealForward computes and writes the digest for a plaintext relay payload
+// addressed to this hop, committing it to the forward running hash. Call
+// before layering on the encryption.
+func (h *HopState) SealForward(p *[cell.PayloadLen]byte) { seal(h.fwdDigest, p) }
+
+// SealBackward is the relay-side counterpart for cells it originates toward
+// the client.
+func (h *HopState) SealBackward(p *[cell.PayloadLen]byte) { seal(h.bwdDigest, p) }
+
+// VerifyForward checks whether a decrypted payload is addressed to this hop
+// (recognized field zero and digest valid). On success the running hash is
+// advanced and the digest field left zeroed; on failure all state and the
+// payload are restored so the cell can be passed on untouched.
+func (h *HopState) VerifyForward(p *[cell.PayloadLen]byte) bool {
+	return verify(&h.fwdDigest, p)
+}
+
+// VerifyBackward is the client-side counterpart for cells arriving from
+// this hop.
+func (h *HopState) VerifyBackward(p *[cell.PayloadLen]byte) bool {
+	return verify(&h.bwdDigest, p)
+}
+
+func seal(d hash.Hash, p *[cell.PayloadLen]byte) {
+	cell.ZeroDigest(p)
+	d.Write(p[:])
+	var tag [4]byte
+	copy(tag[:], d.Sum(nil))
+	cell.SetDigest(p, tag)
+}
+
+func verify(d *hash.Hash, p *[cell.PayloadLen]byte) bool {
+	if !cell.PayloadRecognized(p) {
+		return false
+	}
+	claimed := cell.ZeroDigest(p)
+	probe := cloneHash(*d)
+	probe.Write(p[:])
+	var want [4]byte
+	copy(want[:], probe.Sum(nil))
+	if want != claimed {
+		cell.SetDigest(p, claimed) // not ours: restore and leave state alone
+		return false
+	}
+	*d = probe // commit
+	return true
+}
+
+// cloneHash copies a running hash via its binary marshaling, which all
+// stdlib hashes implement.
+func cloneHash(h hash.Hash) hash.Hash {
+	m, ok := h.(encoding.BinaryMarshaler)
+	if !ok {
+		panic("onion: hash does not support marshaling")
+	}
+	state, err := m.MarshalBinary()
+	if err != nil {
+		panic(fmt.Sprintf("onion: marshal hash: %v", err))
+	}
+	fresh := sha256.New()
+	if err := fresh.(encoding.BinaryUnmarshaler).UnmarshalBinary(state); err != nil {
+		panic(fmt.Sprintf("onion: unmarshal hash: %v", err))
+	}
+	return fresh
+}
+
+// CircuitCrypto is the client-side stack of hop states for one circuit.
+type CircuitCrypto struct {
+	hops []*HopState
+}
+
+// AddHop appends an established hop (the newly extended-to relay).
+func (cc *CircuitCrypto) AddHop(h *HopState) { cc.hops = append(cc.hops, h) }
+
+// Len returns the number of established hops.
+func (cc *CircuitCrypto) Len() int { return len(cc.hops) }
+
+// EncryptForward seals a plaintext relay payload for the given hop index
+// and applies the onion layers so the first hop's layer is outermost.
+func (cc *CircuitCrypto) EncryptForward(hop int, p *[cell.PayloadLen]byte) error {
+	if hop < 0 || hop >= len(cc.hops) {
+		return fmt.Errorf("onion: hop %d out of range (circuit has %d)", hop, len(cc.hops))
+	}
+	cc.hops[hop].SealForward(p)
+	for i := hop; i >= 0; i-- {
+		cc.hops[i].CryptForward(p)
+	}
+	return nil
+}
+
+// DecryptBackward peels layers off an inbound payload until some hop
+// recognizes it, returning that hop's index. The payload is left as the
+// hop's plaintext (digest field zeroed).
+func (cc *CircuitCrypto) DecryptBackward(p *[cell.PayloadLen]byte) (int, error) {
+	for i := range cc.hops {
+		cc.hops[i].CryptBackward(p)
+		if cc.hops[i].VerifyBackward(p) {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("onion: inbound cell unrecognized by all %d hops", len(cc.hops))
+}

@@ -1,0 +1,64 @@
+// Package onion implements mintor's circuit cryptography: an ntor-style
+// X25519 handshake, HKDF key derivation, and per-hop AES-CTR layer
+// encryption with running-digest integrity, mirroring the parts of Tor's
+// relay crypto that circuit construction and relay-cell recognition need.
+//
+// Ting depends on this being real layered cryptography (not a toy tag on a
+// header) because its measurement traffic must be indistinguishable, hop by
+// hop, from ordinary Tor traffic: each relay decrypts exactly one layer and
+// learns only its predecessor and successor (§1).
+package onion
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+	"fmt"
+	"io"
+)
+
+// KeyLen is the length of X25519 public keys and of the onionskin a CREATE
+// cell carries.
+const KeyLen = 32
+
+// Identity is a relay's long-term onion key pair.
+type Identity struct {
+	priv *ecdh.PrivateKey
+}
+
+// NewIdentity generates a fresh identity from rnd (nil means crypto/rand).
+func NewIdentity(rnd io.Reader) (*Identity, error) {
+	if rnd == nil {
+		rnd = rand.Reader
+	}
+	priv, err := ecdh.X25519().GenerateKey(rnd)
+	if err != nil {
+		return nil, fmt.Errorf("onion: generate identity: %w", err)
+	}
+	return &Identity{priv: priv}, nil
+}
+
+// Public returns the public onion key as published in relay descriptors.
+func (id *Identity) Public() PublicKey {
+	var pk PublicKey
+	copy(pk[:], id.priv.PublicKey().Bytes())
+	return pk
+}
+
+// PublicKey is a serialized X25519 public key.
+type PublicKey [KeyLen]byte
+
+// IsZero reports whether the key is unset.
+func (pk PublicKey) IsZero() bool { return pk == PublicKey{} }
+
+// String returns a short hex prefix for logs.
+func (pk PublicKey) String() string {
+	return fmt.Sprintf("%x…", pk[:4])
+}
+
+func (pk PublicKey) ecdh() (*ecdh.PublicKey, error) {
+	k, err := ecdh.X25519().NewPublicKey(pk[:])
+	if err != nil {
+		return nil, fmt.Errorf("onion: bad public key: %w", err)
+	}
+	return k, nil
+}

@@ -1,0 +1,467 @@
+package onion
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ting/internal/cell"
+)
+
+// establish runs a full handshake, returning the client's and relay's hop
+// states.
+func establish(t *testing.T, seed int64) (client, relay *HopState) {
+	t.Helper()
+	rnd := rand.New(rand.NewSource(seed))
+	id, err := NewIdentity(rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := StartHandshake(id.Public(), rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, relayHop, err := ServerHandshake(id, ch.Onionskin(), rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientHop, err := ch.Complete(reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clientHop, relayHop
+}
+
+func TestHandshakeEstablishesSharedKeys(t *testing.T) {
+	client, relay := establish(t, 1)
+	// A payload sealed+encrypted by the client must decrypt and verify at
+	// the relay.
+	rc := cell.RelayCell{Cmd: cell.RelayData, Stream: 5, Data: []byte("hello onion")}
+	p, err := rc.MarshalPayload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.SealForward(&p)
+	client.CryptForward(&p)
+	relay.CryptForward(&p)
+	if !relay.VerifyForward(&p) {
+		t.Fatal("relay did not recognize client's cell")
+	}
+	got, err := cell.UnmarshalPayload(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Data) != "hello onion" {
+		t.Errorf("data = %q", got.Data)
+	}
+}
+
+func TestHandshakeAuthRejectsTamperedReply(t *testing.T) {
+	rnd := rand.New(rand.NewSource(2))
+	id, _ := NewIdentity(rnd)
+	ch, _ := StartHandshake(id.Public(), rnd)
+	reply, _, err := ServerHandshake(id, ch.Onionskin(), rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply[len(reply)-1] ^= 0xFF
+	if _, err := ch.Complete(reply); err != ErrHandshakeAuth {
+		t.Errorf("Complete with tampered auth = %v, want ErrHandshakeAuth", err)
+	}
+}
+
+func TestHandshakeRejectsWrongIdentity(t *testing.T) {
+	rnd := rand.New(rand.NewSource(3))
+	idA, _ := NewIdentity(rnd)
+	idB, _ := NewIdentity(rnd)
+	// Client thinks it's talking to A, but B answers.
+	ch, _ := StartHandshake(idA.Public(), rnd)
+	reply, _, err := ServerHandshake(idB, ch.Onionskin(), rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.Complete(reply); err == nil {
+		t.Error("handshake with wrong identity should fail")
+	}
+}
+
+func TestHandshakeInputValidation(t *testing.T) {
+	rnd := rand.New(rand.NewSource(4))
+	id, _ := NewIdentity(rnd)
+	if _, err := StartHandshake(PublicKey{}, rnd); err == nil {
+		t.Error("zero relay key should be rejected")
+	}
+	if _, _, err := ServerHandshake(id, make([]byte, KeyLen-1), rnd); err == nil {
+		t.Error("short onionskin should be rejected")
+	}
+	ch, _ := StartHandshake(id.Public(), rnd)
+	if _, err := ch.Complete(make([]byte, ReplyLen-1)); err == nil {
+		t.Error("short reply should be rejected")
+	}
+}
+
+func TestHandshakeSessionsDiffer(t *testing.T) {
+	rnd := rand.New(rand.NewSource(5))
+	id, _ := NewIdentity(rnd)
+	ch1, _ := StartHandshake(id.Public(), rnd)
+	ch2, _ := StartHandshake(id.Public(), rnd)
+	if bytes.Equal(ch1.Onionskin(), ch2.Onionskin()) {
+		t.Error("two handshakes produced identical onionskins")
+	}
+}
+
+func TestThreeHopOnionRoundTrip(t *testing.T) {
+	var cc CircuitCrypto
+	relays := make([]*HopState, 3)
+	for i := range relays {
+		c, r := establish(t, int64(10+i))
+		cc.AddHop(c)
+		relays[i] = r
+	}
+	if cc.Len() != 3 {
+		t.Fatalf("Len = %d", cc.Len())
+	}
+
+	// Forward: client → hop2 (the exit).
+	rc := cell.RelayCell{Cmd: cell.RelayBegin, Stream: 1, Data: []byte("echo:7")}
+	p, err := rc.MarshalPayload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.EncryptForward(2, &p); err != nil {
+		t.Fatal(err)
+	}
+	// Hop 0 and 1 each remove a layer and must NOT recognize the cell.
+	for i := 0; i < 2; i++ {
+		relays[i].CryptForward(&p)
+		if relays[i].VerifyForward(&p) {
+			t.Fatalf("hop %d recognized a cell addressed to hop 2", i)
+		}
+	}
+	relays[2].CryptForward(&p)
+	if !relays[2].VerifyForward(&p) {
+		t.Fatal("exit did not recognize its cell")
+	}
+	got, err := cell.UnmarshalPayload(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmd != cell.RelayBegin || string(got.Data) != "echo:7" {
+		t.Errorf("decrypted %+v", got)
+	}
+
+	// Backward: exit → client, each hop adding its layer.
+	back := cell.RelayCell{Cmd: cell.RelayConnected, Stream: 1}
+	bp, err := back.MarshalPayload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	relays[2].SealBackward(&bp)
+	relays[2].CryptBackward(&bp)
+	relays[1].CryptBackward(&bp)
+	relays[0].CryptBackward(&bp)
+	hop, err := cc.DecryptBackward(&bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hop != 2 {
+		t.Errorf("recognized at hop %d, want 2", hop)
+	}
+	gotBack, err := cell.UnmarshalPayload(&bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotBack.Cmd != cell.RelayConnected {
+		t.Errorf("backward cmd = %v", gotBack.Cmd)
+	}
+}
+
+func TestMiddleHopAddressing(t *testing.T) {
+	// A cell addressed to hop 0 of a 2-hop circuit must be recognized there
+	// and never reach hop 1.
+	var cc CircuitCrypto
+	c0, r0 := establish(t, 20)
+	c1, _ := establish(t, 21)
+	cc.AddHop(c0)
+	cc.AddHop(c1)
+
+	rc := cell.RelayCell{Cmd: cell.RelayExtend, Data: []byte("next-relay-info")}
+	p, _ := rc.MarshalPayload()
+	if err := cc.EncryptForward(0, &p); err != nil {
+		t.Fatal(err)
+	}
+	r0.CryptForward(&p)
+	if !r0.VerifyForward(&p) {
+		t.Fatal("hop 0 did not recognize its EXTEND")
+	}
+}
+
+func TestSequentialCellsStayInSync(t *testing.T) {
+	client, relay := establish(t, 30)
+	for i := 0; i < 50; i++ {
+		rc := cell.RelayCell{Cmd: cell.RelayData, Stream: 9, Data: []byte{byte(i)}}
+		p, _ := rc.MarshalPayload()
+		client.SealForward(&p)
+		client.CryptForward(&p)
+		relay.CryptForward(&p)
+		if !relay.VerifyForward(&p) {
+			t.Fatalf("cell %d lost sync", i)
+		}
+		got, err := cell.UnmarshalPayload(&p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Data[0] != byte(i) {
+			t.Fatalf("cell %d data corrupted", i)
+		}
+	}
+}
+
+func TestDigestDetectsTampering(t *testing.T) {
+	client, relay := establish(t, 40)
+	rc := cell.RelayCell{Cmd: cell.RelayData, Stream: 1, Data: []byte("secret")}
+	p, _ := rc.MarshalPayload()
+	client.SealForward(&p)
+	client.CryptForward(&p)
+	relay.CryptForward(&p)
+	// Flip a data byte post-decryption (as if an on-path attacker flipped
+	// ciphertext; CTR bit-flips translate directly).
+	p[100] ^= 0x01
+	if relay.VerifyForward(&p) {
+		t.Error("tampered cell verified")
+	}
+}
+
+func TestVerifyFailureLeavesStateIntact(t *testing.T) {
+	client, relay := establish(t, 50)
+	// First, a garbage payload that fails verification...
+	var junk [cell.PayloadLen]byte
+	if relay.VerifyForward(&junk) {
+		t.Fatal("junk verified")
+	}
+	// ...must not desynchronize the digest for subsequent real cells.
+	rc := cell.RelayCell{Cmd: cell.RelayData, Stream: 2, Data: []byte("after junk")}
+	p, _ := rc.MarshalPayload()
+	client.SealForward(&p)
+	client.CryptForward(&p)
+	relay.CryptForward(&p)
+	if !relay.VerifyForward(&p) {
+		t.Error("digest state corrupted by failed verification")
+	}
+}
+
+func TestVerifyRestoresDigestField(t *testing.T) {
+	_, relay := establish(t, 60)
+	var p [cell.PayloadLen]byte
+	p[5], p[6], p[7], p[8] = 0xAA, 0xBB, 0xCC, 0xDD
+	if relay.VerifyForward(&p) {
+		t.Fatal("junk verified")
+	}
+	if p[5] != 0xAA || p[8] != 0xDD {
+		t.Error("failed verification did not restore digest field")
+	}
+}
+
+func TestEncryptForwardRange(t *testing.T) {
+	var cc CircuitCrypto
+	var p [cell.PayloadLen]byte
+	if err := cc.EncryptForward(0, &p); err == nil {
+		t.Error("empty circuit should error")
+	}
+	c, _ := establish(t, 70)
+	cc.AddHop(c)
+	if err := cc.EncryptForward(1, &p); err == nil {
+		t.Error("out-of-range hop should error")
+	}
+	if err := cc.EncryptForward(-1, &p); err == nil {
+		t.Error("negative hop should error")
+	}
+}
+
+func TestDecryptBackwardUnrecognized(t *testing.T) {
+	var cc CircuitCrypto
+	c, _ := establish(t, 80)
+	cc.AddHop(c)
+	var junk [cell.PayloadLen]byte
+	junk[0] = byte(cell.RelayData)
+	if _, err := cc.DecryptBackward(&junk); err == nil {
+		t.Error("junk should not be recognized")
+	}
+}
+
+func TestCloneHashIndependence(t *testing.T) {
+	h := sha256.New()
+	h.Write([]byte("prefix"))
+	c := cloneHash(h)
+	h.Write([]byte("a"))
+	c.Write([]byte("b"))
+	if bytes.Equal(h.Sum(nil), c.Sum(nil)) {
+		t.Error("clone shares state with original")
+	}
+	c2 := cloneHash(h)
+	if !bytes.Equal(h.Sum(nil), c2.Sum(nil)) {
+		t.Error("fresh clone disagrees with original")
+	}
+}
+
+func TestHKDFProperties(t *testing.T) {
+	out1 := hkdf([]byte("secret"), []byte("salt"), []byte("info"), 64)
+	out2 := hkdf([]byte("secret"), []byte("salt"), []byte("info"), 64)
+	if !bytes.Equal(out1, out2) {
+		t.Error("hkdf not deterministic")
+	}
+	if len(out1) != 64 {
+		t.Errorf("length %d", len(out1))
+	}
+	if bytes.Equal(out1, hkdf([]byte("secret2"), []byte("salt"), []byte("info"), 64)) {
+		t.Error("different secrets gave same output")
+	}
+	if bytes.Equal(out1[:32], hkdf([]byte("secret"), []byte("salt"), []byte("info2"), 32)) {
+		t.Error("different info gave same output")
+	}
+	// Prefix property: shorter request is a prefix of longer.
+	if !bytes.Equal(out1[:16], hkdf([]byte("secret"), []byte("salt"), []byte("info"), 16)) {
+		t.Error("hkdf prefix property violated")
+	}
+}
+
+func TestHKDFLengthProperty(t *testing.T) {
+	f := func(secret, salt, info []byte, nRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		return len(hkdf(secret, salt, info, n)) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOnionLayersLookRandom(t *testing.T) {
+	// After layering, the ciphertext should share no long runs with the
+	// plaintext — a sanity check that encryption actually happens.
+	var cc CircuitCrypto
+	for i := 0; i < 3; i++ {
+		c, _ := establish(t, int64(90+i))
+		cc.AddHop(c)
+	}
+	rc := cell.RelayCell{Cmd: cell.RelayData, Stream: 3, Data: bytes.Repeat([]byte{0}, 400)}
+	p, _ := rc.MarshalPayload()
+	plain := p
+	if err := cc.EncryptForward(2, &p); err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range p {
+		if p[i] == plain[i] {
+			same++
+		}
+	}
+	// Random bytes match ~1/256 of the time; allow generous slack.
+	if same > cell.PayloadLen/16 {
+		t.Errorf("%d/%d bytes unchanged after onion encryption", same, cell.PayloadLen)
+	}
+}
+
+func TestPublicKeyHelpers(t *testing.T) {
+	var zero PublicKey
+	if !zero.IsZero() {
+		t.Error("zero key not IsZero")
+	}
+	id, err := NewIdentity(rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk := id.Public()
+	if pk.IsZero() {
+		t.Error("real key IsZero")
+	}
+	if pk.String() == "" {
+		t.Error("empty String()")
+	}
+	if _, err := pk.ecdh(); err != nil {
+		t.Errorf("round-trip to ecdh.PublicKey failed: %v", err)
+	}
+}
+
+func TestMultiHopRoundTripProperty(t *testing.T) {
+	// Property: for any hop count 1..5, any target hop, and any payload,
+	// forward onion encryption delivers exactly to the target hop (and to
+	// no earlier hop), and the backward path returns to the client intact.
+	seed := int64(0)
+	f := func(hopsRaw, targetRaw uint8, data []byte) bool {
+		seed++
+		hops := int(hopsRaw)%5 + 1
+		target := int(targetRaw) % hops
+		if len(data) > cell.RelayDataLen {
+			data = data[:cell.RelayDataLen]
+		}
+		var cc CircuitCrypto
+		relays := make([]*HopState, hops)
+		rnd := rand.New(rand.NewSource(seed))
+		for i := range relays {
+			id, err := NewIdentity(rnd)
+			if err != nil {
+				return false
+			}
+			ch, err := StartHandshake(id.Public(), rnd)
+			if err != nil {
+				return false
+			}
+			reply, rh, err := ServerHandshake(id, ch.Onionskin(), rnd)
+			if err != nil {
+				return false
+			}
+			clientHop, err := ch.Complete(reply)
+			if err != nil {
+				return false
+			}
+			cc.AddHop(clientHop)
+			relays[i] = rh
+		}
+
+		rc := cell.RelayCell{Cmd: cell.RelayData, Stream: 7, Data: data}
+		p, err := rc.MarshalPayload()
+		if err != nil {
+			return false
+		}
+		if err := cc.EncryptForward(target, &p); err != nil {
+			return false
+		}
+		for i := 0; i < target; i++ {
+			relays[i].CryptForward(&p)
+			if relays[i].VerifyForward(&p) {
+				return false // early recognition
+			}
+		}
+		relays[target].CryptForward(&p)
+		if !relays[target].VerifyForward(&p) {
+			return false
+		}
+		got, err := cell.UnmarshalPayload(&p)
+		if err != nil || !bytes.Equal(got.Data, data) {
+			return false
+		}
+
+		// Backward from the target hop.
+		back := cell.RelayCell{Cmd: cell.RelayData, Stream: 7, Data: data}
+		bp, err := back.MarshalPayload()
+		if err != nil {
+			return false
+		}
+		relays[target].SealBackward(&bp)
+		for i := target; i >= 0; i-- {
+			relays[i].CryptBackward(&bp)
+		}
+		hop, err := cc.DecryptBackward(&bp)
+		if err != nil || hop != target {
+			return false
+		}
+		gotBack, err := cell.UnmarshalPayload(&bp)
+		return err == nil && bytes.Equal(gotBack.Data, data)
+	}
+	cfg := &quick.Config{MaxCount: 25} // handshakes are ~0.3ms each
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,139 @@
+package pathsel
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"ting/internal/stats"
+	"ting/internal/ting"
+)
+
+// CircuitSample is one sampled circuit of a given length.
+type CircuitSample struct {
+	Hops []int
+	// RTTms is the sum of consecutive inter-hop RTTs.
+	RTTms float64
+}
+
+// SampleCircuits draws count random circuits of the given length (distinct
+// hops, random order) over the matrix and computes each one's internal
+// RTT. §5.2.2 samples 10,000 circuits per length 3–10.
+func SampleCircuits(m *ting.Matrix, length, count int, rng *rand.Rand) ([]CircuitSample, error) {
+	if m == nil {
+		return nil, errors.New("pathsel: nil matrix")
+	}
+	n := m.N()
+	if length < 2 || length > n {
+		return nil, fmt.Errorf("pathsel: length %d over %d nodes", length, n)
+	}
+	if count <= 0 {
+		return nil, fmt.Errorf("pathsel: count %d", count)
+	}
+	out := make([]CircuitSample, count)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for c := 0; c < count; c++ {
+		// Partial Fisher–Yates: the first `length` entries become a
+		// uniform random ordered selection of distinct nodes.
+		for i := 0; i < length; i++ {
+			j := i + rng.Intn(n-i)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		hops := append([]int(nil), perm[:length]...)
+		var rtt float64
+		for i := 0; i+1 < length; i++ {
+			rtt += m.At(hops[i], hops[i+1])
+		}
+		out[c] = CircuitSample{Hops: hops, RTTms: rtt}
+	}
+	return out, nil
+}
+
+// LengthHistogram is Figure 16's data for one circuit length: the number
+// of circuits (scaled to the full C(n, l) population) whose RTT falls in
+// each 50ms bin.
+type LengthHistogram struct {
+	Length int
+	// Hist counts circuits per bin, scaled by C(n,l)/samples.
+	Hist *stats.Histogram
+	// NodeProb[bin] is the median, over nodes, of the probability that a
+	// node appears on a sampled circuit in that bin, normalized by the
+	// total circuits of this length — Figure 17's y-axis.
+	NodeProb []float64
+}
+
+// BinMs is the paper's Figure 16/17 bin size.
+const BinMs = 50
+
+// AnalyzeLengths reproduces Figures 16 and 17: for each length, sample
+// circuits, histogram their RTTs with C(n,l) scaling, and compute the
+// median per-node membership probability per bin.
+func AnalyzeLengths(m *ting.Matrix, lengths []int, samples int, seed int64) ([]LengthHistogram, error) {
+	if len(lengths) == 0 {
+		return nil, errors.New("pathsel: no lengths")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := m.N()
+	out := make([]LengthHistogram, 0, len(lengths))
+	for _, l := range lengths {
+		circs, err := SampleCircuits(m, l, samples, rng)
+		if err != nil {
+			return nil, err
+		}
+		h, err := stats.NewHistogram(0, BinMs)
+		if err != nil {
+			return nil, err
+		}
+		scale := stats.Choose(n, l) / float64(samples)
+		// occurrences[bin][node] = sampled circuits in bin containing node.
+		occ := make(map[int][]int)
+		binOf := func(rtt float64) int { return int(rtt / BinMs) }
+		for _, c := range circs {
+			h.Add(c.RTTms, scale)
+			b := binOf(c.RTTms)
+			if occ[b] == nil {
+				occ[b] = make([]int, n)
+			}
+			for _, hop := range c.Hops {
+				occ[b][hop]++
+			}
+		}
+		nBins := len(h.Counts)
+		probs := make([]float64, nBins)
+		for b := 0; b < nBins; b++ {
+			counts := occ[b]
+			if counts == nil {
+				continue
+			}
+			perNode := make([]float64, n)
+			for i, cnt := range counts {
+				perNode[i] = float64(cnt) / float64(samples)
+			}
+			med, err := stats.Median(perNode)
+			if err != nil {
+				return nil, err
+			}
+			probs[b] = med
+		}
+		out = append(out, LengthHistogram{Length: l, Hist: h, NodeProb: probs})
+	}
+	return out, nil
+}
+
+// CircuitsWithin returns the (scaled) number of circuits whose RTT lies in
+// [loMs, hiMs) — the quantity behind §5.2.2's observation that a user
+// seeking 200–300ms has orders of magnitude more 4- and 5-hop circuits to
+// choose among than 3-hop ones.
+func (lh LengthHistogram) CircuitsWithin(loMs, hiMs float64) float64 {
+	var total float64
+	for i, c := range lh.Hist.Counts {
+		center := lh.Hist.BinCenter(i)
+		if center >= loMs && center < hiMs {
+			total += c
+		}
+	}
+	return total
+}

@@ -1,0 +1,124 @@
+package pathsel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSelectLowLatency(t *testing.T) {
+	m := worldMatrix(t, 30, 20)
+	rng := rand.New(rand.NewSource(21))
+
+	// Budget: the median of random 3-hop circuits.
+	base, err := SampleCircuits(m, 3, 2000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget, err := MedianRTT(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sel, err := SelectLowLatency(m, 4, budget, 500, 200000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) == 0 {
+		t.Fatal("no circuits selected")
+	}
+	for _, c := range sel {
+		if c.RTTms > budget {
+			t.Fatalf("selected circuit exceeds budget: %.1f > %.1f", c.RTTms, budget)
+		}
+		if len(c.Hops) != 4 {
+			t.Fatalf("circuit has %d hops", len(c.Hops))
+		}
+		seen := map[int]bool{}
+		for _, h := range c.Hops {
+			if seen[h] {
+				t.Fatal("repeated hop")
+			}
+			seen[h] = true
+		}
+	}
+	med, err := MedianRTT(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("4-hop within 3-hop median budget %.0fms: %d circuits, median %.0fms", budget, len(sel), med)
+	if med > budget {
+		t.Errorf("median of selected (%.1f) above budget (%.1f)", med, budget)
+	}
+}
+
+func TestSelectionEntropyStaysHigh(t *testing.T) {
+	// The §5.2.2 concern: low-latency long circuits must not collapse onto
+	// a few hub relays. Rejection sampling is uniform over qualifying
+	// circuits, so entropy should stay near 1 for mid-range budgets.
+	m := worldMatrix(t, 30, 22)
+	rng := rand.New(rand.NewSource(23))
+	base, _ := SampleCircuits(m, 3, 2000, rng)
+	budget, _ := MedianRTT(base)
+
+	sel, err := SelectLowLatency(m, 4, budget, 800, 400000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := SelectionEntropy(sel, 30)
+	t.Logf("selection entropy: %.3f (1.0 = perfectly uniform)", h)
+	if h < 0.85 {
+		t.Errorf("entropy %.3f too low; selection collapses onto few relays", h)
+	}
+	// A degenerate selection must score low.
+	degenerate := sel[:1]
+	if SelectionEntropy(degenerate, 30) >= h {
+		t.Error("single-circuit selection not lower-entropy than the full set")
+	}
+}
+
+func TestSelectionEntropyEdges(t *testing.T) {
+	if SelectionEntropy(nil, 10) != 0 {
+		t.Error("empty selection entropy should be 0")
+	}
+	if SelectionEntropy([]CircuitSample{{Hops: []int{0}}}, 1) != 0 {
+		t.Error("n=1 entropy should be 0")
+	}
+}
+
+func TestSelectLowLatencyValidation(t *testing.T) {
+	m := worldMatrix(t, 10, 24)
+	rng := rand.New(rand.NewSource(25))
+	if _, err := SelectLowLatency(nil, 3, 100, 1, 10, rng); err == nil {
+		t.Error("nil matrix accepted")
+	}
+	if _, err := SelectLowLatency(m, 3, 100, 0, 10, rng); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := SelectLowLatency(m, 3, 100, 10, 5, rng); err == nil {
+		t.Error("attempts < k accepted")
+	}
+	if _, err := SelectLowLatency(m, 3, -5, 1, 10, rng); err == nil {
+		t.Error("negative budget accepted")
+	}
+	if _, err := SelectLowLatency(m, 1, 100, 1, 10, rng); err == nil {
+		t.Error("length 1 accepted")
+	}
+	// An impossible budget fails with a clear error.
+	if _, err := SelectLowLatency(m, 3, 0.0001, 1, 50, rng); err == nil {
+		t.Error("impossible budget produced circuits")
+	}
+}
+
+func TestMedianRTTEmpty(t *testing.T) {
+	if _, err := MedianRTT(nil); err == nil {
+		t.Error("empty median accepted")
+	}
+	med, err := MedianRTT([]CircuitSample{{RTTms: 3}, {RTTms: 1}, {RTTms: 2}})
+	if err != nil || med != 2 {
+		t.Errorf("median = %v, %v", med, err)
+	}
+	med, _ = MedianRTT([]CircuitSample{{RTTms: 1}, {RTTms: 3}})
+	if med != 2 {
+		t.Errorf("even median = %v", med)
+	}
+}

@@ -1,0 +1,92 @@
+// Package pathsel implements the path-selection study of §5.2: triangle
+// inequality violations in inter-relay RTTs (Figures 14, 15) and the
+// latency/anonymity properties of circuits longer than three hops
+// (Figures 16, 17).
+package pathsel
+
+import (
+	"errors"
+
+	"ting/internal/ting"
+)
+
+// TIV records the best detour for one pair: routing s→r→d beats the
+// direct s→d path.
+type TIV struct {
+	// S, D, R are node indices: source, destination, detour relay.
+	S, D, R int
+	// DirectMs is R(s,d); DetourMs is R(s,r)+R(r,d).
+	DirectMs, DetourMs float64
+}
+
+// SavingsFraction is 1 − detour/direct, the x-axis of Figure 14.
+func (t TIV) SavingsFraction() float64 {
+	if t.DirectMs == 0 {
+		return 0
+	}
+	return 1 - t.DetourMs/t.DirectMs
+}
+
+// FindTIVs scans all unordered pairs of the matrix and returns, for every
+// pair with at least one violating relay, the best (lowest-detour) TIV.
+// §5.2.1: "for 69% of all pairs of Tor nodes in our data, there exists at
+// least one circuit that results in a TIV."
+func FindTIVs(m *ting.Matrix) ([]TIV, error) {
+	if m == nil {
+		return nil, errors.New("pathsel: nil matrix")
+	}
+	n := m.N()
+	var out []TIV
+	for s := 0; s < n; s++ {
+		for d := s + 1; d < n; d++ {
+			direct := m.At(s, d)
+			best := TIV{S: s, D: d, R: -1, DirectMs: direct, DetourMs: direct}
+			for r := 0; r < n; r++ {
+				if r == s || r == d {
+					continue
+				}
+				detour := m.At(s, r) + m.At(r, d)
+				if detour < best.DetourMs {
+					best.DetourMs = detour
+					best.R = r
+				}
+			}
+			if best.R >= 0 {
+				out = append(out, best)
+			}
+		}
+	}
+	return out, nil
+}
+
+// TIVSummary aggregates the Figure 14 statistics.
+type TIVSummary struct {
+	// Pairs is the number of unordered pairs scanned.
+	Pairs int
+	// WithTIV is how many pairs had at least one violating relay.
+	WithTIV int
+	// Savings holds each TIV pair's fractional saving.
+	Savings []float64
+}
+
+// FractionWithTIV is WithTIV / Pairs.
+func (s TIVSummary) FractionWithTIV() float64 {
+	if s.Pairs == 0 {
+		return 0
+	}
+	return float64(s.WithTIV) / float64(s.Pairs)
+}
+
+// SummarizeTIVs runs FindTIVs and aggregates.
+func SummarizeTIVs(m *ting.Matrix) (TIVSummary, error) {
+	tivs, err := FindTIVs(m)
+	if err != nil {
+		return TIVSummary{}, err
+	}
+	n := m.N()
+	sum := TIVSummary{Pairs: n * (n - 1) / 2, WithTIV: len(tivs)}
+	for _, t := range tivs {
+		sum.Savings = append(sum.Savings, t.SavingsFraction())
+	}
+	return sum, nil
+}

@@ -1,0 +1,428 @@
+package relay
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"ting/internal/cell"
+	"ting/internal/onion"
+)
+
+// circuit is one circuit's state at this relay: the client-facing side
+// (prev), the established hop crypto, and — once extended — its slot on a
+// shared onward connection toward the next relay.
+type circuit struct {
+	r      *Relay
+	prevCS *connState
+	prevID cell.CircID
+	hop    *onion.HopState
+
+	// bwdMu serializes every backward-direction crypto+send so the
+	// client's CTR keystream and running digest observe cells in the exact
+	// order they were encrypted.
+	bwdMu sync.Mutex
+
+	mu              sync.Mutex
+	next            *outConn
+	nextID          cell.CircID
+	awaitingCreated bool
+	extendTimer     *time.Timer
+	destroyed       bool
+	streams         map[cell.StreamID]*exitStream
+}
+
+// handleOwnCell processes a relay cell addressed to this hop.
+func (c *circuit) handleOwnCell(p *[cell.PayloadLen]byte) {
+	rc, err := cell.UnmarshalPayload(p)
+	if err != nil {
+		c.r.cfg.Logf("%s: bad relay cell: %v", c.r.cfg.Nickname, err)
+		c.destroy(true, true)
+		return
+	}
+	switch rc.Cmd {
+	case cell.RelayExtend:
+		c.handleExtend(rc)
+	case cell.RelayBegin:
+		c.handleBegin(rc)
+	case cell.RelayData:
+		c.handleData(rc)
+	case cell.RelayEnd:
+		c.closeStream(rc.Stream)
+	case cell.RelaySendme:
+		c.handleSendme(rc.Stream)
+	case cell.RelayDrop:
+		// Padding at the circuit layer; discard.
+	default:
+		c.r.cfg.Logf("%s: unexpected relay cmd %s", c.r.cfg.Nickname, rc.Cmd)
+	}
+}
+
+// sendBackward seals and layers a relay cell from this hop toward the
+// client.
+func (c *circuit) sendBackward(rc cell.RelayCell) error {
+	p, err := rc.MarshalPayload()
+	if err != nil {
+		return err
+	}
+	c.bwdMu.Lock()
+	defer c.bwdMu.Unlock()
+	c.hop.SealBackward(&p)
+	c.hop.CryptBackward(&p)
+	return c.prevCS.lk.Send(cell.Cell{Circ: c.prevID, Cmd: cell.Relay, Payload: p})
+}
+
+// relayBackward adds this hop's layer to a cell arriving from the next
+// relay and passes it toward the client.
+func (c *circuit) relayBackward(p *[cell.PayloadLen]byte) error {
+	c.bwdMu.Lock()
+	defer c.bwdMu.Unlock()
+	c.hop.CryptBackward(p)
+	return c.prevCS.lk.Send(cell.Cell{Circ: c.prevID, Cmd: cell.Relay, Payload: *p})
+}
+
+func (c *circuit) handleExtend(rc cell.RelayCell) {
+	addr, onionskin, err := cell.DecodeExtend(rc.Data)
+	if err != nil {
+		c.extendFailed(fmt.Sprintf("bad extend: %v", err))
+		return
+	}
+	if addr == c.r.cfg.Addr {
+		// A node cannot appear on a circuit twice (§3.1): refuse to extend
+		// to ourselves.
+		c.extendFailed("refusing to extend to self")
+		return
+	}
+	c.mu.Lock()
+	if c.next != nil || c.awaitingCreated {
+		c.mu.Unlock()
+		c.extendFailed("circuit already extended")
+		return
+	}
+	c.mu.Unlock()
+
+	oc, err := c.r.getOutConn(addr)
+	if err != nil {
+		c.extendFailed(err.Error())
+		return
+	}
+	nextID, err := oc.register(c)
+	if err != nil {
+		c.extendFailed(err.Error())
+		return
+	}
+	c.mu.Lock()
+	if c.destroyed {
+		c.mu.Unlock()
+		oc.unregister(nextID)
+		return
+	}
+	c.next = oc
+	c.nextID = nextID
+	c.awaitingCreated = true
+	c.extendTimer = time.AfterFunc(c.r.cfg.ExtendTimeout, func() { c.extendTimedOut(nextID) })
+	c.mu.Unlock()
+
+	var create cell.Cell
+	create.Circ = nextID
+	create.Cmd = cell.Create
+	copy(create.Payload[:], onionskin)
+	if err := oc.send(create); err != nil {
+		c.clearExtend()
+		oc.unregister(nextID)
+		c.extendFailed(fmt.Sprintf("create to %s: %v", addr, err))
+	}
+}
+
+// handleCreated completes a pending extend: the next relay answered, so
+// forward its handshake reply to the client as RELAY_EXTENDED.
+func (c *circuit) handleCreated(p *[cell.PayloadLen]byte) {
+	c.mu.Lock()
+	if !c.awaitingCreated || c.destroyed {
+		c.mu.Unlock()
+		return
+	}
+	c.awaitingCreated = false
+	if c.extendTimer != nil {
+		c.extendTimer.Stop()
+		c.extendTimer = nil
+	}
+	c.mu.Unlock()
+
+	if err := c.sendBackward(cell.RelayCell{
+		Cmd:  cell.RelayExtended,
+		Data: p[:onion.ReplyLen],
+	}); err != nil {
+		c.destroy(false, true)
+	}
+}
+
+// extendTimedOut fires when no CREATED arrived in time.
+func (c *circuit) extendTimedOut(nextID cell.CircID) {
+	c.mu.Lock()
+	if !c.awaitingCreated || c.destroyed || c.nextID != nextID {
+		c.mu.Unlock()
+		return
+	}
+	oc := c.next
+	c.next = nil
+	c.nextID = 0
+	c.awaitingCreated = false
+	c.extendTimer = nil
+	c.mu.Unlock()
+	if oc != nil {
+		oc.unregister(nextID)
+	}
+	c.extendFailed("timeout waiting for next relay")
+}
+
+// clearExtend resets the onward state after a failed CREATE send.
+func (c *circuit) clearExtend() {
+	c.mu.Lock()
+	if c.extendTimer != nil {
+		c.extendTimer.Stop()
+		c.extendTimer = nil
+	}
+	c.next = nil
+	c.nextID = 0
+	c.awaitingCreated = false
+	c.mu.Unlock()
+}
+
+func (c *circuit) extendFailed(reason string) {
+	c.r.cfg.Logf("%s: extend failed: %s", c.r.cfg.Nickname, reason)
+	_ = c.sendBackward(cell.RelayCell{Cmd: cell.RelayEnd, Stream: 0, Data: []byte(reason)})
+}
+
+// exitStream is one open exit-side stream plus its flow-control state.
+type exitStream struct {
+	conn io.ReadWriteCloser
+	// window holds send tokens for destination→client DATA cells; the
+	// stream reader blocks when the client has not acknowledged enough
+	// cells with SENDMEs.
+	window chan struct{}
+	// out queues client→destination data for the stream's writer
+	// goroutine. Its capacity is one full flow-control window, so a
+	// well-behaved client can never overflow it — and the circuit's read
+	// loop never blocks on destination I/O (no head-of-line blocking
+	// across circuits).
+	out chan []byte
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+func (st *exitStream) close() {
+	st.closeOnce.Do(func() {
+		close(st.closed)
+		st.conn.Close()
+	})
+}
+
+func (c *circuit) handleBegin(rc cell.RelayCell) {
+	target := string(rc.Data)
+	if c.r.cfg.ExitDialer == nil {
+		c.streamEnd(rc.Stream, "not an exit relay")
+		return
+	}
+	if c.r.cfg.ExitPolicy != nil && !c.r.cfg.ExitPolicy(target) {
+		c.streamEnd(rc.Stream, "exit policy refused "+target)
+		return
+	}
+	conn, err := c.r.cfg.ExitDialer.DialStream(target)
+	if err != nil {
+		c.streamEnd(rc.Stream, fmt.Sprintf("connect to %s: %v", target, err))
+		return
+	}
+	st := &exitStream{
+		conn:   conn,
+		window: make(chan struct{}, c.r.cfg.StreamWindow),
+		out:    make(chan []byte, c.r.cfg.StreamWindow),
+		closed: make(chan struct{}),
+	}
+	for i := 0; i < c.r.cfg.StreamWindow; i++ {
+		st.window <- struct{}{}
+	}
+	c.mu.Lock()
+	if c.destroyed {
+		c.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if _, dup := c.streams[rc.Stream]; dup {
+		c.mu.Unlock()
+		conn.Close()
+		c.streamEnd(rc.Stream, "stream id in use")
+		return
+	}
+	c.streams[rc.Stream] = st
+	c.mu.Unlock()
+	c.r.stats.mu.Lock()
+	c.r.stats.StreamsOpened++
+	c.r.stats.mu.Unlock()
+
+	if err := c.sendBackward(cell.RelayCell{Cmd: cell.RelayConnected, Stream: rc.Stream}); err != nil {
+		c.closeStream(rc.Stream)
+		return
+	}
+	c.r.wg.Add(2)
+	go func() {
+		defer c.r.wg.Done()
+		c.streamReadLoop(rc.Stream, st)
+	}()
+	go func() {
+		defer c.r.wg.Done()
+		c.streamWriteLoop(rc.Stream, st)
+	}()
+}
+
+// streamWriteLoop drains queued client data into the destination and
+// acknowledges consumption with SENDMEs — only after the data has actually
+// been written, which is what makes the window an end-to-end bound.
+func (c *circuit) streamWriteLoop(id cell.StreamID, st *exitStream) {
+	consumed := 0
+	for {
+		select {
+		case <-st.closed:
+			return
+		case data := <-st.out:
+			if _, err := st.conn.Write(data); err != nil {
+				select {
+				case <-st.closed:
+				default:
+					c.streamEnd(id, "write: "+err.Error())
+					c.closeStream(id)
+				}
+				return
+			}
+			consumed++
+			if consumed >= c.r.cfg.SendmeEvery {
+				consumed = 0
+				if err := c.sendBackward(cell.RelayCell{Cmd: cell.RelaySendme, Stream: id}); err != nil {
+					return
+				}
+			}
+		}
+	}
+}
+
+// streamReadLoop pumps destination→client data as RELAY_DATA cells,
+// pausing whenever the flow-control window is exhausted.
+func (c *circuit) streamReadLoop(id cell.StreamID, st *exitStream) {
+	buf := make([]byte, cell.RelayDataLen)
+	for {
+		// One window token per DATA cell we are about to emit.
+		select {
+		case <-st.window:
+		case <-st.closed:
+			return
+		}
+		n, err := st.conn.Read(buf)
+		if n > 0 {
+			// Returning data pays the forwarding delay too: each relay on
+			// the round trip contributes 2F, the exit included (Eq. 1).
+			c.r.forwardDelay()
+			data := append([]byte(nil), buf[:n]...)
+			if serr := c.sendBackward(cell.RelayCell{
+				Cmd: cell.RelayData, Stream: id, Data: data,
+			}); serr != nil {
+				c.closeStream(id)
+				return
+			}
+		}
+		if err != nil {
+			c.mu.Lock()
+			_, stillOpen := c.streams[id]
+			c.mu.Unlock()
+			if stillOpen {
+				c.streamEnd(id, "eof")
+				c.closeStream(id)
+			}
+			return
+		}
+	}
+}
+
+func (c *circuit) handleData(rc cell.RelayCell) {
+	c.mu.Lock()
+	st := c.streams[rc.Stream]
+	c.mu.Unlock()
+	if st == nil {
+		c.streamEnd(rc.Stream, "no such stream")
+		return
+	}
+	select {
+	case st.out <- rc.Data:
+	case <-st.closed:
+	default:
+		// More unacknowledged cells than the window permits: the peer is
+		// violating flow control.
+		c.streamEnd(rc.Stream, "flow control violation")
+		c.closeStream(rc.Stream)
+	}
+}
+
+// handleSendme refills the exit-side window for one stream.
+func (c *circuit) handleSendme(id cell.StreamID) {
+	c.mu.Lock()
+	st := c.streams[id]
+	c.mu.Unlock()
+	if st == nil {
+		return
+	}
+	for i := 0; i < c.r.cfg.SendmeEvery; i++ {
+		select {
+		case st.window <- struct{}{}:
+		default:
+			return // window already full; ignore excess credit
+		}
+	}
+}
+
+func (c *circuit) streamEnd(id cell.StreamID, reason string) {
+	_ = c.sendBackward(cell.RelayCell{Cmd: cell.RelayEnd, Stream: id, Data: []byte(reason)})
+}
+
+func (c *circuit) closeStream(id cell.StreamID) {
+	c.mu.Lock()
+	st := c.streams[id]
+	delete(c.streams, id)
+	c.mu.Unlock()
+	if st != nil {
+		st.close()
+	}
+}
+
+// destroy tears the circuit down, optionally notifying each side. The
+// shared onward connection survives; only this circuit's slot is freed.
+func (c *circuit) destroy(notifyPrev, notifyNext bool) {
+	c.mu.Lock()
+	if c.destroyed {
+		c.mu.Unlock()
+		return
+	}
+	c.destroyed = true
+	if c.extendTimer != nil {
+		c.extendTimer.Stop()
+		c.extendTimer = nil
+	}
+	next, nextID := c.next, c.nextID
+	streams := c.streams
+	c.streams = make(map[cell.StreamID]*exitStream)
+	c.mu.Unlock()
+
+	c.prevCS.remove(c.prevID)
+	for _, st := range streams {
+		st.close()
+	}
+	if notifyPrev {
+		_ = c.prevCS.lk.Send(cell.Cell{Circ: c.prevID, Cmd: cell.Destroy})
+	}
+	if next != nil {
+		next.unregister(nextID)
+		if notifyNext {
+			_ = next.send(cell.Cell{Circ: nextID, Cmd: cell.Destroy})
+		}
+	}
+}

@@ -1,0 +1,379 @@
+// Package relay implements a mintor onion router: it accepts link
+// connections, answers CREATE handshakes, extends circuits onward, forwards
+// relay cells while adding/removing its onion layer, and (for exit relays)
+// opens streams to destinations.
+//
+// The implementation mirrors the Tor behaviours Ting depends on:
+//
+//   - relays learn only their predecessor and successor on a circuit;
+//   - every forwarded cell pays the relay's forwarding delay, the F terms
+//     of Eq. (1) — injectable here so the overlay reproduces the paper's
+//     queueing behaviour;
+//   - relays refuse to extend a circuit to themselves (a node cannot appear
+//     twice on a circuit, §3.1);
+//   - exit policies restrict BEGIN targets, like the paper's restrictive
+//     exit policy that only allowed the authors' own echo hosts (§4.1).
+package relay
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"ting/internal/cell"
+	"ting/internal/link"
+	"ting/internal/onion"
+)
+
+// StreamDialer opens exit-side byte streams toward named targets.
+type StreamDialer interface {
+	DialStream(target string) (io.ReadWriteCloser, error)
+}
+
+// Config configures a relay.
+type Config struct {
+	// Nickname names the relay in logs and is its self-identity for the
+	// extend-to-self check. Required.
+	Nickname string
+	// Addr is the relay's own published link address; EXTEND requests for
+	// this address are refused. Required.
+	Addr string
+	// Identity is the relay's onion key pair. Required.
+	Identity *onion.Identity
+	// Listener accepts inbound links. Required.
+	Listener link.Listener
+	// RelayDialer opens links to other relays for circuit extension.
+	// Required.
+	RelayDialer link.Dialer
+	// ExitDialer, if non-nil, makes the relay exit-capable.
+	ExitDialer StreamDialer
+	// ExitPolicy, if non-nil, further restricts exit targets.
+	ExitPolicy func(target string) bool
+	// ForwardDelay, if non-nil, is sampled once per relay-cell traversal
+	// and slept before processing — the forwarding delay of §3.2.
+	ForwardDelay func() time.Duration
+	// ExtendTimeout bounds how long an EXTEND waits for the next relay's
+	// CREATED. Default 30s.
+	ExtendTimeout time.Duration
+	// StreamWindow is the per-stream flow-control window in DATA cells
+	// for destination→client traffic (Tor's stream window is 500).
+	// Default 500.
+	StreamWindow int
+	// SendmeEvery is how many consumed DATA cells earn one SENDME
+	// acknowledgement (Tor uses 50). Default 50.
+	SendmeEvery int
+	// Logf, if non-nil, receives debug logs.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.Nickname == "":
+		return errors.New("relay: config missing Nickname")
+	case c.Addr == "":
+		return errors.New("relay: config missing Addr")
+	case c.Identity == nil:
+		return errors.New("relay: config missing Identity")
+	case c.Listener == nil:
+		return errors.New("relay: config missing Listener")
+	case c.RelayDialer == nil:
+		return errors.New("relay: config missing RelayDialer")
+	}
+	return nil
+}
+
+// Relay is a running onion router.
+type Relay struct {
+	cfg Config
+	rng struct {
+		sync.Mutex
+		*rand.Rand
+	}
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	wg        sync.WaitGroup
+
+	mu    sync.Mutex
+	conns map[*connState]struct{}
+
+	outMu    sync.Mutex
+	outSlots map[string]*outSlot
+
+	stats Stats
+}
+
+// Stats counts relay activity, for tests and operational visibility.
+type Stats struct {
+	mu            sync.Mutex
+	CircuitsBuilt int
+	CellsRelayed  int
+	StreamsOpened int
+}
+
+func (s *Stats) snapshot() (int, int, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.CircuitsBuilt, s.CellsRelayed, s.StreamsOpened
+}
+
+// New creates a relay; call Start to run it.
+func New(cfg Config) (*Relay, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.ExtendTimeout <= 0 {
+		cfg.ExtendTimeout = 30 * time.Second
+	}
+	if cfg.StreamWindow <= 0 {
+		cfg.StreamWindow = 500
+	}
+	if cfg.SendmeEvery <= 0 {
+		cfg.SendmeEvery = 50
+	}
+	if cfg.SendmeEvery > cfg.StreamWindow {
+		return nil, errors.New("relay: SendmeEvery larger than StreamWindow")
+	}
+	r := &Relay{
+		cfg:      cfg,
+		closed:   make(chan struct{}),
+		conns:    make(map[*connState]struct{}),
+		outSlots: make(map[string]*outSlot),
+	}
+	r.rng.Rand = rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(len(cfg.Nickname))<<32))
+	return r, nil
+}
+
+// Start launches the accept loop in the background.
+func (r *Relay) Start() {
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		r.acceptLoop()
+	}()
+}
+
+// Stats returns circuit/cell/stream counters.
+func (r *Relay) Stats() (circuits, cells, streams int) { return r.stats.snapshot() }
+
+// OutConnCount reports how many onward relay connections are open. Tor
+// multiplexes all circuits between a relay pair over one connection; tests
+// assert the same economy here.
+func (r *Relay) OutConnCount() int {
+	r.outMu.Lock()
+	defer r.outMu.Unlock()
+	n := 0
+	for _, s := range r.outSlots {
+		if s.oc != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Close shuts the relay down and waits for its goroutines.
+func (r *Relay) Close() error {
+	r.closeOnce.Do(func() {
+		close(r.closed)
+		r.cfg.Listener.Close()
+		r.mu.Lock()
+		for cs := range r.conns {
+			cs.lk.Close()
+		}
+		r.mu.Unlock()
+		r.outMu.Lock()
+		slots := make([]*outSlot, 0, len(r.outSlots))
+		for _, s := range r.outSlots {
+			slots = append(slots, s)
+		}
+		r.outMu.Unlock()
+		for _, s := range slots {
+			if s.oc != nil {
+				s.oc.lk.Close()
+			}
+		}
+	})
+	r.wg.Wait()
+	return nil
+}
+
+func (r *Relay) acceptLoop() {
+	for {
+		lk, err := r.cfg.Listener.Accept()
+		if err != nil {
+			return
+		}
+		cs := &connState{r: r, lk: lk, circuits: make(map[cell.CircID]*circuit)}
+		r.mu.Lock()
+		r.conns[cs] = struct{}{}
+		r.mu.Unlock()
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			cs.readLoop()
+			r.mu.Lock()
+			delete(r.conns, cs)
+			r.mu.Unlock()
+		}()
+	}
+}
+
+func (r *Relay) forwardDelay() {
+	if r.cfg.ForwardDelay == nil {
+		return
+	}
+	if d := r.cfg.ForwardDelay(); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+func (r *Relay) newCircID() cell.CircID {
+	r.rng.Lock()
+	defer r.rng.Unlock()
+	for {
+		if id := cell.CircID(r.rng.Uint32()); id != 0 {
+			return id
+		}
+	}
+}
+
+// connState tracks one inbound link and the circuits whose client-facing
+// side it carries.
+type connState struct {
+	r  *Relay
+	lk link.Link
+
+	mu       sync.Mutex
+	circuits map[cell.CircID]*circuit
+}
+
+func (cs *connState) readLoop() {
+	defer cs.teardown()
+	for {
+		c, err := cs.lk.Recv()
+		if err != nil {
+			return
+		}
+		switch c.Cmd {
+		case cell.Create:
+			cs.handleCreate(&c)
+		case cell.Relay:
+			cs.handleRelay(&c)
+		case cell.Destroy:
+			cs.handleDestroy(c.Circ)
+		case cell.Padding:
+			// ignored
+		default:
+			cs.r.cfg.Logf("%s: unexpected %s from %s", cs.r.cfg.Nickname, c.Cmd, cs.lk.RemoteAddr())
+		}
+	}
+}
+
+func (cs *connState) teardown() {
+	cs.mu.Lock()
+	circs := make([]*circuit, 0, len(cs.circuits))
+	for _, circ := range cs.circuits {
+		circs = append(circs, circ)
+	}
+	cs.circuits = make(map[cell.CircID]*circuit)
+	cs.mu.Unlock()
+	for _, circ := range circs {
+		circ.destroy(false, true)
+	}
+	cs.lk.Close()
+}
+
+func (cs *connState) lookup(id cell.CircID) *circuit {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.circuits[id]
+}
+
+func (cs *connState) remove(id cell.CircID) {
+	cs.mu.Lock()
+	delete(cs.circuits, id)
+	cs.mu.Unlock()
+}
+
+func (cs *connState) handleCreate(c *cell.Cell) {
+	r := cs.r
+	cs.mu.Lock()
+	if _, dup := cs.circuits[c.Circ]; dup {
+		cs.mu.Unlock()
+		r.cfg.Logf("%s: duplicate CREATE circ=%d", r.cfg.Nickname, c.Circ)
+		_ = cs.lk.Send(cell.Cell{Circ: c.Circ, Cmd: cell.Destroy})
+		return
+	}
+	cs.mu.Unlock()
+
+	reply, hop, err := onion.ServerHandshake(r.cfg.Identity, c.Payload[:onion.KeyLen], nil)
+	if err != nil {
+		r.cfg.Logf("%s: handshake failed: %v", r.cfg.Nickname, err)
+		_ = cs.lk.Send(cell.Cell{Circ: c.Circ, Cmd: cell.Destroy})
+		return
+	}
+	circ := &circuit{
+		r:       r,
+		prevCS:  cs,
+		prevID:  c.Circ,
+		hop:     hop,
+		streams: make(map[cell.StreamID]*exitStream),
+	}
+	cs.mu.Lock()
+	cs.circuits[c.Circ] = circ
+	cs.mu.Unlock()
+
+	var created cell.Cell
+	created.Circ = c.Circ
+	created.Cmd = cell.Created
+	copy(created.Payload[:], reply)
+	if err := cs.lk.Send(created); err != nil {
+		circ.destroy(false, false)
+		return
+	}
+	r.stats.mu.Lock()
+	r.stats.CircuitsBuilt++
+	r.stats.mu.Unlock()
+}
+
+func (cs *connState) handleRelay(c *cell.Cell) {
+	r := cs.r
+	circ := cs.lookup(c.Circ)
+	if circ == nil {
+		r.cfg.Logf("%s: RELAY on unknown circ %d", r.cfg.Nickname, c.Circ)
+		return
+	}
+	r.forwardDelay()
+	circ.hop.CryptForward(&c.Payload)
+	if circ.hop.VerifyForward(&c.Payload) {
+		circ.handleOwnCell(&c.Payload)
+		return
+	}
+	// Not addressed to us: pass along if the circuit continues.
+	circ.mu.Lock()
+	next, nextID := circ.next, circ.nextID
+	circ.mu.Unlock()
+	if next == nil {
+		r.cfg.Logf("%s: unrecognized relay cell at end of circuit %d", r.cfg.Nickname, c.Circ)
+		circ.destroy(true, false)
+		return
+	}
+	r.stats.mu.Lock()
+	r.stats.CellsRelayed++
+	r.stats.mu.Unlock()
+	fwd := cell.Cell{Circ: nextID, Cmd: cell.Relay, Payload: c.Payload}
+	if err := next.send(fwd); err != nil {
+		circ.destroy(true, false)
+	}
+}
+
+func (cs *connState) handleDestroy(id cell.CircID) {
+	if circ := cs.lookup(id); circ != nil {
+		circ.destroy(false, true)
+	}
+}

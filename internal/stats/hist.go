@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Histogram bins samples into fixed-width bins starting at Origin. Bin i
+// covers [Origin + i*Width, Origin + (i+1)*Width).
+type Histogram struct {
+	Origin float64
+	Width  float64
+	Counts []float64
+}
+
+// NewHistogram creates an empty histogram with the given bin width and
+// origin. Width must be positive.
+func NewHistogram(origin, width float64) (*Histogram, error) {
+	if width <= 0 || math.IsNaN(width) {
+		return nil, errors.New("stats: histogram width must be positive")
+	}
+	return &Histogram{Origin: origin, Width: width}, nil
+}
+
+// Add adds a sample with the given weight (use 1 for plain counting; the
+// Figure 16 harness uses fractional weights to scale sampled circuits up to
+// the full C(50, l) population).
+func (h *Histogram) Add(x, weight float64) {
+	if x < h.Origin {
+		return
+	}
+	i := int((x - h.Origin) / h.Width)
+	for i >= len(h.Counts) {
+		h.Counts = append(h.Counts, 0)
+	}
+	h.Counts[i] += weight
+}
+
+// BinCenter returns the center x-value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Origin + (float64(i)+0.5)*h.Width
+}
+
+// Total returns the sum of all bin weights.
+func (h *Histogram) Total() float64 {
+	var s float64
+	for _, c := range h.Counts {
+		s += c
+	}
+	return s
+}
+
+// LogChoose returns ln C(n, k) computed via the log-gamma function, exact
+// enough for scaling sampled circuit counts to the full population
+// (Figure 16 needs C(50, 10) ≈ 1.0e10, far beyond what sampling can count).
+func LogChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x + 1))
+		return v
+	}
+	return lg(n) - lg(k) - lg(n-k)
+}
+
+// Choose returns C(n, k) as a float64; it overflows to +Inf gracefully for
+// very large results.
+func Choose(n, k int) float64 {
+	return math.Exp(LogChoose(n, k))
+}

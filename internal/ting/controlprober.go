@@ -1,0 +1,61 @@
+package ting
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ting/internal/control"
+	"ting/internal/echo"
+)
+
+// ControlProber drives Ting through a control port, the way the paper's
+// Python client drove an unmodified Tor via Stem (§4.1): EXTENDCIRCUIT to
+// build each circuit, the data port to attach an echo stream, CLOSECIRCUIT
+// when done.
+type ControlProber struct {
+	// Conn is an authenticated control connection. Required.
+	Conn *control.Conn
+	// DataAddr is the onion proxy's data-port address. Required.
+	DataAddr string
+	// Target is the echo destination. Required.
+	Target string
+	// ToMs converts wall-clock durations to milliseconds; nil means plain
+	// milliseconds.
+	ToMs func(time.Duration) float64
+}
+
+// SampleCircuit implements CircuitProber over the control protocol.
+func (p *ControlProber) SampleCircuit(path []string, n int) ([]float64, error) {
+	if p.Conn == nil || p.DataAddr == "" || p.Target == "" {
+		return nil, errors.New("ting: control prober misconfigured")
+	}
+	if n <= 0 {
+		return nil, errors.New("ting: sample count must be positive")
+	}
+	circID, err := p.Conn.ExtendCircuit(path)
+	if err != nil {
+		return nil, fmt.Errorf("ting: extend circuit: %w", err)
+	}
+	defer p.Conn.CloseCircuit(circID)
+
+	conn, err := control.DialStream(p.DataAddr, circID, p.Target)
+	if err != nil {
+		return nil, fmt.Errorf("ting: attach stream: %w", err)
+	}
+	defer conn.Close()
+
+	rtts, err := echo.NewClient(conn).ProbeN(n)
+	if err != nil {
+		return nil, fmt.Errorf("ting: probe: %w", err)
+	}
+	out := make([]float64, len(rtts))
+	for i, d := range rtts {
+		if p.ToMs != nil {
+			out[i] = p.ToMs(d)
+		} else {
+			out[i] = float64(d) / float64(time.Millisecond)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,46 @@
+package ting
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func FuzzDecodeMatrix(f *testing.F) {
+	m, _ := NewMatrix([]string{"a", "b", "c"})
+	m.Set("a", "b", 10)
+	m.Set("a", "c", 20.5)
+	m.Set("b", "c", 30)
+	var buf bytes.Buffer
+	m.Encode(&buf)
+	f.Add(buf.String())
+	f.Add("tingmatrix n=2\na b\n0 1\n1 0\n")
+	f.Add("")
+	f.Add("tingmatrix n=9999999\n")
+	f.Fuzz(func(t *testing.T, doc string) {
+		got, err := DecodeMatrix(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		// Anything decodable re-encodes and decodes to identical cells.
+		var out bytes.Buffer
+		if err := got.Encode(&out); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := DecodeMatrix(&out)
+		if err != nil {
+			t.Fatalf("canonical matrix does not decode: %v", err)
+		}
+		if again.N() != got.N() {
+			t.Fatal("size changed across round trip")
+		}
+		for i := range got.R {
+			for j := range got.R[i] {
+				a, b := got.R[i][j], again.R[i][j]
+				if a != b && !(a != a && b != b) { // NaN-tolerant equality
+					t.Fatalf("cell (%d,%d) changed: %v → %v", i, j, a, b)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,220 @@
+package ting
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Matrix is an all-pairs RTT dataset over named relays — the artifact
+// Ting exists to produce and every Section 5 application consumes.
+type Matrix struct {
+	Names []string
+	// R[i][j] is the measured RTT between Names[i] and Names[j] in
+	// milliseconds. Symmetric with zero diagonal.
+	R [][]float64
+
+	index map[string]int
+}
+
+// NewMatrix allocates a zeroed matrix over names.
+func NewMatrix(names []string) (*Matrix, error) {
+	if len(names) < 2 {
+		return nil, errors.New("ting: matrix needs at least two relays")
+	}
+	m := &Matrix{
+		Names: append([]string(nil), names...),
+		R:     make([][]float64, len(names)),
+		index: make(map[string]int, len(names)),
+	}
+	for i, n := range m.Names {
+		if n == "" {
+			return nil, errors.New("ting: empty relay name")
+		}
+		if _, dup := m.index[n]; dup {
+			return nil, fmt.Errorf("ting: duplicate relay %q", n)
+		}
+		m.index[n] = i
+		m.R[i] = make([]float64, len(names))
+	}
+	return m, nil
+}
+
+// N returns the number of relays.
+func (m *Matrix) N() int { return len(m.Names) }
+
+// Set records the RTT for a pair, both directions.
+func (m *Matrix) Set(x, y string, ms float64) error {
+	i, ok := m.index[x]
+	if !ok {
+		return fmt.Errorf("ting: unknown relay %q", x)
+	}
+	j, ok := m.index[y]
+	if !ok {
+		return fmt.Errorf("ting: unknown relay %q", y)
+	}
+	m.R[i][j] = ms
+	m.R[j][i] = ms
+	return nil
+}
+
+// RTT returns the RTT between two named relays.
+func (m *Matrix) RTT(x, y string) (float64, error) {
+	i, ok := m.index[x]
+	if !ok {
+		return 0, fmt.Errorf("ting: unknown relay %q", x)
+	}
+	j, ok := m.index[y]
+	if !ok {
+		return 0, fmt.Errorf("ting: unknown relay %q", y)
+	}
+	return m.R[i][j], nil
+}
+
+// At returns the RTT by index.
+func (m *Matrix) At(i, j int) float64 { return m.R[i][j] }
+
+// Mean returns µ, the average RTT over all unordered pairs — the term
+// Algorithm 1 uses to approximate the unknown source→entry RTT.
+func (m *Matrix) Mean() float64 {
+	n := len(m.Names)
+	var sum float64
+	var count int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sum += m.R[i][j]
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+// PairValues returns the RTTs of all unordered pairs.
+func (m *Matrix) PairValues() []float64 {
+	n := len(m.Names)
+	out := make([]float64, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			out = append(out, m.R[i][j])
+		}
+	}
+	return out
+}
+
+// Encode writes the matrix as a text document (names header plus one row
+// per line), the published-dataset format.
+func (m *Matrix) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "tingmatrix n=%d\n", len(m.Names))
+	fmt.Fprintln(bw, strings.Join(m.Names, " "))
+	for _, row := range m.R {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		fmt.Fprintln(bw, strings.Join(parts, " "))
+	}
+	return bw.Flush()
+}
+
+// DecodeMatrix parses a matrix document.
+func DecodeMatrix(r io.Reader) (*Matrix, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	if !sc.Scan() {
+		return nil, errors.New("ting: empty matrix document")
+	}
+	var n int
+	if _, err := fmt.Sscanf(sc.Text(), "tingmatrix n=%d", &n); err != nil {
+		return nil, fmt.Errorf("ting: bad matrix header %q", sc.Text())
+	}
+	if !sc.Scan() {
+		return nil, errors.New("ting: matrix missing names")
+	}
+	names := strings.Fields(sc.Text())
+	if len(names) != n {
+		return nil, fmt.Errorf("ting: header says %d names, got %d", n, len(names))
+	}
+	m, err := NewMatrix(names)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("ting: matrix truncated at row %d", i)
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) != n {
+			return nil, fmt.Errorf("ting: row %d has %d values, want %d", i, len(fields), n)
+		}
+		for j, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("ting: row %d col %d: %w", i, j, err)
+			}
+			m.R[i][j] = v
+		}
+	}
+	return m, nil
+}
+
+// Cache memoizes pair measurements with a freshness horizon. §4.6 shows
+// Ting's measurements are stable over at least a week, so "taking
+// measurements with Ting infrequently and caching them is sufficient".
+type Cache struct {
+	ttl time.Duration
+	now func() time.Time
+
+	mu sync.Mutex
+	m  map[[2]string]cacheEntry
+}
+
+type cacheEntry struct {
+	rtt  float64
+	when time.Time
+}
+
+// NewCache creates a cache whose entries expire after ttl.
+func NewCache(ttl time.Duration) *Cache {
+	return &Cache{ttl: ttl, now: time.Now, m: make(map[[2]string]cacheEntry)}
+}
+
+func pairKey(x, y string) [2]string {
+	if x > y {
+		x, y = y, x
+	}
+	return [2]string{x, y}
+}
+
+// Get returns a fresh cached RTT for the pair, if any.
+func (c *Cache) Get(x, y string) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[pairKey(x, y)]
+	if !ok || c.now().Sub(e.when) > c.ttl {
+		return 0, false
+	}
+	return e.rtt, true
+}
+
+// Put records a measurement.
+func (c *Cache) Put(x, y string, rtt float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[pairKey(x, y)] = cacheEntry{rtt: rtt, when: c.now()}
+}
+
+// Len returns the number of cached pairs, fresh or stale.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -1,0 +1,210 @@
+package ting
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ting/internal/stats"
+)
+
+// DefaultSamples is the per-circuit sample count used for the paper's
+// main experiments ("For the remainder of the experiments in this paper,
+// we continue using 200 samples", §4.4).
+const DefaultSamples = 200
+
+// Config configures a Measurer.
+type Config struct {
+	// Prober takes the circuit samples. Required.
+	Prober CircuitProber
+	// W and Z name the measurer's two local relays. Required.
+	W, Z string
+	// Samples is the per-circuit sample count; default DefaultSamples.
+	Samples int
+}
+
+// Measurer measures RTTs between arbitrary relay pairs.
+type Measurer struct {
+	cfg Config
+}
+
+// NewMeasurer validates cfg and returns a Measurer.
+func NewMeasurer(cfg Config) (*Measurer, error) {
+	if cfg.Prober == nil {
+		return nil, errors.New("ting: config missing Prober")
+	}
+	if cfg.W == "" || cfg.Z == "" {
+		return nil, errors.New("ting: config missing local relays W and Z")
+	}
+	if cfg.W == cfg.Z {
+		return nil, errors.New("ting: W and Z must be distinct relays")
+	}
+	if cfg.Samples == 0 {
+		cfg.Samples = DefaultSamples
+	}
+	if cfg.Samples < 0 {
+		return nil, fmt.Errorf("ting: negative sample count %d", cfg.Samples)
+	}
+	return &Measurer{cfg: cfg}, nil
+}
+
+// Samples returns the configured per-circuit sample count.
+func (m *Measurer) Samples() int { return m.cfg.Samples }
+
+// Measurement is the result of one pair measurement.
+type Measurement struct {
+	X, Y string
+	// RTT is the Eq. (4) estimate of R(x,y) in milliseconds. Its expected
+	// error is +F_x+F_y, the two relays' floor forwarding delays.
+	RTT float64
+	// MinFull, MinX, MinY are the minimum sampled RTTs of C_xy, C_x, C_y.
+	MinFull, MinX, MinY float64
+	// SamplesPerCircuit records the sample count used.
+	SamplesPerCircuit int
+	// Elapsed is the wall-clock measurement time.
+	Elapsed time.Duration
+}
+
+// MeasurePair measures R(x, y) per §3.3: it builds the full circuit
+// (w,x,y,z) plus the two isolation circuits (w,x) and (w,y), min-filters
+// the samples, and applies Eq. (4).
+func (m *Measurer) MeasurePair(x, y string) (*Measurement, error) {
+	if err := m.checkPair(x, y); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	// C_x first, then the full circuit: the full path extends C_x's, so a
+	// reusing prober (leaky-pipe extension) grows one circuit instead of
+	// building two. The estimate is order-independent.
+	minX, err := m.minRTT([]string{m.cfg.W, x})
+	if err != nil {
+		return nil, fmt.Errorf("ting: C_x: %w", err)
+	}
+	minFull, err := m.minRTT([]string{m.cfg.W, x, y, m.cfg.Z})
+	if err != nil {
+		return nil, fmt.Errorf("ting: C_xy: %w", err)
+	}
+	minY, err := m.minRTT([]string{m.cfg.W, y})
+	if err != nil {
+		return nil, fmt.Errorf("ting: C_y: %w", err)
+	}
+	return &Measurement{
+		X: x, Y: y,
+		RTT:               Estimate(minFull, minX, minY),
+		MinFull:           minFull,
+		MinX:              minX,
+		MinY:              minY,
+		SamplesPerCircuit: m.cfg.Samples,
+		Elapsed:           time.Since(start),
+	}, nil
+}
+
+// Estimate applies Eq. (4): R(x,y) = R_Cxy − ½R_Cx − ½R_Cy.
+func Estimate(minFull, minX, minY float64) float64 {
+	return minFull - minX/2 - minY/2
+}
+
+func (m *Measurer) checkPair(x, y string) error {
+	switch {
+	case x == "" || y == "":
+		return errors.New("ting: empty relay name")
+	case x == y:
+		return fmt.Errorf("ting: cannot measure %q against itself", x)
+	case x == m.cfg.W || x == m.cfg.Z || y == m.cfg.W || y == m.cfg.Z:
+		return errors.New("ting: target pair must not include the local relays")
+	}
+	return nil
+}
+
+// minRTT takes the configured number of samples through path and returns
+// the minimum — the aggregation that makes forwarding delays vanish from
+// the estimate (§3.3).
+func (m *Measurer) minRTT(path []string) (float64, error) {
+	samples, err := m.cfg.Prober.SampleCircuit(path, m.cfg.Samples)
+	if err != nil {
+		return 0, err
+	}
+	return stats.Min(samples)
+}
+
+// SampleSeries exposes the raw per-sample RTTs of one circuit — the data
+// behind the sample-size analysis of §4.4 (Figure 6).
+func (m *Measurer) SampleSeries(x, y string, n int) ([]float64, error) {
+	if err := m.checkPair(x, y); err != nil {
+		return nil, err
+	}
+	return m.cfg.Prober.SampleCircuit([]string{m.cfg.W, x, y, m.cfg.Z}, n)
+}
+
+// ForwardingEstimate is the §4.3 forwarding-delay estimate for one relay,
+// computed with both ICMP- and TCP-based direct RTTs. On networks that
+// treat protocols differently the two disagree and can go negative —
+// Figure 5's "extremely odd behavior".
+type ForwardingEstimate struct {
+	X string
+	// ICMPMs and TCPMs are F_x estimated with ping and tcptraceroute
+	// respectively, in milliseconds.
+	ICMPMs float64
+	TCPMs  float64
+	// LocalMs is F_w = F_z, the local relays' delay from step (4).
+	LocalMs float64
+}
+
+// EstimateForwarding reproduces the §4.3 procedure for relay x:
+//
+//  1. measure R_C1 over circuit (w, z);
+//  2. estimate F_w = F_z = (R_C1 − R̃(s,w) − R̃(z,d)) / 2;
+//  3. measure R_C2 over circuit (w, x, z);
+//  4. F_x = R_C2 − F_w − F_z − 2·R̃(w,x) − 2·R̃(s,w).
+//
+// Direct RTTs R̃ are min-of-pingSamples via ICMP and, separately, TCP.
+func (m *Measurer) EstimateForwarding(x string, direct DirectProber, pingSamples int) (*ForwardingEstimate, error) {
+	if x == "" || x == m.cfg.W || x == m.cfg.Z {
+		return nil, fmt.Errorf("ting: invalid forwarding target %q", x)
+	}
+	if pingSamples <= 0 {
+		return nil, errors.New("ting: pingSamples must be positive")
+	}
+	rc1, err := m.minRTT([]string{m.cfg.W, m.cfg.Z})
+	if err != nil {
+		return nil, fmt.Errorf("ting: C1: %w", err)
+	}
+	rc2, err := m.minRTT([]string{m.cfg.W, x, m.cfg.Z})
+	if err != nil {
+		return nil, fmt.Errorf("ting: C2: %w", err)
+	}
+	// w and z run on the measurement host: R̃(s,w) and R̃(z,d) are
+	// loopback, effectively zero, and R̃(w,x) equals the host↔x direct RTT.
+	fLocal := rc1 / 2
+
+	icmp, err := minDirect(direct.Ping, x, pingSamples)
+	if err != nil {
+		return nil, fmt.Errorf("ting: ping %s: %w", x, err)
+	}
+	tcp, err := minDirect(direct.TCPPing, x, pingSamples)
+	if err != nil {
+		return nil, fmt.Errorf("ting: tcpping %s: %w", x, err)
+	}
+	// The (w,x,z) circuit crosses the host↔x distance twice per round trip
+	// (w→x out, x→z back, and again on the pong), i.e. two direct RTTs.
+	return &ForwardingEstimate{
+		X:       x,
+		ICMPMs:  rc2 - 2*fLocal - 2*icmp,
+		TCPMs:   rc2 - 2*fLocal - 2*tcp,
+		LocalMs: fLocal,
+	}, nil
+}
+
+func minDirect(probe func(string) (float64, error), target string, n int) (float64, error) {
+	best := 0.0
+	for i := 0; i < n; i++ {
+		v, err := probe(target)
+		if err != nil {
+			return 0, err
+		}
+		if i == 0 || v < best {
+			best = v
+		}
+	}
+	return best, nil
+}

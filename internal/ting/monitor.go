@@ -1,0 +1,221 @@
+package ting
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Monitor keeps an all-pairs RTT matrix fresh over time. §4.6 shows Ting's
+// measurements are stable for at least a week, so "taking measurements
+// with Ting infrequently and caching them is sufficient" — the monitor
+// embodies that workflow: it re-measures the stalest pairs on each sweep,
+// spreading load instead of re-scanning everything at once.
+type MonitorConfig struct {
+	// NewMeasurer builds one measurer per sweep worker. Required.
+	NewMeasurer func(worker int) (*Measurer, error)
+	// Names are the relays to track. Required, ≥ 2.
+	Names []string
+	// MaxAge is how old a pair measurement may grow before a sweep
+	// refreshes it. Default 24h (well inside the week of §4.6).
+	MaxAge time.Duration
+	// PairsPerSweep bounds how many pairs one sweep refreshes (load
+	// spreading). Default: all stale pairs.
+	PairsPerSweep int
+	// Workers is the sweep parallelism. Default 2.
+	Workers int
+	// now is injectable for tests.
+	now func() time.Time
+}
+
+// Monitor is created by NewMonitor and driven by Sweep (or RunEvery).
+type Monitor struct {
+	cfg    MonitorConfig
+	matrix *Matrix
+
+	mu    sync.Mutex
+	when  map[[2]string]time.Time
+	stats MonitorStats
+}
+
+// MonitorStats counts monitor activity.
+type MonitorStats struct {
+	Sweeps    int
+	Measured  int
+	Skipped   int // fresh pairs left alone
+	Failed    int // pair measurements that errored (stay stale, retried next sweep)
+	LastSweep time.Time
+}
+
+// NewMonitor creates a monitor with an empty (all-stale) matrix.
+func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
+	if cfg.NewMeasurer == nil {
+		return nil, errors.New("ting: monitor missing NewMeasurer")
+	}
+	if cfg.MaxAge <= 0 {
+		cfg.MaxAge = 24 * time.Hour
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	m, err := NewMatrix(cfg.Names)
+	if err != nil {
+		return nil, err
+	}
+	return &Monitor{
+		cfg:    cfg,
+		matrix: m,
+		when:   make(map[[2]string]time.Time),
+	}, nil
+}
+
+// Matrix returns a snapshot copy of the current matrix.
+func (mon *Monitor) Matrix() *Matrix {
+	mon.mu.Lock()
+	defer mon.mu.Unlock()
+	cp, _ := NewMatrix(mon.matrix.Names)
+	for i := range mon.matrix.R {
+		copy(cp.R[i], mon.matrix.R[i])
+	}
+	return cp
+}
+
+// Stats returns a snapshot of monitor counters.
+func (mon *Monitor) Stats() MonitorStats {
+	mon.mu.Lock()
+	defer mon.mu.Unlock()
+	return mon.stats
+}
+
+// StalePairs lists the pairs older than MaxAge, stalest first.
+func (mon *Monitor) StalePairs() [][2]string {
+	mon.mu.Lock()
+	defer mon.mu.Unlock()
+	return mon.stalePairsLocked()
+}
+
+func (mon *Monitor) stalePairsLocked() [][2]string {
+	now := mon.cfg.now()
+	var out [][2]string
+	names := mon.matrix.Names
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			key := pairKey(names[i], names[j])
+			if t, ok := mon.when[key]; !ok || now.Sub(t) > mon.cfg.MaxAge {
+				out = append(out, [2]string{names[i], names[j]})
+			}
+		}
+	}
+	// Stalest first: zero-time (never measured) pairs sort ahead.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			ta := mon.when[pairKey(out[j][0], out[j][1])]
+			tb := mon.when[pairKey(out[j-1][0], out[j-1][1])]
+			if ta.Before(tb) {
+				out[j], out[j-1] = out[j-1], out[j]
+			} else {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Sweep refreshes up to PairsPerSweep stale pairs and returns how many it
+// measured.
+func (mon *Monitor) Sweep() (int, error) {
+	mon.mu.Lock()
+	stale := mon.stalePairsLocked()
+	total := len(mon.matrix.Names) * (len(mon.matrix.Names) - 1) / 2
+	limit := mon.cfg.PairsPerSweep
+	if limit <= 0 || limit > len(stale) {
+		limit = len(stale)
+	}
+	todo := stale[:limit]
+	mon.stats.Sweeps++
+	mon.stats.Skipped += total - len(todo)
+	mon.stats.LastSweep = mon.cfg.now()
+	mon.mu.Unlock()
+
+	if len(todo) == 0 {
+		return 0, nil
+	}
+
+	workers := mon.cfg.Workers
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	jobs := make(chan [2]string)
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		meas, err := mon.cfg.NewMeasurer(w)
+		if err != nil {
+			close(jobs)
+			return 0, fmt.Errorf("ting: monitor worker %d: %w", w, err)
+		}
+		wg.Add(1)
+		go func(meas *Measurer) {
+			defer wg.Done()
+			for p := range jobs {
+				res, err := meas.MeasurePair(p[0], p[1])
+				if err != nil {
+					// A dead relay must not wedge the monitor: record the
+					// failure and let the pair stay stale for the next
+					// sweep. The first error is still surfaced.
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					mon.mu.Lock()
+					mon.stats.Failed++
+					mon.mu.Unlock()
+					continue
+				}
+				mon.mu.Lock()
+				_ = mon.matrix.Set(p[0], p[1], res.RTT)
+				mon.when[pairKey(p[0], p[1])] = mon.cfg.now()
+				mon.stats.Measured++
+				mon.mu.Unlock()
+			}
+		}(meas)
+	}
+	for _, p := range todo {
+		jobs <- p
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return len(todo), nil
+}
+
+// RunEvery sweeps on the interval until stop is closed. It runs one sweep
+// immediately.
+func (mon *Monitor) RunEvery(interval time.Duration, stop <-chan struct{}) error {
+	if interval <= 0 {
+		return errors.New("ting: non-positive monitor interval")
+	}
+	if _, err := mon.Sweep(); err != nil {
+		return err
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return nil
+		case <-t.C:
+			if _, err := mon.Sweep(); err != nil {
+				return err
+			}
+		}
+	}
+}

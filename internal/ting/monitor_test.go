@@ -1,0 +1,214 @@
+package ting
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func monitorConfig(t *testing.T, f *fakeProber, names []string) MonitorConfig {
+	t.Helper()
+	return MonitorConfig{
+		NewMeasurer: func(worker int) (*Measurer, error) {
+			return NewMeasurer(Config{Prober: f, W: "w", Z: "z", Samples: 1})
+		},
+		Names: names,
+	}
+}
+
+func TestMonitorSweepMeasuresAllWhenEmpty(t *testing.T) {
+	f := newFakeWorld()
+	mon, err := NewMonitor(monitorConfig(t, f, []string{"x", "y"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(mon.StalePairs()); got != 1 {
+		t.Fatalf("stale pairs = %d, want 1", got)
+	}
+	n, err := mon.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("swept %d pairs", n)
+	}
+	v, err := mon.Matrix().RTT("x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 73 { // the fake world's exact Eq. (4) result
+		t.Errorf("monitored RTT = %v, want 73", v)
+	}
+	st := mon.Stats()
+	if st.Sweeps != 1 || st.Measured != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestMonitorSkipsFreshPairs(t *testing.T) {
+	f := newFakeWorld()
+	cfg := monitorConfig(t, f, []string{"x", "y"})
+	now := time.Unix(1000, 0)
+	cfg.now = func() time.Time { return now }
+	cfg.MaxAge = time.Hour
+	mon, err := NewMonitor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mon.Sweep(); err != nil {
+		t.Fatal(err)
+	}
+	// Still fresh: nothing to do.
+	n, err := mon.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("second sweep measured %d pairs, want 0", n)
+	}
+	// Age past MaxAge: stale again.
+	now = now.Add(2 * time.Hour)
+	n, err = mon.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("post-expiry sweep measured %d pairs, want 1", n)
+	}
+}
+
+func TestMonitorPairsPerSweepSpreadsLoad(t *testing.T) {
+	f := newFakeWorld()
+	// Add a third measurable relay to the fake world.
+	f.fwd["v"] = 0.5
+	for _, peer := range []string{"h", "w", "z"} {
+		f.rtt[[2]string{peer, "v"}] = 30
+	}
+	f.rtt[[2]string{"x", "v"}] = 35
+	f.rtt[[2]string{"y", "v"}] = 45
+
+	cfg := monitorConfig(t, f, []string{"x", "y", "v"})
+	cfg.PairsPerSweep = 1
+	now := time.Unix(0, 0)
+	cfg.now = func() time.Time { now = now.Add(time.Minute); return now }
+	mon, err := NewMonitor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sweep := 1; sweep <= 3; sweep++ {
+		n, err := mon.Sweep()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 1 {
+			t.Fatalf("sweep %d measured %d pairs, want 1", sweep, n)
+		}
+	}
+	if got := len(mon.StalePairs()); got != 0 {
+		t.Errorf("%d pairs still stale after 3 single-pair sweeps", got)
+	}
+	// All three values present.
+	m := mon.Matrix()
+	for _, p := range [][2]string{{"x", "y"}, {"x", "v"}, {"y", "v"}} {
+		v, err := m.RTT(p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v <= 0 {
+			t.Errorf("pair %v unmeasured", p)
+		}
+	}
+}
+
+func TestMonitorStalestFirst(t *testing.T) {
+	f := newFakeWorld()
+	f.fwd["v"] = 0.5
+	for _, peer := range []string{"h", "w", "z", "x", "y"} {
+		f.rtt[[2]string{peer, "v"}] = 25
+	}
+	cfg := monitorConfig(t, f, []string{"x", "y", "v"})
+	cfg.PairsPerSweep = 1
+	now := time.Unix(0, 0)
+	cfg.now = func() time.Time { now = now.Add(time.Hour); return now }
+	cfg.MaxAge = time.Nanosecond // everything immediately stale
+	mon, err := NewMonitor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three sweeps must cycle through all three pairs (stalest first means
+	// never-measured pairs before re-measured ones).
+	seen := map[[2]string]int{}
+	for i := 0; i < 3; i++ {
+		before := mon.Stats().Measured
+		if _, err := mon.Sweep(); err != nil {
+			t.Fatal(err)
+		}
+		if mon.Stats().Measured != before+1 {
+			t.Fatal("sweep did not measure exactly one pair")
+		}
+		for _, p := range mon.StalePairs() {
+			seen[p]++
+		}
+	}
+	m := mon.Matrix()
+	measured := 0
+	for _, p := range [][2]string{{"x", "y"}, {"x", "v"}, {"y", "v"}} {
+		if v, _ := m.RTT(p[0], p[1]); v > 0 {
+			measured++
+		}
+	}
+	if measured != 3 {
+		t.Errorf("round-robin broke: %d of 3 pairs measured", measured)
+	}
+}
+
+func TestMonitorValidation(t *testing.T) {
+	if _, err := NewMonitor(MonitorConfig{Names: []string{"a", "b"}}); err == nil {
+		t.Error("missing NewMeasurer accepted")
+	}
+	f := newFakeWorld()
+	if _, err := NewMonitor(monitorConfig(t, f, []string{"only"})); err == nil {
+		t.Error("1-name monitor accepted")
+	}
+}
+
+func TestMonitorPropagatesErrors(t *testing.T) {
+	f := newFakeWorld()
+	f.errs["x"] = errors.New("x offline")
+	mon, err := NewMonitor(monitorConfig(t, f, []string{"x", "y"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mon.Sweep(); err == nil {
+		t.Error("sweep error swallowed")
+	}
+}
+
+func TestMonitorRunEvery(t *testing.T) {
+	f := newFakeWorld()
+	cfg := monitorConfig(t, f, []string{"x", "y"})
+	cfg.MaxAge = time.Nanosecond
+	mon, err := NewMonitor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() { done <- mon.RunEvery(5*time.Millisecond, stop) }()
+	deadline := time.After(3 * time.Second)
+	for mon.Stats().Sweeps < 3 {
+		select {
+		case <-deadline:
+			t.Fatal("monitor did not sweep repeatedly")
+		default:
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.RunEvery(0, stop); err == nil {
+		t.Error("zero interval accepted")
+	}
+}

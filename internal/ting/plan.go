@@ -1,0 +1,85 @@
+package ting
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Campaign planning: §4.4 and §4.6 frame the practical cost of Ting at
+// scale — "Ting took an average of 2.5 minutes to measure a pair using 200
+// samples … if one were willing to accept 5% error, then Ting could
+// measure a pair in less than 15 seconds", and "an all-pairs matrix can be
+// time-consuming to calculate". CampaignPlan turns those knobs into a
+// projected duration for a scan over any relay population.
+
+// CampaignConfig describes a planned measurement campaign.
+type CampaignConfig struct {
+	// Relays is the population size (all-pairs scans measure
+	// Relays·(Relays−1)/2 pairs).
+	Relays int
+	// Pairs overrides the pair count for non-all-pairs campaigns (0 means
+	// all pairs of Relays).
+	Pairs int
+	// Samples per circuit; three circuits per pair (C_xy, C_x, C_y).
+	// Default DefaultSamples (200).
+	Samples int
+	// MeanRTT is the expected mean circuit RTT (one sample costs one
+	// round trip). Default 300ms, a typical full-circuit figure from the
+	// paper's live measurements.
+	MeanRTT time.Duration
+	// BuildRTTs is the round trips spent building circuits per pair: each
+	// hop costs one, so (w,x,y,z)+(w,x)+(w,y) ≈ 8; with leaky-pipe reuse
+	// (StackProber.Reuse) it drops to 6. Default 8.
+	BuildRTTs int
+	// Parallel is how many measurements run concurrently — one per vantage
+	// point or per control session. Default 1.
+	Parallel int
+}
+
+func (c *CampaignConfig) setDefaults() error {
+	if c.Pairs == 0 {
+		if c.Relays < 2 {
+			return errors.New("ting: campaign needs Relays ≥ 2 or explicit Pairs")
+		}
+		c.Pairs = c.Relays * (c.Relays - 1) / 2
+	}
+	if c.Pairs <= 0 {
+		return fmt.Errorf("ting: campaign pairs %d", c.Pairs)
+	}
+	if c.Samples == 0 {
+		c.Samples = DefaultSamples
+	}
+	if c.Samples < 0 {
+		return fmt.Errorf("ting: campaign samples %d", c.Samples)
+	}
+	if c.MeanRTT == 0 {
+		c.MeanRTT = 300 * time.Millisecond
+	}
+	if c.BuildRTTs == 0 {
+		c.BuildRTTs = 8
+	}
+	if c.Parallel <= 0 {
+		c.Parallel = 1
+	}
+	return nil
+}
+
+// CampaignPlan is the projected cost.
+type CampaignPlan struct {
+	Pairs   int
+	PerPair time.Duration
+	Total   time.Duration
+}
+
+// PlanCampaign projects the wall-clock cost of a campaign. Echo probes are
+// pipelined one-at-a-time per circuit (each costs one circuit RTT), which
+// matches the paper's measured per-pair times within ~20%.
+func PlanCampaign(cfg CampaignConfig) (*CampaignPlan, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	perPair := time.Duration(3*cfg.Samples+cfg.BuildRTTs) * cfg.MeanRTT
+	total := time.Duration(int64(perPair) * int64(cfg.Pairs) / int64(cfg.Parallel))
+	return &CampaignPlan{Pairs: cfg.Pairs, PerPair: perPair, Total: total}, nil
+}

@@ -1,0 +1,277 @@
+// Package ting implements the paper's core contribution: measuring the
+// round-trip time between two arbitrary Tor relays x and y from a single
+// vantage point, with no modification to relays and no cooperation from
+// other users (§3).
+//
+// The measurer owns two local relays w and z colocated with its echo
+// client/server pair (all "on the same host h"). For a pair (x, y) it
+// builds three circuits —
+//
+//	C_xy = (w, x, y, z)    the full circuit
+//	C_x  = (w, x)          isolates the RTT to x
+//	C_y  = (w, y)          isolates the RTT to y
+//
+// — samples each many times, takes minimums, and applies Eq. (4):
+//
+//	R(x,y) ≈ min R_Cxy − ½ min R_Cx − ½ min R_Cy
+//
+// with expected error F_x + F_y, the two relays' floor forwarding delays.
+//
+// Sampling is abstracted behind CircuitProber so the same algorithm runs
+// over the full onion-routing stack (StackProber), over a live control
+// port (ControlProber, see package control), or directly against the
+// synthetic Internet model (ModelProber) when experiments need millions of
+// samples.
+package ting
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ting/internal/client"
+	"ting/internal/directory"
+	"ting/internal/echo"
+	"ting/internal/inet"
+)
+
+// CircuitProber takes RTT samples through a circuit of named relays.
+type CircuitProber interface {
+	// SampleCircuit builds (or reuses) a circuit through the named relays
+	// in order and returns n end-to-end RTT samples in milliseconds.
+	SampleCircuit(path []string, n int) ([]float64, error)
+}
+
+// DirectProber takes non-Tor RTT samples from the measurement host to a
+// relay — the ping / tcptraceroute measurements of §4.3. Ting's estimator
+// never uses these (mixing Tor and non-Tor paths is exactly the strawman
+// §3.2 rejects); they exist to reproduce the forwarding-delay validation
+// and the strawman ablation.
+type DirectProber interface {
+	Ping(target string) (float64, error)
+	TCPPing(target string) (float64, error)
+}
+
+// ModelProber samples circuits directly from the synthetic Internet's
+// ground-truth model. It is exact by construction and fast enough for the
+// paper's large sweeps (930 pairs × 1000 samples, 10,000 live pairs).
+type ModelProber struct {
+	prober *inet.Prober
+	host   inet.NodeID
+	nodeOf map[string]inet.NodeID
+}
+
+// NewModelProber creates a prober at the given host node. nodeOf maps
+// relay names (as used in circuit paths) to topology nodes.
+func NewModelProber(topo *inet.Topology, host inet.NodeID, nodeOf map[string]inet.NodeID, seed int64) *ModelProber {
+	m := make(map[string]inet.NodeID, len(nodeOf))
+	for k, v := range nodeOf {
+		m[k] = v
+	}
+	return &ModelProber{
+		prober: inet.NewProber(topo, seed),
+		host:   host,
+		nodeOf: m,
+	}
+}
+
+// SampleCircuit implements CircuitProber.
+func (p *ModelProber) SampleCircuit(path []string, n int) ([]float64, error) {
+	if n <= 0 {
+		return nil, errors.New("ting: sample count must be positive")
+	}
+	ids := make([]inet.NodeID, len(path))
+	for i, name := range path {
+		id, ok := p.nodeOf[name]
+		if !ok {
+			return nil, fmt.Errorf("ting: unknown relay %q", name)
+		}
+		ids[i] = id
+	}
+	out := make([]float64, n)
+	for i := range out {
+		s, err := p.prober.TorPathRTT(p.host, ids)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Ping implements DirectProber with one ICMP sample host↔target.
+func (p *ModelProber) Ping(target string) (float64, error) {
+	id, ok := p.nodeOf[target]
+	if !ok {
+		return 0, fmt.Errorf("ting: unknown relay %q", target)
+	}
+	return p.prober.Ping(p.host, id), nil
+}
+
+// PingBetween returns one ICMP sample between two relays directly — the
+// all-pairs ping ground truth the paper's PlanetLab validation compares
+// against (§4.2). Only the model world can do this; on the real network
+// the whole point of Ting is that third parties cannot.
+func (p *ModelProber) PingBetween(a, b string) (float64, error) {
+	ai, ok := p.nodeOf[a]
+	if !ok {
+		return 0, fmt.Errorf("ting: unknown relay %q", a)
+	}
+	bi, ok := p.nodeOf[b]
+	if !ok {
+		return 0, fmt.Errorf("ting: unknown relay %q", b)
+	}
+	return p.prober.Ping(ai, bi), nil
+}
+
+// TCPPing implements DirectProber with one TCP sample host↔target.
+func (p *ModelProber) TCPPing(target string) (float64, error) {
+	id, ok := p.nodeOf[target]
+	if !ok {
+		return 0, fmt.Errorf("ting: unknown relay %q", target)
+	}
+	return p.prober.TCPPing(p.host, id), nil
+}
+
+// StackProber samples circuits through the real mintor stack: it builds
+// each circuit with the onion proxy, attaches an echo stream through the
+// exit, and times application-level probes — exactly the measurement path
+// of §3.1 ("all of our measurements occur strictly over Tor circuits").
+type StackProber struct {
+	// Client is the onion proxy on the measurement host.
+	Client *client.Client
+	// Registry resolves relay nicknames to descriptors.
+	Registry *directory.Registry
+	// Target is the echo destination name the exit connects to.
+	Target string
+	// ToMs converts measured wall-clock durations to (virtual)
+	// milliseconds; nil means plain milliseconds.
+	ToMs func(time.Duration) float64
+	// Reuse keeps the last circuit open between calls and, when the next
+	// requested path extends it, grows it in place instead of rebuilding —
+	// Tor's leaky-pipe topology lets C_x = (w,x) become C_xy = (w,x,y,z)
+	// with two EXTENDs, saving a circuit build (and its handshakes) per
+	// measured pair.
+	Reuse bool
+
+	mu       sync.Mutex
+	lastPath []string
+	lastCirc *client.Circuit
+}
+
+// SampleCircuit implements CircuitProber.
+func (p *StackProber) SampleCircuit(path []string, n int) ([]float64, error) {
+	if n <= 0 {
+		return nil, errors.New("ting: sample count must be positive")
+	}
+	circ, err := p.circuitFor(path)
+	if err != nil {
+		return nil, err
+	}
+	if !p.Reuse {
+		defer circ.Close()
+	}
+	st, err := circ.OpenStream(p.Target)
+	if err != nil {
+		return nil, fmt.Errorf("ting: attach stream: %w", err)
+	}
+	defer st.Close()
+
+	ec := echo.NewClient(st)
+	rtts, err := ec.ProbeN(n)
+	if err != nil {
+		return nil, fmt.Errorf("ting: probe: %w", err)
+	}
+	out := make([]float64, len(rtts))
+	for i, d := range rtts {
+		if p.ToMs != nil {
+			out[i] = p.ToMs(d)
+		} else {
+			out[i] = float64(d) / float64(time.Millisecond)
+		}
+	}
+	return out, nil
+}
+
+// circuitFor returns a circuit through exactly path, reusing or extending
+// the cached one when Reuse is on.
+func (p *StackProber) circuitFor(path []string) (*client.Circuit, error) {
+	descs := make([]*directory.Descriptor, len(path))
+	for i, name := range path {
+		d, ok := p.Registry.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("ting: unknown relay %q", name)
+		}
+		descs[i] = d
+	}
+	if !p.Reuse {
+		circ, err := p.Client.BuildCircuit(descs)
+		if err != nil {
+			return nil, fmt.Errorf("ting: build circuit: %w", err)
+		}
+		return circ, nil
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.lastCirc != nil {
+		switch {
+		case samePath(p.lastPath, path):
+			return p.lastCirc, nil
+		case isPrefix(p.lastPath, path):
+			ok := true
+			for _, d := range descs[len(p.lastPath):] {
+				if err := p.lastCirc.Extend(d); err != nil {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				p.lastPath = append([]string(nil), path...)
+				return p.lastCirc, nil
+			}
+			// Extension failed; fall through to a fresh build.
+		}
+		p.lastCirc.Close()
+		p.lastCirc = nil
+		p.lastPath = nil
+	}
+	circ, err := p.Client.BuildCircuit(descs)
+	if err != nil {
+		return nil, fmt.Errorf("ting: build circuit: %w", err)
+	}
+	p.lastCirc = circ
+	p.lastPath = append([]string(nil), path...)
+	return circ, nil
+}
+
+// Close releases the cached circuit (Reuse mode).
+func (p *StackProber) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.lastCirc != nil {
+		p.lastCirc.Close()
+		p.lastCirc = nil
+		p.lastPath = nil
+	}
+}
+
+func samePath(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return isPrefix(a, b)
+}
+
+func isPrefix(short, long []string) bool {
+	if len(short) > len(long) {
+		return false
+	}
+	for i, s := range short {
+		if long[i] != s {
+			return false
+		}
+	}
+	return true
+}

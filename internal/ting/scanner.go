@@ -1,0 +1,135 @@
+package ting
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Scanner measures all pairs of a relay set in parallel — the workflow
+// that produces the 930-pair validation dataset (§4.2) and the 50-node
+// all-pairs dataset driving every Section 5 application.
+type Scanner struct {
+	// NewMeasurer builds one Measurer per worker. Probers are typically
+	// not safe for concurrent use, so each worker gets its own. Required.
+	NewMeasurer func(worker int) (*Measurer, error)
+	// Workers is the parallelism; default 4.
+	Workers int
+	// Cache, if non-nil, is consulted before measuring and updated after.
+	Cache *Cache
+	// Shuffle, if non-zero, probes pairs in a seed-determined random order,
+	// as the paper does ("We probe each pair in a randomized order", §4.2).
+	Shuffle int64
+	// Progress, if non-nil, is called after each pair completes.
+	Progress func(done, total int)
+	// SkipFailures keeps scanning when a pair fails (live relays churn;
+	// aborting a 10,000-pair campaign for one dead relay is wrong). Failed
+	// pairs stay zero in the matrix and are reported alongside it.
+	SkipFailures bool
+}
+
+// PairError records one failed measurement in a tolerant scan.
+type PairError struct {
+	X, Y string
+	Err  error
+}
+
+// AllPairs measures every unordered pair among names and returns the
+// matrix. With SkipFailures, failed pairs are returned instead of aborting.
+func (s *Scanner) AllPairs(names []string) (*Matrix, error) {
+	m, _, err := s.AllPairsTolerant(names)
+	return m, err
+}
+
+// AllPairsTolerant is AllPairs returning the failed pairs explicitly.
+func (s *Scanner) AllPairsTolerant(names []string) (*Matrix, []PairError, error) {
+	if s.NewMeasurer == nil {
+		return nil, nil, errors.New("ting: scanner missing NewMeasurer")
+	}
+	m, err := NewMatrix(names)
+	if err != nil {
+		return nil, nil, err
+	}
+	type pair struct{ x, y string }
+	var todo []pair
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			todo = append(todo, pair{names[i], names[j]})
+		}
+	}
+	if s.Shuffle != 0 {
+		rng := rand.New(rand.NewSource(s.Shuffle))
+		rng.Shuffle(len(todo), func(a, b int) { todo[a], todo[b] = todo[b], todo[a] })
+	}
+
+	workers := s.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+
+	jobs := make(chan pair)
+	var mu sync.Mutex // guards matrix writes, progress counter, errors
+	var done int
+	var firstErr error
+	var failures []PairError
+	var wg sync.WaitGroup
+
+	for w := 0; w < workers; w++ {
+		meas, err := s.NewMeasurer(w)
+		if err != nil {
+			close(jobs)
+			return nil, nil, fmt.Errorf("ting: worker %d: %w", w, err)
+		}
+		wg.Add(1)
+		go func(meas *Measurer) {
+			defer wg.Done()
+			for p := range jobs {
+				rtt, err := s.measureOne(meas, p.x, p.y)
+				mu.Lock()
+				if err != nil {
+					if s.SkipFailures {
+						failures = append(failures, PairError{X: p.x, Y: p.y, Err: err})
+					} else if firstErr == nil {
+						firstErr = fmt.Errorf("ting: pair (%s,%s): %w", p.x, p.y, err)
+					}
+				} else {
+					_ = m.Set(p.x, p.y, rtt)
+					done++
+					if s.Progress != nil {
+						s.Progress(done, len(todo))
+					}
+				}
+				mu.Unlock()
+			}
+		}(meas)
+	}
+	for _, p := range todo {
+		jobs <- p
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	return m, failures, nil
+}
+
+func (s *Scanner) measureOne(meas *Measurer, x, y string) (float64, error) {
+	if s.Cache != nil {
+		if rtt, ok := s.Cache.Get(x, y); ok {
+			return rtt, nil
+		}
+	}
+	res, err := meas.MeasurePair(x, y)
+	if err != nil {
+		return 0, err
+	}
+	if s.Cache != nil {
+		s.Cache.Put(x, y, res.RTT)
+	}
+	return res.RTT, nil
+}

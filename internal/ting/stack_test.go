@@ -1,0 +1,280 @@
+package ting
+
+import (
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"ting/internal/control"
+	"ting/internal/geo"
+	"ting/internal/inet"
+	"ting/internal/stats"
+	"ting/internal/tornet"
+)
+
+// buildOverlay builds an in-process overlay with exact, overridden RTTs
+// for one (x, y) pair.
+func buildOverlay(t *testing.T, scale float64) (*tornet.Net, string, string, float64) {
+	t.Helper()
+	topo, err := inet.Generate(inet.Config{N: 4, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := topo.AddHost("host", geo.Coord{Lat: 48, Lon: 2}, 22)
+	x, y := inet.NodeID(0), inet.NodeID(1)
+	topo.OverrideRTT(host, x, 30)
+	topo.OverrideRTT(host, y, 44)
+	topo.OverrideRTT(x, y, 58)
+
+	n, err := tornet.Build(tornet.Config{Topology: topo, Host: host, TimeScale: scale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	xName, _ := n.NodeName(x)
+	yName, _ := n.NodeName(y)
+	return n, xName, yName, 58
+}
+
+// TestFullStackTingMeasurement runs the complete technique over the real
+// onion-routing stack: circuits built hop by hop with real handshakes,
+// layered encryption, echo probes through the exit, Eq. (4) applied to
+// minimums — and checks the estimate against the exact ground truth.
+func TestFullStackTingMeasurement(t *testing.T) {
+	n, xName, yName, truth := buildOverlay(t, 1.0)
+	prober := &StackProber{
+		Client:   n.Client,
+		Registry: n.Registry,
+		Target:   tornet.EchoTarget,
+		ToMs:     n.VirtualMs,
+	}
+	m, err := NewMeasurer(Config{
+		Prober:  prober,
+		W:       tornet.WName,
+		Z:       tornet.ZName,
+		Samples: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.MeasurePair(xName, yName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scheduling overhead inflates real-time measurements slightly; the
+	// estimate must land within a few ms of the 58ms truth.
+	if math.Abs(res.RTT-truth) > 12 {
+		t.Errorf("full-stack Ting estimate %.2f ms, ground truth %.2f ms", res.RTT, truth)
+	}
+	if res.MinFull <= res.MinX/2+res.MinY/2 {
+		t.Error("full-circuit RTT should exceed half-sums of isolation circuits")
+	}
+}
+
+// TestControlProberTing drives the identical measurement through the
+// control port — the deployment mode the paper used with Stem.
+func TestControlProberTing(t *testing.T) {
+	n, xName, yName, truth := buildOverlay(t, 1.0)
+
+	srv, err := control.NewServer(control.ServerConfig{
+		Client:   n.Client,
+		Registry: n.Registry,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctrlLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.ServeControl(ctrlLn)
+	go srv.ServeData(dataLn)
+
+	conn, err := control.Dial(ctrlLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Authenticate(""); err != nil {
+		t.Fatal(err)
+	}
+
+	prober := &ControlProber{
+		Conn:     conn,
+		DataAddr: dataLn.Addr().String(),
+		Target:   tornet.EchoTarget,
+		ToMs:     n.VirtualMs,
+	}
+	m, err := NewMeasurer(Config{
+		Prober:  prober,
+		W:       tornet.WName,
+		Z:       tornet.ZName,
+		Samples: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := m.MeasurePair(xName, yName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.RTT-truth) > 12 {
+		t.Errorf("control-port Ting estimate %.2f ms, truth %.2f ms", res.RTT, truth)
+	}
+	if res.Elapsed <= 0 || time.Since(start) < res.Elapsed {
+		t.Errorf("Elapsed bookkeeping wrong: %v", res.Elapsed)
+	}
+}
+
+func TestControlProberValidation(t *testing.T) {
+	p := &ControlProber{}
+	if _, err := p.SampleCircuit([]string{"a", "b"}, 1); err == nil {
+		t.Error("misconfigured control prober accepted")
+	}
+}
+
+func TestReusingStackProber(t *testing.T) {
+	n, xName, yName, truth := buildOverlay(t, 1.0)
+	prober := &StackProber{
+		Client:   n.Client,
+		Registry: n.Registry,
+		Target:   tornet.EchoTarget,
+		ToMs:     n.VirtualMs,
+		Reuse:    true,
+	}
+	defer prober.Close()
+	m, err := NewMeasurer(Config{
+		Prober:  prober,
+		W:       tornet.WName,
+		Z:       tornet.ZName,
+		Samples: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.MeasurePair(xName, yName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.RTT-truth) > 12 {
+		t.Errorf("reusing-prober estimate %.2f ms, truth %.2f ms", res.RTT, truth)
+	}
+	// The full circuit extended C_x instead of being rebuilt: w saw only
+	// two CREATEs (C_x and C_y) for the pair's three circuits.
+	circuits, _, _ := n.RelayByName(tornet.WName).Stats()
+	if circuits != 2 {
+		t.Errorf("entry relay built %d circuits, want 2 with reuse", circuits)
+	}
+
+	// A second pair on the same prober still measures correctly.
+	res2, err := m.MeasurePair(xName, yName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res2.RTT-truth) > 12 {
+		t.Errorf("second reuse measurement %.2f ms, truth %.2f ms", res2.RTT, truth)
+	}
+}
+
+func TestNonReusingProberBuildsThree(t *testing.T) {
+	n, xName, yName, _ := buildOverlay(t, 0.25)
+	prober := &StackProber{
+		Client:   n.Client,
+		Registry: n.Registry,
+		Target:   tornet.EchoTarget,
+		ToMs:     n.VirtualMs,
+	}
+	m, err := NewMeasurer(Config{
+		Prober: prober, W: tornet.WName, Z: tornet.ZName, Samples: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.MeasurePair(xName, yName); err != nil {
+		t.Fatal(err)
+	}
+	circuits, _, _ := n.RelayByName(tornet.WName).Stats()
+	if circuits != 3 {
+		t.Errorf("entry relay built %d circuits, want 3 without reuse", circuits)
+	}
+}
+
+// TestFullStackAllPairsScan is the capstone integration test: the complete
+// §4.2-style workflow — parallel scanner, reusing probers, real circuits —
+// over a compressed-time overlay, validated against exact ground truth by
+// rank correlation (the paper reports Spearman 0.997).
+func TestFullStackAllPairsScan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack scan is seconds-long; skipped in -short")
+	}
+	topo, err := inet.Generate(inet.Config{N: 6, Seed: 31, FlatRegions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := topo.AddHost("host", geo.Coord{Lat: 40, Lon: -74}, 32)
+	n, err := tornet.Build(tornet.Config{Topology: topo, Host: host, TimeScale: 0.06})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	names := make([]string, 6)
+	for i := range names {
+		names[i], _ = n.NodeName(inet.NodeID(i))
+	}
+	var probers []*StackProber
+	sc := &Scanner{
+		NewMeasurer: func(worker int) (*Measurer, error) {
+			p := &StackProber{
+				Client:   n.Client,
+				Registry: n.Registry,
+				Target:   tornet.EchoTarget,
+				ToMs:     n.VirtualMs,
+				Reuse:    true,
+			}
+			probers = append(probers, p)
+			return NewMeasurer(Config{Prober: p, W: tornet.WName, Z: tornet.ZName, Samples: 4})
+		},
+		Workers: 3,
+		Shuffle: 33,
+	}
+	m, err := sc.AllPairs(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range probers {
+		p.Close()
+	}
+
+	var est, truth []float64
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			v, err := m.RTT(names[i], names[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v <= 0 {
+				t.Fatalf("pair (%s,%s) unmeasured", names[i], names[j])
+			}
+			est = append(est, v)
+			truth = append(truth, topo.RTT(inet.NodeID(i), inet.NodeID(j)))
+		}
+	}
+	sp, err := stats.Spearman(est, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("full-stack scan: 15 pairs, spearman vs ground truth %.3f", sp)
+	// Compressed time plus only 3 samples leaves scheduling noise; rank
+	// order must still be essentially right.
+	if sp < 0.85 {
+		t.Errorf("spearman %.3f too low for a full-stack scan", sp)
+	}
+}

@@ -1,0 +1,301 @@
+// Package tornet assembles a complete mintor overlay from a synthetic
+// Internet topology: one relay per chosen node, link latencies injected
+// from the ground-truth matrix, stochastic forwarding delays from each
+// node's model, an echo destination, and a measurement host running the
+// onion proxy plus Ting's two local relays w and z (§3.3).
+//
+// The overlay runs in-process over link.PipeNet by default, or over real
+// loopback TCP sockets (Config.TCP); either way every latency a probe
+// experiences is the one the topology prescribes, so full-stack Ting
+// measurements can be validated against exact ground truth.
+package tornet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"ting/internal/client"
+	"ting/internal/directory"
+	"ting/internal/echo"
+	"ting/internal/inet"
+	"ting/internal/link"
+	"ting/internal/onion"
+	"ting/internal/relay"
+)
+
+// EchoTarget is the destination name exit relays may connect to — the only
+// target the restrictive exit policy allows, mirroring the paper's testbed
+// policy (§4.1).
+const EchoTarget = "echo"
+
+// Local relay nicknames.
+const (
+	WName = "ting-w"
+	ZName = "ting-z"
+)
+
+// Config configures an overlay build.
+type Config struct {
+	// Topology supplies nodes, ground-truth RTTs, and forwarding models.
+	// Required.
+	Topology *inet.Topology
+	// RelayNodes selects which topology nodes run relays; nil means all.
+	RelayNodes []inet.NodeID
+	// Host is the measurement-host node (usually added with
+	// Topology.AddHost). It runs the onion proxy, the echo pair, and the
+	// local relays w and z. Required.
+	Host inet.NodeID
+	// TimeScale maps virtual milliseconds to wall-clock time; 1.0 (the
+	// default) means 1 virtual ms = 1 real ms, 0.1 compresses time 10×.
+	TimeScale float64
+	// ForwardDelays enables per-cell stochastic forwarding delays at
+	// relays. Off, relays forward at loopback speed (useful for protocol
+	// tests).
+	ForwardDelays bool
+	// Seed drives forwarding-delay sampling.
+	Seed int64
+	// Timeout is the client protocol timeout. Default 30s.
+	Timeout time.Duration
+	// TCP switches relay links from in-process pipes to real loopback TCP
+	// sockets. Latency injection is identical; this mode proves the stack
+	// runs over a real network and backs cmd/tingnet.
+	TCP bool
+}
+
+// Net is a running overlay.
+type Net struct {
+	cfg      Config
+	pn       *link.PipeNet
+	Registry *directory.Registry
+	Client   *client.Client
+
+	relays      []*relay.Relay
+	relayByName map[string]*relay.Relay
+	names       map[inet.NodeID]string // node → nickname of its public relay (or first local)
+	nodeByAddr  map[string]inet.NodeID // relay address → node
+
+	closeOnce sync.Once
+}
+
+// Build constructs and starts the overlay.
+func Build(cfg Config) (*Net, error) {
+	if cfg.Topology == nil {
+		return nil, errors.New("tornet: config missing Topology")
+	}
+	if cfg.Topology.Node(cfg.Host) == nil {
+		return nil, fmt.Errorf("tornet: host node %d not in topology", cfg.Host)
+	}
+	if cfg.TimeScale <= 0 {
+		cfg.TimeScale = 1.0
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	nodes := cfg.RelayNodes
+	if nodes == nil {
+		for i := 0; i < cfg.Topology.N(); i++ {
+			if inet.NodeID(i) != cfg.Host {
+				nodes = append(nodes, inet.NodeID(i))
+			}
+		}
+	}
+
+	n := &Net{
+		cfg:         cfg,
+		pn:          link.NewPipeNet(),
+		Registry:    directory.NewRegistry(),
+		relayByName: make(map[string]*relay.Relay),
+		names:       make(map[inet.NodeID]string),
+		nodeByAddr:  make(map[string]inet.NodeID),
+	}
+
+	// Public relays at their topology nodes.
+	for _, id := range nodes {
+		node := cfg.Topology.Node(id)
+		if node == nil {
+			n.Close()
+			return nil, fmt.Errorf("tornet: relay node %d not in topology", id)
+		}
+		if id == cfg.Host {
+			n.Close()
+			return nil, errors.New("tornet: host node cannot also be a public relay")
+		}
+		if err := n.addRelay(node.Name, id, node.Fwd, true); err != nil {
+			n.Close()
+			return nil, err
+		}
+	}
+	// Ting's local relays w and z live on the host and stay unpublished,
+	// like "PublishDescriptors 0" in the paper.
+	local := inet.LocalForwardingModel()
+	if err := n.addRelay(WName, cfg.Host, local, false); err != nil {
+		n.Close()
+		return nil, err
+	}
+	if err := n.addRelay(ZName, cfg.Host, local, false); err != nil {
+		n.Close()
+		return nil, err
+	}
+
+	cl, err := client.New(client.Config{
+		Dialer:  n.dialerFrom(cfg.Host),
+		Timeout: cfg.Timeout,
+	})
+	if err != nil {
+		n.Close()
+		return nil, err
+	}
+	n.Client = cl
+	return n, nil
+}
+
+// addRelay starts one relay whose network position is node id.
+func (n *Net) addRelay(name string, id inet.NodeID, fwd inet.ForwardingModel, publish bool) error {
+	identity, err := onion.NewIdentity(nil)
+	if err != nil {
+		return err
+	}
+	var ln link.Listener
+	if n.cfg.TCP {
+		ln, err = link.ListenTCP("127.0.0.1:0")
+	} else {
+		ln, err = n.pn.Listen(name)
+	}
+	if err != nil {
+		return err
+	}
+	dialAddr := ln.Addr()
+	var fwdFn func() time.Duration
+	if n.cfg.ForwardDelays {
+		rng := rand.New(rand.NewSource(n.cfg.Seed ^ int64(id)<<16 ^ int64(len(name))))
+		var mu sync.Mutex
+		fwdFn = func() time.Duration {
+			mu.Lock()
+			ms := fwd.Sample(rng)
+			mu.Unlock()
+			return n.scale(ms)
+		}
+	}
+	cfg := relay.Config{
+		Nickname:     name,
+		Addr:         dialAddr,
+		Identity:     identity,
+		Listener:     ln,
+		RelayDialer:  n.dialerFrom(id),
+		ExitDialer:   &exitDialer{n: n, from: id},
+		ExitPolicy:   func(target string) bool { return target == EchoTarget },
+		ForwardDelay: fwdFn,
+	}
+	r, err := relay.New(cfg)
+	if err != nil {
+		return err
+	}
+	r.Start()
+	n.relays = append(n.relays, r)
+	n.relayByName[name] = r
+	n.nodeByAddr[dialAddr] = id
+	if _, taken := n.names[id]; !taken {
+		n.names[id] = name
+	}
+
+	bw := 1000.0
+	if node := n.cfg.Topology.Node(id); node != nil {
+		bw = node.BandwidthKBps
+	}
+	desc := &directory.Descriptor{
+		Nickname: name, Addr: dialAddr, OnionKey: identity.Public(),
+		BandwidthKBps: bw, Exit: true,
+	}
+	if publish {
+		return n.Registry.Publish(desc)
+	}
+	return n.Registry.AddUnpublished(desc)
+}
+
+// scale converts virtual milliseconds to wall-clock duration.
+func (n *Net) scale(ms float64) time.Duration {
+	return time.Duration(ms * n.cfg.TimeScale * float64(time.Millisecond))
+}
+
+// VirtualMs converts a measured wall-clock duration back to virtual
+// milliseconds.
+func (n *Net) VirtualMs(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond) / n.cfg.TimeScale
+}
+
+// nodeOf maps a relay address back to its topology node.
+func (n *Net) nodeOf(addr string) (inet.NodeID, bool) {
+	id, ok := n.nodeByAddr[addr]
+	return id, ok
+}
+
+// RelayByName returns the running relay with the given nickname, or nil.
+// Tests and operational tooling use it to read relay statistics.
+func (n *Net) RelayByName(name string) *relay.Relay {
+	return n.relayByName[name]
+}
+
+// NodeName returns the nickname of the relay at a node.
+func (n *Net) NodeName(id inet.NodeID) (string, bool) {
+	name, ok := n.names[id]
+	return name, ok
+}
+
+// dialerFrom builds a link dialer whose connections carry the one-way
+// latency between the caller's node and the target relay's node.
+func (n *Net) dialerFrom(from inet.NodeID) link.Dialer {
+	return dialerFunc(func(addr string) (link.Link, error) {
+		to, ok := n.nodeOf(addr)
+		if !ok {
+			return nil, fmt.Errorf("tornet: no relay at %q", addr)
+		}
+		var raw link.Link
+		var err error
+		if n.cfg.TCP {
+			raw, err = link.TCPDialer{}.Dial(addr)
+		} else {
+			raw, err = n.pn.Dial(addr)
+		}
+		if err != nil {
+			return nil, err
+		}
+		oneWay := n.scale(n.cfg.Topology.RTT(from, to) / 2)
+		return link.Delayed(raw, oneWay, oneWay), nil
+	})
+}
+
+type dialerFunc func(addr string) (link.Link, error)
+
+func (f dialerFunc) Dial(addr string) (link.Link, error) { return f(addr) }
+
+// exitDialer opens the exit-side connection to the echo destination, which
+// lives at the measurement host; the connection carries the exit↔host
+// latency.
+type exitDialer struct {
+	n    *Net
+	from inet.NodeID
+}
+
+func (e *exitDialer) DialStream(target string) (io.ReadWriteCloser, error) {
+	if target != EchoTarget {
+		return nil, fmt.Errorf("tornet: unknown stream target %q", target)
+	}
+	a, b := net.Pipe()
+	go echo.Handle(b)
+	oneWay := e.n.scale(e.n.cfg.Topology.RTT(e.from, e.n.cfg.Host) / 2)
+	return link.DelayedRW(a, oneWay, oneWay), nil
+}
+
+// Close stops every relay.
+func (n *Net) Close() {
+	n.closeOnce.Do(func() {
+		for _, r := range n.relays {
+			r.Close()
+		}
+	})
+}
