@@ -11,10 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"ting/internal/control"
@@ -34,6 +37,10 @@ var (
 	pairFlag    = flag.String("pair", "", "comma-separated relay pair to measure")
 	allFlag     = flag.Bool("all", false, "measure all pairs from the consensus")
 	outFlag     = flag.String("out", "", "write the all-pairs matrix to this file")
+
+	retryFlag   = flag.Int("retry", 2, "all-pairs: extra attempts per failed pair")
+	backoffFlag = flag.Duration("backoff", time.Second, "all-pairs: base retry backoff (doubled per attempt, jittered)")
+	pairTimeout = flag.Duration("pair-timeout", 0, "all-pairs: per-attempt deadline (0 = none)")
 
 	planFlag     = flag.Bool("plan", false, "project campaign cost instead of measuring")
 	planRelays   = flag.Int("relays", 0, "plan: relay population (all pairs)")
@@ -118,6 +125,10 @@ func main() {
 			names = append(names, d.Nickname)
 		}
 		fmt.Printf("measuring all %d pairs of %d relays…\n", len(names)*(len(names)-1)/2, len(names))
+		// Ctrl-C cancels the scan cooperatively: in-flight pairs finish,
+		// the rest of the campaign is abandoned promptly.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
 		sc := &ting.Scanner{
 			// The control connection serializes circuit work, so scan with
 			// one worker; parallel scanning needs parallel control
@@ -127,16 +138,20 @@ func main() {
 			Progress: func(done, total int) {
 				fmt.Printf("\r  %d/%d", done, total)
 			},
-			// Live relays churn; keep scanning past dead ones.
+			// Live relays churn (§4.5); keep scanning past dead ones, but
+			// give each failed pair a few backed-off retries first.
 			SkipFailures: true,
+			Retry:        *retryFlag,
+			Backoff:      *backoffFlag,
+			PairTimeout:  *pairTimeout,
 		}
-		matrix, failures, err := sc.AllPairsTolerant(names)
+		matrix, failures, err := sc.AllPairsTolerant(ctx, names)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println()
 		for _, f := range failures {
-			fmt.Printf("  failed: %s-%s: %v\n", f.X, f.Y, f.Err)
+			fmt.Printf("  failed after %d attempts: %s-%s: %v\n", f.Attempts, f.X, f.Y, f.Err)
 		}
 		if *outFlag != "" {
 			f, err := os.Create(*outFlag)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,7 +40,7 @@ func main() {
 	fmt.Printf("monitoring %d relays (%d pairs), 60 pairs per sweep:\n",
 		len(world.Names), len(world.Names)*(len(world.Names)-1)/2)
 	for sweep := 1; ; sweep++ {
-		n, err := mon.Sweep()
+		n, err := mon.Sweep(context.Background())
 		if err != nil {
 			log.Fatal(err)
 		}

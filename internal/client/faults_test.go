@@ -1,0 +1,100 @@
+package client
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ting/internal/directory"
+	"ting/internal/faults"
+)
+
+// faultyClient is a test client whose dials pass through a fault plan; on a
+// PipeNet, addresses already are relay names.
+func faultyClient(t *testing.T, tn *testNet, plan *faults.Plan) *Client {
+	t.Helper()
+	c, err := New(Config{
+		Dialer:  plan.WrapDialer(tn.pn, "client", nil),
+		Timeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBuildCircuitRefusedByFaultPlan(t *testing.T) {
+	tn := buildTestNet(t, 3)
+	plan := faults.NewPlan(71)
+	plan.SetLink("client", "r0", faults.LinkFaults{DialFailProb: 1})
+	c := faultyClient(t, tn, plan)
+
+	// Entry through the blocked relay fails at the fault layer.
+	if _, err := c.BuildCircuit(tn.descs[:2]); !errors.Is(err, faults.ErrDialRefused) {
+		t.Errorf("build over blocked entry = %v, want ErrDialRefused", err)
+	}
+	// Only the client→r0 edge is blocked: entering at r1 and extending to
+	// r0 uses r1's own (healthy) dialer and works.
+	circ, err := c.BuildCircuit([]*directory.Descriptor{tn.descs[1], tn.descs[0]})
+	if err != nil {
+		t.Fatalf("unblocked path failed: %v", err)
+	}
+	circ.Close()
+}
+
+func TestBuildCircuitToCrashedRelayFailsFast(t *testing.T) {
+	tn := buildTestNet(t, 2)
+	plan := faults.NewPlan(72)
+	plan.Begin()
+	plan.Crash("r0")
+	c := faultyClient(t, tn, plan)
+
+	start := time.Now()
+	_, err := c.BuildCircuit(tn.descs)
+	if !errors.Is(err, faults.ErrDialRefused) {
+		t.Errorf("build to crashed relay = %v, want ErrDialRefused", err)
+	}
+	// The refusal happens at dial time, not after a protocol timeout.
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("crashed-relay dial took %v, want immediate refusal", elapsed)
+	}
+}
+
+// TestInjectedResetTearsDownCircuit sends traffic over a link scheduled to
+// reset deterministically: the circuit must fail with an error rather than
+// hang, proving mid-circuit link loss surfaces to the client.
+func TestInjectedResetTearsDownCircuit(t *testing.T) {
+	tn := buildTestNet(t, 2)
+	plan := faults.NewPlan(73)
+	// The client's entry link dies on its 6th cell: enough to let the
+	// circuit build (CREATE + EXTEND) and a stream open, then fail mid-use.
+	plan.SetLink("client", "r0", faults.LinkFaults{ResetAfter: 6})
+	c := faultyClient(t, tn, plan)
+
+	circ, err := c.BuildCircuit(tn.descs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer circ.Close()
+	st, err := circ.OpenStream("echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrote := false
+	for i := 0; i < 20; i++ {
+		if _, err = st.Write([]byte("ping")); err != nil {
+			break
+		}
+		wrote = true
+		buf := make([]byte, 4)
+		if _, err = st.Read(buf); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Fatal("stream survived 20 round trips over a link that resets on send 6")
+	}
+	if !wrote {
+		t.Error("link reset before any traffic; ResetAfter budget miscounted")
+	}
+}

@@ -1,0 +1,232 @@
+package faults
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ting/internal/cell"
+	"ting/internal/link"
+)
+
+func testCell() cell.Cell {
+	var c cell.Cell
+	c.Circ = 7
+	c.Cmd = cell.Padding
+	return c
+}
+
+func TestHealthyPlanPassesThrough(t *testing.T) {
+	p := NewPlan(1)
+	a, b := link.Pipe(4, "a", "b")
+	wrapped := p.WrapLink(a, "a", "b")
+	if wrapped != a {
+		t.Fatal("healthy plan should not wrap the link")
+	}
+	if err := wrapped.Send(testCell()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDropLosesCellsSilently(t *testing.T) {
+	p := NewPlan(2)
+	p.SetLink("a", "b", LinkFaults{DropProb: 1})
+	a, b := link.Pipe(4, "a", "b")
+	w := p.WrapLink(a, "a", "b")
+	if err := w.Send(testCell()); err != nil {
+		t.Fatalf("dropped send must look successful, got %v", err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		b.Recv()
+	}()
+	select {
+	case <-done:
+		t.Fatal("cell arrived despite DropProb=1")
+	case <-time.After(20 * time.Millisecond):
+	}
+	a.Close()
+	b.Close()
+	<-done
+}
+
+func TestResetAfterDeterministic(t *testing.T) {
+	p := NewPlan(3)
+	p.SetLink("a", "b", LinkFaults{ResetAfter: 3})
+	a, b := link.Pipe(8, "a", "b")
+	w := p.WrapLink(a, "a", "b")
+	for i := 0; i < 2; i++ {
+		if err := w.Send(testCell()); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	err := w.Send(testCell())
+	if !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("third send: %v, want injected reset", err)
+	}
+	// Both ends observe the closure (after draining what arrived).
+	for i := 0; i < 2; i++ {
+		if _, err := b.Recv(); err != nil {
+			t.Fatalf("drain %d: %v", i, err)
+		}
+	}
+	if _, err := b.Recv(); err == nil {
+		t.Fatal("peer did not observe reset")
+	}
+}
+
+func TestStallDelaysCell(t *testing.T) {
+	p := NewPlan(4)
+	p.SetLink("a", "b", LinkFaults{StallProb: 1, Stall: 30 * time.Millisecond})
+	a, b := link.Pipe(4, "a", "b")
+	w := p.WrapLink(a, "a", "b")
+	start := time.Now()
+	if err := w.Send(testCell()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Errorf("stalled cell arrived after %v, want ≥ 30ms", d)
+	}
+}
+
+func TestSeededFaultSequenceReproducible(t *testing.T) {
+	const sends = 50
+	run := func() []bool {
+		p := NewPlan(99)
+		p.SetLink("a", "b", LinkFaults{DropProb: 0.5})
+		a, b := link.Pipe(sends, "a", "b")
+		w := p.WrapLink(a, "a", "b")
+		for i := 0; i < sends; i++ {
+			c := testCell()
+			c.Circ = cell.CircID(i + 1)
+			if err := w.Send(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		a.Close()
+		// Drain delivered cells; their Circ tags say which sends survived.
+		dropped := make([]bool, sends)
+		for i := range dropped {
+			dropped[i] = true
+		}
+		for {
+			c, err := b.Recv()
+			if err != nil {
+				break
+			}
+			dropped[int(c.Circ)-1] = false
+		}
+		b.Close()
+		return dropped
+	}
+	x, y := run(), run()
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("fault sequence diverged at send %d under the same seed", i)
+		}
+	}
+	// Sanity: both outcomes occur.
+	var drops int
+	for _, d := range x {
+		if d {
+			drops++
+		}
+	}
+	if drops == 0 || drops == len(x) {
+		t.Errorf("degenerate drop pattern: %d/%d", drops, len(x))
+	}
+}
+
+func TestWrapDialerRefusesDownRelay(t *testing.T) {
+	pn := link.NewPipeNet()
+	if _, err := pn.Listen("r0"); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlan(5)
+	p.Crash("r0")
+	d := p.WrapDialer(pn, "host", nil)
+	if _, err := d.Dial("r0"); !errors.Is(err, ErrDialRefused) {
+		t.Fatalf("dial to crashed relay: %v, want refusal", err)
+	}
+}
+
+func TestWrapDialerDialFailProb(t *testing.T) {
+	pn := link.NewPipeNet()
+	if _, err := pn.Listen("r0"); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlan(6)
+	p.SetLink(Wildcard, "r0", LinkFaults{DialFailProb: 1})
+	d := p.WrapDialer(pn, "host", nil)
+	if _, err := d.Dial("r0"); !errors.Is(err, ErrDialRefused) {
+		t.Fatalf("dial: %v, want injected dial failure", err)
+	}
+	// A rule for a different relay does not leak.
+	if _, err := pn.Listen("r1"); err != nil {
+		t.Fatal(err)
+	}
+	lk, err := d.Dial("r1")
+	if err != nil {
+		t.Fatalf("unfaulted dial failed: %v", err)
+	}
+	lk.Close()
+}
+
+func TestRelayScheduleCrashAfterAndFlap(t *testing.T) {
+	p := NewPlan(7)
+	p.SetRelay("dead", RelaySchedule{CrashAfter: time.Millisecond})
+	p.SetRelay("flappy", RelaySchedule{FlapPeriod: 40 * time.Millisecond, FlapDown: 20 * time.Millisecond})
+	base := time.Unix(0, 0)
+	clock := base
+	var mu sync.Mutex
+	p.now = func() time.Time { mu.Lock(); defer mu.Unlock(); return clock }
+	advance := func(d time.Duration) { mu.Lock(); clock = clock.Add(d); mu.Unlock() }
+
+	if p.Down("dead") || p.Down("flappy") {
+		t.Fatal("relays down before Begin")
+	}
+	p.Begin()
+	if !p.Down("flappy") {
+		t.Error("flappy should start a cycle down")
+	}
+	advance(25 * time.Millisecond)
+	if !p.Down("dead") {
+		t.Error("dead should be crashed after CrashAfter")
+	}
+	if p.Down("flappy") {
+		t.Error("flappy should be up at 25ms into a 40ms cycle")
+	}
+	advance(20 * time.Millisecond) // 45ms: next cycle's down window
+	if !p.Down("flappy") {
+		t.Error("flappy should be down at start of second cycle")
+	}
+	if p.Down("healthy") {
+		t.Error("unscheduled relay reported down")
+	}
+}
+
+func TestDownRelayResetsExistingLinks(t *testing.T) {
+	p := NewPlan(8)
+	p.SetRelay("b", RelaySchedule{CrashAfter: time.Hour}) // schedule exists → links wrapped
+	a, bHalf := link.Pipe(4, "a", "b")
+	defer bHalf.Close()
+	w := p.WrapLink(a, "a", "b")
+	if w == a {
+		t.Fatal("link with a scheduled peer must be wrapped")
+	}
+	if err := w.Send(testCell()); err != nil {
+		t.Fatal(err)
+	}
+	p.Crash("b")
+	if err := w.Send(testCell()); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("send to crashed relay: %v, want reset", err)
+	}
+}

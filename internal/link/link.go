@@ -40,6 +40,14 @@ type Dialer interface {
 	Dial(addr string) (Link, error)
 }
 
+// DialerFunc adapts a function to the Dialer interface, the way
+// http.HandlerFunc does for handlers. Composed dialers — latency injection,
+// fault injection — are function wrappers, so the adapter lives here.
+type DialerFunc func(addr string) (Link, error)
+
+// Dial implements Dialer.
+func (f DialerFunc) Dial(addr string) (Link, error) { return f(addr) }
+
 // Listener accepts inbound Links.
 type Listener interface {
 	Accept() (Link, error)

@@ -354,3 +354,28 @@ func TestConcurrentSendRecv(t *testing.T) {
 	}()
 	wg.Wait()
 }
+
+func TestDialerFunc(t *testing.T) {
+	pn := NewPipeNet()
+	ln, err := pn.Listen("relay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var dialed []string
+	var d Dialer = DialerFunc(func(addr string) (Link, error) {
+		dialed = append(dialed, addr)
+		return pn.Dial(addr)
+	})
+	lk, err := d.Dial("relay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lk.Close()
+	if _, err := d.Dial("ghost"); err == nil {
+		t.Error("dial to unknown relay succeeded")
+	}
+	if len(dialed) != 2 || dialed[0] != "relay" || dialed[1] != "ghost" {
+		t.Errorf("adapter not transparent: %v", dialed)
+	}
+}

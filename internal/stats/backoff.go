@@ -1,0 +1,57 @@
+package stats
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff computes jittered exponential retry delays. It is the seeded-RNG
+// counterpart of the usual wall-clock backoff: callers supply the RNG, so a
+// retry schedule is reproducible under a fixed seed — the property the
+// fault-injection tests rely on to replay a failing campaign exactly.
+type Backoff struct {
+	// Base is the delay before the first retry. Zero disables waiting.
+	Base time.Duration
+	// Max caps the grown delay. Zero means no cap.
+	Max time.Duration
+	// Factor is the per-attempt growth; values < 2 default to 2.
+	Factor float64
+	// Jitter is the fraction of the delay that is randomized, in [0, 1].
+	// A delay d becomes uniform in [d·(1−Jitter), d·(1+Jitter)].
+	Jitter float64
+}
+
+// Delay returns the wait before retry number attempt (1 = first retry).
+// rng may be nil, in which case the delay is unjittered.
+func (b Backoff) Delay(attempt int, rng *rand.Rand) time.Duration {
+	if b.Base <= 0 || attempt <= 0 {
+		return 0
+	}
+	factor := b.Factor
+	if factor < 2 {
+		factor = 2
+	}
+	d := float64(b.Base)
+	for i := 1; i < attempt; i++ {
+		d *= factor
+		if b.Max > 0 && d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	if b.Max > 0 && d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	if rng != nil && b.Jitter > 0 {
+		j := b.Jitter
+		if j > 1 {
+			j = 1
+		}
+		// Uniform in [d(1−j), d(1+j)].
+		d *= 1 - j + 2*j*rng.Float64()
+	}
+	if d < 0 {
+		return 0
+	}
+	return time.Duration(d)
+}

@@ -1,6 +1,7 @@
 package ting
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -27,11 +28,22 @@ type ControlProber struct {
 
 // SampleCircuit implements CircuitProber over the control protocol.
 func (p *ControlProber) SampleCircuit(path []string, n int) ([]float64, error) {
+	return p.SampleCircuitCtx(context.Background(), path, n)
+}
+
+// SampleCircuitCtx implements ContextProber: cancellation is checked
+// between protocol steps and between probe batches, so a cancelled scan
+// releases its circuit and its control connection promptly instead of
+// finishing the full sample count.
+func (p *ControlProber) SampleCircuitCtx(ctx context.Context, path []string, n int) ([]float64, error) {
 	if p.Conn == nil || p.DataAddr == "" || p.Target == "" {
 		return nil, errors.New("ting: control prober misconfigured")
 	}
 	if n <= 0 {
 		return nil, errors.New("ting: sample count must be positive")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	circID, err := p.Conn.ExtendCircuit(path)
 	if err != nil {
@@ -39,22 +51,38 @@ func (p *ControlProber) SampleCircuit(path []string, n int) ([]float64, error) {
 	}
 	defer p.Conn.CloseCircuit(circID)
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	conn, err := control.DialStream(p.DataAddr, circID, p.Target)
 	if err != nil {
 		return nil, fmt.Errorf("ting: attach stream: %w", err)
 	}
 	defer conn.Close()
 
-	rtts, err := echo.NewClient(conn).ProbeN(n)
-	if err != nil {
-		return nil, fmt.Errorf("ting: probe: %w", err)
-	}
-	out := make([]float64, len(rtts))
-	for i, d := range rtts {
-		if p.ToMs != nil {
-			out[i] = p.ToMs(d)
-		} else {
-			out[i] = float64(d) / float64(time.Millisecond)
+	// Probe in small batches so cancellation lands within a few samples
+	// even when each round trip is fast.
+	const batch = 8
+	ec := echo.NewClient(conn)
+	out := make([]float64, 0, n)
+	for len(out) < n {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		k := batch
+		if rem := n - len(out); rem < k {
+			k = rem
+		}
+		rtts, err := ec.ProbeN(k)
+		if err != nil {
+			return nil, fmt.Errorf("ting: probe: %w", err)
+		}
+		for _, d := range rtts {
+			if p.ToMs != nil {
+				out = append(out, p.ToMs(d))
+			} else {
+				out = append(out, float64(d)/float64(time.Millisecond))
+			}
 		}
 	}
 	return out, nil

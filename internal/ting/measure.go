@@ -1,6 +1,7 @@
 package ting
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -51,6 +52,14 @@ func NewMeasurer(cfg Config) (*Measurer, error) {
 // Samples returns the configured per-circuit sample count.
 func (m *Measurer) Samples() int { return m.cfg.Samples }
 
+// Close releases resources the prober holds (cached circuits, open
+// streams). Probers without a Close method make this a no-op.
+func (m *Measurer) Close() {
+	if c, ok := m.cfg.Prober.(interface{ Close() }); ok {
+		c.Close()
+	}
+}
+
 // Measurement is the result of one pair measurement.
 type Measurement struct {
 	X, Y string
@@ -65,10 +74,20 @@ type Measurement struct {
 	Elapsed time.Duration
 }
 
-// MeasurePair measures R(x, y) per §3.3: it builds the full circuit
-// (w,x,y,z) plus the two isolation circuits (w,x) and (w,y), min-filters
-// the samples, and applies Eq. (4).
+// MeasurePair measures R(x, y) per §3.3 with no cancellation; it is
+// MeasurePairCtx under a background context.
 func (m *Measurer) MeasurePair(x, y string) (*Measurement, error) {
+	return m.MeasurePairCtx(context.Background(), x, y)
+}
+
+// MeasurePairCtx measures R(x, y) per §3.3: it builds the full circuit
+// (w,x,y,z) plus the two isolation circuits (w,x) and (w,y), min-filters
+// the samples, and applies Eq. (4). Cancellation is cooperative: ctx is
+// checked before each of the three circuit measurements, and probers that
+// implement ContextProber can additionally abort mid-circuit — so a
+// cancelled scan stops within one circuit's sampling time rather than
+// burning the rest of the campaign.
+func (m *Measurer) MeasurePairCtx(ctx context.Context, x, y string) (*Measurement, error) {
 	if err := m.checkPair(x, y); err != nil {
 		return nil, err
 	}
@@ -76,15 +95,15 @@ func (m *Measurer) MeasurePair(x, y string) (*Measurement, error) {
 	// C_x first, then the full circuit: the full path extends C_x's, so a
 	// reusing prober (leaky-pipe extension) grows one circuit instead of
 	// building two. The estimate is order-independent.
-	minX, err := m.minRTT([]string{m.cfg.W, x})
+	minX, err := m.minRTTCtx(ctx, []string{m.cfg.W, x})
 	if err != nil {
 		return nil, fmt.Errorf("ting: C_x: %w", err)
 	}
-	minFull, err := m.minRTT([]string{m.cfg.W, x, y, m.cfg.Z})
+	minFull, err := m.minRTTCtx(ctx, []string{m.cfg.W, x, y, m.cfg.Z})
 	if err != nil {
 		return nil, fmt.Errorf("ting: C_xy: %w", err)
 	}
-	minY, err := m.minRTT([]string{m.cfg.W, y})
+	minY, err := m.minRTTCtx(ctx, []string{m.cfg.W, y})
 	if err != nil {
 		return nil, fmt.Errorf("ting: C_y: %w", err)
 	}
@@ -120,7 +139,20 @@ func (m *Measurer) checkPair(x, y string) error {
 // the minimum — the aggregation that makes forwarding delays vanish from
 // the estimate (§3.3).
 func (m *Measurer) minRTT(path []string) (float64, error) {
-	samples, err := m.cfg.Prober.SampleCircuit(path, m.cfg.Samples)
+	return m.minRTTCtx(context.Background(), path)
+}
+
+func (m *Measurer) minRTTCtx(ctx context.Context, path []string) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	var samples []float64
+	var err error
+	if cp, ok := m.cfg.Prober.(ContextProber); ok {
+		samples, err = cp.SampleCircuitCtx(ctx, path, m.cfg.Samples)
+	} else {
+		samples, err = m.cfg.Prober.SampleCircuit(path, m.cfg.Samples)
+	}
 	if err != nil {
 		return 0, err
 	}

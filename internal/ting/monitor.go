@@ -1,6 +1,7 @@
 package ting
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -126,8 +127,13 @@ func (mon *Monitor) stalePairsLocked() [][2]string {
 }
 
 // Sweep refreshes up to PairsPerSweep stale pairs and returns how many it
-// measured.
-func (mon *Monitor) Sweep() (int, error) {
+// measured. Cancelling ctx stops the sweep cooperatively: in-flight pairs
+// finish, unmeasured ones stay stale for the next sweep, and ctx.Err() is
+// returned.
+func (mon *Monitor) Sweep(ctx context.Context) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	mon.mu.Lock()
 	stale := mon.stalePairsLocked()
 	total := len(mon.matrix.Names) * (len(mon.matrix.Names) - 1) / 2
@@ -149,21 +155,38 @@ func (mon *Monitor) Sweep() (int, error) {
 	if workers > len(todo) {
 		workers = len(todo)
 	}
+	// Build all measurers before starting any worker, so a failure midway
+	// leaves no goroutine to join and every created measurer is closed.
+	measurers := make([]*Measurer, 0, workers)
+	for w := 0; w < workers; w++ {
+		meas, err := mon.cfg.NewMeasurer(w)
+		if err != nil {
+			for _, m := range measurers {
+				m.Close()
+			}
+			return 0, fmt.Errorf("ting: monitor worker %d: %w", w, err)
+		}
+		measurers = append(measurers, meas)
+	}
+	defer func() {
+		for _, m := range measurers {
+			m.Close()
+		}
+	}()
+
 	jobs := make(chan [2]string)
 	var wg sync.WaitGroup
 	var errMu sync.Mutex
 	var firstErr error
-	for w := 0; w < workers; w++ {
-		meas, err := mon.cfg.NewMeasurer(w)
-		if err != nil {
-			close(jobs)
-			return 0, fmt.Errorf("ting: monitor worker %d: %w", w, err)
-		}
+	for _, meas := range measurers {
 		wg.Add(1)
 		go func(meas *Measurer) {
 			defer wg.Done()
 			for p := range jobs {
-				res, err := meas.MeasurePair(p[0], p[1])
+				if ctx.Err() != nil {
+					continue // drain; pair stays stale
+				}
+				res, err := meas.MeasurePairCtx(ctx, p[0], p[1])
 				if err != nil {
 					// A dead relay must not wedge the monitor: record the
 					// failure and let the pair stay stale for the next
@@ -186,34 +209,49 @@ func (mon *Monitor) Sweep() (int, error) {
 			}
 		}(meas)
 	}
+feed:
 	for _, p := range todo {
-		jobs <- p
+		select {
+		case <-ctx.Done():
+			break feed
+		case jobs <- p:
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	if firstErr != nil {
 		return 0, firstErr
 	}
 	return len(todo), nil
 }
 
-// RunEvery sweeps on the interval until stop is closed. It runs one sweep
+// RunEvery sweeps on the interval until ctx is cancelled (which returns
+// nil: a cancelled monitor stopped on request). It runs one sweep
 // immediately.
-func (mon *Monitor) RunEvery(interval time.Duration, stop <-chan struct{}) error {
+func (mon *Monitor) RunEvery(ctx context.Context, interval time.Duration) error {
 	if interval <= 0 {
 		return errors.New("ting: non-positive monitor interval")
 	}
-	if _, err := mon.Sweep(); err != nil {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if _, err := mon.Sweep(ctx); err != nil && !errors.Is(err, context.Canceled) {
 		return err
 	}
 	t := time.NewTicker(interval)
 	defer t.Stop()
 	for {
 		select {
-		case <-stop:
+		case <-ctx.Done():
 			return nil
 		case <-t.C:
-			if _, err := mon.Sweep(); err != nil {
+			if _, err := mon.Sweep(ctx); err != nil {
+				if errors.Is(err, context.Canceled) {
+					return nil
+				}
 				return err
 			}
 		}

@@ -1,6 +1,7 @@
 package ting
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -25,7 +26,7 @@ func TestMonitorSweepMeasuresAllWhenEmpty(t *testing.T) {
 	if got := len(mon.StalePairs()); got != 1 {
 		t.Fatalf("stale pairs = %d, want 1", got)
 	}
-	n, err := mon.Sweep()
+	n, err := mon.Sweep(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,11 +56,11 @@ func TestMonitorSkipsFreshPairs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mon.Sweep(); err != nil {
+	if _, err := mon.Sweep(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Still fresh: nothing to do.
-	n, err := mon.Sweep()
+	n, err := mon.Sweep(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestMonitorSkipsFreshPairs(t *testing.T) {
 	}
 	// Age past MaxAge: stale again.
 	now = now.Add(2 * time.Hour)
-	n, err = mon.Sweep()
+	n, err = mon.Sweep(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestMonitorPairsPerSweepSpreadsLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 	for sweep := 1; sweep <= 3; sweep++ {
-		n, err := mon.Sweep()
+		n, err := mon.Sweep(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -140,7 +141,7 @@ func TestMonitorStalestFirst(t *testing.T) {
 	seen := map[[2]string]int{}
 	for i := 0; i < 3; i++ {
 		before := mon.Stats().Measured
-		if _, err := mon.Sweep(); err != nil {
+		if _, err := mon.Sweep(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 		if mon.Stats().Measured != before+1 {
@@ -179,7 +180,7 @@ func TestMonitorPropagatesErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mon.Sweep(); err == nil {
+	if _, err := mon.Sweep(context.Background()); err == nil {
 		t.Error("sweep error swallowed")
 	}
 }
@@ -192,9 +193,9 @@ func TestMonitorRunEvery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stop := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- mon.RunEvery(5*time.Millisecond, stop) }()
+	go func() { done <- mon.RunEvery(ctx, 5*time.Millisecond) }()
 	deadline := time.After(3 * time.Second)
 	for mon.Stats().Sweeps < 3 {
 		select {
@@ -204,11 +205,11 @@ func TestMonitorRunEvery(t *testing.T) {
 			time.Sleep(2 * time.Millisecond)
 		}
 	}
-	close(stop)
+	cancel()
 	if err := <-done; err != nil {
 		t.Fatal(err)
 	}
-	if err := mon.RunEvery(0, stop); err == nil {
+	if err := mon.RunEvery(context.Background(), 0); err == nil {
 		t.Error("zero interval accepted")
 	}
 }

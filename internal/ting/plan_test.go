@@ -1,6 +1,7 @@
 package ting
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -104,7 +105,7 @@ func TestScannerSkipFailures(t *testing.T) {
 		},
 		SkipFailures: true,
 	}
-	m, failures, err := sc.AllPairsTolerant([]string{"x", "y", "v"})
+	m, failures, err := sc.AllPairsTolerant(context.Background(), []string{"x", "y", "v"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestMonitorCountsFailures(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mon.Sweep(); err == nil {
+	if _, err := mon.Sweep(context.Background()); err == nil {
 		t.Error("first error not surfaced")
 	}
 	if mon.Stats().Failed != 1 {
@@ -143,7 +144,7 @@ func TestMonitorCountsFailures(t *testing.T) {
 	}
 	// The pair stays stale and is retried once the relay recovers.
 	delete(f.errs, "x")
-	if _, err := mon.Sweep(); err != nil {
+	if _, err := mon.Sweep(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if v, _ := mon.Matrix().RTT("x", "y"); v <= 0 {

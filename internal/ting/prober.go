@@ -25,6 +25,7 @@
 package ting
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -41,6 +42,14 @@ type CircuitProber interface {
 	// SampleCircuit builds (or reuses) a circuit through the named relays
 	// in order and returns n end-to-end RTT samples in milliseconds.
 	SampleCircuit(path []string, n int) ([]float64, error)
+}
+
+// ContextProber is an optional extension of CircuitProber for probers that
+// can abort sampling early when a scan is cancelled or a per-pair deadline
+// expires. Measurer uses it when available; plain probers are still
+// cancelled cooperatively between circuits.
+type ContextProber interface {
+	SampleCircuitCtx(ctx context.Context, path []string, n int) ([]float64, error)
 }
 
 // DirectProber takes non-Tor RTT samples from the measurement host to a

@@ -1,18 +1,28 @@
 package ting
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
+	"time"
+
+	"ting/internal/stats"
 )
 
 // Scanner measures all pairs of a relay set in parallel — the workflow
 // that produces the 930-pair validation dataset (§4.2) and the 50-node
-// all-pairs dataset driving every Section 5 application.
+// all-pairs dataset driving every Section 5 application. It is built for
+// the live network's churn (§4.5): failed pairs can be retried with
+// exponential backoff on a different worker, each attempt can carry a
+// deadline, and a non-tolerant scan aborts promptly instead of measuring
+// the rest of the campaign after the first error.
 type Scanner struct {
 	// NewMeasurer builds one Measurer per worker. Probers are typically
 	// not safe for concurrent use, so each worker gets its own. Required.
+	// Measurers are closed when the scan finishes.
 	NewMeasurer func(worker int) (*Measurer, error)
 	// Workers is the parallelism; default 4.
 	Workers int
@@ -20,42 +30,74 @@ type Scanner struct {
 	Cache *Cache
 	// Shuffle, if non-zero, probes pairs in a seed-determined random order,
 	// as the paper does ("We probe each pair in a randomized order", §4.2).
+	// The same seed also drives backoff jitter, so a scan's retry schedule
+	// is reproducible.
 	Shuffle int64
-	// Progress, if non-nil, is called after each pair completes.
+	// Progress, if non-nil, is called after each pair reaches a final
+	// disposition — success or (in tolerant mode) permanent failure — so
+	// done always reaches total on a completed scan.
 	Progress func(done, total int)
 	// SkipFailures keeps scanning when a pair fails (live relays churn;
 	// aborting a 10,000-pair campaign for one dead relay is wrong). Failed
 	// pairs stay zero in the matrix and are reported alongside it.
 	SkipFailures bool
+	// Retry is how many additional attempts a failed pair gets before it
+	// is reported (default 0). Retries are handed to a different worker
+	// when one is free — a pair that failed because its worker's circuits
+	// wedged gets a fresh prober.
+	Retry int
+	// Backoff is the wait before the first retry, doubled per attempt and
+	// jittered ±50% from the Shuffle seed. Zero retries immediately.
+	Backoff time.Duration
+	// PairTimeout bounds each measurement attempt. Cancellation is
+	// cooperative (checked between circuits, and mid-circuit for probers
+	// that support contexts), so a wedged transport is bounded by the
+	// prober's own timeouts, not this one. Zero means no deadline.
+	PairTimeout time.Duration
 }
 
 // PairError records one failed measurement in a tolerant scan.
 type PairError struct {
 	X, Y string
 	Err  error
+	// Attempts is how many measurement attempts the pair consumed.
+	Attempts int
+}
+
+// pairJob is one queued measurement attempt.
+type pairJob struct {
+	x, y    string
+	attempt int // attempts already consumed
+	prev    int // worker that last failed this pair, -1 initially
+	bounce  int // hand-offs to avoid retrying on the same worker
 }
 
 // AllPairs measures every unordered pair among names and returns the
 // matrix. With SkipFailures, failed pairs are returned instead of aborting.
 func (s *Scanner) AllPairs(names []string) (*Matrix, error) {
-	m, _, err := s.AllPairsTolerant(names)
+	m, _, err := s.AllPairsTolerant(context.Background(), names)
 	return m, err
 }
 
-// AllPairsTolerant is AllPairs returning the failed pairs explicitly.
-func (s *Scanner) AllPairsTolerant(names []string) (*Matrix, []PairError, error) {
+// AllPairsTolerant is AllPairs returning the failed pairs explicitly,
+// sorted by pair name for reproducibility. Cancelling ctx aborts the scan:
+// in-flight attempts finish (or hit their cooperative cancellation points)
+// and ctx.Err() is returned.
+func (s *Scanner) AllPairsTolerant(ctx context.Context, names []string) (*Matrix, []PairError, error) {
 	if s.NewMeasurer == nil {
 		return nil, nil, errors.New("ting: scanner missing NewMeasurer")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	m, err := NewMatrix(names)
 	if err != nil {
 		return nil, nil, err
 	}
-	type pair struct{ x, y string }
-	var todo []pair
+	var todo []pairJob
 	for i := 0; i < len(names); i++ {
 		for j := i + 1; j < len(names); j++ {
-			todo = append(todo, pair{names[i], names[j]})
+			todo = append(todo, pairJob{x: names[i], y: names[j], prev: -1})
 		}
 	}
 	if s.Shuffle != 0 {
@@ -71,60 +113,171 @@ func (s *Scanner) AllPairsTolerant(names []string) (*Matrix, []PairError, error)
 		workers = len(todo)
 	}
 
-	jobs := make(chan pair)
+	// Build every worker's measurer up front: if the k-th fails, the
+	// earlier ones are closed and no goroutine has started — nothing to
+	// drain, no leaked circuits.
+	measurers := make([]*Measurer, 0, workers)
+	for w := 0; w < workers; w++ {
+		meas, err := s.NewMeasurer(w)
+		if err != nil {
+			for _, m := range measurers {
+				m.Close()
+			}
+			return nil, nil, fmt.Errorf("ting: worker %d: %w", w, err)
+		}
+		measurers = append(measurers, meas)
+	}
+	defer func() {
+		for _, m := range measurers {
+			m.Close()
+		}
+	}()
+
+	scanCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	backoff := stats.Backoff{Base: s.Backoff, Factor: 2, Jitter: 0.5}
+	var jitterMu sync.Mutex
+	jitterRNG := rand.New(rand.NewSource(s.Shuffle ^ 0x7107))
+	nextDelay := func(attempt int) time.Duration {
+		jitterMu.Lock()
+		defer jitterMu.Unlock()
+		return backoff.Delay(attempt, jitterRNG)
+	}
+
+	// The channel holds at most one instance of each pair (retries are
+	// enqueued only after the failed instance was consumed), so this
+	// capacity guarantees workers never block on requeue.
+	jobs := make(chan pairJob, len(todo)+workers)
+	var remaining sync.WaitGroup // open pairs, regardless of attempt count
+	remaining.Add(len(todo))
+	go func() {
+		remaining.Wait()
+		close(jobs)
+	}()
+
+	maxAttempts := s.Retry + 1
 	var mu sync.Mutex // guards matrix writes, progress counter, errors
 	var done int
 	var firstErr error
 	var failures []PairError
 	var wg sync.WaitGroup
 
-	for w := 0; w < workers; w++ {
-		meas, err := s.NewMeasurer(w)
-		if err != nil {
-			close(jobs)
-			return nil, nil, fmt.Errorf("ting: worker %d: %w", w, err)
-		}
-		wg.Add(1)
-		go func(meas *Measurer) {
-			defer wg.Done()
-			for p := range jobs {
-				rtt, err := s.measureOne(meas, p.x, p.y)
-				mu.Lock()
-				if err != nil {
-					if s.SkipFailures {
-						failures = append(failures, PairError{X: p.x, Y: p.y, Err: err})
-					} else if firstErr == nil {
-						firstErr = fmt.Errorf("ting: pair (%s,%s): %w", p.x, p.y, err)
-					}
-				} else {
-					_ = m.Set(p.x, p.y, rtt)
-					done++
-					if s.Progress != nil {
-						s.Progress(done, len(todo))
-					}
-				}
-				mu.Unlock()
+	settle := func(job pairJob, err error) {
+		mu.Lock()
+		if err == nil {
+			done++
+		} else if s.SkipFailures {
+			failures = append(failures, PairError{X: job.x, Y: job.y, Err: err, Attempts: job.attempt})
+			// A failed pair is still completed work: without this,
+			// Progress(done, total) never reaches total on a tolerant
+			// scan with failures.
+			done++
+		} else {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("ting: pair (%s,%s): %w", job.x, job.y, err)
 			}
-		}(meas)
+			// Latch and stop: cancel the scan so no new measurements are
+			// dispatched; in-flight ones notice cooperatively.
+			cancel()
+		}
+		if err == nil || s.SkipFailures {
+			if s.Progress != nil {
+				s.Progress(done, len(todo))
+			}
+		}
+		mu.Unlock()
+		remaining.Done()
 	}
-	for _, p := range todo {
-		jobs <- p
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int, meas *Measurer) {
+			defer wg.Done()
+			for job := range jobs {
+				if scanCtx.Err() != nil {
+					// Aborted scan: drain without measuring. The scan's
+					// result is discarded, so abandoned pairs are not
+					// settled — progress must not count them as done.
+					remaining.Done()
+					continue
+				}
+				if job.prev == w && workers > 1 && job.bounce < workers {
+					// This worker already failed the pair; hand the retry
+					// to a different one.
+					job.bounce++
+					jobs <- job
+					continue
+				}
+				attemptCtx := scanCtx
+				var cancelAttempt context.CancelFunc
+				if s.PairTimeout > 0 {
+					attemptCtx, cancelAttempt = context.WithTimeout(scanCtx, s.PairTimeout)
+				}
+				rtt, err := s.measureOne(attemptCtx, meas, job.x, job.y)
+				if cancelAttempt != nil {
+					cancelAttempt()
+				}
+				job.attempt++
+				if err == nil {
+					mu.Lock()
+					_ = m.Set(job.x, job.y, rtt)
+					mu.Unlock()
+					settle(job, nil)
+					continue
+				}
+				if job.attempt < maxAttempts && scanCtx.Err() == nil {
+					if d := nextDelay(job.attempt); d > 0 {
+						t := time.NewTimer(d)
+						select {
+						case <-scanCtx.Done():
+						case <-t.C:
+						}
+						t.Stop()
+					}
+					job.prev, job.bounce = w, 0
+					jobs <- job
+					continue
+				}
+				settle(job, err)
+			}
+		}(w, measurers[w])
 	}
-	close(jobs)
+
+	for _, job := range todo {
+		select {
+		case <-scanCtx.Done():
+			// Stop dispatching; the pairs never handed out are settled
+			// here so the drain above terminates.
+		case jobs <- job:
+			continue
+		}
+		remaining.Done()
+	}
 	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	if firstErr != nil {
 		return nil, nil, firstErr
 	}
+	sort.Slice(failures, func(i, j int) bool {
+		if failures[i].X != failures[j].X {
+			return failures[i].X < failures[j].X
+		}
+		return failures[i].Y < failures[j].Y
+	})
 	return m, failures, nil
 }
 
-func (s *Scanner) measureOne(meas *Measurer, x, y string) (float64, error) {
+func (s *Scanner) measureOne(ctx context.Context, meas *Measurer, x, y string) (float64, error) {
 	if s.Cache != nil {
 		if rtt, ok := s.Cache.Get(x, y); ok {
 			return rtt, nil
 		}
 	}
-	res, err := meas.MeasurePair(x, y)
+	res, err := meas.MeasurePairCtx(ctx, x, y)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,177 @@
+package tornet
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ting/internal/faults"
+	"ting/internal/geo"
+	"ting/internal/inet"
+)
+
+// faultOverlay builds a small overlay with a fault plan installed.
+func faultOverlay(t *testing.T, plan *faults.Plan) *Net {
+	t.Helper()
+	topo, err := inet.Generate(inet.Config{N: 3, Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := topo.AddHost("host", geo.Coord{Lat: 51, Lon: 0}, 62)
+	for i := 0; i < 3; i++ {
+		topo.OverrideRTT(host, inet.NodeID(i), 4)
+		for j := i + 1; j < 3; j++ {
+			topo.OverrideRTT(inet.NodeID(i), inet.NodeID(j), 4)
+		}
+	}
+	n, err := Build(Config{Topology: topo, Host: host, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	return n
+}
+
+// TestCrashRelayTearsDownCircuits kills a mid-circuit relay and checks the
+// failure is felt end to end: the neighbour's dead link makes it DESTROY the
+// circuit back to the client, and the fault plan refuses future dials.
+func TestCrashRelayTearsDownCircuits(t *testing.T) {
+	plan := faults.NewPlan(63)
+	n := faultOverlay(t, plan)
+	var names []string
+	for i := 0; i < 3; i++ {
+		name, _ := n.NodeName(inet.NodeID(i))
+		names = append(names, name)
+	}
+	circ, err := n.Client.BuildCircuit(circuitPath(t, n, names...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := circ.OpenStream(EchoTarget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := st.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+
+	if !n.CrashRelay(names[1]) {
+		t.Fatalf("CrashRelay(%s) found no relay", names[1])
+	}
+	if !plan.Down(names[1]) {
+		t.Error("crashed relay not marked Down in the plan")
+	}
+	// The entry relay's link to the dead middle hop drops; DESTROY
+	// propagation must kill the client's circuit within the teardown window.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := circ.OpenStream(EchoTarget); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("circuit through crashed relay still carries streams")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Rebuilding through the dead relay fails at the dial: its listener is
+	// gone and the fault layer refuses the target.
+	if _, err := n.Client.BuildCircuit(circuitPath(t, n, names...)); err == nil {
+		t.Error("circuit rebuilt through a crashed relay")
+	}
+	if n.CrashRelay("no-such-relay") {
+		t.Error("CrashRelay invented a relay")
+	}
+}
+
+// TestFaultPlanCrashTimer lets the plan's CrashAfter schedule kill a relay
+// for real, without any manual CrashRelay call.
+func TestFaultPlanCrashTimer(t *testing.T) {
+	topoNames := func(n *Net) (string, string, string) {
+		a, _ := n.NodeName(0)
+		b, _ := n.NodeName(1)
+		c, _ := n.NodeName(2)
+		return a, b, c
+	}
+	plan := faults.NewPlan(64)
+	// The relay name is the topology node name, known before Build.
+	topo, err := inet.Generate(inet.Config{N: 3, Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := topo.Node(1).Name
+	plan.SetRelay(victim, faults.RelaySchedule{CrashAfter: 30 * time.Millisecond})
+	host := topo.AddHost("host", geo.Coord{Lat: 51, Lon: 0}, 62)
+	n, err := Build(Config{Topology: topo, Host: host, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	a, b, c := topoNames(n)
+	if b != victim {
+		t.Fatalf("victim %s is not node 1's relay %s", victim, b)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !plan.Down(victim) {
+		if time.Now().After(deadline) {
+			t.Fatal("CrashAfter schedule never fired")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := n.Client.BuildCircuit(circuitPath(t, n, a, b, c)); err == nil {
+		t.Error("circuit built through a schedule-crashed relay")
+	}
+	// Unaffected relays still work.
+	circ, err := n.Client.BuildCircuit(circuitPath(t, n, a, c))
+	if err != nil {
+		t.Fatalf("healthy relays collateral damage: %v", err)
+	}
+	circ.Close()
+}
+
+func TestBuildRejectsUnknownCrashTarget(t *testing.T) {
+	topo, err := inet.Generate(inet.Config{N: 3, Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := topo.AddHost("host", geo.Coord{Lat: 51, Lon: 0}, 62)
+	plan := faults.NewPlan(65)
+	plan.SetRelay("ghost", faults.RelaySchedule{CrashAfter: time.Millisecond})
+	if _, err := Build(Config{Topology: topo, Host: host, Faults: plan}); err == nil ||
+		!strings.Contains(err.Error(), "ghost") {
+		t.Errorf("Build with unknown crash target = %v, want ghost error", err)
+	}
+}
+
+// TestFaultPlanRefusesDials wires a DialFailProb=1 rule from the host to one
+// relay: entry circuits to it must fail at the fault layer while other
+// relays stay reachable.
+func TestFaultPlanRefusesDials(t *testing.T) {
+	topo, err := inet.Generate(inet.Config{N: 3, Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked := topo.Node(0).Name
+	host := topo.AddHost("host", geo.Coord{Lat: 51, Lon: 0}, 62)
+	plan := faults.NewPlan(66)
+	plan.SetLink("host", blocked, faults.LinkFaults{DialFailProb: 1})
+	n, err := Build(Config{Topology: topo, Host: host, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	a, _ := n.NodeName(0)
+	b, _ := n.NodeName(1)
+	c, _ := n.NodeName(2)
+	if _, err := n.Client.BuildCircuit(circuitPath(t, n, a, b)); err == nil {
+		t.Error("entry dial to blocked relay succeeded")
+	}
+	circ, err := n.Client.BuildCircuit(circuitPath(t, n, b, c))
+	if err != nil {
+		t.Fatalf("unblocked pair unreachable: %v", err)
+	}
+	circ.Close()
+}

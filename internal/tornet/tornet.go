@@ -22,6 +22,7 @@ import (
 	"ting/internal/client"
 	"ting/internal/directory"
 	"ting/internal/echo"
+	"ting/internal/faults"
 	"ting/internal/inet"
 	"ting/internal/link"
 	"ting/internal/onion"
@@ -65,6 +66,14 @@ type Config struct {
 	// sockets. Latency injection is identical; this mode proves the stack
 	// runs over a real network and backs cmd/tingnet.
 	TCP bool
+	// Faults, if non-nil, injects the plan's failures into the overlay:
+	// every inter-node link is wrapped with the plan's drop/stall/reset
+	// rules (a reset tears down the whole delayed path, as a mid-route
+	// failure would), dials to Down relays are refused, and relays with a
+	// CrashAfter schedule are killed for real — their listeners close and
+	// DESTROY propagation runs through the live circuit machinery. The
+	// plan's clock starts when Build returns.
+	Faults *faults.Plan
 }
 
 // Net is a running overlay.
@@ -78,8 +87,10 @@ type Net struct {
 	relayByName map[string]*relay.Relay
 	names       map[inet.NodeID]string // node → nickname of its public relay (or first local)
 	nodeByAddr  map[string]inet.NodeID // relay address → node
+	nameByAddr  map[string]string      // relay address → nickname, for fault-rule lookup
 
-	closeOnce sync.Once
+	crashTimers []*time.Timer
+	closeOnce   sync.Once
 }
 
 // Build constructs and starts the overlay.
@@ -112,6 +123,7 @@ func Build(cfg Config) (*Net, error) {
 		relayByName: make(map[string]*relay.Relay),
 		names:       make(map[inet.NodeID]string),
 		nodeByAddr:  make(map[string]inet.NodeID),
+		nameByAddr:  make(map[string]string),
 	}
 
 	// Public relays at their topology nodes.
@@ -143,7 +155,7 @@ func Build(cfg Config) (*Net, error) {
 	}
 
 	cl, err := client.New(client.Config{
-		Dialer:  n.dialerFrom(cfg.Host),
+		Dialer:  n.dialerFrom(cfg.Host, cfg.Topology.Node(cfg.Host).Name),
 		Timeout: cfg.Timeout,
 	})
 	if err != nil {
@@ -151,7 +163,41 @@ func Build(cfg Config) (*Net, error) {
 		return nil, err
 	}
 	n.Client = cl
+
+	if cfg.Faults != nil {
+		cfg.Faults.Begin()
+		for name, rs := range cfg.Faults.Relays() {
+			if rs.CrashAfter <= 0 {
+				continue
+			}
+			if _, ok := n.relayByName[name]; !ok {
+				n.Close()
+				return nil, fmt.Errorf("tornet: fault plan crashes unknown relay %q", name)
+			}
+			crashed := name
+			n.crashTimers = append(n.crashTimers, time.AfterFunc(rs.CrashAfter, func() {
+				n.CrashRelay(crashed)
+			}))
+		}
+	}
 	return n, nil
+}
+
+// CrashRelay abruptly kills the named relay, as a machine failure would:
+// its listener closes, every link it holds drops, and peers tear down the
+// affected circuits with DESTROY propagation. If a fault plan is installed
+// the relay is also marked Down there, so future dials are refused at the
+// fault layer. Returns false for an unknown relay.
+func (n *Net) CrashRelay(name string) bool {
+	r := n.relayByName[name]
+	if r == nil {
+		return false
+	}
+	if n.cfg.Faults != nil {
+		n.cfg.Faults.Crash(name)
+	}
+	r.Close()
+	return true
 }
 
 // addRelay starts one relay whose network position is node id.
@@ -186,7 +232,7 @@ func (n *Net) addRelay(name string, id inet.NodeID, fwd inet.ForwardingModel, pu
 		Addr:         dialAddr,
 		Identity:     identity,
 		Listener:     ln,
-		RelayDialer:  n.dialerFrom(id),
+		RelayDialer:  n.dialerFrom(id, name),
 		ExitDialer:   &exitDialer{n: n, from: id},
 		ExitPolicy:   func(target string) bool { return target == EchoTarget },
 		ForwardDelay: fwdFn,
@@ -199,6 +245,7 @@ func (n *Net) addRelay(name string, id inet.NodeID, fwd inet.ForwardingModel, pu
 	n.relays = append(n.relays, r)
 	n.relayByName[name] = r
 	n.nodeByAddr[dialAddr] = id
+	n.nameByAddr[dialAddr] = name
 	if _, taken := n.names[id]; !taken {
 		n.names[id] = name
 	}
@@ -247,9 +294,12 @@ func (n *Net) NodeName(id inet.NodeID) (string, bool) {
 }
 
 // dialerFrom builds a link dialer whose connections carry the one-way
-// latency between the caller's node and the target relay's node.
-func (n *Net) dialerFrom(from inet.NodeID) link.Dialer {
-	return dialerFunc(func(addr string) (link.Link, error) {
+// latency between the caller's node and the target relay's node. fromName
+// identifies the dialing endpoint in fault-plan rules. With a fault plan
+// installed, dials to Down relays are refused and every link is wrapped
+// with the plan's per-link faults beneath the latency injector.
+func (n *Net) dialerFrom(from inet.NodeID, fromName string) link.Dialer {
+	var inner link.Dialer = link.DialerFunc(func(addr string) (link.Link, error) {
 		to, ok := n.nodeOf(addr)
 		if !ok {
 			return nil, fmt.Errorf("tornet: no relay at %q", addr)
@@ -267,11 +317,19 @@ func (n *Net) dialerFrom(from inet.NodeID) link.Dialer {
 		oneWay := n.scale(n.cfg.Topology.RTT(from, to) / 2)
 		return link.Delayed(raw, oneWay, oneWay), nil
 	})
+	if n.cfg.Faults != nil {
+		// The fault wrapper sits outside Delayed: a reset or drop decided
+		// at send time closes the whole delayed link, exactly like a path
+		// failing under traffic.
+		inner = n.cfg.Faults.WrapDialer(inner, fromName, func(addr string) string {
+			if name, ok := n.nameByAddr[addr]; ok {
+				return name
+			}
+			return addr
+		})
+	}
+	return inner
 }
-
-type dialerFunc func(addr string) (link.Link, error)
-
-func (f dialerFunc) Dial(addr string) (link.Link, error) { return f(addr) }
 
 // exitDialer opens the exit-side connection to the echo destination, which
 // lives at the measurement host; the connection carries the exit↔host
@@ -291,9 +349,12 @@ func (e *exitDialer) DialStream(target string) (io.ReadWriteCloser, error) {
 	return link.DelayedRW(a, oneWay, oneWay), nil
 }
 
-// Close stops every relay.
+// Close stops every relay and cancels pending fault-plan crash timers.
 func (n *Net) Close() {
 	n.closeOnce.Do(func() {
+		for _, t := range n.crashTimers {
+			t.Stop()
+		}
 		for _, r := range n.relays {
 			r.Close()
 		}
