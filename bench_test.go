@@ -7,6 +7,7 @@ package ting
 //
 //	go test -bench=. -benchmem
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -369,7 +370,7 @@ func BenchmarkModelProberSample(b *testing.B) {
 	path := []string{w.W, w.Names[0], w.Names[1], w.Z}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := p.SampleCircuit(path, 1); err != nil {
+		if _, err := p.SampleCircuit(context.Background(), path, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -386,7 +387,7 @@ func BenchmarkMeasurePair(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := m.MeasurePair(w.Names[0], w.Names[1]); err != nil {
+		if _, err := m.MeasurePair(context.Background(), w.Names[0], w.Names[1]); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"ting/internal/control"
+	"ting/internal/telemetry"
 	"ting/internal/ting"
 	"ting/internal/tornet"
 )
@@ -41,6 +42,8 @@ var (
 	retryFlag   = flag.Int("retry", 2, "all-pairs: extra attempts per failed pair")
 	backoffFlag = flag.Duration("backoff", time.Second, "all-pairs: base retry backoff (doubled per attempt, jittered)")
 	pairTimeout = flag.Duration("pair-timeout", 0, "all-pairs: per-attempt deadline (0 = none)")
+
+	debugAddr = flag.String("debug-addr", "", "serve telemetry and pprof on this address (e.g. 127.0.0.1:6060)")
 
 	planFlag     = flag.Bool("plan", false, "project campaign cost instead of measuring")
 	planRelays   = flag.Int("relays", 0, "plan: relay population (all pairs)")
@@ -80,6 +83,20 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Telemetry is off (nil registry, no-op metrics) unless -debug-addr
+	// asks for the debug surface.
+	var reg *telemetry.Registry
+	if *debugAddr != "" {
+		reg = telemetry.New()
+		addr, shutdown, err := telemetry.Serve(*debugAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer shutdown()
+		fmt.Printf("telemetry: http://%s/metrics.json (pprof under /debug/pprof/)\n", addr)
+	}
+	obs := ting.NewTelemetryObserver(reg)
+
 	newMeasurer := func() (*ting.Measurer, error) {
 		return ting.NewMeasurer(ting.Config{
 			Prober: &ting.ControlProber{
@@ -90,9 +107,10 @@ func main() {
 					return float64(d) / float64(time.Millisecond) / *scaleFlag
 				},
 			},
-			W:       *wFlag,
-			Z:       *zFlag,
-			Samples: *samples,
+			W:        *wFlag,
+			Z:        *zFlag,
+			Samples:  *samples,
+			Observer: obs,
 		})
 	}
 
@@ -106,7 +124,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := m.MeasurePair(x, y)
+		res, err := m.MeasurePair(context.Background(), x, y)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -114,14 +132,15 @@ func main() {
 		fmt.Printf("  circuits: C_xy min %.2f ms, C_x min %.2f ms, C_y min %.2f ms\n",
 			res.MinFull, res.MinX, res.MinY)
 		fmt.Printf("  %d samples/circuit in %v\n", res.SamplesPerCircuit, res.Elapsed)
+		printSummary(reg)
 
 	case *allFlag:
-		reg, err := conn.Consensus()
+		dir, err := conn.Consensus()
 		if err != nil {
 			log.Fatal(err)
 		}
-		names := make([]string, 0, reg.Len())
-		for _, d := range reg.Consensus() {
+		names := make([]string, 0, dir.Len())
+		for _, d := range dir.Consensus() {
 			names = append(names, d.Nickname)
 		}
 		fmt.Printf("measuring all %d pairs of %d relays…\n", len(names)*(len(names)-1)/2, len(names))
@@ -135,6 +154,10 @@ func main() {
 			// sessions.
 			NewMeasurer: func(worker int) (*ting.Measurer, error) { return newMeasurer() },
 			Workers:     1,
+			// §4.6: measurements stay fresh for a week, so within one
+			// campaign a pair never needs re-measuring (ttl ≤ 0 = never
+			// expires).
+			Cache: ting.NewCache(0),
 			Progress: func(done, total int) {
 				fmt.Printf("\r  %d/%d", done, total)
 			},
@@ -144,8 +167,9 @@ func main() {
 			Retry:        *retryFlag,
 			Backoff:      *backoffFlag,
 			PairTimeout:  *pairTimeout,
+			Observer:     obs,
 		}
-		matrix, failures, err := sc.AllPairsTolerant(ctx, names)
+		matrix, failures, err := sc.Scan(ctx, names)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -165,9 +189,30 @@ func main() {
 			fmt.Printf("wrote %s\n", *outFlag)
 		}
 		fmt.Printf("mean inter-relay RTT: %.1f ms\n", matrix.Mean())
+		printSummary(reg)
 
 	default:
 		log.Fatal("need -pair x,y or -all")
+	}
+}
+
+// printSummary reports what the campaign actually did — circuits built,
+// samples taken, retries burned, cache hits — from the telemetry registry.
+// Silent when telemetry is off.
+func printSummary(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	s := reg.Snapshot()
+	c := s.Counters
+	fmt.Printf("telemetry: %d circuits (%d failed), %d samples, %d pairs (%d failed), %d retries, cache %d hit / %d miss\n",
+		c["ting.circuits_sampled"], c["ting.circuit_failures"],
+		c["ting.samples"],
+		c["ting.pairs_measured"], c["ting.pair_failures"],
+		c["ting.retries"],
+		c["ting.cache_hits"], c["ting.cache_misses"])
+	if h, ok := s.Histograms["ting.pair_rtt_ms"]; ok && h.Count > 0 {
+		fmt.Printf("telemetry: pair RTT ms p50=%.2f p90=%.2f p99=%.2f\n", h.P50, h.P90, h.P99)
 	}
 }
 

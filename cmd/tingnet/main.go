@@ -25,6 +25,7 @@ import (
 	"ting/internal/directory"
 	"ting/internal/experiments"
 	"ting/internal/inet"
+	"ting/internal/telemetry"
 	"ting/internal/tornet"
 )
 
@@ -38,6 +39,7 @@ var (
 	scaleFlag   = flag.Float64("scale", 1.0, "virtual-ms to wall-clock scale (0.1 = 10x faster)")
 	fwdFlag     = flag.Bool("fwd", true, "apply stochastic relay forwarding delays")
 	password    = flag.String("password", "", "control-port password (empty accepts any)")
+	debugAddr   = flag.String("debug-addr", "", "serve overlay telemetry and pprof on this address")
 )
 
 func main() {
@@ -49,6 +51,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var reg *telemetry.Registry
+	if *debugAddr != "" {
+		reg = telemetry.New()
+		addr, shutdown, err := telemetry.Serve(*debugAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer shutdown()
+		fmt.Printf("telemetry: http://%s/metrics.json (pprof under /debug/pprof/)\n", addr)
+	}
 	n, err := tornet.Build(tornet.Config{
 		Topology:      world.Topo,
 		RelayNodes:    idsOf(world),
@@ -57,6 +69,7 @@ func main() {
 		ForwardDelays: *fwdFlag,
 		Seed:          *seedFlag,
 		TCP:           *tcpFlag,
+		Telemetry:     reg,
 	})
 	if err != nil {
 		log.Fatal(err)

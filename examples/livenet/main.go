@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -95,7 +96,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("measuring R(%s, %s) through the control port…\n", x, y)
-	res, err := measurer.MeasurePair(x, y)
+	res, err := measurer.MeasurePair(context.Background(), x, y)
 	if err != nil {
 		log.Fatal(err)
 	}

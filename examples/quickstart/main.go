@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -62,7 +63,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := measurer.MeasurePair(x, y)
+	res, err := measurer.MeasurePair(context.Background(), x, y)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -117,6 +117,8 @@ func (circ *Circuit) Extend(d *directory.Descriptor) error {
 		if err != nil {
 			return fmt.Errorf("client: extend to %s: %w", d.Nickname, err)
 		}
+		circ.c.tm.handshakes.Inc()
+		circ.c.tm.extends.Inc()
 		circ.cryptoMu.Lock()
 		circ.crypto.AddHop(hop)
 		circ.cryptoMu.Unlock()
@@ -153,6 +155,7 @@ func (circ *Circuit) build() error {
 	if err != nil {
 		return fmt.Errorf("client: hop 1 (%s): %w", circ.path[0].Nickname, err)
 	}
+	circ.c.tm.handshakes.Inc()
 	circ.cryptoMu.Lock()
 	circ.crypto.AddHop(hop)
 	circ.cryptoMu.Unlock()
@@ -181,6 +184,8 @@ func (circ *Circuit) build() error {
 			if err != nil {
 				return fmt.Errorf("client: extend to %s: %w", d.Nickname, err)
 			}
+			circ.c.tm.handshakes.Inc()
+			circ.c.tm.extends.Inc()
 			circ.cryptoMu.Lock()
 			circ.crypto.AddHop(hop)
 			circ.cryptoMu.Unlock()
@@ -330,18 +335,23 @@ func (circ *Circuit) OpenStreamAt(hop int, target string) (*Stream, error) {
 		Cmd: cell.RelayBegin, Stream: sid, Data: []byte(target),
 	}); err != nil {
 		circ.dropStream(sid)
+		circ.c.tm.streamFailures.Inc()
 		return nil, err
 	}
 	select {
 	case <-st.connected:
+		circ.c.tm.streamsOpened.Inc()
 		return st, nil
 	case <-st.closedCh:
 		circ.dropStream(sid)
+		circ.c.tm.streamFailures.Inc()
 		return nil, fmt.Errorf("client: stream refused: %s", st.endReason())
 	case <-circ.closed:
+		circ.c.tm.streamFailures.Inc()
 		return nil, circ.closeErr()
 	case <-time.After(circ.c.cfg.Timeout):
 		circ.dropStream(sid)
+		circ.c.tm.streamFailures.Inc()
 		return nil, errors.New("client: timeout opening stream")
 	}
 }

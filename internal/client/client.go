@@ -18,6 +18,7 @@ import (
 	"ting/internal/cell"
 	"ting/internal/directory"
 	"ting/internal/link"
+	"ting/internal/telemetry"
 )
 
 // BuildAutoCircuit builds a circuit of the given length through relays
@@ -52,6 +53,9 @@ type Config struct {
 	SendmeEvery int
 	// Logf, if non-nil, receives debug logs.
 	Logf func(format string, args ...any)
+	// Telemetry, if non-nil, receives proxy counters (client.handshakes,
+	// client.circuits_built, ...). Nil disables instrumentation.
+	Telemetry *telemetry.Registry
 }
 
 // Client is an onion proxy. It is safe for concurrent use; each circuit
@@ -62,6 +66,18 @@ type Client struct {
 		sync.Mutex
 		*rand.Rand
 	}
+	tm clientMetrics
+}
+
+// clientMetrics holds the proxy's telemetry counters, resolved once at
+// construction.
+type clientMetrics struct {
+	circuitsBuilt  *telemetry.Counter
+	buildFailures  *telemetry.Counter
+	handshakes     *telemetry.Counter
+	extends        *telemetry.Counter
+	streamsOpened  *telemetry.Counter
+	streamFailures *telemetry.Counter
 }
 
 // New creates a Client.
@@ -86,6 +102,14 @@ func New(cfg Config) (*Client, error) {
 	}
 	c := &Client{cfg: cfg}
 	c.rng.Rand = rand.New(rand.NewSource(time.Now().UnixNano()))
+	c.tm = clientMetrics{
+		circuitsBuilt:  cfg.Telemetry.Counter("client.circuits_built"),
+		buildFailures:  cfg.Telemetry.Counter("client.circuit_build_failures"),
+		handshakes:     cfg.Telemetry.Counter("client.handshakes"),
+		extends:        cfg.Telemetry.Counter("client.extends"),
+		streamsOpened:  cfg.Telemetry.Counter("client.streams_opened"),
+		streamFailures: cfg.Telemetry.Counter("client.stream_failures"),
+	}
 	return c, nil
 }
 
@@ -115,13 +139,16 @@ func (c *Client) BuildCircuit(path []*directory.Descriptor) (*Circuit, error) {
 
 	lk, err := c.cfg.Dialer.Dial(path[0].Addr)
 	if err != nil {
+		c.tm.buildFailures.Inc()
 		return nil, fmt.Errorf("client: dial entry %s: %w", path[0].Nickname, err)
 	}
 	circ := newCircuit(c, lk, c.newCircID(), path)
 	if err := circ.build(); err != nil {
 		circ.Close()
+		c.tm.buildFailures.Inc()
 		return nil, err
 	}
+	c.tm.circuitsBuilt.Inc()
 	return circ, nil
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -71,15 +72,15 @@ func AblationAggregator(cfg AblationConfig) ([]AggregatorResult, error) {
 			yi = rng.Intn(len(w.Names))
 		}
 		x, y := w.Names[xi], w.Names[yi]
-		full, err := prober.SampleCircuit([]string{w.W, x, y, w.Z}, cfg.Samples)
+		full, err := prober.SampleCircuit(context.Background(), []string{w.W, x, y, w.Z}, cfg.Samples)
 		if err != nil {
 			return nil, err
 		}
-		cx, err := prober.SampleCircuit([]string{w.W, x}, cfg.Samples)
+		cx, err := prober.SampleCircuit(context.Background(), []string{w.W, x}, cfg.Samples)
 		if err != nil {
 			return nil, err
 		}
-		cy, err := prober.SampleCircuit([]string{w.W, y}, cfg.Samples)
+		cy, err := prober.SampleCircuit(context.Background(), []string{w.W, y}, cfg.Samples)
 		if err != nil {
 			return nil, err
 		}
@@ -156,7 +157,7 @@ func AblationStrawman(cfg AblationConfig) (*StrawmanResult, error) {
 			return nil, err
 		}
 
-		meas, err := m.MeasurePair(x, y)
+		meas, err := m.MeasurePair(context.Background(), x, y)
 		if err != nil {
 			return nil, err
 		}
@@ -164,7 +165,7 @@ func AblationStrawman(cfg AblationConfig) (*StrawmanResult, error) {
 
 		// Strawman (Figure 1): full circuit minus min-of-pings to each
 		// endpoint from the measurement host.
-		full, err := prober.SampleCircuit([]string{w.W, x, y, w.Z}, cfg.Samples)
+		full, err := prober.SampleCircuit(context.Background(), []string{w.W, x, y, w.Z}, cfg.Samples)
 		if err != nil {
 			return nil, err
 		}
@@ -249,7 +250,7 @@ func AblationSamples(cfg AblationConfig, counts []int) ([]SamplesSweepPoint, err
 		}
 		var ratios []float64
 		for _, p := range pairs {
-			meas, err := m.MeasurePair(p.x, p.y)
+			meas, err := m.MeasurePair(context.Background(), p.x, p.y)
 			if err != nil {
 				return nil, err
 			}

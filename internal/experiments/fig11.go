@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"ting/internal/stats"
 	"ting/internal/ting"
 )
@@ -63,7 +64,7 @@ func Fig11(cfg Fig11Config) (*Fig11Result, error) {
 		Workers: cfg.Workers,
 		Shuffle: cfg.Seed + 4,
 	}
-	m, err := sc.AllPairs(w.Names)
+	m, _, err := sc.Scan(context.Background(), w.Names)
 	if err != nil {
 		return nil, err
 	}

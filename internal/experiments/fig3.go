@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -115,7 +116,7 @@ func fig3Over(w *World, cfg Fig3Config) (*Fig3Result, error) {
 
 	res := &Fig3Result{Pairs: make([]PairAccuracy, 0, len(pairs))}
 	for _, p := range pairs {
-		meas, err := m.MeasurePair(p[0], p[1])
+		meas, err := m.MeasurePair(context.Background(), p[0], p[1])
 		if err != nil {
 			return nil, fmt.Errorf("experiments: fig3 pair %v: %w", p, err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -91,7 +92,7 @@ func Fig5(cfg Fig5Config) (*Fig5Result, error) {
 	tcp := make(map[string][]float64, cfg.Nodes)
 	for round := 0; round < cfg.Rounds; round++ {
 		for _, name := range w.Names {
-			est, err := m.EstimateForwarding(name, direct, cfg.PingSamples)
+			est, err := m.EstimateForwarding(context.Background(), name, direct, cfg.PingSamples)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: fig5 %s round %d: %w", name, round, err)
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 )
@@ -89,7 +90,7 @@ func Fig6(cfg Fig6Config) (*Fig6Result, error) {
 			yi = rng.Intn(len(w.Names))
 		}
 		x, y := w.Names[xi], w.Names[yi]
-		series, err := m.SampleSeries(x, y, cfg.Samples)
+		series, err := m.SampleSeries(context.Background(), x, y, cfg.Samples)
 		if err != nil {
 			return nil, err
 		}

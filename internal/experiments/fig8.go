@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 
 	"ting/internal/geo"
@@ -117,7 +118,7 @@ func Fig8(cfg Fig8Config) (*Fig8Result, error) {
 		}
 		seen[key] = true
 		x, y := w.Names[xi], w.Names[yi]
-		meas, err := m.MeasurePair(x, y)
+		meas, err := m.MeasurePair(context.Background(), x, y)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
@@ -126,7 +127,7 @@ func Fig9(cfg Fig9Config) (*Fig9Result, error) {
 				shift := 1 + (rng.Float64()*0.3 - 0.1) // -10%..+20%
 				w.Topo.OverrideRTT(xi, yi, cur*shift)
 			}
-			meas, err := m.MeasurePair(p.x, p.y)
+			meas, err := m.MeasurePair(context.Background(), p.x, p.y)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 
 	"ting/internal/geo"
@@ -104,7 +105,7 @@ func KingComparison(cfg KingConfig) (*KingResult, error) {
 			return nil, err
 		}
 
-		meas, err := m.MeasurePair(x, y)
+		meas, err := m.MeasurePair(context.Background(), x, y)
 		if err != nil {
 			return nil, err
 		}

@@ -18,6 +18,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"ting/internal/telemetry"
 )
 
 // LinkFaults describes how one directed link misbehaves. The zero value is
@@ -80,6 +82,19 @@ type Plan struct {
 	dialRngs map[[2]string]*rand.Rand
 	started  time.Time
 	now      func() time.Time
+
+	tm faultMetrics
+}
+
+// faultMetrics counts injected failures as they happen, so a scan's debug
+// snapshot shows not just that pairs failed but why. Zero value (all nil
+// counters) is the disabled state.
+type faultMetrics struct {
+	drops       *telemetry.Counter
+	stalls      *telemetry.Counter
+	resets      *telemetry.Counter
+	dialRefused *telemetry.Counter
+	crashes     *telemetry.Counter
 }
 
 // NewPlan creates an empty plan under the given seed.
@@ -91,6 +106,29 @@ func NewPlan(seed int64) *Plan {
 		crashed: make(map[string]bool),
 		now:     time.Now,
 	}
+}
+
+// SetTelemetry points the plan's fault counters (faults.drops,
+// faults.stalls, faults.resets, faults.dial_refused, faults.crashes) at a
+// registry. A nil registry disables them. Call before the overlay starts
+// sending.
+func (p *Plan) SetTelemetry(reg *telemetry.Registry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tm = faultMetrics{
+		drops:       reg.Counter("faults.drops"),
+		stalls:      reg.Counter("faults.stalls"),
+		resets:      reg.Counter("faults.resets"),
+		dialRefused: reg.Counter("faults.dial_refused"),
+		crashes:     reg.Counter("faults.crashes"),
+	}
+}
+
+// metrics returns the current counters under the plan lock.
+func (p *Plan) metrics() faultMetrics {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.tm
 }
 
 // SetLink installs a fault rule for the directed link from → to. Either
@@ -152,6 +190,7 @@ func (p *Plan) Crash(name string) {
 		p.crashed = make(map[string]bool)
 	}
 	p.crashed[name] = true
+	p.tm.crashes.Inc()
 }
 
 // Down reports whether the relay is currently failed: crashed manually,

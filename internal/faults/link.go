@@ -60,6 +60,7 @@ type faultLink struct {
 
 func (l *faultLink) Send(c cell.Cell) error {
 	if l.plan.Down(l.to) || l.plan.Down(l.from) {
+		l.plan.metrics().resets.Inc()
 		l.inner.Close()
 		return fmt.Errorf("faults: relay down on link %s->%s: %w", l.from, l.to, ErrInjectedReset)
 	}
@@ -82,11 +83,14 @@ func (l *faultLink) Send(c cell.Cell) error {
 
 	switch {
 	case reset:
+		l.plan.metrics().resets.Inc()
 		l.inner.Close()
 		return fmt.Errorf("faults: link %s->%s: %w", l.from, l.to, ErrInjectedReset)
 	case drop:
+		l.plan.metrics().drops.Inc()
 		return nil
 	case stall && l.f.Stall > 0:
+		l.plan.metrics().stalls.Inc()
 		time.Sleep(l.f.Stall)
 	}
 	return l.inner.Send(c)
@@ -106,10 +110,12 @@ func (p *Plan) WrapDialer(inner link.Dialer, from string, nameOf func(addr strin
 			to = nameOf(addr)
 		}
 		if p.Down(to) {
+			p.metrics().dialRefused.Inc()
 			return nil, fmt.Errorf("faults: relay %s down: %w", to, ErrDialRefused)
 		}
 		if f := p.LinkFor(from, to); f.DialFailProb > 0 {
 			if p.dialRoll(from, to) < f.DialFailProb {
+				p.metrics().dialRefused.Inc()
 				return nil, fmt.Errorf("faults: dial %s->%s: %w", from, to, ErrDialRefused)
 			}
 		}

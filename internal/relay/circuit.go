@@ -261,6 +261,7 @@ func (c *circuit) handleBegin(rc cell.RelayCell) {
 	c.r.stats.mu.Lock()
 	c.r.stats.StreamsOpened++
 	c.r.stats.mu.Unlock()
+	c.r.tm.streamsOpened.Inc()
 
 	if err := c.sendBackward(cell.RelayCell{Cmd: cell.RelayConnected, Stream: rc.Stream}); err != nil {
 		c.closeStream(rc.Stream)
@@ -403,6 +404,7 @@ func (c *circuit) destroy(notifyPrev, notifyNext bool) {
 		return
 	}
 	c.destroyed = true
+	c.r.tm.circuitsDestroyed.Inc()
 	if c.extendTimer != nil {
 		c.extendTimer.Stop()
 		c.extendTimer = nil

@@ -25,6 +25,7 @@ import (
 	"ting/internal/cell"
 	"ting/internal/link"
 	"ting/internal/onion"
+	"ting/internal/telemetry"
 )
 
 // StreamDialer opens exit-side byte streams toward named targets.
@@ -66,6 +67,10 @@ type Config struct {
 	SendmeEvery int
 	// Logf, if non-nil, receives debug logs.
 	Logf func(format string, args ...any)
+	// Telemetry, if non-nil, receives relay counters (relay.cells_relayed,
+	// relay.circuits_created, ...) shared with the rest of the stack. Nil
+	// disables instrumentation at the cost of one branch per event.
+	Telemetry *telemetry.Registry
 }
 
 func (c *Config) validate() error {
@@ -103,6 +108,18 @@ type Relay struct {
 	outSlots map[string]*outSlot
 
 	stats Stats
+	tm    relayMetrics
+}
+
+// relayMetrics holds the relay's telemetry counters, resolved once at
+// construction so the forwarding hot path pays one atomic add per event
+// (or one nil check when telemetry is off).
+type relayMetrics struct {
+	circuitsCreated   *telemetry.Counter
+	circuitsDestroyed *telemetry.Counter
+	cellsRelayed      *telemetry.Counter
+	streamsOpened     *telemetry.Counter
+	handshakeFailures *telemetry.Counter
 }
 
 // Stats counts relay activity, for tests and operational visibility.
@@ -146,6 +163,13 @@ func New(cfg Config) (*Relay, error) {
 		outSlots: make(map[string]*outSlot),
 	}
 	r.rng.Rand = rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(len(cfg.Nickname))<<32))
+	r.tm = relayMetrics{
+		circuitsCreated:   cfg.Telemetry.Counter("relay.circuits_created"),
+		circuitsDestroyed: cfg.Telemetry.Counter("relay.circuits_destroyed"),
+		cellsRelayed:      cfg.Telemetry.Counter("relay.cells_relayed"),
+		streamsOpened:     cfg.Telemetry.Counter("relay.streams_opened"),
+		handshakeFailures: cfg.Telemetry.Counter("relay.handshake_failures"),
+	}
 	return r, nil
 }
 
@@ -314,6 +338,7 @@ func (cs *connState) handleCreate(c *cell.Cell) {
 	reply, hop, err := onion.ServerHandshake(r.cfg.Identity, c.Payload[:onion.KeyLen], nil)
 	if err != nil {
 		r.cfg.Logf("%s: handshake failed: %v", r.cfg.Nickname, err)
+		r.tm.handshakeFailures.Inc()
 		_ = cs.lk.Send(cell.Cell{Circ: c.Circ, Cmd: cell.Destroy})
 		return
 	}
@@ -339,6 +364,7 @@ func (cs *connState) handleCreate(c *cell.Cell) {
 	r.stats.mu.Lock()
 	r.stats.CircuitsBuilt++
 	r.stats.mu.Unlock()
+	r.tm.circuitsCreated.Inc()
 }
 
 func (cs *connState) handleRelay(c *cell.Cell) {
@@ -366,6 +392,7 @@ func (cs *connState) handleRelay(c *cell.Cell) {
 	r.stats.mu.Lock()
 	r.stats.CellsRelayed++
 	r.stats.mu.Unlock()
+	r.tm.cellsRelayed.Inc()
 	fwd := cell.Cell{Circ: nextID, Cmd: cell.Relay, Payload: c.Payload}
 	if err := next.send(fwd); err != nil {
 		circ.destroy(true, false)

@@ -1,0 +1,370 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilRegistryIsNoOp pins the disabled mode: a nil registry hands out
+// nil metrics whose methods do nothing, and snapshots read empty.
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(10)
+	if c.Value() != 0 {
+		t.Error("nil counter accumulated")
+	}
+	g := r.Gauge("x")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 0 {
+		t.Error("nil gauge accumulated")
+	}
+	h := r.Histogram("x")
+	h.Observe(3.5)
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("nil histogram accumulated")
+	}
+	r.Trace().Record("kind", "detail", 1)
+	if r.Trace().Total() != 0 || r.Trace().Events() != nil {
+		t.Error("nil trace accumulated")
+	}
+	s := r.Snapshot()
+	if s.Counters == nil || s.Gauges == nil || s.Histograms == nil {
+		t.Error("nil-registry snapshot has nil maps")
+	}
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Errorf("nil-registry snapshot not empty: %+v", s)
+	}
+}
+
+// TestRegistryReturnsSameMetric pins once-per-name registration: lookups
+// by the same name share one underlying metric.
+func TestRegistryReturnsSameMetric(t *testing.T) {
+	r := New()
+	r.Counter("a").Inc()
+	r.Counter("a").Inc()
+	if got := r.Counter("a").Value(); got != 2 {
+		t.Errorf("counter a = %d, want 2", got)
+	}
+	r.Gauge("g").Set(5)
+	if got := r.Gauge("g").Value(); got != 5 {
+		t.Errorf("gauge g = %d, want 5", got)
+	}
+	r.Histogram("h").Observe(1)
+	if got := r.Histogram("h").Count(); got != 1 {
+		t.Errorf("histogram h count = %d, want 1", got)
+	}
+	// Bounds are fixed at creation; a second lookup with different bounds
+	// must not reset the histogram.
+	if h := r.HistogramBuckets("h", []float64{1000}); h.Count() != 1 {
+		t.Error("HistogramBuckets with new bounds replaced an existing histogram")
+	}
+}
+
+// TestRegistryConcurrent is the -race test: metric creation, updates, and
+// snapshots all race against each other and must stay consistent.
+func TestRegistryConcurrent(t *testing.T) {
+	r := New()
+	const goroutines = 8
+	const perG = 500
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				r.Counter("shared").Inc()
+				r.Gauge("busy").Add(1)
+				r.Histogram("rtt").Observe(float64(j % 50))
+				r.Trace().Record("ev", "x-y", float64(j))
+				r.Gauge("busy").Add(-1)
+			}
+		}()
+	}
+	// Snapshot continuously while writers run.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			s := r.Snapshot()
+			var buf bytes.Buffer
+			if err := s.WriteJSON(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	want := int64(goroutines * perG)
+	if got := r.Counter("shared").Value(); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got := r.Gauge("busy").Value(); got != 0 {
+		t.Errorf("gauge did not return to 0: %d", got)
+	}
+	if got := r.Histogram("rtt").Count(); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+	if got := r.Trace().Total(); got != want {
+		t.Errorf("trace total = %d, want %d", got, want)
+	}
+}
+
+// TestHistogramQuantiles checks the interpolation math on a distribution
+// engineered to land exactly on bucket edges: values 1..100 against decade
+// bounds put ten observations in each bucket.
+func TestHistogramQuantiles(t *testing.T) {
+	bounds := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	h := NewHistogram(bounds)
+	for v := 1; v <= 100; v++ {
+		h.Observe(float64(v))
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 50},
+		{0.9, 90},
+		{0.25, 25},
+		{1, 100},
+		{0, 0}, // rank 0 interpolates to the first bucket's floor
+	} {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if h.Count() != 100 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Sum() != 5050 {
+		t.Errorf("sum = %v, want 5050", h.Sum())
+	}
+}
+
+// TestHistogramOverflowClampsToMax: observations beyond the last bound go
+// in the overflow bucket, and high quantiles clamp to the observed max
+// rather than inventing an infinite bound.
+func TestHistogramOverflowClampsToMax(t *testing.T) {
+	h := NewHistogram([]float64{10})
+	h.Observe(5)
+	h.Observe(1e6)
+	if got := h.Quantile(1); got != 1e6 {
+		t.Errorf("Quantile(1) = %v, want observed max 1e6", got)
+	}
+	s := h.snapshot()
+	if s.Min != 5 || s.Max != 1e6 || s.Count != 2 {
+		t.Errorf("snapshot = %+v", s)
+	}
+}
+
+func TestHistogramEmptyAndNaN(t *testing.T) {
+	h := NewHistogram(nil)
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+	h.Observe(nan())
+	if h.Count() != 0 {
+		t.Error("NaN observation counted")
+	}
+	s := h.snapshot()
+	if s != (HistogramSnapshot{}) {
+		t.Errorf("empty snapshot = %+v, want zero value", s)
+	}
+}
+
+func nan() float64 { z := 0.0; return z / z }
+
+// TestSnapshotGolden pins the exposition schema byte-for-byte. If this
+// test breaks, every dashboard and script parsing /metrics.json breaks
+// with it — change the golden string only for a deliberate schema change.
+func TestSnapshotGolden(t *testing.T) {
+	r := New()
+	r.Counter("ting.pairs_measured").Add(3)
+	r.Counter("ting.retries").Add(1)
+	r.Gauge("ting.scanner_active_workers").Set(2)
+	h := r.HistogramBuckets("ting.pair_rtt_ms", []float64{50, 100})
+	h.Observe(25)
+	h.Observe(75)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := `{
+  "counters": {
+    "ting.pairs_measured": 3,
+    "ting.retries": 1
+  },
+  "gauges": {
+    "ting.scanner_active_workers": 2
+  },
+  "histograms": {
+    "ting.pair_rtt_ms": {
+      "count": 2,
+      "sum": 100,
+      "min": 25,
+      "max": 75,
+      "p50": 50,
+      "p90": 90,
+      "p99": 99
+    }
+  }
+}
+`
+	if got := buf.String(); got != golden {
+		t.Errorf("snapshot JSON drifted from golden:\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+
+	var text bytes.Buffer
+	if err := r.Snapshot().WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	wantText := "counter ting.pairs_measured 3\n" +
+		"counter ting.retries 1\n" +
+		"gauge ting.scanner_active_workers 2\n" +
+		"histogram ting.pair_rtt_ms count=2 sum=100 min=25 max=75 p50=50 p90=90 p99=99\n"
+	if got := text.String(); got != wantText {
+		t.Errorf("text exposition drifted:\ngot:\n%s\nwant:\n%s", got, wantText)
+	}
+}
+
+// TestTraceRing checks ordering, wrapping, and the injectable clock.
+func TestTraceRing(t *testing.T) {
+	tr := NewTrace(3)
+	tick := 0
+	tr.Now = func() time.Time { tick++; return time.Unix(int64(tick), 0) }
+	for _, k := range []string{"a", "b", "c", "d", "e"} {
+		tr.Record(k, "", 0)
+	}
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("%d events retained, want 3", len(evs))
+	}
+	for i, want := range []string{"c", "d", "e"} {
+		if evs[i].Kind != want {
+			t.Errorf("event %d = %q, want %q (oldest first)", i, evs[i].Kind, want)
+		}
+	}
+	if !evs[0].At.Before(evs[2].At) {
+		t.Error("events not in time order")
+	}
+	if tr.Total() != 5 {
+		t.Errorf("total = %d, want 5", tr.Total())
+	}
+}
+
+func TestTraceCapacityFloor(t *testing.T) {
+	tr := NewTrace(0)
+	tr.Record("only", "", 0)
+	if len(tr.Events()) != 1 {
+		t.Error("zero-capacity trace did not clamp to 1")
+	}
+}
+
+// TestHandlerEndpoints drives the debug HTTP surface through httptest and
+// checks each route serves what it promises.
+func TestHandlerEndpoints(t *testing.T) {
+	r := New()
+	r.Counter("ting.pairs_measured").Add(4)
+	r.Trace().Record("pair", "x-y", 73) // one event for /trace.json
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/"); code != 200 || !strings.Contains(body, "/metrics.json") {
+		t.Errorf("index: code %d body %q", code, body)
+	}
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "counter ting.pairs_measured 4") {
+		t.Errorf("/metrics: code %d body %q", code, body)
+	}
+	code, body := get("/metrics.json")
+	if code != 200 {
+		t.Fatalf("/metrics.json: code %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json not parseable: %v", err)
+	}
+	if snap.Counters["ting.pairs_measured"] != 4 {
+		t.Errorf("snapshot over HTTP = %+v", snap)
+	}
+	code, body = get("/trace.json")
+	if code != 200 {
+		t.Fatalf("/trace.json: code %d", code)
+	}
+	var evs []Event
+	if err := json.Unmarshal([]byte(body), &evs); err != nil {
+		t.Fatalf("/trace.json not parseable: %v", err)
+	}
+	if len(evs) != 1 || evs[0].Kind != "pair" || evs[0].Ms != 73 {
+		t.Errorf("trace over HTTP = %+v", evs)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("pprof not wired: code %d", code)
+	}
+	if code, _ := get("/no-such-page"); code != 404 {
+		t.Errorf("unknown path served: code %d", code)
+	}
+}
+
+// TestServe binds :0, hits the live server, and shuts it down.
+func TestServe(t *testing.T) {
+	r := New()
+	r.Counter("up").Inc()
+	addr, shutdown, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "counter up 1") {
+		t.Errorf("served metrics = %q", body)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("server still answering after shutdown")
+	}
+}
+
+// TestTraceJSONEmptyIsArray: an empty trace must encode as [] not null, so
+// parsers on the other end never see a null where a list is promised.
+func TestTraceJSONEmptyIsArray(t *testing.T) {
+	srv := httptest.NewServer(New().Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/trace.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.TrimSpace(string(body)) != "[]" {
+		t.Errorf("empty trace = %q, want []", body)
+	}
+}

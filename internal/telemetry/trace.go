@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultTraceCap bounds the trace ring New installs: large enough to hold
+// a full sweep's lifecycle events, small enough to stay cheap.
+const DefaultTraceCap = 2048
+
+// Event is one measurement-lifecycle record: a circuit build finishing, a
+// retry being scheduled, a cache hit, a fault observed.
+type Event struct {
+	// At is the wall-clock event time.
+	At time.Time `json:"at"`
+	// Kind is the event class ("circuit", "retry", "cache", "pair",
+	// "sweep", "fault", ...).
+	Kind string `json:"kind"`
+	// Detail is a short human-readable payload (pair names, error text).
+	Detail string `json:"detail,omitempty"`
+	// Ms carries the event's latency in milliseconds, when it has one.
+	Ms float64 `json:"ms,omitempty"`
+}
+
+// Trace is a bounded ring of Events. Recording overwrites the oldest entry
+// once full; a nil Trace ignores records. Safe for concurrent use.
+type Trace struct {
+	// Now is injectable for deterministic tests; nil means time.Now.
+	Now func() time.Time
+
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	wrap  bool
+	total int64
+}
+
+// NewTrace creates a trace holding up to capacity events (minimum 1).
+func NewTrace(capacity int) *Trace {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Trace{buf: make([]Event, capacity)}
+}
+
+// Record appends one event, stamping the time.
+func (t *Trace) Record(kind, detail string, ms float64) {
+	if t == nil {
+		return
+	}
+	now := time.Now
+	if t.Now != nil {
+		now = t.Now
+	}
+	ev := Event{At: now(), Kind: kind, Detail: detail, Ms: ms}
+	t.mu.Lock()
+	t.buf[t.next] = ev
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+		t.wrap = true
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Events returns the recorded events, oldest first.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.wrap {
+		return append([]Event(nil), t.buf[:t.next]...)
+	}
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// Total returns how many events were ever recorded, including overwritten
+// ones; zero for a nil Trace.
+func (t *Trace) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}

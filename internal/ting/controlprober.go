@@ -27,15 +27,10 @@ type ControlProber struct {
 }
 
 // SampleCircuit implements CircuitProber over the control protocol.
-func (p *ControlProber) SampleCircuit(path []string, n int) ([]float64, error) {
-	return p.SampleCircuitCtx(context.Background(), path, n)
-}
-
-// SampleCircuitCtx implements ContextProber: cancellation is checked
-// between protocol steps and between probe batches, so a cancelled scan
-// releases its circuit and its control connection promptly instead of
-// finishing the full sample count.
-func (p *ControlProber) SampleCircuitCtx(ctx context.Context, path []string, n int) ([]float64, error) {
+// Cancellation is checked between protocol steps and between probe
+// batches, so a cancelled scan releases its circuit and its control
+// connection promptly instead of finishing the full sample count.
+func (p *ControlProber) SampleCircuit(ctx context.Context, path []string, n int) ([]float64, error) {
 	if p.Conn == nil || p.DataAddr == "" || p.Target == "" {
 		return nil, errors.New("ting: control prober misconfigured")
 	}

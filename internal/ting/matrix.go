@@ -182,7 +182,9 @@ type cacheEntry struct {
 	when time.Time
 }
 
-// NewCache creates a cache whose entries expire after ttl.
+// NewCache creates a cache whose entries expire after ttl. A ttl ≤ 0
+// means entries never expire — the §4.6 "measure once, cache for the
+// campaign" mode — not "expire immediately".
 func NewCache(ttl time.Duration) *Cache {
 	return &Cache{ttl: ttl, now: time.Now, m: make(map[[2]string]cacheEntry)}
 }
@@ -194,25 +196,42 @@ func pairKey(x, y string) [2]string {
 	return [2]string{x, y}
 }
 
-// Get returns a fresh cached RTT for the pair, if any.
+// Get returns a fresh cached RTT for the pair, if any. With ttl ≤ 0 every
+// stored entry is fresh forever.
 func (c *Cache) Get(x, y string) (float64, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.m[pairKey(x, y)]
-	if !ok || c.now().Sub(e.when) > c.ttl {
+	if !ok || c.expired(e) {
 		return 0, false
 	}
 	return e.rtt, true
 }
 
-// Put records a measurement.
+// Put records a measurement and, when a TTL is set, prunes entries that
+// have already expired so a long-running scanner's cache does not grow
+// with dead pairs.
 func (c *Cache) Put(x, y string, rtt float64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.ttl > 0 {
+		for k, e := range c.m {
+			if c.expired(e) {
+				delete(c.m, k)
+			}
+		}
+	}
 	c.m[pairKey(x, y)] = cacheEntry{rtt: rtt, when: c.now()}
 }
 
-// Len returns the number of cached pairs, fresh or stale.
+// expired reports whether an entry is past the TTL. Callers hold c.mu.
+func (c *Cache) expired(e cacheEntry) bool {
+	return c.ttl > 0 && c.now().Sub(e.when) > c.ttl
+}
+
+// Len returns the number of cached pairs, fresh or stale: stale entries
+// linger until the next Put prunes them, and Len reports what is actually
+// held.
 func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()

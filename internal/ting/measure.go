@@ -22,6 +22,10 @@ type Config struct {
 	W, Z string
 	// Samples is the per-circuit sample count; default DefaultSamples.
 	Samples int
+	// Observer, if non-nil, receives measurement-lifecycle callbacks
+	// (circuit timings, raw samples, pair results). Use
+	// NewTelemetryObserver to feed a telemetry.Registry.
+	Observer *Observer
 }
 
 // Measurer measures RTTs between arbitrary relay pairs.
@@ -74,20 +78,13 @@ type Measurement struct {
 	Elapsed time.Duration
 }
 
-// MeasurePair measures R(x, y) per §3.3 with no cancellation; it is
-// MeasurePairCtx under a background context.
-func (m *Measurer) MeasurePair(x, y string) (*Measurement, error) {
-	return m.MeasurePairCtx(context.Background(), x, y)
-}
-
-// MeasurePairCtx measures R(x, y) per §3.3: it builds the full circuit
+// MeasurePair measures R(x, y) per §3.3: it builds the full circuit
 // (w,x,y,z) plus the two isolation circuits (w,x) and (w,y), min-filters
 // the samples, and applies Eq. (4). Cancellation is cooperative: ctx is
-// checked before each of the three circuit measurements, and probers that
-// implement ContextProber can additionally abort mid-circuit — so a
-// cancelled scan stops within one circuit's sampling time rather than
-// burning the rest of the campaign.
-func (m *Measurer) MeasurePairCtx(ctx context.Context, x, y string) (*Measurement, error) {
+// checked before each of the three circuit measurements, and every prober
+// additionally aborts mid-circuit — so a cancelled scan stops within a
+// few samples rather than burning the rest of the campaign.
+func (m *Measurer) MeasurePair(ctx context.Context, x, y string) (*Measurement, error) {
 	if err := m.checkPair(x, y); err != nil {
 		return nil, err
 	}
@@ -95,19 +92,22 @@ func (m *Measurer) MeasurePairCtx(ctx context.Context, x, y string) (*Measuremen
 	// C_x first, then the full circuit: the full path extends C_x's, so a
 	// reusing prober (leaky-pipe extension) grows one circuit instead of
 	// building two. The estimate is order-independent.
-	minX, err := m.minRTTCtx(ctx, []string{m.cfg.W, x})
+	minX, err := m.minRTT(ctx, []string{m.cfg.W, x})
 	if err != nil {
+		m.cfg.Observer.pairDone(x, y, nil, err)
 		return nil, fmt.Errorf("ting: C_x: %w", err)
 	}
-	minFull, err := m.minRTTCtx(ctx, []string{m.cfg.W, x, y, m.cfg.Z})
+	minFull, err := m.minRTT(ctx, []string{m.cfg.W, x, y, m.cfg.Z})
 	if err != nil {
+		m.cfg.Observer.pairDone(x, y, nil, err)
 		return nil, fmt.Errorf("ting: C_xy: %w", err)
 	}
-	minY, err := m.minRTTCtx(ctx, []string{m.cfg.W, y})
+	minY, err := m.minRTT(ctx, []string{m.cfg.W, y})
 	if err != nil {
+		m.cfg.Observer.pairDone(x, y, nil, err)
 		return nil, fmt.Errorf("ting: C_y: %w", err)
 	}
-	return &Measurement{
+	res := &Measurement{
 		X: x, Y: y,
 		RTT:               Estimate(minFull, minX, minY),
 		MinFull:           minFull,
@@ -115,7 +115,9 @@ func (m *Measurer) MeasurePairCtx(ctx context.Context, x, y string) (*Measuremen
 		MinY:              minY,
 		SamplesPerCircuit: m.cfg.Samples,
 		Elapsed:           time.Since(start),
-	}, nil
+	}
+	m.cfg.Observer.pairDone(x, y, res, nil)
+	return res, nil
 }
 
 // Estimate applies Eq. (4): R(x,y) = R_Cxy − ½R_Cx − ½R_Cy.
@@ -138,34 +140,27 @@ func (m *Measurer) checkPair(x, y string) error {
 // minRTT takes the configured number of samples through path and returns
 // the minimum — the aggregation that makes forwarding delays vanish from
 // the estimate (§3.3).
-func (m *Measurer) minRTT(path []string) (float64, error) {
-	return m.minRTTCtx(context.Background(), path)
-}
-
-func (m *Measurer) minRTTCtx(ctx context.Context, path []string) (float64, error) {
+func (m *Measurer) minRTT(ctx context.Context, path []string) (float64, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
-	var samples []float64
-	var err error
-	if cp, ok := m.cfg.Prober.(ContextProber); ok {
-		samples, err = cp.SampleCircuitCtx(ctx, path, m.cfg.Samples)
-	} else {
-		samples, err = m.cfg.Prober.SampleCircuit(path, m.cfg.Samples)
-	}
+	start := time.Now()
+	samples, err := m.cfg.Prober.SampleCircuit(ctx, path, m.cfg.Samples)
+	m.cfg.Observer.circuitDone(path, len(samples), time.Since(start), err)
 	if err != nil {
 		return 0, err
 	}
+	m.cfg.Observer.samples(path, samples)
 	return stats.Min(samples)
 }
 
 // SampleSeries exposes the raw per-sample RTTs of one circuit — the data
 // behind the sample-size analysis of §4.4 (Figure 6).
-func (m *Measurer) SampleSeries(x, y string, n int) ([]float64, error) {
+func (m *Measurer) SampleSeries(ctx context.Context, x, y string, n int) ([]float64, error) {
 	if err := m.checkPair(x, y); err != nil {
 		return nil, err
 	}
-	return m.cfg.Prober.SampleCircuit([]string{m.cfg.W, x, y, m.cfg.Z}, n)
+	return m.cfg.Prober.SampleCircuit(ctx, []string{m.cfg.W, x, y, m.cfg.Z}, n)
 }
 
 // ForwardingEstimate is the §4.3 forwarding-delay estimate for one relay,
@@ -190,18 +185,18 @@ type ForwardingEstimate struct {
 //  4. F_x = R_C2 − F_w − F_z − 2·R̃(w,x) − 2·R̃(s,w).
 //
 // Direct RTTs R̃ are min-of-pingSamples via ICMP and, separately, TCP.
-func (m *Measurer) EstimateForwarding(x string, direct DirectProber, pingSamples int) (*ForwardingEstimate, error) {
+func (m *Measurer) EstimateForwarding(ctx context.Context, x string, direct DirectProber, pingSamples int) (*ForwardingEstimate, error) {
 	if x == "" || x == m.cfg.W || x == m.cfg.Z {
 		return nil, fmt.Errorf("ting: invalid forwarding target %q", x)
 	}
 	if pingSamples <= 0 {
 		return nil, errors.New("ting: pingSamples must be positive")
 	}
-	rc1, err := m.minRTT([]string{m.cfg.W, m.cfg.Z})
+	rc1, err := m.minRTT(ctx, []string{m.cfg.W, m.cfg.Z})
 	if err != nil {
 		return nil, fmt.Errorf("ting: C1: %w", err)
 	}
-	rc2, err := m.minRTT([]string{m.cfg.W, x, m.cfg.Z})
+	rc2, err := m.minRTT(ctx, []string{m.cfg.W, x, m.cfg.Z})
 	if err != nil {
 		return nil, fmt.Errorf("ting: C2: %w", err)
 	}

@@ -26,6 +26,9 @@ type MonitorConfig struct {
 	PairsPerSweep int
 	// Workers is the sweep parallelism. Default 2.
 	Workers int
+	// Observer, if non-nil, receives a SweepDone callback after each sweep
+	// with the cumulative stats.
+	Observer *Observer
 	// now is injectable for tests.
 	now func() time.Time
 }
@@ -148,6 +151,7 @@ func (mon *Monitor) Sweep(ctx context.Context) (int, error) {
 	mon.mu.Unlock()
 
 	if len(todo) == 0 {
+		mon.cfg.Observer.sweepDone(mon.Stats())
 		return 0, nil
 	}
 
@@ -186,7 +190,7 @@ func (mon *Monitor) Sweep(ctx context.Context) (int, error) {
 				if ctx.Err() != nil {
 					continue // drain; pair stays stale
 				}
-				res, err := meas.MeasurePairCtx(ctx, p[0], p[1])
+				res, err := meas.MeasurePair(ctx, p[0], p[1])
 				if err != nil {
 					// A dead relay must not wedge the monitor: record the
 					// failure and let the pair stay stale for the next
@@ -219,6 +223,7 @@ feed:
 	}
 	close(jobs)
 	wg.Wait()
+	mon.cfg.Observer.sweepDone(mon.Stats())
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}

@@ -1,0 +1,166 @@
+package ting
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ting/internal/telemetry"
+)
+
+// Observer receives measurement-lifecycle callbacks from the Measurer,
+// Scanner, and Monitor. It is a struct of optional funcs rather than an
+// interface so new hooks can be added without breaking implementors; a nil
+// Observer — or any nil field — is a no-op. All callbacks may be invoked
+// concurrently from scanner workers and must be safe for that.
+type Observer struct {
+	// CircuitDone fires after each circuit's sampling attempt, successful
+	// or not. samples is the number of RTTs actually collected.
+	CircuitDone func(path []string, samples int, elapsed time.Duration, err error)
+	// Samples fires with the raw RTT series of one successful circuit.
+	Samples func(path []string, rtts []float64)
+	// PairDone fires once per MeasurePair: m is nil exactly when err is
+	// non-nil.
+	PairDone func(x, y string, m *Measurement, err error)
+	// Retry fires when the scanner schedules another attempt for a pair.
+	Retry func(x, y string, attempt int, delay time.Duration, err error)
+	// CacheLookup fires on every scanner cache probe.
+	CacheLookup func(x, y string, hit bool)
+	// WorkerActive fires when a scanner worker starts (+1) or finishes
+	// (−1) a measurement attempt — worker occupancy.
+	WorkerActive func(delta int)
+	// SweepDone fires after each monitor sweep with cumulative stats.
+	SweepDone func(stats MonitorStats)
+}
+
+// Nil-safe invocation helpers: call sites never branch on the observer.
+
+func (o *Observer) circuitDone(path []string, samples int, elapsed time.Duration, err error) {
+	if o != nil && o.CircuitDone != nil {
+		o.CircuitDone(path, samples, elapsed, err)
+	}
+}
+
+func (o *Observer) samples(path []string, rtts []float64) {
+	if o != nil && o.Samples != nil {
+		o.Samples(path, rtts)
+	}
+}
+
+func (o *Observer) pairDone(x, y string, m *Measurement, err error) {
+	if o != nil && o.PairDone != nil {
+		o.PairDone(x, y, m, err)
+	}
+}
+
+func (o *Observer) retry(x, y string, attempt int, delay time.Duration, err error) {
+	if o != nil && o.Retry != nil {
+		o.Retry(x, y, attempt, delay, err)
+	}
+}
+
+func (o *Observer) cacheLookup(x, y string, hit bool) {
+	if o != nil && o.CacheLookup != nil {
+		o.CacheLookup(x, y, hit)
+	}
+}
+
+func (o *Observer) workerActive(delta int) {
+	if o != nil && o.WorkerActive != nil {
+		o.WorkerActive(delta)
+	}
+}
+
+func (o *Observer) sweepDone(stats MonitorStats) {
+	if o != nil && o.SweepDone != nil {
+		o.SweepDone(stats)
+	}
+}
+
+// NewTelemetryObserver wires an Observer into a telemetry.Registry. All
+// metrics are resolved once here, so the per-event cost is an atomic add
+// (plus a trace record for lifecycle events). Metric names:
+//
+//	ting.circuits_sampled / ting.circuit_failures   counters
+//	ting.circuit_ms                                 histogram
+//	ting.samples                                    counter
+//	ting.sample_rtt_ms                              histogram
+//	ting.pairs_measured / ting.pair_failures        counters
+//	ting.pair_rtt_ms                                histogram
+//	ting.retries                                    counter
+//	ting.cache_hits / ting.cache_misses             counters
+//	ting.scanner_active_workers                     gauge
+//	ting.sweeps                                     counter
+//
+// A nil registry yields a valid Observer whose callbacks are no-ops.
+func NewTelemetryObserver(reg *telemetry.Registry) *Observer {
+	var (
+		circuits     = reg.Counter("ting.circuits_sampled")
+		circuitFails = reg.Counter("ting.circuit_failures")
+		circuitMs    = reg.Histogram("ting.circuit_ms")
+		samples      = reg.Counter("ting.samples")
+		sampleRTT    = reg.Histogram("ting.sample_rtt_ms")
+		pairs        = reg.Counter("ting.pairs_measured")
+		pairFails    = reg.Counter("ting.pair_failures")
+		pairRTT      = reg.Histogram("ting.pair_rtt_ms")
+		retries      = reg.Counter("ting.retries")
+		cacheHits    = reg.Counter("ting.cache_hits")
+		cacheMisses  = reg.Counter("ting.cache_misses")
+		active       = reg.Gauge("ting.scanner_active_workers")
+		sweeps       = reg.Counter("ting.sweeps")
+		trace        = reg.Trace()
+	)
+	return &Observer{
+		CircuitDone: func(path []string, n int, elapsed time.Duration, err error) {
+			ms := float64(elapsed) / float64(time.Millisecond)
+			if err != nil {
+				circuitFails.Inc()
+				trace.Record("circuit", strings.Join(path, ",")+": "+err.Error(), ms)
+				return
+			}
+			circuits.Inc()
+			circuitMs.Observe(ms)
+			trace.Record("circuit", strings.Join(path, ","), ms)
+		},
+		Samples: func(path []string, rtts []float64) {
+			samples.Add(int64(len(rtts)))
+			for _, v := range rtts {
+				sampleRTT.Observe(v)
+			}
+		},
+		PairDone: func(x, y string, m *Measurement, err error) {
+			if err != nil {
+				pairFails.Inc()
+				trace.Record("pair", x+"-"+y+": "+err.Error(), 0)
+				return
+			}
+			pairs.Inc()
+			pairRTT.Observe(m.RTT)
+			trace.Record("pair", x+"-"+y, m.RTT)
+		},
+		Retry: func(x, y string, attempt int, delay time.Duration, err error) {
+			retries.Inc()
+			detail := fmt.Sprintf("%s-%s attempt %d", x, y, attempt)
+			if err != nil {
+				detail += ": " + err.Error()
+			}
+			trace.Record("retry", detail, float64(delay)/float64(time.Millisecond))
+		},
+		CacheLookup: func(x, y string, hit bool) {
+			if hit {
+				cacheHits.Inc()
+				trace.Record("cache", "hit "+x+"-"+y, 0)
+			} else {
+				cacheMisses.Inc()
+			}
+		},
+		WorkerActive: func(delta int) {
+			active.Add(int64(delta))
+		},
+		SweepDone: func(stats MonitorStats) {
+			sweeps.Inc()
+			trace.Record("sweep", fmt.Sprintf("measured=%d skipped=%d failed=%d",
+				stats.Measured, stats.Skipped, stats.Failed), 0)
+		},
+	}
+}

@@ -1,0 +1,217 @@
+package ting
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ting/internal/telemetry"
+)
+
+// TestObserverNilSafe: a nil Observer, an Observer with nil fields, and a
+// telemetry observer over a nil registry must all absorb every callback.
+func TestObserverNilSafe(t *testing.T) {
+	for _, o := range []*Observer{nil, {}, NewTelemetryObserver(nil)} {
+		o.circuitDone([]string{"w", "x", "y", "z"}, 3, time.Millisecond, nil)
+		o.samples([]string{"w", "x"}, []float64{1, 2})
+		o.pairDone("x", "y", &Measurement{RTT: 73}, nil)
+		o.retry("x", "y", 1, time.Millisecond, nil)
+		o.cacheLookup("x", "y", true)
+		o.workerActive(1)
+		o.sweepDone(MonitorStats{})
+	}
+}
+
+// TestScanTelemetryCounts drives a tolerant scan with transient failures
+// and a shared cache through a telemetry-backed observer, then checks the
+// registry recorded the full measurement lifecycle: circuits, samples,
+// pairs, retries, and cache traffic.
+func TestScanTelemetryCounts(t *testing.T) {
+	reg := telemetry.New()
+	obs := NewTelemetryObserver(reg)
+	p := &flakyProber{fakeProber: newFakeWorld(), left: 2}
+	cache := NewCache(0)
+	newScanner := func() *Scanner {
+		return &Scanner{
+			NewMeasurer: func(worker int) (*Measurer, error) {
+				return NewMeasurer(Config{Prober: p, W: "w", Z: "z", Samples: 1, Observer: obs})
+			},
+			Cache:    cache,
+			Observer: obs,
+			Retry:    2,
+			Backoff:  time.Millisecond,
+		}
+	}
+	m, failures, err := newScanner().Scan(context.Background(), []string{"x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 0 {
+		t.Fatalf("failures = %v", failures)
+	}
+	if v, _ := m.RTT("x", "y"); v != 73 {
+		t.Fatalf("RTT = %v, want 73", v)
+	}
+
+	count := func(name string) int64 { return reg.Counter(name).Value() }
+	// The two injected transient failures each cost one failed circuit,
+	// one failed pair attempt, and one scheduled retry; the third attempt
+	// measures the pair with three clean circuits of one sample each.
+	if got := count("ting.circuits_sampled"); got != 3 {
+		t.Errorf("circuits_sampled = %d, want 3", got)
+	}
+	if got := count("ting.circuit_failures"); got != 2 {
+		t.Errorf("circuit_failures = %d, want 2", got)
+	}
+	if got := count("ting.samples"); got != 3 {
+		t.Errorf("samples = %d, want 3", got)
+	}
+	if got := count("ting.pairs_measured"); got != 1 {
+		t.Errorf("pairs_measured = %d, want 1", got)
+	}
+	if got := count("ting.pair_failures"); got != 2 {
+		t.Errorf("pair_failures = %d, want 2", got)
+	}
+	if got := count("ting.retries"); got != 2 {
+		t.Errorf("retries = %d, want 2", got)
+	}
+	// All three attempts probed the cache before measuring; none hit.
+	if got := count("ting.cache_misses"); got != 3 {
+		t.Errorf("cache_misses = %d, want 3", got)
+	}
+	if got := count("ting.cache_hits"); got != 0 {
+		t.Errorf("cache_hits = %d before a second scan", got)
+	}
+	if got := reg.Gauge("ting.scanner_active_workers").Value(); got != 0 {
+		t.Errorf("active workers = %d after scan, want 0", got)
+	}
+	if got := reg.Histogram("ting.pair_rtt_ms").Count(); got != 1 {
+		t.Errorf("pair_rtt_ms count = %d, want 1", got)
+	}
+	if reg.Trace().Total() == 0 {
+		t.Error("no lifecycle events traced")
+	}
+
+	// A second scan over the same cache answers from it: one hit, no new
+	// measurement.
+	if _, _, err := newScanner().Scan(context.Background(), []string{"x", "y"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := count("ting.cache_hits"); got != 1 {
+		t.Errorf("cache_hits = %d after cached rescan, want 1", got)
+	}
+	if got := count("ting.pairs_measured"); got != 1 {
+		t.Errorf("cached rescan re-measured: pairs = %d", got)
+	}
+}
+
+// TestDebugEndpointDuringScan is the acceptance check for the tentpole:
+// the HTTP debug surface, queried after a scan with failures and retries,
+// serves a JSON snapshot whose circuit, sample, retry, and cache counters
+// are all nonzero.
+func TestDebugEndpointDuringScan(t *testing.T) {
+	reg := telemetry.New()
+	obs := NewTelemetryObserver(reg)
+	p := &flakyProber{fakeProber: newFakeWorld(), left: 1}
+	sc := &Scanner{
+		NewMeasurer: func(worker int) (*Measurer, error) {
+			return NewMeasurer(Config{Prober: p, W: "w", Z: "z", Samples: 2, Observer: obs})
+		},
+		Cache:    NewCache(0),
+		Observer: obs,
+		Retry:    1,
+		Backoff:  time.Millisecond,
+	}
+	if _, _, err := sc.Scan(context.Background(), []string{"x", "y"}); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap telemetry.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"ting.circuits_sampled", "ting.samples", "ting.retries", "ting.cache_misses",
+	} {
+		if snap.Counters[name] == 0 {
+			t.Errorf("%s = 0 in served snapshot, want nonzero", name)
+		}
+	}
+	if h, ok := snap.Histograms["ting.pair_rtt_ms"]; !ok || h.Count == 0 {
+		t.Errorf("pair_rtt_ms missing from served snapshot: %+v", snap.Histograms)
+	}
+}
+
+// TestMonitorSweepTelemetry: monitor sweeps report through the same
+// observer, including empty sweeps (an idle monitor is observable too).
+func TestMonitorSweepTelemetry(t *testing.T) {
+	reg := telemetry.New()
+	obs := NewTelemetryObserver(reg)
+	f := newFakeWorld()
+	cfg := monitorConfig(t, f, []string{"x", "y"})
+	cfg.Observer = obs
+	cfg.MaxAge = time.Hour
+	mon, err := NewMonitor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mon.Sweep(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Second sweep finds everything fresh — still a sweep.
+	if _, err := mon.Sweep(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("ting.sweeps").Value(); got != 2 {
+		t.Errorf("sweeps = %d, want 2 (empty sweeps count)", got)
+	}
+}
+
+// TestCacheZeroTTLNeverExpires pins the ttl ≤ 0 semantics: "never
+// expires", not "expires immediately".
+func TestCacheZeroTTLNeverExpires(t *testing.T) {
+	for _, ttl := range []time.Duration{0, -time.Second} {
+		c := NewCache(ttl)
+		now := time.Unix(0, 0)
+		c.now = func() time.Time { return now }
+		c.Put("x", "y", 73)
+		now = now.Add(1000 * time.Hour)
+		if v, ok := c.Get("x", "y"); !ok || v != 73 {
+			t.Errorf("ttl=%v: entry expired (%v, %v), want eternal hit", ttl, v, ok)
+		}
+		if c.Len() != 1 {
+			t.Errorf("ttl=%v: Len = %d", ttl, c.Len())
+		}
+	}
+}
+
+// TestCachePutPrunesExpired: with a TTL set, Put evicts entries that have
+// already lapsed so the map does not grow with dead pairs.
+func TestCachePutPrunesExpired(t *testing.T) {
+	c := NewCache(time.Minute)
+	now := time.Unix(0, 0)
+	c.now = func() time.Time { return now }
+	c.Put("a", "b", 1)
+	c.Put("c", "d", 2)
+	now = now.Add(time.Hour)
+	c.Put("e", "f", 3)
+	if c.Len() != 1 {
+		t.Errorf("Len = %d after pruning Put, want 1", c.Len())
+	}
+	if _, ok := c.Get("a", "b"); ok {
+		t.Error("expired entry survived")
+	}
+	if v, ok := c.Get("e", "f"); !ok || v != 3 {
+		t.Error("fresh entry lost in prune")
+	}
+}

@@ -105,7 +105,7 @@ func TestScannerSkipFailures(t *testing.T) {
 		},
 		SkipFailures: true,
 	}
-	m, failures, err := sc.AllPairsTolerant(context.Background(), []string{"x", "y", "v"})
+	m, failures, err := sc.Scan(context.Background(), []string{"x", "y", "v"})
 	if err != nil {
 		t.Fatal(err)
 	}

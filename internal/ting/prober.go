@@ -37,19 +37,17 @@ import (
 	"ting/internal/inet"
 )
 
-// CircuitProber takes RTT samples through a circuit of named relays.
+// CircuitProber takes RTT samples through a circuit of named relays. The
+// interface is context-first: every prober accepts a context and aborts
+// sampling as early as it can when the context is cancelled or its
+// deadline expires, so a cancelled scan stops within a few samples rather
+// than burning the rest of the campaign.
 type CircuitProber interface {
 	// SampleCircuit builds (or reuses) a circuit through the named relays
 	// in order and returns n end-to-end RTT samples in milliseconds.
-	SampleCircuit(path []string, n int) ([]float64, error)
-}
-
-// ContextProber is an optional extension of CircuitProber for probers that
-// can abort sampling early when a scan is cancelled or a per-pair deadline
-// expires. Measurer uses it when available; plain probers are still
-// cancelled cooperatively between circuits.
-type ContextProber interface {
-	SampleCircuitCtx(ctx context.Context, path []string, n int) ([]float64, error)
+	// Cancellation is cooperative: implementations check ctx between
+	// protocol steps and between samples (or small batches of samples).
+	SampleCircuit(ctx context.Context, path []string, n int) ([]float64, error)
 }
 
 // DirectProber takes non-Tor RTT samples from the measurement host to a
@@ -85,8 +83,9 @@ func NewModelProber(topo *inet.Topology, host inet.NodeID, nodeOf map[string]ine
 	}
 }
 
-// SampleCircuit implements CircuitProber.
-func (p *ModelProber) SampleCircuit(path []string, n int) ([]float64, error) {
+// SampleCircuit implements CircuitProber. The model world has no real I/O
+// to interrupt, so cancellation is checked between samples.
+func (p *ModelProber) SampleCircuit(ctx context.Context, path []string, n int) ([]float64, error) {
 	if n <= 0 {
 		return nil, errors.New("ting: sample count must be positive")
 	}
@@ -100,6 +99,9 @@ func (p *ModelProber) SampleCircuit(path []string, n int) ([]float64, error) {
 	}
 	out := make([]float64, n)
 	for i := range out {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		s, err := p.prober.TorPathRTT(p.host, ids)
 		if err != nil {
 			return nil, err
@@ -169,10 +171,15 @@ type StackProber struct {
 	lastCirc *client.Circuit
 }
 
-// SampleCircuit implements CircuitProber.
-func (p *StackProber) SampleCircuit(path []string, n int) ([]float64, error) {
+// SampleCircuit implements CircuitProber. Probes run in batches so a
+// cancelled scan stops after at most stackProbeBatch samples rather than
+// finishing the whole series.
+func (p *StackProber) SampleCircuit(ctx context.Context, path []string, n int) ([]float64, error) {
 	if n <= 0 {
 		return nil, errors.New("ting: sample count must be positive")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	circ, err := p.circuitFor(path)
 	if err != nil {
@@ -188,20 +195,33 @@ func (p *StackProber) SampleCircuit(path []string, n int) ([]float64, error) {
 	defer st.Close()
 
 	ec := echo.NewClient(st)
-	rtts, err := ec.ProbeN(n)
-	if err != nil {
-		return nil, fmt.Errorf("ting: probe: %w", err)
-	}
-	out := make([]float64, len(rtts))
-	for i, d := range rtts {
-		if p.ToMs != nil {
-			out[i] = p.ToMs(d)
-		} else {
-			out[i] = float64(d) / float64(time.Millisecond)
+	out := make([]float64, 0, n)
+	for len(out) < n {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		batch := n - len(out)
+		if batch > stackProbeBatch {
+			batch = stackProbeBatch
+		}
+		rtts, err := ec.ProbeN(batch)
+		if err != nil {
+			return nil, fmt.Errorf("ting: probe: %w", err)
+		}
+		for _, d := range rtts {
+			if p.ToMs != nil {
+				out = append(out, p.ToMs(d))
+			} else {
+				out = append(out, float64(d)/float64(time.Millisecond))
+			}
 		}
 	}
 	return out, nil
 }
+
+// stackProbeBatch is how many echo probes StackProber sends between
+// cancellation checks.
+const stackProbeBatch = 8
 
 // circuitFor returns a circuit through exactly path, reusing or extending
 // the cached one when Reuse is on.

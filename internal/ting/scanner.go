@@ -50,10 +50,15 @@ type Scanner struct {
 	// jittered ±50% from the Shuffle seed. Zero retries immediately.
 	Backoff time.Duration
 	// PairTimeout bounds each measurement attempt. Cancellation is
-	// cooperative (checked between circuits, and mid-circuit for probers
-	// that support contexts), so a wedged transport is bounded by the
-	// prober's own timeouts, not this one. Zero means no deadline.
+	// cooperative (checked between circuits and mid-circuit by every
+	// prober), so a wedged transport is bounded by the prober's own
+	// timeouts, not this one. Zero means no deadline.
 	PairTimeout time.Duration
+	// Observer, if non-nil, receives scan-lifecycle callbacks (cache
+	// lookups, retries, worker occupancy). Per-measurement callbacks come
+	// from the Measurer's own Observer; set both to the same value to see
+	// the whole picture.
+	Observer *Observer
 }
 
 // PairError records one failed measurement in a tolerant scan.
@@ -72,18 +77,13 @@ type pairJob struct {
 	bounce  int // hand-offs to avoid retrying on the same worker
 }
 
-// AllPairs measures every unordered pair among names and returns the
-// matrix. With SkipFailures, failed pairs are returned instead of aborting.
-func (s *Scanner) AllPairs(names []string) (*Matrix, error) {
-	m, _, err := s.AllPairsTolerant(context.Background(), names)
-	return m, err
-}
-
-// AllPairsTolerant is AllPairs returning the failed pairs explicitly,
-// sorted by pair name for reproducibility. Cancelling ctx aborts the scan:
+// Scan measures every unordered pair among names and returns the matrix
+// plus the failed pairs (tolerant mode), sorted by pair name for
+// reproducibility. Without SkipFailures the failure slice is always empty:
+// the first error aborts the scan. Cancelling ctx aborts the scan:
 // in-flight attempts finish (or hit their cooperative cancellation points)
 // and ctx.Err() is returned.
-func (s *Scanner) AllPairsTolerant(ctx context.Context, names []string) (*Matrix, []PairError, error) {
+func (s *Scanner) Scan(ctx context.Context, names []string) (*Matrix, []PairError, error) {
 	if s.NewMeasurer == nil {
 		return nil, nil, errors.New("ting: scanner missing NewMeasurer")
 	}
@@ -214,7 +214,9 @@ func (s *Scanner) AllPairsTolerant(ctx context.Context, names []string) (*Matrix
 				if s.PairTimeout > 0 {
 					attemptCtx, cancelAttempt = context.WithTimeout(scanCtx, s.PairTimeout)
 				}
+				s.Observer.workerActive(1)
 				rtt, err := s.measureOne(attemptCtx, meas, job.x, job.y)
+				s.Observer.workerActive(-1)
 				if cancelAttempt != nil {
 					cancelAttempt()
 				}
@@ -227,7 +229,9 @@ func (s *Scanner) AllPairsTolerant(ctx context.Context, names []string) (*Matrix
 					continue
 				}
 				if job.attempt < maxAttempts && scanCtx.Err() == nil {
-					if d := nextDelay(job.attempt); d > 0 {
+					d := nextDelay(job.attempt)
+					s.Observer.retry(job.x, job.y, job.attempt, d, err)
+					if d > 0 {
 						t := time.NewTimer(d)
 						select {
 						case <-scanCtx.Done():
@@ -273,11 +277,13 @@ func (s *Scanner) AllPairsTolerant(ctx context.Context, names []string) (*Matrix
 
 func (s *Scanner) measureOne(ctx context.Context, meas *Measurer, x, y string) (float64, error) {
 	if s.Cache != nil {
-		if rtt, ok := s.Cache.Get(x, y); ok {
+		rtt, ok := s.Cache.Get(x, y)
+		s.Observer.cacheLookup(x, y, ok)
+		if ok {
 			return rtt, nil
 		}
 	}
-	res, err := meas.MeasurePairCtx(ctx, x, y)
+	res, err := meas.MeasurePair(ctx, x, y)
 	if err != nil {
 		return 0, err
 	}

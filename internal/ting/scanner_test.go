@@ -56,7 +56,7 @@ func TestScannerProgressReachesTotal(t *testing.T) {
 		},
 	}
 	names := []string{"x", "y", "u", "v"}
-	_, failures, err := sc.AllPairsTolerant(context.Background(), names)
+	_, failures, err := sc.Scan(context.Background(), names)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ type countingProber struct {
 	attempts atomic.Int64
 }
 
-func (p *countingProber) SampleCircuit(path []string, n int) ([]float64, error) {
+func (p *countingProber) SampleCircuit(_ context.Context, path []string, n int) ([]float64, error) {
 	p.attempts.Add(1)
 	time.Sleep(2 * time.Millisecond)
 	return nil, errors.New("relay unreachable")
@@ -98,7 +98,7 @@ func TestScannerNonTolerantStopsDispatching(t *testing.T) {
 		Workers: workers,
 	}
 	names := []string{"a", "b", "c", "d", "e", "f"} // 15 pairs
-	_, _, err := sc.AllPairsTolerant(context.Background(), names)
+	_, _, err := sc.Scan(context.Background(), names)
 	if err == nil {
 		t.Fatal("scan with failing prober succeeded")
 	}
@@ -131,7 +131,7 @@ func TestScannerClosesMeasurersAfterScan(t *testing.T) {
 		},
 		Workers: 2,
 	}
-	if _, err := sc.AllPairs([]string{"x", "y", "v"}); err != nil {
+	if _, _, err := sc.Scan(context.Background(), []string{"x", "y", "v"}); err != nil {
 		t.Fatal(err)
 	}
 	if len(probers) != 2 {
@@ -161,7 +161,7 @@ func TestScannerCleansUpOnMeasurerFailure(t *testing.T) {
 		},
 		Workers: 3,
 	}
-	_, _, err := sc.AllPairsTolerant(context.Background(), []string{"x", "y", "v"})
+	_, _, err := sc.Scan(context.Background(), []string{"x", "y", "v"})
 	if err == nil || !strings.Contains(err.Error(), "worker 2") {
 		t.Fatalf("err = %v, want worker 2 build failure", err)
 	}
@@ -182,12 +182,12 @@ type workerProber struct {
 	attempts *atomic.Int64
 }
 
-func (p *workerProber) SampleCircuit(path []string, n int) ([]float64, error) {
+func (p *workerProber) SampleCircuit(ctx context.Context, path []string, n int) ([]float64, error) {
 	if p.fail {
 		p.attempts.Add(1)
 		return nil, errors.New("this worker's circuits are wedged")
 	}
-	return p.fakeProber.SampleCircuit(path, n)
+	return p.fakeProber.SampleCircuit(ctx, path, n)
 }
 
 // TestScannerRetriesOnDifferentWorker: worker 0's prober always fails;
@@ -210,7 +210,7 @@ func TestScannerRetriesOnDifferentWorker(t *testing.T) {
 		Shuffle: 7,
 	}
 	names := []string{"x", "y", "u", "v"}
-	m, failures, err := sc.AllPairsTolerant(context.Background(), names)
+	m, failures, err := sc.Scan(context.Background(), names)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +234,7 @@ type flakyProber struct {
 	left int
 }
 
-func (p *flakyProber) SampleCircuit(path []string, n int) ([]float64, error) {
+func (p *flakyProber) SampleCircuit(ctx context.Context, path []string, n int) ([]float64, error) {
 	p.mu.Lock()
 	if p.left > 0 {
 		p.left--
@@ -242,7 +242,7 @@ func (p *flakyProber) SampleCircuit(path []string, n int) ([]float64, error) {
 		return nil, errors.New("transient circuit failure")
 	}
 	p.mu.Unlock()
-	return p.fakeProber.SampleCircuit(path, n)
+	return p.fakeProber.SampleCircuit(ctx, path, n)
 }
 
 func TestScannerRetryRecoversTransientFailures(t *testing.T) {
@@ -254,7 +254,7 @@ func TestScannerRetryRecoversTransientFailures(t *testing.T) {
 		Retry:   2,
 		Backoff: time.Millisecond,
 	}
-	m, failures, err := sc.AllPairsTolerant(context.Background(), []string{"x", "y"})
+	m, failures, err := sc.Scan(context.Background(), []string{"x", "y"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,7 +277,7 @@ func TestScannerReportsAttemptCounts(t *testing.T) {
 		Retry:        2,
 		Backoff:      time.Millisecond,
 	}
-	_, failures, err := sc.AllPairsTolerant(context.Background(), []string{"x", "y"})
+	_, failures, err := sc.Scan(context.Background(), []string{"x", "y"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,13 +296,13 @@ type planProber struct {
 	plan *faults.Plan
 }
 
-func (p *planProber) SampleCircuit(path []string, n int) ([]float64, error) {
+func (p *planProber) SampleCircuit(ctx context.Context, path []string, n int) ([]float64, error) {
 	for _, r := range path {
 		if p.plan.Down(r) {
 			return nil, fmt.Errorf("relay %s is down", r)
 		}
 	}
-	return p.fakeProber.SampleCircuit(path, n)
+	return p.fakeProber.SampleCircuit(ctx, path, n)
 }
 
 // TestScannerFaultPlanReproducible is the acceptance test: two tolerant
@@ -326,7 +326,7 @@ func TestScannerFaultPlanReproducible(t *testing.T) {
 			Backoff:      time.Millisecond,
 			Progress:     func(d, tot int) { done, total = d, tot },
 		}
-		m, failures, err := sc.AllPairsTolerant(context.Background(), names)
+		m, failures, err := sc.Scan(context.Background(), names)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -379,7 +379,8 @@ func TestScannerSharedCacheConcurrent(t *testing.T) {
 			Cache:   cache,
 			Shuffle: 5,
 		}
-		return sc.AllPairs(names)
+		m, _, err := sc.Scan(context.Background(), names)
+		return m, err
 	}
 	var wg sync.WaitGroup
 	results := make([]*Matrix, 2)
@@ -416,9 +417,9 @@ type cancellingProber struct {
 	once   sync.Once
 }
 
-func (p *cancellingProber) SampleCircuit(path []string, n int) ([]float64, error) {
+func (p *cancellingProber) SampleCircuit(ctx context.Context, path []string, n int) ([]float64, error) {
 	p.once.Do(p.cancel)
-	return p.fakeProber.SampleCircuit(path, n)
+	return p.fakeProber.SampleCircuit(ctx, path, n)
 }
 
 func TestScannerContextCancellation(t *testing.T) {
@@ -432,7 +433,7 @@ func TestScannerContextCancellation(t *testing.T) {
 		},
 		SkipFailures: true,
 	}
-	if _, _, err := sc.AllPairsTolerant(cancelled, []string{"x", "y", "v"}); !errors.Is(err, context.Canceled) {
+	if _, _, err := sc.Scan(cancelled, []string{"x", "y", "v"}); !errors.Is(err, context.Canceled) {
 		t.Errorf("err = %v, want context.Canceled", err)
 	}
 	if p.attempts.Load() != 0 {
@@ -450,7 +451,7 @@ func TestScannerContextCancellation(t *testing.T) {
 		Workers:      1,
 		SkipFailures: true,
 	}
-	if _, _, err := sc2.AllPairsTolerant(ctx, []string{"x", "y", "u", "v"}); !errors.Is(err, context.Canceled) {
+	if _, _, err := sc2.Scan(ctx, []string{"x", "y", "u", "v"}); !errors.Is(err, context.Canceled) {
 		t.Errorf("mid-scan cancel: err = %v, want context.Canceled", err)
 	}
 }
@@ -459,11 +460,7 @@ func TestScannerContextCancellation(t *testing.T) {
 // seen by a context-aware prober.
 type stuckProber struct{}
 
-func (stuckProber) SampleCircuit(path []string, n int) ([]float64, error) {
-	select {} // only reachable through a prober that ignores contexts
-}
-
-func (stuckProber) SampleCircuitCtx(ctx context.Context, path []string, n int) ([]float64, error) {
+func (stuckProber) SampleCircuit(ctx context.Context, path []string, n int) ([]float64, error) {
 	<-ctx.Done()
 	return nil, ctx.Err()
 }
@@ -481,7 +478,7 @@ func TestScannerPairTimeout(t *testing.T) {
 	var err error
 	go func() {
 		defer close(done)
-		_, failures, err = sc.AllPairsTolerant(context.Background(), []string{"x", "y"})
+		_, failures, err = sc.Scan(context.Background(), []string{"x", "y"})
 	}()
 	select {
 	case <-done:
@@ -551,7 +548,7 @@ func TestFullStackTolerantScanWithCrash(t *testing.T) {
 		lastDone, lastTotal = done, total
 		progressMu.Unlock()
 	}
-	m, failures, err := sc.AllPairsTolerant(context.Background(), names)
+	m, failures, err := sc.Scan(context.Background(), names)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,15 +1,18 @@
 package ting
 
 import (
+	"context"
 	"math"
 	"net"
 	"testing"
 	"time"
 
 	"ting/internal/control"
+	"ting/internal/faults"
 	"ting/internal/geo"
 	"ting/internal/inet"
 	"ting/internal/stats"
+	"ting/internal/telemetry"
 	"ting/internal/tornet"
 )
 
@@ -58,7 +61,7 @@ func TestFullStackTingMeasurement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := m.MeasurePair(xName, yName)
+	res, err := m.MeasurePair(context.Background(), xName, yName)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +124,7 @@ func TestControlProberTing(t *testing.T) {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	res, err := m.MeasurePair(xName, yName)
+	res, err := m.MeasurePair(context.Background(), xName, yName)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +138,7 @@ func TestControlProberTing(t *testing.T) {
 
 func TestControlProberValidation(t *testing.T) {
 	p := &ControlProber{}
-	if _, err := p.SampleCircuit([]string{"a", "b"}, 1); err == nil {
+	if _, err := p.SampleCircuit(context.Background(), []string{"a", "b"}, 1); err == nil {
 		t.Error("misconfigured control prober accepted")
 	}
 }
@@ -159,7 +162,7 @@ func TestReusingStackProber(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := m.MeasurePair(xName, yName)
+	res, err := m.MeasurePair(context.Background(), xName, yName)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +177,7 @@ func TestReusingStackProber(t *testing.T) {
 	}
 
 	// A second pair on the same prober still measures correctly.
-	res2, err := m.MeasurePair(xName, yName)
+	res2, err := m.MeasurePair(context.Background(), xName, yName)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +200,7 @@ func TestNonReusingProberBuildsThree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.MeasurePair(xName, yName); err != nil {
+	if _, err := m.MeasurePair(context.Background(), xName, yName); err != nil {
 		t.Fatal(err)
 	}
 	circuits, _, _ := n.RelayByName(tornet.WName).Stats()
@@ -245,7 +248,7 @@ func TestFullStackAllPairsScan(t *testing.T) {
 		Workers: 3,
 		Shuffle: 33,
 	}
-	m, err := sc.AllPairs(names)
+	m, _, err := sc.Scan(context.Background(), names)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,5 +279,88 @@ func TestFullStackAllPairsScan(t *testing.T) {
 	// order must still be essentially right.
 	if sp < 0.85 {
 		t.Errorf("spearman %.3f too low for a full-stack scan", sp)
+	}
+}
+
+// TestFullStackScanTelemetry runs a seeded tornet scan with every layer
+// reporting into one registry and checks the counters tell the story end
+// to end: relays built circuits and relayed cells, the client completed
+// handshakes, the measurement layer counted circuits, samples, and pairs,
+// and the crashed relay shows up in the fault counters.
+func TestFullStackScanTelemetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack scan is seconds-long; skipped in -short")
+	}
+	reg := telemetry.New()
+	obs := NewTelemetryObserver(reg)
+	topo, err := inet.Generate(inet.Config{N: 3, Seed: 61, FlatRegions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := topo.AddHost("host", geo.Coord{Lat: 40, Lon: -74}, 62)
+	plan := faults.NewPlan(63)
+	n, err := tornet.Build(tornet.Config{
+		Topology:  topo,
+		Host:      host,
+		TimeScale: 0.06,
+		Faults:    plan,
+		Telemetry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	names := make([]string, 3)
+	for i := range names {
+		names[i], _ = n.NodeName(inet.NodeID(i))
+	}
+	if !n.CrashRelay(names[2]) {
+		t.Fatalf("relay %s unknown to the overlay", names[2])
+	}
+
+	sc := &Scanner{
+		NewMeasurer: func(worker int) (*Measurer, error) {
+			p := &StackProber{
+				Client:   n.Client,
+				Registry: n.Registry,
+				Target:   tornet.EchoTarget,
+				ToMs:     n.VirtualMs,
+			}
+			return NewMeasurer(Config{
+				Prober: p, W: tornet.WName, Z: tornet.ZName,
+				Samples: 2, Observer: obs,
+			})
+		},
+		Workers:      2,
+		Shuffle:      64,
+		SkipFailures: true,
+		Observer:     obs,
+	}
+	_, failures, err := sc.Scan(context.Background(), names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 2 {
+		t.Fatalf("failures = %v, want the 2 pairs touching the crashed relay", failures)
+	}
+
+	count := func(name string) int64 { return reg.Counter(name).Value() }
+	for _, name := range []string{
+		"relay.circuits_created", "relay.cells_relayed", "relay.streams_opened",
+		"client.circuits_built", "client.handshakes", "client.streams_opened",
+		"ting.circuits_sampled", "ting.samples", "ting.pairs_measured",
+		"tornet.relay_crashes", "faults.crashes",
+	} {
+		if count(name) == 0 {
+			t.Errorf("%s = 0 after a full-stack scan, want nonzero", name)
+		}
+	}
+	// The crashed relay makes the surviving pair's circuits fail on dial.
+	if count("client.circuit_build_failures") == 0 && count("faults.dial_refused") == 0 {
+		t.Error("crashed relay produced neither build failures nor refused dials")
+	}
+	if count("ting.pair_failures") == 0 {
+		t.Error("pairs touching the crashed relay not counted as failures")
 	}
 }

@@ -2,6 +2,7 @@ package ting
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -32,7 +33,10 @@ func (f *fakeProber) link(a, b string) float64 {
 	return f.rtt[[2]string{b, a}]
 }
 
-func (f *fakeProber) SampleCircuit(path []string, n int) ([]float64, error) {
+func (f *fakeProber) SampleCircuit(ctx context.Context, path []string, n int) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var total float64
 	prev := f.host
 	for _, r := range path {
@@ -79,7 +83,7 @@ func TestMeasurePairExactEq4(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := m.MeasurePair("x", "y")
+	res, err := m.MeasurePair(context.Background(), "x", "y")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +133,7 @@ func TestMeasurerValidation(t *testing.T) {
 		t.Errorf("default samples = %d, want %d", m.Samples(), DefaultSamples)
 	}
 	for _, bad := range [][2]string{{"", "x"}, {"x", ""}, {"x", "x"}, {"w", "x"}, {"x", "z"}} {
-		if _, err := m.MeasurePair(bad[0], bad[1]); err == nil {
+		if _, err := m.MeasurePair(context.Background(), bad[0], bad[1]); err == nil {
 			t.Errorf("MeasurePair(%q, %q) accepted", bad[0], bad[1])
 		}
 	}
@@ -142,7 +146,7 @@ func TestMeasurePairPropagatesProberErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.MeasurePair("x", "y"); err == nil || !strings.Contains(err.Error(), "went away") {
+	if _, err := m.MeasurePair(context.Background(), "x", "y"); err == nil || !strings.Contains(err.Error(), "went away") {
 		t.Errorf("error not propagated: %v", err)
 	}
 }
@@ -150,14 +154,14 @@ func TestMeasurePairPropagatesProberErrors(t *testing.T) {
 func TestSampleSeries(t *testing.T) {
 	f := newFakeWorld()
 	m, _ := NewMeasurer(Config{Prober: f, W: "w", Z: "z", Samples: 5})
-	series, err := m.SampleSeries("x", "y", 17)
+	series, err := m.SampleSeries(context.Background(), "x", "y", 17)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(series) != 17 {
 		t.Errorf("series length %d", len(series))
 	}
-	if _, err := m.SampleSeries("x", "x", 5); err == nil {
+	if _, err := m.SampleSeries(context.Background(), "x", "x", 5); err == nil {
 		t.Error("self pair accepted")
 	}
 }
@@ -190,7 +194,7 @@ func TestModelProberAccuracy(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		x := topo.Node(inet.NodeID(i)).Name
 		y := topo.Node(inet.NodeID(i + 5)).Name
-		res, err := m.MeasurePair(x, y)
+		res, err := m.MeasurePair(context.Background(), x, y)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -207,10 +211,10 @@ func TestModelProberAccuracy(t *testing.T) {
 func TestModelProberUnknownRelay(t *testing.T) {
 	topo, host, nodeOf := modelWorld(t, 5, 101)
 	p := NewModelProber(topo, host, nodeOf, 8)
-	if _, err := p.SampleCircuit([]string{"w", "ghost"}, 3); err == nil {
+	if _, err := p.SampleCircuit(context.Background(), []string{"w", "ghost"}, 3); err == nil {
 		t.Error("unknown relay accepted")
 	}
-	if _, err := p.SampleCircuit([]string{"w"}, 0); err == nil {
+	if _, err := p.SampleCircuit(context.Background(), []string{"w"}, 0); err == nil {
 		t.Error("zero samples accepted")
 	}
 	if _, err := p.Ping("ghost"); err == nil {
@@ -230,7 +234,7 @@ func TestEstimateForwardingUnbiasedNode(t *testing.T) {
 
 	p := NewModelProber(topo, host, nodeOf, 9)
 	m, _ := NewMeasurer(Config{Prober: p, W: "w", Z: "z", Samples: 300})
-	est, err := m.EstimateForwarding(n0.Name, p, 100)
+	est, err := m.EstimateForwarding(context.Background(), n0.Name, p, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +260,7 @@ func TestEstimateForwardingBiasedNodeDeviates(t *testing.T) {
 
 	p := NewModelProber(topo, host, nodeOf, 10)
 	m, _ := NewMeasurer(Config{Prober: p, W: "w", Z: "z", Samples: 300})
-	est, err := m.EstimateForwarding(n0.Name, p, 100)
+	est, err := m.EstimateForwarding(context.Background(), n0.Name, p, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,13 +278,13 @@ func TestEstimateForwardingBiasedNodeDeviates(t *testing.T) {
 func TestEstimateForwardingValidation(t *testing.T) {
 	f := newFakeWorld()
 	m, _ := NewMeasurer(Config{Prober: f, W: "w", Z: "z", Samples: 1})
-	if _, err := m.EstimateForwarding("w", nil, 10); err == nil {
+	if _, err := m.EstimateForwarding(context.Background(), "w", nil, 10); err == nil {
 		t.Error("forwarding estimate for local relay accepted")
 	}
 	topo, host, nodeOf := modelWorld(t, 5, 104)
 	p := NewModelProber(topo, host, nodeOf, 11)
 	m2, _ := NewMeasurer(Config{Prober: p, W: "w", Z: "z", Samples: 5})
-	if _, err := m2.EstimateForwarding(topo.Node(0).Name, p, 0); err == nil {
+	if _, err := m2.EstimateForwarding(context.Background(), topo.Node(0).Name, p, 0); err == nil {
 		t.Error("zero ping samples accepted")
 	}
 }
@@ -431,7 +435,7 @@ func TestCache(t *testing.T) {
 	}
 }
 
-func TestScannerAllPairs(t *testing.T) {
+func TestScannerScan(t *testing.T) {
 	f := newFakeWorld()
 	sc := &Scanner{
 		NewMeasurer: func(worker int) (*Measurer, error) {
@@ -442,7 +446,7 @@ func TestScannerAllPairs(t *testing.T) {
 	}
 	var calls int
 	sc.Progress = func(done, total int) { calls++ }
-	m, err := sc.AllPairs([]string{"x", "y"})
+	m, _, err := sc.Scan(context.Background(), []string{"x", "y"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -457,7 +461,7 @@ func TestScannerAllPairs(t *testing.T) {
 
 func TestScannerErrors(t *testing.T) {
 	sc := &Scanner{}
-	if _, err := sc.AllPairs([]string{"a", "b"}); err == nil {
+	if _, _, err := sc.Scan(context.Background(), []string{"a", "b"}); err == nil {
 		t.Error("missing NewMeasurer accepted")
 	}
 	f := newFakeWorld()
@@ -467,7 +471,7 @@ func TestScannerErrors(t *testing.T) {
 			return NewMeasurer(Config{Prober: f, W: "w", Z: "z", Samples: 1})
 		},
 	}
-	if _, err := sc2.AllPairs([]string{"x", "y"}); err == nil || !strings.Contains(err.Error(), "x is down") {
+	if _, _, err := sc2.Scan(context.Background(), []string{"x", "y"}); err == nil || !strings.Contains(err.Error(), "x is down") {
 		t.Errorf("scanner error = %v", err)
 	}
 }
@@ -482,7 +486,7 @@ func TestScannerUsesCache(t *testing.T) {
 		},
 		Cache: cache,
 	}
-	m, err := sc.AllPairs([]string{"x", "y"})
+	m, _, err := sc.Scan(context.Background(), []string{"x", "y"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -27,6 +27,7 @@ import (
 	"ting/internal/link"
 	"ting/internal/onion"
 	"ting/internal/relay"
+	"ting/internal/telemetry"
 )
 
 // EchoTarget is the destination name exit relays may connect to — the only
@@ -74,6 +75,9 @@ type Config struct {
 	// DESTROY propagation runs through the live circuit machinery. The
 	// plan's clock starts when Build returns.
 	Faults *faults.Plan
+	// Telemetry, if non-nil, is handed to every relay, the onion proxy,
+	// and the fault plan, so one registry observes the whole overlay.
+	Telemetry *telemetry.Registry
 }
 
 // Net is a running overlay.
@@ -155,8 +159,9 @@ func Build(cfg Config) (*Net, error) {
 	}
 
 	cl, err := client.New(client.Config{
-		Dialer:  n.dialerFrom(cfg.Host, cfg.Topology.Node(cfg.Host).Name),
-		Timeout: cfg.Timeout,
+		Dialer:    n.dialerFrom(cfg.Host, cfg.Topology.Node(cfg.Host).Name),
+		Timeout:   cfg.Timeout,
+		Telemetry: cfg.Telemetry,
 	})
 	if err != nil {
 		n.Close()
@@ -165,6 +170,7 @@ func Build(cfg Config) (*Net, error) {
 	n.Client = cl
 
 	if cfg.Faults != nil {
+		cfg.Faults.SetTelemetry(cfg.Telemetry)
 		cfg.Faults.Begin()
 		for name, rs := range cfg.Faults.Relays() {
 			if rs.CrashAfter <= 0 {
@@ -196,6 +202,7 @@ func (n *Net) CrashRelay(name string) bool {
 	if n.cfg.Faults != nil {
 		n.cfg.Faults.Crash(name)
 	}
+	n.cfg.Telemetry.Counter("tornet.relay_crashes").Inc()
 	r.Close()
 	return true
 }
@@ -236,6 +243,7 @@ func (n *Net) addRelay(name string, id inet.NodeID, fwd inet.ForwardingModel, pu
 		ExitDialer:   &exitDialer{n: n, from: id},
 		ExitPolicy:   func(target string) bool { return target == EchoTarget },
 		ForwardDelay: fwdFn,
+		Telemetry:    n.cfg.Telemetry,
 	}
 	r, err := relay.New(cfg)
 	if err != nil {
