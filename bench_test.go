@@ -8,14 +8,17 @@ package ting
 //	go test -bench=. -benchmem
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"ting/internal/cell"
 	"ting/internal/deanon"
 	"ting/internal/experiments"
 	"ting/internal/onion"
 	"ting/internal/pathsel"
+	"ting/internal/ting"
 )
 
 // --- Figure benchmarks ---
@@ -459,5 +462,63 @@ func BenchmarkKingComparison(b *testing.B) {
 		}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Half-circuit memoization and scan-scheduling benchmarks ---
+
+// benchScanAllPairs runs a 20-node all-pairs scan over the model world —
+// the end-to-end cost the half-circuit cache exists to cut. The memoized/
+// unmemoized pair is the ~3× ablation: pairs+N vs 3·pairs circuit series.
+func benchScanAllPairs(b *testing.B, disable bool) {
+	w, err := experiments.NewWorld(20, 25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := &ting.Scanner{
+			NewMeasurer: func(worker int) (*ting.Measurer, error) {
+				return w.Measurer(50, 26+int64(worker))
+			},
+			Workers:          4,
+			DisableHalfCache: disable,
+		}
+		if _, _, err := sc.Scan(context.Background(), w.Names); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScanAllPairsMemoized(b *testing.B) { benchScanAllPairs(b, false) }
+
+func BenchmarkScanAllPairsNoMemo(b *testing.B) { benchScanAllPairs(b, true) }
+
+func BenchmarkHalfCacheHit(b *testing.B) {
+	c := ting.NewHalfCache(0)
+	path := []string{"w", "x"}
+	fn := func(context.Context) (float64, error) { return 1, nil }
+	if _, err := c.Do(context.Background(), path, 200, nil, fn); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Do(context.Background(), path, 200, nil, fn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCachePut(b *testing.B) {
+	// Amortized pruning: Put must stay O(1) even with a TTL set and the
+	// map holding thousands of pairs (the former per-Put sweep was O(n)).
+	c := ting.NewCache(time.Hour)
+	keys := make([]string, 4096)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("r%04d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Put(keys[i%len(keys)], "peer", float64(i))
 	}
 }

@@ -42,6 +42,7 @@ var (
 	retryFlag   = flag.Int("retry", 2, "all-pairs: extra attempts per failed pair")
 	backoffFlag = flag.Duration("backoff", time.Second, "all-pairs: base retry backoff (doubled per attempt, jittered)")
 	pairTimeout = flag.Duration("pair-timeout", 0, "all-pairs: per-attempt deadline (0 = none)")
+	halfCache   = flag.Bool("half-cache", true, "all-pairs: memoize half-circuit minima (§4.6) so each C_x series is measured once per scan; false re-measures C_x and C_y for every pair")
 
 	debugAddr = flag.String("debug-addr", "", "serve telemetry and pprof on this address (e.g. 127.0.0.1:6060)")
 
@@ -167,7 +168,12 @@ func main() {
 			Retry:        *retryFlag,
 			Backoff:      *backoffFlag,
 			PairTimeout:  *pairTimeout,
-			Observer:     obs,
+			// Half-circuit memoization (§3.3/§4.6): min R_Cx depends only on
+			// x, so the scan samples pairs+N circuit series instead of
+			// 3·pairs. -half-cache=false restores the literal per-pair
+			// procedure of §4.2.
+			DisableHalfCache: !*halfCache,
+			Observer:         obs,
 		}
 		matrix, failures, err := sc.Scan(ctx, names)
 		if err != nil {
@@ -211,6 +217,11 @@ func printSummary(reg *telemetry.Registry) {
 		c["ting.pairs_measured"], c["ting.pair_failures"],
 		c["ting.retries"],
 		c["ting.cache_hits"], c["ting.cache_misses"])
+	if half := c["ting.halfcircuit.hit"] + c["ting.halfcircuit.miss"] + c["ting.halfcircuit.inflight_wait"]; half > 0 {
+		fmt.Printf("telemetry: half circuits %d measured, %d memoized, %d joined in-flight (of %d lookups)\n",
+			c["ting.halfcircuit.miss"], c["ting.halfcircuit.hit"],
+			c["ting.halfcircuit.inflight_wait"], half)
+	}
 	if h, ok := s.Histograms["ting.pair_rtt_ms"]; ok && h.Count > 0 {
 		fmt.Printf("telemetry: pair RTT ms p50=%.2f p90=%.2f p99=%.2f\n", h.P50, h.P90, h.P99)
 	}

@@ -105,7 +105,10 @@ func UnmarshalPayload(p *[PayloadLen]byte) (RelayCell, error) {
 	if int(n) > RelayDataLen {
 		return rc, fmt.Errorf("cell: relay length %d exceeds %d", n, RelayDataLen)
 	}
-	rc.Data = append([]byte(nil), p[RelayHeaderLen:RelayHeaderLen+int(n)]...)
+	// Pooled: the decrypted data is the overlay's hottest allocation. The
+	// consumer that finishes with it (exit writer, client reader) returns
+	// it via PutBuf; paths that retain it just let the GC have it.
+	rc.Data = append(GetBuf(), p[RelayHeaderLen:RelayHeaderLen+int(n)]...)
 	return rc, nil
 }
 

@@ -120,28 +120,32 @@ func (s *Stream) Read(p []byte) (int, error) {
 
 	select {
 	case chunk := <-s.inbox:
-		n := copy(p, chunk)
-		if n < len(chunk) {
-			s.mu.Lock()
-			s.leftover = chunk[n:]
-			s.mu.Unlock()
-		}
-		return n, nil
+		return s.consume(p, chunk), nil
 	case <-s.closedCh:
 		// Drain anything that raced with closure.
 		select {
 		case chunk := <-s.inbox:
-			n := copy(p, chunk)
-			if n < len(chunk) {
-				s.mu.Lock()
-				s.leftover = chunk[n:]
-				s.mu.Unlock()
-			}
-			return n, nil
+			return s.consume(p, chunk), nil
 		default:
 			return 0, io.EOF
 		}
 	}
+}
+
+// consume copies a delivered chunk into p, stashing any tail as leftover.
+// A fully consumed chunk goes back to the cell buffer pool — at that point
+// this reader is its only owner. (A partial chunk survives as leftover,
+// whose subslice the pool rejects later; it is simply collected.)
+func (s *Stream) consume(p []byte, chunk []byte) int {
+	n := copy(p, chunk)
+	if n < len(chunk) {
+		s.mu.Lock()
+		s.leftover = chunk[n:]
+		s.mu.Unlock()
+		return n
+	}
+	cell.PutBuf(chunk)
+	return n
 }
 
 // Write sends data toward the destination, fragmenting into relay cells.

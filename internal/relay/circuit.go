@@ -288,7 +288,11 @@ func (c *circuit) streamWriteLoop(id cell.StreamID, st *exitStream) {
 		case <-st.closed:
 			return
 		case data := <-st.out:
-			if _, err := st.conn.Write(data); err != nil {
+			_, err := st.conn.Write(data)
+			// The queue transferred ownership to this loop; once the bytes
+			// are in the destination socket the buffer can go home.
+			cell.PutBuf(data)
+			if err != nil {
 				select {
 				case <-st.closed:
 				default:
@@ -324,10 +328,14 @@ func (c *circuit) streamReadLoop(id cell.StreamID, st *exitStream) {
 			// Returning data pays the forwarding delay too: each relay on
 			// the round trip contributes 2F, the exit included (Eq. 1).
 			c.r.forwardDelay()
-			data := append([]byte(nil), buf[:n]...)
-			if serr := c.sendBackward(cell.RelayCell{
+			data := append(cell.GetBuf(), buf[:n]...)
+			serr := c.sendBackward(cell.RelayCell{
 				Cmd: cell.RelayData, Stream: id, Data: data,
-			}); serr != nil {
+			})
+			// sendBackward marshaled data into the cell payload; the buffer
+			// is ours again either way.
+			cell.PutBuf(data)
+			if serr != nil {
 				c.closeStream(id)
 				return
 			}

@@ -1,0 +1,128 @@
+package ting
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// HalfCache memoizes half-circuit measurements — min R_Cx for circuits of
+// the form (w, x) — with singleflight semantics. It is the scanner-side
+// embodiment of the paper's own optimization (§3.3, §4.6): min R_Cx depends
+// only on x, so an N-node all-pairs campaign needs N half-circuit series,
+// not one per pair per side. Without it, every MeasurePair re-samples C_x
+// and C_y, tripling the sample budget of a scan.
+//
+// Entries are keyed by the full circuit path plus the sample count, so a
+// cross-scan handle shared between campaigns with different local relays or
+// sample budgets never conflates incompatible series. Like Cache, entries
+// carry a freshness horizon: ttl ≤ 0 means they never expire (§4.6 says a
+// week of stability, so "measure once, cache for the campaign" is sound).
+//
+// Singleflight: when two workers need the same half circuit concurrently,
+// one measures and the others wait for its series instead of duplicating
+// the 200 samples. A waiter whose leader fails takes over and measures with
+// its own prober (the leader's failure may be its prober's, not the
+// relay's), so transient errors do not poison the cache — errors are never
+// stored.
+type HalfCache struct {
+	ttl time.Duration
+	now func() time.Time
+
+	mu      sync.Mutex
+	entries map[string]halfEntry
+	flights map[string]*halfFlight
+}
+
+type halfEntry struct {
+	min  float64
+	when time.Time
+}
+
+// halfFlight is one in-progress measurement; min and err are written
+// exactly once before done is closed.
+type halfFlight struct {
+	done chan struct{}
+	min  float64
+	err  error
+}
+
+// NewHalfCache creates a half-circuit cache whose entries expire after
+// ttl. A ttl ≤ 0 means entries never expire.
+func NewHalfCache(ttl time.Duration) *HalfCache {
+	return &HalfCache{
+		ttl:     ttl,
+		now:     time.Now,
+		entries: make(map[string]halfEntry),
+		flights: make(map[string]*halfFlight),
+	}
+}
+
+// halfKey identifies one half-circuit series: the exact path plus the
+// sample count it was measured with.
+func halfKey(path []string, samples int) string {
+	return strings.Join(path, ",") + "#" + strconv.Itoa(samples)
+}
+
+// Len returns the number of memoized half circuits (completed series only,
+// fresh or stale).
+func (c *HalfCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Do returns the memoized minimum RTT for the half circuit, measuring it
+// with fn on a miss. Concurrent calls for the same key share one
+// measurement; obs (nil-safe) is told whether this call hit, measured, or
+// waited on another worker's in-flight series.
+func (c *HalfCache) Do(ctx context.Context, path []string, samples int, obs *Observer, fn func(context.Context) (float64, error)) (float64, error) {
+	key := halfKey(path, samples)
+	for {
+		c.mu.Lock()
+		if e, ok := c.entries[key]; ok && !c.expired(e) {
+			c.mu.Unlock()
+			obs.halfCircuit(path, HalfCircuitHit)
+			return e.min, nil
+		}
+		if f, ok := c.flights[key]; ok {
+			c.mu.Unlock()
+			obs.halfCircuit(path, HalfCircuitWait)
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-f.done:
+			}
+			if f.err == nil {
+				return f.min, nil
+			}
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			// The leader failed but we are still live: loop and either find
+			// a fresher flight to join or measure ourselves.
+			continue
+		}
+		f := &halfFlight{done: make(chan struct{})}
+		c.flights[key] = f
+		c.mu.Unlock()
+
+		obs.halfCircuit(path, HalfCircuitMiss)
+		min, err := fn(ctx)
+		f.min, f.err = min, err
+		c.mu.Lock()
+		delete(c.flights, key)
+		if err == nil {
+			c.entries[key] = halfEntry{min: min, when: c.now()}
+		}
+		c.mu.Unlock()
+		close(f.done)
+		return min, err
+	}
+}
+
+func (c *HalfCache) expired(e halfEntry) bool {
+	return c.ttl > 0 && c.now().Sub(e.when) > c.ttl
+}

@@ -175,7 +175,15 @@ type Cache struct {
 
 	mu sync.Mutex
 	m  map[[2]string]cacheEntry
+	// pruneAt is the map size that triggers the next expiry sweep. Doubling
+	// it after each sweep makes pruning amortized O(1) per Put instead of
+	// the former O(n) walk on every insert.
+	pruneAt int
 }
+
+// cachePruneFloor is the smallest prune threshold: sweeping tiny maps is
+// pointless, and a floor keeps the doubling schedule from degenerating.
+const cachePruneFloor = 16
 
 type cacheEntry struct {
 	rtt  float64
@@ -186,7 +194,7 @@ type cacheEntry struct {
 // means entries never expire — the §4.6 "measure once, cache for the
 // campaign" mode — not "expire immediately".
 func NewCache(ttl time.Duration) *Cache {
-	return &Cache{ttl: ttl, now: time.Now, m: make(map[[2]string]cacheEntry)}
+	return &Cache{ttl: ttl, now: time.Now, m: make(map[[2]string]cacheEntry), pruneAt: cachePruneFloor}
 }
 
 func pairKey(x, y string) [2]string {
@@ -208,20 +216,26 @@ func (c *Cache) Get(x, y string) (float64, bool) {
 	return e.rtt, true
 }
 
-// Put records a measurement and, when a TTL is set, prunes entries that
-// have already expired so a long-running scanner's cache does not grow
-// with dead pairs.
+// Put records a measurement and, when a TTL is set, occasionally prunes
+// entries that have already expired so a long-running scanner's cache does
+// not grow with dead pairs. Pruning is lazy: expired entries may linger
+// (Get never returns them) until the map grows past its prune threshold,
+// at which point one sweep reclaims them — amortized O(1) per Put.
 func (c *Cache) Put(x, y string, rtt float64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.ttl > 0 {
+	c.m[pairKey(x, y)] = cacheEntry{rtt: rtt, when: c.now()}
+	if c.ttl > 0 && len(c.m) >= c.pruneAt {
 		for k, e := range c.m {
 			if c.expired(e) {
 				delete(c.m, k)
 			}
 		}
+		c.pruneAt = 2 * len(c.m)
+		if c.pruneAt < cachePruneFloor {
+			c.pruneAt = cachePruneFloor
+		}
 	}
-	c.m[pairKey(x, y)] = cacheEntry{rtt: rtt, when: c.now()}
 }
 
 // expired reports whether an entry is past the TTL. Callers hold c.mu.
@@ -230,8 +244,8 @@ func (c *Cache) expired(e cacheEntry) bool {
 }
 
 // Len returns the number of cached pairs, fresh or stale: stale entries
-// linger until the next Put prunes them, and Len reports what is actually
-// held.
+// linger until growth triggers the next amortized prune, and Len reports
+// what is actually held.
 func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()

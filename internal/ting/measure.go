@@ -26,6 +26,12 @@ type Config struct {
 	// (circuit timings, raw samples, pair results). Use
 	// NewTelemetryObserver to feed a telemetry.Registry.
 	Observer *Observer
+	// HalfCircuits, if non-nil, memoizes min R_Cx per half circuit so
+	// repeated pairs sharing an endpoint reuse the series (§3.3/§4.6)
+	// instead of re-sampling it. Sharing one cache across the Measurers of
+	// a scan — the Scanner does this automatically — cuts an N-node
+	// all-pairs campaign from 3·pairs circuit series to pairs + N.
+	HalfCircuits *HalfCache
 }
 
 // Measurer measures RTTs between arbitrary relay pairs.
@@ -139,8 +145,21 @@ func (m *Measurer) checkPair(x, y string) error {
 
 // minRTT takes the configured number of samples through path and returns
 // the minimum — the aggregation that makes forwarding delays vanish from
-// the estimate (§3.3).
+// the estimate (§3.3). Half circuits (w, x) are memoized through
+// Config.HalfCircuits when one is set: min R_Cx depends only on x, so the
+// series is worth exactly one measurement per freshness window.
 func (m *Measurer) minRTT(ctx context.Context, path []string) (float64, error) {
+	if m.cfg.HalfCircuits != nil && len(path) == 2 {
+		return m.cfg.HalfCircuits.Do(ctx, path, m.cfg.Samples, m.cfg.Observer,
+			func(ctx context.Context) (float64, error) {
+				return m.measureMin(ctx, path)
+			})
+	}
+	return m.measureMin(ctx, path)
+}
+
+// measureMin is the uncached sampling path behind minRTT.
+func (m *Measurer) measureMin(ctx context.Context, path []string) (float64, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}

@@ -31,7 +31,24 @@ type Observer struct {
 	WorkerActive func(delta int)
 	// SweepDone fires after each monitor sweep with cumulative stats.
 	SweepDone func(stats MonitorStats)
+	// HalfCircuit fires on every half-circuit cache consultation with the
+	// outcome: served from cache, measured fresh, or waited on another
+	// worker's in-flight measurement.
+	HalfCircuit func(path []string, ev HalfCircuitEvent)
 }
+
+// HalfCircuitEvent classifies one HalfCache consultation.
+type HalfCircuitEvent int
+
+const (
+	// HalfCircuitHit: the half circuit was served from the cache.
+	HalfCircuitHit HalfCircuitEvent = iota
+	// HalfCircuitMiss: this caller measured the half circuit itself.
+	HalfCircuitMiss
+	// HalfCircuitWait: another worker was already measuring it; this
+	// caller blocked on that flight instead of duplicating the series.
+	HalfCircuitWait
+)
 
 // Nil-safe invocation helpers: call sites never branch on the observer.
 
@@ -77,6 +94,12 @@ func (o *Observer) sweepDone(stats MonitorStats) {
 	}
 }
 
+func (o *Observer) halfCircuit(path []string, ev HalfCircuitEvent) {
+	if o != nil && o.HalfCircuit != nil {
+		o.HalfCircuit(path, ev)
+	}
+}
+
 // NewTelemetryObserver wires an Observer into a telemetry.Registry. All
 // metrics are resolved once here, so the per-event cost is an atomic add
 // (plus a trace record for lifecycle events). Metric names:
@@ -89,6 +112,8 @@ func (o *Observer) sweepDone(stats MonitorStats) {
 //	ting.pair_rtt_ms                                histogram
 //	ting.retries                                    counter
 //	ting.cache_hits / ting.cache_misses             counters
+//	ting.halfcircuit.hit / ting.halfcircuit.miss    counters
+//	ting.halfcircuit.inflight_wait                  counter
 //	ting.scanner_active_workers                     gauge
 //	ting.sweeps                                     counter
 //
@@ -106,6 +131,9 @@ func NewTelemetryObserver(reg *telemetry.Registry) *Observer {
 		retries      = reg.Counter("ting.retries")
 		cacheHits    = reg.Counter("ting.cache_hits")
 		cacheMisses  = reg.Counter("ting.cache_misses")
+		halfHits     = reg.Counter("ting.halfcircuit.hit")
+		halfMisses   = reg.Counter("ting.halfcircuit.miss")
+		halfWaits    = reg.Counter("ting.halfcircuit.inflight_wait")
 		active       = reg.Gauge("ting.scanner_active_workers")
 		sweeps       = reg.Counter("ting.sweeps")
 		trace        = reg.Trace()
@@ -152,6 +180,17 @@ func NewTelemetryObserver(reg *telemetry.Registry) *Observer {
 				trace.Record("cache", "hit "+x+"-"+y, 0)
 			} else {
 				cacheMisses.Inc()
+			}
+		},
+		HalfCircuit: func(path []string, ev HalfCircuitEvent) {
+			switch ev {
+			case HalfCircuitHit:
+				halfHits.Inc()
+				trace.Record("halfcircuit", "hit "+strings.Join(path, ","), 0)
+			case HalfCircuitMiss:
+				halfMisses.Inc()
+			case HalfCircuitWait:
+				halfWaits.Inc()
 			}
 		},
 		WorkerActive: func(delta int) {

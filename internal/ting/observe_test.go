@@ -3,6 +3,7 @@ package ting
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -22,6 +23,9 @@ func TestObserverNilSafe(t *testing.T) {
 		o.cacheLookup("x", "y", true)
 		o.workerActive(1)
 		o.sweepDone(MonitorStats{})
+		o.halfCircuit([]string{"w", "x"}, HalfCircuitHit)
+		o.halfCircuit([]string{"w", "x"}, HalfCircuitMiss)
+		o.halfCircuit([]string{"w", "x"}, HalfCircuitWait)
 	}
 }
 
@@ -196,20 +200,45 @@ func TestCacheZeroTTLNeverExpires(t *testing.T) {
 }
 
 // TestCachePutPrunesExpired: with a TTL set, Put evicts entries that have
-// already lapsed so the map does not grow with dead pairs.
+// already lapsed so the map does not grow with dead pairs. Pruning is
+// amortized — expired entries may linger until the map grows past its
+// threshold — but Get never serves them, and growth always reclaims them.
 func TestCachePutPrunesExpired(t *testing.T) {
 	c := NewCache(time.Minute)
 	now := time.Unix(0, 0)
 	c.now = func() time.Time { return now }
-	c.Put("a", "b", 1)
-	c.Put("c", "d", 2)
-	now = now.Add(time.Hour)
-	c.Put("e", "f", 3)
-	if c.Len() != 1 {
-		t.Errorf("Len = %d after pruning Put, want 1", c.Len())
+	// Fill to the first prune threshold; nothing is expired yet, so the
+	// sweep keeps everything and the threshold doubles.
+	for i := 0; i < cachePruneFloor; i++ {
+		c.Put(fmt.Sprintf("a%02d", i), "b", float64(i))
 	}
-	if _, ok := c.Get("a", "b"); ok {
-		t.Error("expired entry survived")
+	if c.Len() != cachePruneFloor {
+		t.Fatalf("Len = %d after %d fresh puts", c.Len(), cachePruneFloor)
+	}
+	now = now.Add(time.Hour) // every entry above lapses
+
+	// One more Put must NOT pay for a sweep (that is the amortization):
+	// the dead entries linger, but Get refuses to serve them.
+	c.Put("e", "f", 3)
+	if c.Len() != cachePruneFloor+1 {
+		t.Errorf("Len = %d right after expiry, want lazy %d", c.Len(), cachePruneFloor+1)
+	}
+	if _, ok := c.Get("a00", "b"); ok {
+		t.Error("Get served an expired entry")
+	}
+
+	// Growing past the threshold triggers the sweep: all expired entries
+	// vanish, fresh ones survive.
+	fresh := 1
+	for i := 0; c.Len() > cachePruneFloor && i < 4*cachePruneFloor; i++ {
+		c.Put(fmt.Sprintf("g%02d", i), "h", float64(i))
+		fresh++
+	}
+	if c.Len() != fresh {
+		t.Errorf("Len = %d after pruning growth, want only the %d fresh entries", c.Len(), fresh)
+	}
+	if _, ok := c.Get("a00", "b"); ok {
+		t.Error("expired entry survived the sweep")
 	}
 	if v, ok := c.Get("e", "f"); !ok || v != 3 {
 		t.Error("fresh entry lost in prune")

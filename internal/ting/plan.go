@@ -35,6 +35,11 @@ type CampaignConfig struct {
 	// Parallel is how many measurements run concurrently — one per vantage
 	// point or per control session. Default 1.
 	Parallel int
+	// Memoized models §4.6 half-circuit memoization: min R_Cx depends only
+	// on x, so an all-pairs campaign samples Pairs + Relays circuit series
+	// (one C_xy per pair, one C_x per relay) instead of 3·Pairs. Requires
+	// Relays, since the half-circuit count is the relay population.
+	Memoized bool
 }
 
 func (c *CampaignConfig) setDefaults() error {
@@ -74,10 +79,23 @@ type CampaignPlan struct {
 
 // PlanCampaign projects the wall-clock cost of a campaign. Echo probes are
 // pipelined one-at-a-time per circuit (each costs one circuit RTT), which
-// matches the paper's measured per-pair times within ~20%.
+// matches the paper's measured per-pair times within ~20%. With Memoized
+// set, PerPair is the campaign average: pairs sharing an endpoint with an
+// already-measured pair skip the shared half circuits, so early pairs cost
+// more than late ones.
 func PlanCampaign(cfg CampaignConfig) (*CampaignPlan, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
+	}
+	if cfg.Memoized {
+		if cfg.Relays < 2 {
+			return nil, errors.New("ting: memoized campaign needs Relays (the half-circuit count)")
+		}
+		series := cfg.Pairs + cfg.Relays
+		total := time.Duration(int64(series*cfg.Samples+cfg.Pairs*cfg.BuildRTTs) *
+			int64(cfg.MeanRTT) / int64(cfg.Parallel))
+		perPair := time.Duration(int64(total) * int64(cfg.Parallel) / int64(cfg.Pairs))
+		return &CampaignPlan{Pairs: cfg.Pairs, PerPair: perPair, Total: total}, nil
 	}
 	perPair := time.Duration(3*cfg.Samples+cfg.BuildRTTs) * cfg.MeanRTT
 	total := time.Duration(int64(perPair) * int64(cfg.Pairs) / int64(cfg.Parallel))

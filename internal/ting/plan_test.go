@@ -77,6 +77,36 @@ func TestPlanCampaignScaling(t *testing.T) {
 	}
 }
 
+func TestPlanCampaignMemoized(t *testing.T) {
+	// §4.6 memoization: an N-relay all-pairs campaign samples Pairs + N
+	// circuit series instead of 3·Pairs — for N = 100 (4950 pairs) the
+	// sample budget shrinks ~2.9×, and so must the projected duration.
+	base, err := PlanCampaign(CampaignConfig{Relays: 100, Samples: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	memo, err := PlanCampaign(CampaignConfig{Relays: 100, Samples: 50, Memoized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if memo.Pairs != base.Pairs {
+		t.Errorf("memoized pairs = %d, want %d", memo.Pairs, base.Pairs)
+	}
+	ratio := float64(base.Total) / float64(memo.Total)
+	t.Logf("memoization shrinks the campaign %.2fx", ratio)
+	if ratio < 2.5 {
+		t.Errorf("memoized plan only %.2fx cheaper, want ~3x", ratio)
+	}
+	if memo.PerPair >= base.PerPair {
+		t.Error("memoized per-pair average did not shrink")
+	}
+	// Memoization reasons about half circuits per relay: a pairs-only
+	// config cannot say how many distinct relays those pairs touch.
+	if _, err := PlanCampaign(CampaignConfig{Pairs: 100, Samples: 50, Memoized: true}); err == nil {
+		t.Error("memoized plan without Relays accepted")
+	}
+}
+
 func TestPlanCampaignValidation(t *testing.T) {
 	if _, err := PlanCampaign(CampaignConfig{}); err == nil {
 		t.Error("empty config accepted")

@@ -84,7 +84,9 @@ func NewModelProber(topo *inet.Topology, host inet.NodeID, nodeOf map[string]ine
 }
 
 // SampleCircuit implements CircuitProber. The model world has no real I/O
-// to interrupt, so cancellation is checked between samples.
+// to interrupt, so cancellation is checked between batches of samples —
+// one branch per stackProbeBatch samples, mirroring StackProber, instead
+// of a context poll inside the million-sample hot loop.
 func (p *ModelProber) SampleCircuit(ctx context.Context, path []string, n int) ([]float64, error) {
 	if n <= 0 {
 		return nil, errors.New("ting: sample count must be positive")
@@ -99,8 +101,10 @@ func (p *ModelProber) SampleCircuit(ctx context.Context, path []string, n int) (
 	}
 	out := make([]float64, n)
 	for i := range out {
-		if err := ctx.Err(); err != nil {
-			return nil, err
+		if i%stackProbeBatch == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 		}
 		s, err := p.prober.TorPathRTT(p.host, ids)
 		if err != nil {

@@ -28,10 +28,24 @@ type Scanner struct {
 	Workers int
 	// Cache, if non-nil, is consulted before measuring and updated after.
 	Cache *Cache
+	// HalfCircuits, if non-nil, is a cross-scan half-circuit cache: min
+	// R_Cx series memoized in one campaign answer the next. If nil, each
+	// Scan owns a private HalfCache for its own duration (unless
+	// DisableHalfCache is set), which alone cuts an N-node all-pairs scan
+	// from 3·pairs circuit series to pairs + N (§3.3/§4.6).
+	HalfCircuits *HalfCache
+	// DisableHalfCache turns half-circuit memoization off entirely, so
+	// every pair re-measures C_x and C_y — the paper's literal §4.2
+	// procedure, and the honest mode when relay-local delays drift faster
+	// than a scan completes.
+	DisableHalfCache bool
 	// Shuffle, if non-zero, probes pairs in a seed-determined random order,
 	// as the paper does ("We probe each pair in a randomized order", §4.2).
 	// The same seed also drives backoff jitter, so a scan's retry schedule
-	// is reproducible.
+	// is reproducible. When zero, the scanner instead groups each worker's
+	// pairs by shared first endpoint (reuse-aware order), so a reusing
+	// prober's prefix extension and the half-circuit cache see the same
+	// relay back to back and workers never contend on one singleflight.
 	Shuffle int64
 	// Progress, if non-nil, is called after each pair reaches a final
 	// disposition — success or (in tolerant mode) permanent failure — so
@@ -73,8 +87,99 @@ type PairError struct {
 type pairJob struct {
 	x, y    string
 	attempt int // attempts already consumed
-	prev    int // worker that last failed this pair, -1 initially
-	bounce  int // hand-offs to avoid retrying on the same worker
+}
+
+// workQueue is an unbounded FIFO with blocking pop. Each worker owns one,
+// so the reuse-aware assignment below survives into execution order —
+// a shared channel would let any worker steal the next (x, ·) pair and
+// split x's group across probers.
+type workQueue struct {
+	mu     sync.Mutex
+	cond   sync.Cond
+	jobs   []pairJob
+	head   int
+	closed bool
+}
+
+func newWorkQueue() *workQueue {
+	q := &workQueue{}
+	q.cond.L = &q.mu
+	return q
+}
+
+func (q *workQueue) push(job pairJob) {
+	q.mu.Lock()
+	// Compact lazily: the consumed prefix is reclaimed only when it
+	// dominates the slice, so push/pop stay O(1) amortized.
+	if q.head > len(q.jobs)/2 {
+		q.jobs = append(q.jobs[:0], q.jobs[q.head:]...)
+		q.head = 0
+	}
+	q.jobs = append(q.jobs, job)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// pop blocks until a job is available or the queue is closed and empty.
+func (q *workQueue) pop() (pairJob, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.head == len(q.jobs) && !q.closed {
+		q.cond.Wait()
+	}
+	if q.head == len(q.jobs) {
+		return pairJob{}, false
+	}
+	job := q.jobs[q.head]
+	q.head++
+	return job, true
+}
+
+func (q *workQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// assignJobs distributes todo across workers. With a shuffle seed the
+// randomized global order is preserved by dealing the shuffled list
+// round-robin. Otherwise pairs are grouped by first endpoint and groups
+// are placed longest-first onto the least-loaded worker (LPT greedy), so
+// one worker owns all of (x, ·): its prober extends C_x into C_xy once,
+// the half-circuit cache turns the group's remaining C_x lookups into
+// hits, and no two workers block on the same singleflight.
+func assignJobs(todo []pairJob, workers int, shuffled bool) [][]pairJob {
+	queues := make([][]pairJob, workers)
+	if shuffled {
+		for i, job := range todo {
+			queues[i%workers] = append(queues[i%workers], job)
+		}
+		return queues
+	}
+	var order []string
+	groups := make(map[string][]pairJob)
+	for _, job := range todo {
+		if _, ok := groups[job.x]; !ok {
+			order = append(order, job.x)
+		}
+		groups[job.x] = append(groups[job.x], job)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(groups[order[a]]) > len(groups[order[b]])
+	})
+	load := make([]int, workers)
+	for _, x := range order {
+		w := 0
+		for i := 1; i < workers; i++ {
+			if load[i] < load[w] {
+				w = i
+			}
+		}
+		queues[w] = append(queues[w], groups[x]...)
+		load[w] += len(groups[x])
+	}
+	return queues
 }
 
 // Scan measures every unordered pair among names and returns the matrix
@@ -97,7 +202,7 @@ func (s *Scanner) Scan(ctx context.Context, names []string) (*Matrix, []PairErro
 	var todo []pairJob
 	for i := 0; i < len(names); i++ {
 		for j := i + 1; j < len(names); j++ {
-			todo = append(todo, pairJob{x: names[i], y: names[j], prev: -1})
+			todo = append(todo, pairJob{x: names[i], y: names[j]})
 		}
 	}
 	if s.Shuffle != 0 {
@@ -133,6 +238,21 @@ func (s *Scanner) Scan(ctx context.Context, names []string) (*Matrix, []PairErro
 		}
 	}()
 
+	// Half-circuit memoization (§3.3/§4.6): the scan owns a cache unless
+	// the caller supplied a cross-scan one or opted out. Measurers that
+	// already carry their own keep it.
+	hc := s.HalfCircuits
+	if hc == nil && !s.DisableHalfCache {
+		hc = NewHalfCache(0)
+	}
+	if hc != nil {
+		for _, meas := range measurers {
+			if meas.cfg.HalfCircuits == nil {
+				meas.cfg.HalfCircuits = hc
+			}
+		}
+	}
+
 	scanCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -145,15 +265,25 @@ func (s *Scanner) Scan(ctx context.Context, names []string) (*Matrix, []PairErro
 		return backoff.Delay(attempt, jitterRNG)
 	}
 
-	// The channel holds at most one instance of each pair (retries are
-	// enqueued only after the failed instance was consumed), so this
-	// capacity guarantees workers never block on requeue.
-	jobs := make(chan pairJob, len(todo)+workers)
+	// Every pair is assigned to a worker queue up front; retries are the
+	// only cross-queue traffic. The queues close once every pair has
+	// settled, regardless of how many attempts it consumed.
+	queues := make([]*workQueue, workers)
+	for w := range queues {
+		queues[w] = newWorkQueue()
+	}
+	for w, jobs := range assignJobs(todo, workers, s.Shuffle != 0) {
+		for _, job := range jobs {
+			queues[w].push(job)
+		}
+	}
 	var remaining sync.WaitGroup // open pairs, regardless of attempt count
 	remaining.Add(len(todo))
 	go func() {
 		remaining.Wait()
-		close(jobs)
+		for _, q := range queues {
+			q.close()
+		}
 	}()
 
 	maxAttempts := s.Retry + 1
@@ -194,19 +324,16 @@ func (s *Scanner) Scan(ctx context.Context, names []string) (*Matrix, []PairErro
 		wg.Add(1)
 		go func(w int, meas *Measurer) {
 			defer wg.Done()
-			for job := range jobs {
+			for {
+				job, ok := queues[w].pop()
+				if !ok {
+					return
+				}
 				if scanCtx.Err() != nil {
 					// Aborted scan: drain without measuring. The scan's
 					// result is discarded, so abandoned pairs are not
 					// settled — progress must not count them as done.
 					remaining.Done()
-					continue
-				}
-				if job.prev == w && workers > 1 && job.bounce < workers {
-					// This worker already failed the pair; hand the retry
-					// to a different one.
-					job.bounce++
-					jobs <- job
 					continue
 				}
 				attemptCtx := scanCtx
@@ -239,24 +366,15 @@ func (s *Scanner) Scan(ctx context.Context, names []string) (*Matrix, []PairErro
 						}
 						t.Stop()
 					}
-					job.prev, job.bounce = w, 0
-					jobs <- job
+					// Hand the retry to the next worker: a pair that failed
+					// because this worker's circuits wedged gets a fresh
+					// prober, deterministically.
+					queues[(w+1)%workers].push(job)
 					continue
 				}
 				settle(job, err)
 			}
 		}(w, measurers[w])
-	}
-
-	for _, job := range todo {
-		select {
-		case <-scanCtx.Done():
-			// Stop dispatching; the pairs never handed out are settled
-			// here so the drain above terminates.
-		case jobs <- job:
-			continue
-		}
-		remaining.Done()
 	}
 	wg.Wait()
 

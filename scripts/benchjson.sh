@@ -1,0 +1,26 @@
+#!/bin/sh
+# benchjson.sh — convert `go test -bench -benchmem` output (stdin) into a
+# JSON object mapping benchmark name → {ns_per_op, allocs_per_op}, for the
+# CI bench artifact (BENCH_<sha>.json). Usage:
+#
+#   go test -run '^$' -bench . -benchtime 1x -benchmem ./... |
+#       ./scripts/benchjson.sh > "BENCH_$(git rev-parse --short HEAD).json"
+#
+# Stdlib tooling only: POSIX sh + awk, no jq.
+exec awk '
+BEGIN { printf "{\n" }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix
+    ns = ""; allocs = "0"
+    for (i = 2; i < NF; i++) {
+        if ($(i + 1) == "ns/op") ns = $i
+        if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    if (ns != "") {
+        if (n++) printf ",\n"
+        printf "  \"%s\": {\"ns_per_op\": %s, \"allocs_per_op\": %s}", name, ns, allocs
+    }
+}
+END { printf "\n}\n" }
+'
