@@ -12,6 +12,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -44,6 +45,11 @@ var (
 	pairTimeout = flag.Duration("pair-timeout", 0, "all-pairs: per-attempt deadline (0 = none)")
 	halfCache   = flag.Bool("half-cache", true, "all-pairs: memoize half-circuit minima (§4.6) so each C_x series is measured once per scan; false re-measures C_x and C_y for every pair")
 
+	checkpointFlag = flag.String("checkpoint", "", "all-pairs: append finished pairs to this crash-safe log")
+	resumeFlag     = flag.Bool("resume", false, "all-pairs: replay -checkpoint and measure only unfinished pairs (relay set comes from the log)")
+	breakerFlag    = flag.Int("breaker", 3, "all-pairs: consecutive failures before a relay's circuit breaker opens (0 disables the scoreboard)")
+	breakerCool    = flag.Duration("breaker-cooldown", 30*time.Second, "all-pairs: quarantine before an open breaker half-opens for a probe")
+
 	debugAddr = flag.String("debug-addr", "", "serve telemetry and pprof on this address (e.g. 127.0.0.1:6060)")
 
 	planFlag     = flag.Bool("plan", false, "project campaign cost instead of measuring")
@@ -73,6 +79,10 @@ func main() {
 			plan.Pairs, plan.PerPair.Round(time.Second), plan.Total.Round(time.Minute), *planParallel)
 		fmt.Println("anchors (§4.4): ~2.5 min/pair at 200 samples; <15 s at the 5 percent error point (~15 samples)")
 		return
+	}
+
+	if *resumeFlag && *checkpointFlag == "" {
+		log.Fatal("-resume needs -checkpoint pointing at the interrupted campaign's log")
 	}
 
 	conn, err := control.Dial(*controlAddr)
@@ -135,16 +145,28 @@ func main() {
 		fmt.Printf("  %d samples/circuit in %v\n", res.SamplesPerCircuit, res.Elapsed)
 		printSummary(reg)
 
-	case *allFlag:
-		dir, err := conn.Consensus()
-		if err != nil {
-			log.Fatal(err)
+	case *allFlag || *resumeFlag:
+		// The scoreboard quarantines relays that fail repeatedly so the
+		// campaign stops burning retries on them (-breaker 0 turns it off).
+		var health *ting.Health
+		if *breakerFlag > 0 {
+			health = ting.NewHealth(ting.HealthConfig{
+				FailureThreshold: *breakerFlag,
+				Cooldown:         *breakerCool,
+				Observer:         obs,
+			})
 		}
-		names := make([]string, 0, dir.Len())
-		for _, d := range dir.Consensus() {
-			names = append(names, d.Nickname)
+		// Every finished pair is appended to the crash-safe log before it
+		// counts as done, so a killed campaign resumes where it stopped.
+		var cp ting.Checkpoint
+		if *checkpointFlag != "" {
+			fc, err := ting.OpenFileCheckpoint(*checkpointFlag)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer fc.Close()
+			cp = fc
 		}
-		fmt.Printf("measuring all %d pairs of %d relays…\n", len(names)*(len(names)-1)/2, len(names))
 		// Ctrl-C cancels the scan cooperatively: in-flight pairs finish,
 		// the rest of the campaign is abandoned promptly.
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -174,31 +196,91 @@ func main() {
 			// procedure of §4.2.
 			DisableHalfCache: !*halfCache,
 			Observer:         obs,
+			Checkpoint:       cp,
+			Health:           health,
 		}
-		matrix, failures, err := sc.Scan(ctx, names)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Println()
-		for _, f := range failures {
-			fmt.Printf("  failed after %d attempts: %s-%s: %v\n", f.Attempts, f.X, f.Y, f.Err)
-		}
-		if *outFlag != "" {
-			f, err := os.Create(*outFlag)
+		var matrix *ting.Matrix
+		var failures []ting.PairError
+		var scanErr error
+		if *resumeFlag {
+			// The relay set comes from the log's campaign header; pairs
+			// already on disk are seeded, only the rest are measured.
+			fmt.Printf("resuming campaign from %s…\n", *checkpointFlag)
+			matrix, failures, scanErr = sc.Resume(ctx, cp)
+		} else {
+			dir, err := conn.Consensus()
 			if err != nil {
 				log.Fatal(err)
 			}
-			if err := matrix.Encode(f); err != nil {
-				log.Fatal(err)
+			names := make([]string, 0, dir.Len())
+			for _, d := range dir.Consensus() {
+				names = append(names, d.Nickname)
 			}
-			f.Close()
-			fmt.Printf("wrote %s\n", *outFlag)
+			fmt.Printf("measuring all %d pairs of %d relays…\n", len(names)*(len(names)-1)/2, len(names))
+			matrix, failures, scanErr = sc.Scan(ctx, names)
 		}
-		fmt.Printf("mean inter-relay RTT: %.1f ms\n", matrix.Mean())
+		fmt.Println()
+		for _, f := range failures {
+			if errors.Is(f.Err, ting.ErrQuarantined) {
+				fmt.Printf("  quarantined: %s-%s: %v\n", f.X, f.Y, f.Err)
+				continue
+			}
+			fmt.Printf("  failed after %d attempts: %s-%s: %v\n", f.Attempts, f.X, f.Y, f.Err)
+		}
+		// Even an interrupted scan yields a usable partial matrix; per-cell
+		// provenance says how much was measured now vs. replayed vs. lost.
+		if matrix != nil {
+			fresh, resumed, missing := matrix.ProvCounts()
+			fmt.Printf("pairs: %d fresh, %d resumed, %d missing\n", fresh, resumed, missing)
+			if *outFlag != "" {
+				f, err := os.Create(*outFlag)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if err := matrix.Encode(f); err != nil {
+					log.Fatal(err)
+				}
+				f.Close()
+				fmt.Printf("wrote %s\n", *outFlag)
+			}
+			fmt.Printf("mean inter-relay RTT: %.1f ms\n", matrix.Mean())
+		}
+		printHealth(health)
 		printSummary(reg)
+		if scanErr != nil {
+			if *checkpointFlag != "" {
+				fmt.Printf("scan interrupted; rerun with -resume -checkpoint %s to continue\n", *checkpointFlag)
+			}
+			log.Fatal(scanErr)
+		}
 
 	default:
-		log.Fatal("need -pair x,y or -all")
+		log.Fatal("need -pair x,y, -all, or -resume")
+	}
+}
+
+// printHealth reports the relay scoreboard: which breakers tripped, how
+// often each relay failed, and how expensive those failures were. Healthy
+// all-quiet relays are elided.
+func printHealth(h *ting.Health) {
+	if h == nil {
+		return
+	}
+	shown := false
+	for _, r := range h.Snapshot() {
+		if r.State == ting.BreakerClosed && r.Failures == 0 {
+			continue
+		}
+		if !shown {
+			fmt.Println("relay health:")
+			shown = true
+		}
+		fmt.Printf("  %s: %s, %d ok / %d failed (%d opens, mean failure %.0f ms)",
+			r.Name, r.State, r.Successes, r.Failures, r.Opens, r.MeanFailureMs)
+		if r.LastFailure != "" {
+			fmt.Printf(", last: %s", r.LastFailure)
+		}
+		fmt.Println()
 	}
 }
 
@@ -221,6 +303,13 @@ func printSummary(reg *telemetry.Registry) {
 		fmt.Printf("telemetry: half circuits %d measured, %d memoized, %d joined in-flight (of %d lookups)\n",
 			c["ting.halfcircuit.miss"], c["ting.halfcircuit.hit"],
 			c["ting.halfcircuit.inflight_wait"], half)
+	}
+	if ck := c["ting.checkpoint.appended"] + c["ting.checkpoint.replayed"]; ck > 0 {
+		fmt.Printf("telemetry: checkpoint %d records appended, %d replayed\n",
+			c["ting.checkpoint.appended"], c["ting.checkpoint.replayed"])
+	}
+	if q, open := c["ting.quarantined_pairs"], s.Gauges["ting.health.breaker_open"]; q > 0 || open > 0 {
+		fmt.Printf("telemetry: %d breakers open, %d pairs quarantined\n", open, q)
 	}
 	if h, ok := s.Histograms["ting.pair_rtt_ms"]; ok && h.Count > 0 {
 		fmt.Printf("telemetry: pair RTT ms p50=%.2f p90=%.2f p99=%.2f\n", h.P50, h.P90, h.P99)

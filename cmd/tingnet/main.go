@@ -20,10 +20,14 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
+	"time"
 
 	"ting/internal/control"
 	"ting/internal/directory"
 	"ting/internal/experiments"
+	"ting/internal/faults"
 	"ting/internal/inet"
 	"ting/internal/telemetry"
 	"ting/internal/tornet"
@@ -40,7 +44,22 @@ var (
 	fwdFlag     = flag.Bool("fwd", true, "apply stochastic relay forwarding delays")
 	password    = flag.String("password", "", "control-port password (empty accepts any)")
 	debugAddr   = flag.String("debug-addr", "", "serve overlay telemetry and pprof on this address")
+
+	crashFlags multiFlag
+	flapFlags  multiFlag
+	faultSeed  = flag.Int64("fault-seed", 7, "seed for the fault plan's probabilistic decisions")
 )
+
+func init() {
+	flag.Var(&crashFlags, "crash", "kill a relay permanently: name:delay (e.g. relay002:30s; repeatable)")
+	flag.Var(&flapFlags, "flap", "flap a relay: name:period:down (e.g. relay001:10s:2s; repeatable)")
+}
+
+// multiFlag collects every occurrence of a repeatable flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func main() {
 	log.SetFlags(0)
@@ -61,6 +80,10 @@ func main() {
 		defer shutdown()
 		fmt.Printf("telemetry: http://%s/metrics.json (pprof under /debug/pprof/)\n", addr)
 	}
+	plan, err := buildFaultPlan(crashFlags, flapFlags, *faultSeed, world)
+	if err != nil {
+		log.Fatal(err)
+	}
 	n, err := tornet.Build(tornet.Config{
 		Topology:      world.Topo,
 		RelayNodes:    idsOf(world),
@@ -70,6 +93,7 @@ func main() {
 		Seed:          *seedFlag,
 		TCP:           *tcpFlag,
 		Telemetry:     reg,
+		Faults:        plan,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -99,7 +123,9 @@ func main() {
 		*relaysFlag, tornet.WName, tornet.ZName, transportName(*tcpFlag), *scaleFlag)
 	fmt.Printf("  control: %s\n  data:    %s\n  dir:     %s\n",
 		ctrlLn.Addr(), dataLn.Addr(), dirLn.Addr())
-	fmt.Printf("  echo target: %q (the only address exit policies allow)\n\n", tornet.EchoTarget)
+	fmt.Printf("  echo target: %q (the only address exit policies allow)\n", tornet.EchoTarget)
+	printFaultPlan(plan)
+	fmt.Println()
 	fmt.Println("ground-truth RTTs (ms):")
 	for i := 0; i < len(world.Names); i++ {
 		for j := i + 1; j < len(world.Names); j++ {
@@ -137,4 +163,85 @@ func transportName(tcp bool) string {
 		return "tcp"
 	}
 	return "pipe"
+}
+
+// buildFaultPlan turns the -crash and -flap flags into a fault plan, or
+// returns nil when no faults were requested. A relay may appear in both a
+// -crash and a -flap flag; the schedules merge.
+func buildFaultPlan(crashes, flaps []string, seed int64, world *experiments.World) (*faults.Plan, error) {
+	if len(crashes) == 0 && len(flaps) == 0 {
+		return nil, nil
+	}
+	schedules := map[string]faults.RelaySchedule{}
+	relay := func(name string) (faults.RelaySchedule, error) {
+		if _, ok := world.NodeOf[name]; !ok {
+			return faults.RelaySchedule{}, fmt.Errorf("fault plan: unknown relay %q", name)
+		}
+		return schedules[name], nil
+	}
+	for _, spec := range crashes {
+		parts := strings.Split(spec, ":")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad -crash %q, want name:delay", spec)
+		}
+		rs, err := relay(parts[0])
+		if err != nil {
+			return nil, err
+		}
+		delay, err := time.ParseDuration(parts[1])
+		if err != nil || delay <= 0 {
+			return nil, fmt.Errorf("bad -crash delay %q: want a positive duration", parts[1])
+		}
+		rs.CrashAfter = delay
+		schedules[parts[0]] = rs
+	}
+	for _, spec := range flaps {
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("bad -flap %q, want name:period:down", spec)
+		}
+		rs, err := relay(parts[0])
+		if err != nil {
+			return nil, err
+		}
+		period, err := time.ParseDuration(parts[1])
+		if err != nil || period <= 0 {
+			return nil, fmt.Errorf("bad -flap period %q: want a positive duration", parts[1])
+		}
+		down, err := time.ParseDuration(parts[2])
+		if err != nil || down <= 0 || down >= period {
+			return nil, fmt.Errorf("bad -flap downtime %q: want a positive duration shorter than the period", parts[2])
+		}
+		rs.FlapPeriod, rs.FlapDown = period, down
+		schedules[parts[0]] = rs
+	}
+	plan := faults.NewPlan(seed)
+	for name, rs := range schedules {
+		plan.SetRelay(name, rs)
+	}
+	return plan, nil
+}
+
+// printFaultPlan reports the injected failure schedule so a transcript of
+// the run records what the network was doing to itself.
+func printFaultPlan(plan *faults.Plan) {
+	if plan == nil {
+		return
+	}
+	fmt.Printf("fault plan (seed %d, clock starts now):\n", plan.Seed)
+	relays := plan.Relays()
+	names := make([]string, 0, len(relays))
+	for name := range relays {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rs := relays[name]
+		if rs.CrashAfter > 0 {
+			fmt.Printf("  %s: crashes permanently after %v\n", name, rs.CrashAfter)
+		}
+		if rs.FlapPeriod > 0 {
+			fmt.Printf("  %s: down %v at the top of every %v\n", name, rs.FlapDown, rs.FlapPeriod)
+		}
+	}
 }

@@ -1,0 +1,317 @@
+package ting
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sync"
+)
+
+// Checkpoint record kinds. A campaign log is a sequence of records: one
+// (or more, idempotent) campaign headers naming the relay set, then one
+// pair record per completed measurement and one half record per memoized
+// half-circuit series. The log is append-only: a crashed or cancelled
+// scan never has to undo anything, and Resume replays whatever prefix
+// survived.
+const (
+	RecordCampaign = "campaign"
+	RecordPair     = "pair"
+	RecordHalf     = "half"
+)
+
+// CheckpointRecord is one entry of a campaign log.
+type CheckpointRecord struct {
+	Kind string `json:"t"`
+	// Campaign: the relay set of the scan.
+	Names []string `json:"names,omitempty"`
+	// Pair: one completed measurement.
+	X   string  `json:"x,omitempty"`
+	Y   string  `json:"y,omitempty"`
+	RTT float64 `json:"rtt,omitempty"`
+	// Half: one memoized half-circuit series (min R_Cx), so a resumed
+	// scan's HalfCache rehydrates instead of re-sampling (§3.3/§4.6).
+	Path    []string `json:"path,omitempty"`
+	Samples int      `json:"n,omitempty"`
+	Min     float64  `json:"min,omitempty"`
+}
+
+// Checkpoint is a durable campaign log. Implementations must be safe for
+// concurrent Appends (scanner workers append as pairs settle) and must
+// make an appended record visible to a later Replay even if the process
+// dies right after Append returns — modulo the fsync batching window a
+// file-backed implementation documents.
+type Checkpoint interface {
+	// Append records one entry.
+	Append(rec CheckpointRecord) error
+	// Replay streams every surviving entry in append order.
+	Replay(fn func(rec CheckpointRecord) error) error
+}
+
+// FileCheckpoint is the file-backed Checkpoint: one JSON record per line,
+// appended with a single write syscall each (so a killed process loses
+// nothing the kernel accepted) and fsynced every SyncEvery records (so a
+// machine crash loses at most the current batch). The format is
+// self-describing JSONL — greppable mid-campaign, and a torn final line
+// from a crash is tolerated on replay.
+type FileCheckpoint struct {
+	// SyncEvery is the fsync batch size; default 8. 1 fsyncs every
+	// record — maximum durability, one disk flush per measured pair.
+	// Set before the first Append.
+	SyncEvery int
+
+	path string
+
+	mu       sync.Mutex
+	f        *os.File
+	unsynced int
+}
+
+// OpenFileCheckpoint opens (creating if needed) a campaign log for
+// appending. The existing content is left untouched and remains
+// replayable — opening an interrupted campaign's log and handing it to
+// Scanner.Resume is the recovery path.
+func OpenFileCheckpoint(path string) (*FileCheckpoint, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ting: checkpoint: %w", err)
+	}
+	return &FileCheckpoint{path: path, f: f}, nil
+}
+
+// Path returns the log's file path.
+func (c *FileCheckpoint) Path() string { return c.path }
+
+// Append writes one record as a JSON line. Each record reaches the kernel
+// before Append returns; every SyncEvery-th append also fsyncs.
+func (c *FileCheckpoint) Append(rec CheckpointRecord) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("ting: checkpoint: %w", err)
+	}
+	b = append(b, '\n')
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return errors.New("ting: checkpoint: closed")
+	}
+	if _, err := c.f.Write(b); err != nil {
+		return fmt.Errorf("ting: checkpoint: %w", err)
+	}
+	c.unsynced++
+	every := c.SyncEvery
+	if every <= 0 {
+		every = 8
+	}
+	if c.unsynced >= every {
+		if err := c.f.Sync(); err != nil {
+			return fmt.Errorf("ting: checkpoint: %w", err)
+		}
+		c.unsynced = 0
+	}
+	return nil
+}
+
+// Sync forces any unsynced batch to disk.
+func (c *FileCheckpoint) Sync() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil || c.unsynced == 0 {
+		return nil
+	}
+	if err := c.f.Sync(); err != nil {
+		return fmt.Errorf("ting: checkpoint: %w", err)
+	}
+	c.unsynced = 0
+	return nil
+}
+
+// Close syncs and closes the log. Appending afterwards errors.
+func (c *FileCheckpoint) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	syncErr := c.f.Sync()
+	closeErr := c.f.Close()
+	c.f = nil
+	if syncErr != nil {
+		return fmt.Errorf("ting: checkpoint: %w", syncErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("ting: checkpoint: %w", closeErr)
+	}
+	return nil
+}
+
+// Replay reads the log from the start. A record whose line cannot be
+// parsed is a torn tail if nothing follows it — the partial write of a
+// crash, silently dropped — and corruption if more records do.
+func (c *FileCheckpoint) Replay(fn func(rec CheckpointRecord) error) error {
+	rf, err := os.Open(c.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("ting: checkpoint: %w", err)
+	}
+	defer rf.Close()
+	return replayRecords(rf, fn)
+}
+
+// replayRecords decodes a JSONL record stream, tolerating exactly one
+// undecodable record at the very end (a torn final write).
+func replayRecords(r io.Reader, fn func(rec CheckpointRecord) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	var badErr error
+	badLine := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		if badErr != nil {
+			return fmt.Errorf("ting: checkpoint: corrupt record at line %d: %w", badLine, badErr)
+		}
+		var rec CheckpointRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			badErr, badLine = err, line
+			continue
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("ting: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// MemCheckpoint is an in-memory Checkpoint for tests and dry runs: same
+// semantics, no durability.
+type MemCheckpoint struct {
+	mu   sync.Mutex
+	recs []CheckpointRecord
+}
+
+// Append records one entry.
+func (c *MemCheckpoint) Append(rec CheckpointRecord) error {
+	c.mu.Lock()
+	c.recs = append(c.recs, rec)
+	c.mu.Unlock()
+	return nil
+}
+
+// Replay streams the recorded entries.
+func (c *MemCheckpoint) Replay(fn func(rec CheckpointRecord) error) error {
+	c.mu.Lock()
+	recs := append([]CheckpointRecord(nil), c.recs...)
+	c.mu.Unlock()
+	for _, rec := range recs {
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len returns the number of recorded entries.
+func (c *MemCheckpoint) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.recs)
+}
+
+// HalfSeries is one replayed half-circuit series.
+type HalfSeries struct {
+	Path    []string
+	Samples int
+	Min     float64
+}
+
+// CheckpointState is the aggregated view of a campaign log: what Resume
+// seeds the matrix and half-circuit cache with.
+type CheckpointState struct {
+	// Names is the campaign's relay set, from the header record.
+	Names []string
+	// Pairs maps each completed pair to its measured RTT; later records
+	// win, so a pair re-measured across resumes keeps the newest value.
+	Pairs map[[2]string]float64
+	// Halves are the memoized half-circuit minima, deduplicated by series.
+	Halves []HalfSeries
+	// Records is how many log entries were replayed.
+	Records int
+}
+
+// ReplayState replays a campaign log into its aggregated state. Records
+// of unknown kinds are skipped (forward compatibility); malformed records
+// of known kinds are errors.
+func ReplayState(cp Checkpoint) (*CheckpointState, error) {
+	st := &CheckpointState{Pairs: make(map[[2]string]float64)}
+	halfAt := make(map[string]int)
+	err := cp.Replay(func(rec CheckpointRecord) error {
+		st.Records++
+		switch rec.Kind {
+		case RecordCampaign:
+			if len(rec.Names) < 2 {
+				return fmt.Errorf("ting: checkpoint: campaign header with %d relays", len(rec.Names))
+			}
+			if st.Names != nil && !equalNames(st.Names, rec.Names) {
+				return errors.New("ting: checkpoint: log spans campaigns with different relay sets")
+			}
+			st.Names = rec.Names
+		case RecordPair:
+			if rec.X == "" || rec.Y == "" || rec.X == rec.Y {
+				return fmt.Errorf("ting: checkpoint: invalid pair record (%q,%q)", rec.X, rec.Y)
+			}
+			if !finite(rec.RTT) {
+				return fmt.Errorf("ting: checkpoint: non-finite RTT for pair (%s,%s)", rec.X, rec.Y)
+			}
+			st.Pairs[pairKey(rec.X, rec.Y)] = rec.RTT
+		case RecordHalf:
+			if len(rec.Path) < 2 || rec.Samples <= 0 {
+				return errors.New("ting: checkpoint: invalid half-circuit record")
+			}
+			if !finite(rec.Min) {
+				return errors.New("ting: checkpoint: non-finite half-circuit minimum")
+			}
+			key := halfKey(rec.Path, rec.Samples)
+			if i, ok := halfAt[key]; ok {
+				st.Halves[i].Min = rec.Min
+			} else {
+				halfAt[key] = len(st.Halves)
+				st.Halves = append(st.Halves, HalfSeries{Path: rec.Path, Samples: rec.Samples, Min: rec.Min})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func equalNames(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}

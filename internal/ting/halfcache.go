@@ -34,6 +34,7 @@ type HalfCache struct {
 	mu      sync.Mutex
 	entries map[string]halfEntry
 	flights map[string]*halfFlight
+	onStore func(path []string, samples int, min float64)
 }
 
 type halfEntry struct {
@@ -72,6 +73,25 @@ func (c *HalfCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)
+}
+
+// Seed installs a series without measuring — checkpoint replay. The entry
+// is stored as freshly measured and does not fire the store hook (it is
+// already in the log it came from).
+func (c *HalfCache) Seed(path []string, samples int, min float64) {
+	c.mu.Lock()
+	c.entries[halfKey(path, samples)] = halfEntry{min: min, when: c.now()}
+	c.mu.Unlock()
+}
+
+// SetStoreHook registers fn to run after each freshly measured series is
+// stored — the scanner's checkpoint append hook. A nil fn unregisters.
+// The hook runs outside the cache lock and must be safe for concurrent
+// calls from scanner workers.
+func (c *HalfCache) SetStoreHook(fn func(path []string, samples int, min float64)) {
+	c.mu.Lock()
+	c.onStore = fn
+	c.mu.Unlock()
 }
 
 // Do returns the memoized minimum RTT for the half circuit, measuring it
@@ -114,11 +134,16 @@ func (c *HalfCache) Do(ctx context.Context, path []string, samples int, obs *Obs
 		f.min, f.err = min, err
 		c.mu.Lock()
 		delete(c.flights, key)
+		var hook func(path []string, samples int, min float64)
 		if err == nil {
 			c.entries[key] = halfEntry{min: min, when: c.now()}
+			hook = c.onStore
 		}
 		c.mu.Unlock()
 		close(f.done)
+		if hook != nil {
+			hook(path, samples, min)
+		}
 		return min, err
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 	"sync"
@@ -20,6 +21,35 @@ type Matrix struct {
 	R [][]float64
 
 	index map[string]int
+	// prov is lazily allocated cell provenance; nil means every cell is
+	// ProvMissing. Runtime annotation only — Encode does not persist it.
+	prov [][]Provenance
+}
+
+// Provenance classifies how a matrix cell got its value — the per-cell
+// story a durable, resumable campaign must tell (a zero cell could be a
+// failed pair or one the scan never reached).
+type Provenance uint8
+
+const (
+	// ProvMissing: never measured — failed, quarantined, or not attempted.
+	ProvMissing Provenance = iota
+	// ProvFresh: measured by this scan.
+	ProvFresh
+	// ProvResumed: replayed from a checkpoint by Scanner.Resume.
+	ProvResumed
+)
+
+func (p Provenance) String() string {
+	switch p {
+	case ProvMissing:
+		return "missing"
+	case ProvFresh:
+		return "fresh"
+	case ProvResumed:
+		return "resumed"
+	}
+	return fmt.Sprintf("Provenance(%d)", int(p))
 }
 
 // NewMatrix allocates a zeroed matrix over names.
@@ -79,6 +109,67 @@ func (m *Matrix) RTT(x, y string) (float64, error) {
 // At returns the RTT by index.
 func (m *Matrix) At(i, j int) float64 { return m.R[i][j] }
 
+// SetProv records a cell's provenance, both directions.
+func (m *Matrix) SetProv(x, y string, p Provenance) error {
+	i, ok := m.index[x]
+	if !ok {
+		return fmt.Errorf("ting: unknown relay %q", x)
+	}
+	j, ok := m.index[y]
+	if !ok {
+		return fmt.Errorf("ting: unknown relay %q", y)
+	}
+	if m.prov == nil {
+		m.prov = make([][]Provenance, len(m.Names))
+		for k := range m.prov {
+			m.prov[k] = make([]Provenance, len(m.Names))
+		}
+	}
+	m.prov[i][j] = p
+	m.prov[j][i] = p
+	return nil
+}
+
+// Prov returns a cell's provenance; unknown relays and unannotated
+// matrices report ProvMissing.
+func (m *Matrix) Prov(x, y string) Provenance {
+	if m.prov == nil {
+		return ProvMissing
+	}
+	i, ok := m.index[x]
+	if !ok {
+		return ProvMissing
+	}
+	j, ok := m.index[y]
+	if !ok {
+		return ProvMissing
+	}
+	return m.prov[i][j]
+}
+
+// ProvCounts tallies the upper triangle's provenance — the "how complete
+// is this campaign" summary.
+func (m *Matrix) ProvCounts() (fresh, resumed, missing int) {
+	n := len(m.Names)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if m.prov == nil {
+				missing++
+				continue
+			}
+			switch m.prov[i][j] {
+			case ProvFresh:
+				fresh++
+			case ProvResumed:
+				resumed++
+			default:
+				missing++
+			}
+		}
+	}
+	return fresh, resumed, missing
+}
+
 // Mean returns µ, the average RTT over all unordered pairs — the term
 // Algorithm 1 uses to approximate the unknown source→entry RTT.
 func (m *Matrix) Mean() float64 {
@@ -125,18 +216,30 @@ func (m *Matrix) Encode(w io.Writer) error {
 	return bw.Flush()
 }
 
-// DecodeMatrix parses a matrix document.
+// DecodeMatrix parses a matrix document. Malformed documents — bad
+// header, truncated or oversized rows, non-finite cells, trailing data —
+// are explicit errors, never panics or silent truncation: a matrix that
+// decodes is structurally sound.
 func DecodeMatrix(r io.Reader) (*Matrix, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("ting: matrix header: %w", err)
+		}
 		return nil, errors.New("ting: empty matrix document")
 	}
 	var n int
 	if _, err := fmt.Sscanf(sc.Text(), "tingmatrix n=%d", &n); err != nil {
 		return nil, fmt.Errorf("ting: bad matrix header %q", sc.Text())
 	}
+	if n < 2 {
+		return nil, fmt.Errorf("ting: matrix dimension %d, need at least 2", n)
+	}
 	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("ting: matrix names: %w", err)
+		}
 		return nil, errors.New("ting: matrix missing names")
 	}
 	names := strings.Fields(sc.Text())
@@ -149,6 +252,9 @@ func DecodeMatrix(r io.Reader) (*Matrix, error) {
 	}
 	for i := 0; i < n; i++ {
 		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return nil, fmt.Errorf("ting: matrix row %d: %w", i, err)
+			}
 			return nil, fmt.Errorf("ting: matrix truncated at row %d", i)
 		}
 		fields := strings.Fields(sc.Text())
@@ -160,8 +266,19 @@ func DecodeMatrix(r io.Reader) (*Matrix, error) {
 			if err != nil {
 				return nil, fmt.Errorf("ting: row %d col %d: %w", i, j, err)
 			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("ting: row %d col %d: non-finite cell %q", i, j, f)
+			}
 			m.R[i][j] = v
 		}
+	}
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) != "" {
+			return nil, fmt.Errorf("ting: trailing data after %d matrix rows", n)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ting: matrix document: %w", err)
 	}
 	return m, nil
 }

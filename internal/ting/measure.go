@@ -84,12 +84,30 @@ type Measurement struct {
 	Elapsed time.Duration
 }
 
+// CircuitError reports which of a pair measurement's three circuits
+// failed. The health scoreboard uses Path to attribute the failure to the
+// relay actually implicated (C_x charges x, C_y charges y, C_xy both)
+// instead of blaming both endpoints of the pair.
+type CircuitError struct {
+	// Circuit is "C_x", "C_xy", or "C_y" (§3.3 naming).
+	Circuit string
+	// Path is the failing circuit's relay path.
+	Path []string
+	Err  error
+}
+
+func (e *CircuitError) Error() string { return "ting: " + e.Circuit + ": " + e.Err.Error() }
+
+// Unwrap exposes the underlying transport or cancellation error.
+func (e *CircuitError) Unwrap() error { return e.Err }
+
 // MeasurePair measures R(x, y) per §3.3: it builds the full circuit
 // (w,x,y,z) plus the two isolation circuits (w,x) and (w,y), min-filters
 // the samples, and applies Eq. (4). Cancellation is cooperative: ctx is
 // checked before each of the three circuit measurements, and every prober
 // additionally aborts mid-circuit — so a cancelled scan stops within a
-// few samples rather than burning the rest of the campaign.
+// few samples rather than burning the rest of the campaign. Failures are
+// reported as *CircuitError naming the circuit that broke.
 func (m *Measurer) MeasurePair(ctx context.Context, x, y string) (*Measurement, error) {
 	if err := m.checkPair(x, y); err != nil {
 		return nil, err
@@ -98,20 +116,23 @@ func (m *Measurer) MeasurePair(ctx context.Context, x, y string) (*Measurement, 
 	// C_x first, then the full circuit: the full path extends C_x's, so a
 	// reusing prober (leaky-pipe extension) grows one circuit instead of
 	// building two. The estimate is order-independent.
-	minX, err := m.minRTT(ctx, []string{m.cfg.W, x})
+	pathX := []string{m.cfg.W, x}
+	minX, err := m.minRTT(ctx, pathX)
 	if err != nil {
 		m.cfg.Observer.pairDone(x, y, nil, err)
-		return nil, fmt.Errorf("ting: C_x: %w", err)
+		return nil, &CircuitError{Circuit: "C_x", Path: pathX, Err: err}
 	}
-	minFull, err := m.minRTT(ctx, []string{m.cfg.W, x, y, m.cfg.Z})
+	pathFull := []string{m.cfg.W, x, y, m.cfg.Z}
+	minFull, err := m.minRTT(ctx, pathFull)
 	if err != nil {
 		m.cfg.Observer.pairDone(x, y, nil, err)
-		return nil, fmt.Errorf("ting: C_xy: %w", err)
+		return nil, &CircuitError{Circuit: "C_xy", Path: pathFull, Err: err}
 	}
-	minY, err := m.minRTT(ctx, []string{m.cfg.W, y})
+	pathY := []string{m.cfg.W, y}
+	minY, err := m.minRTT(ctx, pathY)
 	if err != nil {
 		m.cfg.Observer.pairDone(x, y, nil, err)
-		return nil, fmt.Errorf("ting: C_y: %w", err)
+		return nil, &CircuitError{Circuit: "C_y", Path: pathY, Err: err}
 	}
 	res := &Measurement{
 		X: x, Y: y,

@@ -29,6 +29,12 @@ type MonitorConfig struct {
 	// Observer, if non-nil, receives a SweepDone callback after each sweep
 	// with the cumulative stats.
 	Observer *Observer
+	// Health, if non-nil, is the relay scoreboard consulted before each
+	// pair: pairs touching a quarantined relay are skipped for the sweep
+	// (they stay stale and are reconsidered next time, when the breaker may
+	// have half-opened). Sweep outcomes feed back into the same scoreboard.
+	// Share the instance with a Scanner to carry reputation across both.
+	Health *Health
 	// now is injectable for tests.
 	now func() time.Time
 }
@@ -45,11 +51,12 @@ type Monitor struct {
 
 // MonitorStats counts monitor activity.
 type MonitorStats struct {
-	Sweeps    int
-	Measured  int
-	Skipped   int // fresh pairs left alone
-	Failed    int // pair measurements that errored (stay stale, retried next sweep)
-	LastSweep time.Time
+	Sweeps      int
+	Measured    int
+	Skipped     int // fresh pairs left alone
+	Failed      int // pair measurements that errored (stay stale, retried next sweep)
+	Quarantined int // stale pairs skipped because a relay's breaker was open
+	LastSweep   time.Time
 }
 
 // NewMonitor creates a monitor with an empty (all-stale) matrix.
@@ -144,9 +151,32 @@ func (mon *Monitor) Sweep(ctx context.Context) (int, error) {
 	if limit <= 0 || limit > len(stale) {
 		limit = len(stale)
 	}
-	todo := stale[:limit]
+	mon.mu.Unlock()
+
+	// Select up to limit sweepable pairs, consulting the breaker scoreboard
+	// as we go: quarantined pairs stay stale for a later sweep instead of
+	// consuming budget on a dead relay. Stale pairs beyond the budget are
+	// left unexamined so no half-open probe slot is claimed for a pair this
+	// sweep will not measure.
+	todo := make([][2]string, 0, limit)
+	quarantined := 0
+	for _, p := range stale {
+		if len(todo) >= limit {
+			break
+		}
+		if h := mon.cfg.Health; h != nil {
+			if qe := h.Allow(p[0], p[1]); qe != nil {
+				quarantined++
+				continue
+			}
+		}
+		todo = append(todo, p)
+	}
+
+	mon.mu.Lock()
 	mon.stats.Sweeps++
-	mon.stats.Skipped += total - len(todo)
+	mon.stats.Skipped += total - len(todo) - quarantined
+	mon.stats.Quarantined += quarantined
 	mon.stats.LastSweep = mon.cfg.now()
 	mon.mu.Unlock()
 
@@ -190,6 +220,7 @@ func (mon *Monitor) Sweep(ctx context.Context) (int, error) {
 				if ctx.Err() != nil {
 					continue // drain; pair stays stale
 				}
+				start := time.Now()
 				res, err := meas.MeasurePair(ctx, p[0], p[1])
 				if err != nil {
 					// A dead relay must not wedge the monitor: record the
@@ -203,6 +234,11 @@ func (mon *Monitor) Sweep(ctx context.Context) (int, error) {
 					mon.mu.Lock()
 					mon.stats.Failed++
 					mon.mu.Unlock()
+					if h := mon.cfg.Health; h != nil && ctx.Err() == nil {
+						for _, relay := range culprits(p[0], p[1], err) {
+							h.Failure(relay, err, time.Since(start))
+						}
+					}
 					continue
 				}
 				mon.mu.Lock()
@@ -210,6 +246,10 @@ func (mon *Monitor) Sweep(ctx context.Context) (int, error) {
 				mon.when[pairKey(p[0], p[1])] = mon.cfg.now()
 				mon.stats.Measured++
 				mon.mu.Unlock()
+				if h := mon.cfg.Health; h != nil {
+					h.Success(p[0])
+					h.Success(p[1])
+				}
 			}
 		}(meas)
 	}

@@ -185,6 +185,91 @@ func TestMonitorPropagatesErrors(t *testing.T) {
 	}
 }
 
+// TestMonitorSkipsQuarantinedRelays: a sweep consults the shared health
+// scoreboard — pairs touching an open breaker stay stale instead of burning
+// the sweep budget, and outcomes feed the scoreboard back.
+func TestMonitorSkipsQuarantinedRelays(t *testing.T) {
+	f := bigFakeWorld()
+	h := NewHealth(HealthConfig{FailureThreshold: 2, Cooldown: time.Hour})
+	// x's breaker is already open, e.g. from a scanner sharing the board.
+	h.Failure("x", errors.New("x is down"), time.Millisecond)
+	h.Failure("x", errors.New("x is down"), time.Millisecond)
+	if h.State("x") != BreakerOpen {
+		t.Fatal("setup: x's breaker not open")
+	}
+	cfg := monitorConfig(t, f, []string{"x", "y", "u", "v"})
+	cfg.Health = h
+	mon, err := NewMonitor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := mon.Sweep(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("swept %d pairs, want the 3 not touching x", n)
+	}
+	st := mon.Stats()
+	if st.Measured != 3 || st.Quarantined != 3 || st.Failed != 0 {
+		t.Errorf("stats = %+v, want 3 measured, 3 quarantined, 0 failed", st)
+	}
+	// x's pairs are still stale — the monitor will retry them once the
+	// breaker half-opens.
+	if got := len(mon.StalePairs()); got != 3 {
+		t.Errorf("%d stale pairs after sweep, want x's 3", got)
+	}
+	// Sweep successes were credited to the healthy relays.
+	for _, r := range h.Snapshot() {
+		if r.Name != "x" && r.Successes == 0 {
+			t.Errorf("relay %s got no success credit", r.Name)
+		}
+	}
+}
+
+// TestMonitorFailuresFeedHealth: sweep failures open the breaker for the
+// implicated relay, and the next sweep quarantines it.
+func TestMonitorFailuresFeedHealth(t *testing.T) {
+	f := bigFakeWorld()
+	f.errs["x"] = errors.New("x offline")
+	h := NewHealth(HealthConfig{FailureThreshold: 3, Cooldown: time.Hour})
+	cfg := monitorConfig(t, f, []string{"x", "y", "u", "v"})
+	cfg.Health = h
+	cfg.Workers = 1
+	mon, err := NewMonitor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First sweep: x's three pairs fail (charging x three times → open),
+	// the other three measure.
+	if _, err := mon.Sweep(context.Background()); err == nil {
+		t.Fatal("sweep with failing relay reported no error")
+	}
+	if got := h.State("x"); got != BreakerOpen {
+		t.Fatalf("x's breaker = %v after failed sweep, want open", got)
+	}
+	if got := h.State("y"); got != BreakerClosed {
+		t.Errorf("bystander y's breaker = %v", got)
+	}
+	st := mon.Stats()
+	if st.Failed != 3 || st.Measured != 3 {
+		t.Fatalf("stats = %+v, want 3 failed, 3 measured", st)
+	}
+	// Second sweep: the stale x-pairs are quarantined, nothing fails, no
+	// error surfaces.
+	n, err := mon.Sweep(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("quarantined sweep measured %d pairs", n)
+	}
+	st = mon.Stats()
+	if st.Failed != 3 || st.Quarantined != 3 {
+		t.Errorf("stats after quarantined sweep = %+v", st)
+	}
+}
+
 func TestMonitorRunEvery(t *testing.T) {
 	f := newFakeWorld()
 	cfg := monitorConfig(t, f, []string{"x", "y"})

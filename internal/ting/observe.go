@@ -35,6 +35,17 @@ type Observer struct {
 	// outcome: served from cache, measured fresh, or waited on another
 	// worker's in-flight measurement.
 	HalfCircuit func(path []string, ev HalfCircuitEvent)
+	// CheckpointAppend fires after each record reaches the campaign log.
+	CheckpointAppend func(rec *CheckpointRecord)
+	// CheckpointReplay fires once per Resume with how many completed
+	// pairs and memoized half-circuit series were rehydrated.
+	CheckpointReplay func(pairs, halves int)
+	// BreakerChange fires when a relay's circuit breaker transitions.
+	BreakerChange func(relay string, from, to BreakerState)
+	// Quarantine fires when the scanner defers a pair blocked by relay's
+	// open breaker (final=false) and again if the pair is given up as
+	// ErrQuarantined at the end of the scan (final=true).
+	Quarantine func(x, y, relay string, final bool)
 }
 
 // HalfCircuitEvent classifies one HalfCache consultation.
@@ -100,6 +111,30 @@ func (o *Observer) halfCircuit(path []string, ev HalfCircuitEvent) {
 	}
 }
 
+func (o *Observer) checkpointAppend(rec *CheckpointRecord) {
+	if o != nil && o.CheckpointAppend != nil {
+		o.CheckpointAppend(rec)
+	}
+}
+
+func (o *Observer) checkpointReplay(pairs, halves int) {
+	if o != nil && o.CheckpointReplay != nil {
+		o.CheckpointReplay(pairs, halves)
+	}
+}
+
+func (o *Observer) breakerChange(relay string, from, to BreakerState) {
+	if o != nil && o.BreakerChange != nil {
+		o.BreakerChange(relay, from, to)
+	}
+}
+
+func (o *Observer) quarantine(x, y, relay string, final bool) {
+	if o != nil && o.Quarantine != nil {
+		o.Quarantine(x, y, relay, final)
+	}
+}
+
 // NewTelemetryObserver wires an Observer into a telemetry.Registry. All
 // metrics are resolved once here, so the per-event cost is an atomic add
 // (plus a trace record for lifecycle events). Metric names:
@@ -116,6 +151,10 @@ func (o *Observer) halfCircuit(path []string, ev HalfCircuitEvent) {
 //	ting.halfcircuit.inflight_wait                  counter
 //	ting.scanner_active_workers                     gauge
 //	ting.sweeps                                     counter
+//	ting.checkpoint.appended                        counter
+//	ting.checkpoint.replayed                        counter
+//	ting.health.breaker_open                        gauge (breakers currently open)
+//	ting.quarantined_pairs                          counter
 //
 // A nil registry yields a valid Observer whose callbacks are no-ops.
 func NewTelemetryObserver(reg *telemetry.Registry) *Observer {
@@ -136,6 +175,10 @@ func NewTelemetryObserver(reg *telemetry.Registry) *Observer {
 		halfWaits    = reg.Counter("ting.halfcircuit.inflight_wait")
 		active       = reg.Gauge("ting.scanner_active_workers")
 		sweeps       = reg.Counter("ting.sweeps")
+		cpAppended   = reg.Counter("ting.checkpoint.appended")
+		cpReplayed   = reg.Counter("ting.checkpoint.replayed")
+		breakersOpen = reg.Gauge("ting.health.breaker_open")
+		quarantined  = reg.Counter("ting.quarantined_pairs")
 		trace        = reg.Trace()
 	)
 	return &Observer{
@@ -195,6 +238,28 @@ func NewTelemetryObserver(reg *telemetry.Registry) *Observer {
 		},
 		WorkerActive: func(delta int) {
 			active.Add(int64(delta))
+		},
+		CheckpointAppend: func(rec *CheckpointRecord) {
+			cpAppended.Inc()
+		},
+		CheckpointReplay: func(pairs, halves int) {
+			cpReplayed.Add(int64(pairs + halves))
+			trace.Record("checkpoint", fmt.Sprintf("replayed %d pairs, %d half circuits", pairs, halves), 0)
+		},
+		BreakerChange: func(relay string, from, to BreakerState) {
+			if to == BreakerOpen {
+				breakersOpen.Add(1)
+			}
+			if from == BreakerOpen {
+				breakersOpen.Add(-1)
+			}
+			trace.Record("breaker", relay+": "+from.String()+" -> "+to.String(), 0)
+		},
+		Quarantine: func(x, y, relay string, final bool) {
+			if final {
+				quarantined.Inc()
+				trace.Record("quarantine", x+"-"+y+" blocked by "+relay, 0)
+			}
 		},
 		SweepDone: func(stats MonitorStats) {
 			sweeps.Inc()

@@ -26,6 +26,65 @@ func TestObserverNilSafe(t *testing.T) {
 		o.halfCircuit([]string{"w", "x"}, HalfCircuitHit)
 		o.halfCircuit([]string{"w", "x"}, HalfCircuitMiss)
 		o.halfCircuit([]string{"w", "x"}, HalfCircuitWait)
+		o.checkpointAppend(&CheckpointRecord{Kind: RecordPair, X: "x", Y: "y", RTT: 73})
+		o.checkpointReplay(3, 4)
+		o.breakerChange("x", BreakerClosed, BreakerOpen)
+		o.quarantine("x", "y", "x", true)
+		o.quarantine("x", "y", "x", false)
+	}
+}
+
+// TestDurabilityTelemetry drives a checkpointed, breaker-guarded scan and a
+// resume through a telemetry observer and checks the four durability
+// metrics: checkpoint appends/replays, the open-breaker gauge, and the
+// quarantined-pair counter.
+func TestDurabilityTelemetry(t *testing.T) {
+	reg := telemetry.New()
+	obs := NewTelemetryObserver(reg)
+	f := bigFakeWorld()
+	f.errs["x"] = fmt.Errorf("x is down")
+	cp := &MemCheckpoint{}
+	h := NewHealth(HealthConfig{FailureThreshold: 2, Cooldown: time.Hour, Observer: obs})
+	sc := &Scanner{
+		NewMeasurer: func(worker int) (*Measurer, error) {
+			return NewMeasurer(Config{Prober: f, W: "w", Z: "z", Samples: 1})
+		},
+		Workers:      1,
+		SkipFailures: true,
+		Health:       h,
+		Checkpoint:   cp,
+		Observer:     obs,
+	}
+	if _, _, err := sc.Scan(context.Background(), []string{"x", "y", "u", "v"}); err != nil {
+		t.Fatal(err)
+	}
+	// Header + 3 successful pairs + their half circuits all hit the log.
+	if got := reg.Counter("ting.checkpoint.appended").Value(); got < 4 {
+		t.Errorf("checkpoint.appended = %d, want ≥ 4", got)
+	}
+	if got := reg.Gauge("ting.health.breaker_open").Value(); got != 1 {
+		t.Errorf("breaker_open gauge = %d, want 1 (x is quarantined)", got)
+	}
+	if got := reg.Counter("ting.quarantined_pairs").Value(); got != 1 {
+		t.Errorf("quarantined_pairs = %d, want 1", got)
+	}
+	if got := reg.Counter("ting.checkpoint.replayed").Value(); got != 0 {
+		t.Errorf("checkpoint.replayed = %d before any resume", got)
+	}
+
+	// A resume of the same log replays the three finished pairs (plus the
+	// memoized half circuits) through the replay counter.
+	f.errs = map[string]error{} // x recovered; fresh health, no quarantine
+	sc2 := &Scanner{
+		NewMeasurer: sc.NewMeasurer,
+		Workers:     1,
+		Observer:    obs,
+	}
+	if _, _, err := sc2.Resume(context.Background(), cp); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("ting.checkpoint.replayed").Value(); got < 3 {
+		t.Errorf("checkpoint.replayed = %d after resume, want ≥ 3", got)
 	}
 }
 

@@ -73,9 +73,28 @@ type Scanner struct {
 	// from the Measurer's own Observer; set both to the same value to see
 	// the whole picture.
 	Observer *Observer
+	// Checkpoint, if non-nil, makes the campaign durable: the relay set
+	// and every completed pair (plus memoized half-circuit minima) are
+	// appended to the log as they happen, so a crashed or cancelled scan
+	// forfeits nothing — Resume replays the log and measures only the
+	// rest. A checkpoint append failure aborts the scan: a campaign that
+	// silently stopped being durable is worse than one that stopped.
+	Checkpoint Checkpoint
+	// Health, if non-nil, is the relay scoreboard driving per-relay
+	// circuit breakers: a relay with FailureThreshold consecutive
+	// failures is quarantined — its pending pairs are deferred to the end
+	// of the scan instead of burning retries and stalling workers, and if
+	// the breaker is still open when they come back up they are reported
+	// as ErrQuarantined PairErrors. Share one Health across scans (and
+	// with a Monitor) to carry relay reputation between campaigns. Nil
+	// disables the breaker entirely.
+	Health *Health
 }
 
-// PairError records one failed measurement in a tolerant scan.
+// PairError records one failed measurement in a tolerant scan. It is an
+// error itself, and Unwrap exposes the cause so callers can
+// errors.Is(err, context.Canceled) or errors.Is(err, ErrQuarantined)
+// instead of string-matching.
 type PairError struct {
 	X, Y string
 	Err  error
@@ -83,10 +102,21 @@ type PairError struct {
 	Attempts int
 }
 
+func (e PairError) Error() string {
+	return fmt.Sprintf("ting: pair (%s,%s) after %d attempts: %v", e.X, e.Y, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the final attempt's error.
+func (e PairError) Unwrap() error { return e.Err }
+
 // pairJob is one queued measurement attempt.
 type pairJob struct {
 	x, y    string
 	attempt int // attempts already consumed
+	// deferred marks a job that was parked behind an open circuit breaker
+	// once already; a deferred job that still cannot run is quarantined
+	// rather than parked again, so the scan always terminates.
+	deferred bool
 }
 
 // workQueue is an unbounded FIFO with blocking pop. Each worker owns one,
@@ -188,7 +218,36 @@ func assignJobs(todo []pairJob, workers int, shuffled bool) [][]pairJob {
 // the first error aborts the scan. Cancelling ctx aborts the scan:
 // in-flight attempts finish (or hit their cooperative cancellation points)
 // and ctx.Err() is returned.
+//
+// Scans degrade gracefully: even on error or cancellation the partial
+// matrix measured so far is returned alongside the error, with per-cell
+// provenance (Matrix.Prov) distinguishing fresh, resumed, and missing
+// cells — with a Checkpoint configured, nothing measured is ever lost.
 func (s *Scanner) Scan(ctx context.Context, names []string) (*Matrix, []PairError, error) {
+	return s.run(ctx, names, nil, s.Checkpoint, false)
+}
+
+// Resume continues the interrupted campaign recorded in cp: the log is
+// replayed to seed the matrix (cells marked ProvResumed) and the
+// half-circuit cache, and only unfinished pairs are scheduled. New
+// completions are appended to the same log, so Resume itself is
+// interruptible — a campaign survives any number of crashes. The relay
+// set comes from the log's campaign header; the contract is Scan's.
+func (s *Scanner) Resume(ctx context.Context, cp Checkpoint) (*Matrix, []PairError, error) {
+	if cp == nil {
+		return nil, nil, errors.New("ting: Resume needs a checkpoint")
+	}
+	st, err := ReplayState(cp)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(st.Names) == 0 {
+		return nil, nil, errors.New("ting: checkpoint has no campaign header; nothing to resume")
+	}
+	return s.run(ctx, st.Names, st, cp, true)
+}
+
+func (s *Scanner) run(ctx context.Context, names []string, resumed *CheckpointState, cp Checkpoint, resuming bool) (*Matrix, []PairError, error) {
 	if s.NewMeasurer == nil {
 		return nil, nil, errors.New("ting: scanner missing NewMeasurer")
 	}
@@ -200,9 +259,19 @@ func (s *Scanner) Scan(ctx context.Context, names []string) (*Matrix, []PairErro
 		return nil, nil, err
 	}
 	var todo []pairJob
+	replayedPairs := 0
 	for i := 0; i < len(names); i++ {
 		for j := i + 1; j < len(names); j++ {
-			todo = append(todo, pairJob{x: names[i], y: names[j]})
+			x, y := names[i], names[j]
+			if resumed != nil {
+				if rtt, ok := resumed.Pairs[pairKey(x, y)]; ok {
+					_ = m.Set(x, y, rtt)
+					_ = m.SetProv(x, y, ProvResumed)
+					replayedPairs++
+					continue
+				}
+			}
+			todo = append(todo, pairJob{x: x, y: y})
 		}
 	}
 	if s.Shuffle != 0 {
@@ -256,6 +325,56 @@ func (s *Scanner) Scan(ctx context.Context, names []string) (*Matrix, []PairErro
 	scanCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// Checkpointing: append failures latch and abort the scan — a
+	// campaign that silently stopped being durable would betray a later
+	// Resume.
+	var cpMu sync.Mutex
+	var cpErr error
+	appendRec := func(rec CheckpointRecord) {
+		if cp == nil {
+			return
+		}
+		if err := cp.Append(rec); err != nil {
+			cpMu.Lock()
+			if cpErr == nil {
+				cpErr = err
+				cancel()
+			}
+			cpMu.Unlock()
+			return
+		}
+		s.Observer.checkpointAppend(&rec)
+	}
+	if cp != nil {
+		if !resuming {
+			// The header first, so even an immediately-killed scan leaves
+			// a resumable log.
+			if err := cp.Append(CheckpointRecord{Kind: RecordCampaign, Names: names}); err != nil {
+				return nil, nil, fmt.Errorf("ting: checkpoint header: %w", err)
+			}
+			s.Observer.checkpointAppend(&CheckpointRecord{Kind: RecordCampaign, Names: names})
+		}
+		if hc != nil {
+			hc.SetStoreHook(func(path []string, samples int, min float64) {
+				appendRec(CheckpointRecord{Kind: RecordHalf, Path: path, Samples: samples, Min: min})
+			})
+			defer hc.SetStoreHook(nil)
+		}
+	}
+	// Rehydrate the half-circuit memo from the log: a resumed scan's
+	// unfinished pairs reuse the interrupted run's series instead of
+	// re-sampling them.
+	replayedHalves := 0
+	if resumed != nil && hc != nil {
+		for _, h := range resumed.Halves {
+			hc.Seed(h.Path, h.Samples, h.Min)
+			replayedHalves++
+		}
+	}
+	if resuming {
+		s.Observer.checkpointReplay(replayedPairs, replayedHalves)
+	}
+
 	backoff := stats.Backoff{Base: s.Backoff, Factor: 2, Jitter: 0.5}
 	var jitterMu sync.Mutex
 	jitterRNG := rand.New(rand.NewSource(s.Shuffle ^ 0x7107))
@@ -283,6 +402,65 @@ func (s *Scanner) Scan(ctx context.Context, names []string) (*Matrix, []PairErro
 		remaining.Wait()
 		for _, q := range queues {
 			q.close()
+		}
+	}()
+
+	// Quarantine deferral: pairs blocked by an open breaker are parked here
+	// instead of burning retries against a dead relay. Once every
+	// non-parked pair has settled the parked ones are flushed back for a
+	// final verdict (the breaker may have half-opened by then); a deferred
+	// job that is still blocked settles as ErrQuarantined. undeferred
+	// counts unsettled pairs NOT currently parked — when it reaches zero,
+	// only the parked jobs remain and it is time to flush.
+	var defMu sync.Mutex
+	var deferredJobs []pairJob
+	undeferred := len(todo)
+	drained := false
+	flushDeferred := func() { // caller holds defMu
+		for i, job := range deferredJobs {
+			queues[i%workers].push(job)
+		}
+		undeferred += len(deferredJobs)
+		deferredJobs = nil
+	}
+	noteSettled := func() {
+		defMu.Lock()
+		undeferred--
+		if undeferred == 0 && len(deferredJobs) > 0 && !drained {
+			flushDeferred()
+		}
+		defMu.Unlock()
+		remaining.Done()
+	}
+	deferJob := func(job pairJob) {
+		defMu.Lock()
+		if drained {
+			// The scan was cancelled while this job was in flight toward
+			// the parking lot: release it unsettled, like the worker drain
+			// path, so remaining.Wait can fire and close the queues.
+			defMu.Unlock()
+			remaining.Done()
+			return
+		}
+		job.deferred = true
+		deferredJobs = append(deferredJobs, job)
+		undeferred--
+		if undeferred == 0 {
+			flushDeferred()
+		}
+		defMu.Unlock()
+	}
+	// Parked jobs are invisible to the workers, so a cancelled scan would
+	// deadlock on remaining.Wait without this watcher draining the lot.
+	go func() {
+		<-scanCtx.Done()
+		defMu.Lock()
+		drained = true
+		parked := deferredJobs
+		deferredJobs = nil
+		defMu.Unlock()
+		for range parked {
+			remaining.Done()
 		}
 	}()
 
@@ -317,7 +495,7 @@ func (s *Scanner) Scan(ctx context.Context, names []string) (*Matrix, []PairErro
 			}
 		}
 		mu.Unlock()
-		remaining.Done()
+		noteSettled()
 	}
 
 	for w := 0; w < workers; w++ {
@@ -331,10 +509,24 @@ func (s *Scanner) Scan(ctx context.Context, names []string) (*Matrix, []PairErro
 				}
 				if scanCtx.Err() != nil {
 					// Aborted scan: drain without measuring. The scan's
-					// result is discarded, so abandoned pairs are not
+					// result is partial, so abandoned pairs are not
 					// settled — progress must not count them as done.
-					remaining.Done()
+					noteSettled()
 					continue
+				}
+				// Breaker gate: a pair touching a quarantined relay is
+				// parked on first contact and given up on second.
+				if s.Health != nil {
+					if qe := s.Health.Allow(job.x, job.y); qe != nil {
+						if job.deferred {
+							s.Observer.quarantine(job.x, job.y, qe.Relay, true)
+							settle(job, qe)
+						} else {
+							s.Observer.quarantine(job.x, job.y, qe.Relay, false)
+							deferJob(job)
+						}
+						continue
+					}
 				}
 				attemptCtx := scanCtx
 				var cancelAttempt context.CancelFunc
@@ -342,7 +534,9 @@ func (s *Scanner) Scan(ctx context.Context, names []string) (*Matrix, []PairErro
 					attemptCtx, cancelAttempt = context.WithTimeout(scanCtx, s.PairTimeout)
 				}
 				s.Observer.workerActive(1)
+				start := time.Now()
 				rtt, err := s.measureOne(attemptCtx, meas, job.x, job.y)
+				elapsed := time.Since(start)
 				s.Observer.workerActive(-1)
 				if cancelAttempt != nil {
 					cancelAttempt()
@@ -351,11 +545,24 @@ func (s *Scanner) Scan(ctx context.Context, names []string) (*Matrix, []PairErro
 				if err == nil {
 					mu.Lock()
 					_ = m.Set(job.x, job.y, rtt)
+					_ = m.SetProv(job.x, job.y, ProvFresh)
 					mu.Unlock()
+					appendRec(CheckpointRecord{Kind: RecordPair, X: job.x, Y: job.y, RTT: rtt})
+					if s.Health != nil {
+						s.Health.Success(job.x)
+						s.Health.Success(job.y)
+					}
 					settle(job, nil)
 					continue
 				}
-				if job.attempt < maxAttempts && scanCtx.Err() == nil {
+				if s.Health != nil && scanCtx.Err() == nil {
+					// Charge only the relays on the failing circuit's path
+					// (CircuitError), not both pair endpoints blindly.
+					for _, relay := range culprits(job.x, job.y, err) {
+						s.Health.Failure(relay, err, elapsed)
+					}
+				}
+				if !job.deferred && job.attempt < maxAttempts && scanCtx.Err() == nil {
 					d := nextDelay(job.attempt)
 					s.Observer.retry(job.x, job.y, job.attempt, d, err)
 					if d > 0 {
@@ -372,24 +579,44 @@ func (s *Scanner) Scan(ctx context.Context, names []string) (*Matrix, []PairErro
 					queues[(w+1)%workers].push(job)
 					continue
 				}
+				if job.deferred && scanCtx.Err() == nil {
+					// A deferred pair got exactly one end-of-scan attempt
+					// (often the breaker's half-open probe); its failure is
+					// part of the quarantine story, not a fresh one.
+					relay := job.x
+					if c := culprits(job.x, job.y, err); len(c) > 0 {
+						relay = c[0]
+					}
+					s.Observer.quarantine(job.x, job.y, relay, true)
+					err = &QuarantineError{Relay: relay, Cause: err}
+				}
 				settle(job, err)
 			}
 		}(w, measurers[w])
 	}
 	wg.Wait()
 
-	if err := ctx.Err(); err != nil {
-		return nil, nil, err
-	}
-	if firstErr != nil {
-		return nil, nil, firstErr
-	}
 	sort.Slice(failures, func(i, j int) bool {
 		if failures[i].X != failures[j].X {
 			return failures[i].X < failures[j].X
 		}
 		return failures[i].Y < failures[j].Y
 	})
+	// Graceful degradation: every exit hands back the partial matrix and
+	// the failures gathered so far — with a checkpoint configured, what was
+	// measured before the error is also already on disk.
+	if err := ctx.Err(); err != nil {
+		return m, failures, err
+	}
+	cpMu.Lock()
+	latchedCpErr := cpErr
+	cpMu.Unlock()
+	if latchedCpErr != nil {
+		return m, failures, fmt.Errorf("ting: checkpoint append: %w", latchedCpErr)
+	}
+	if firstErr != nil {
+		return m, failures, firstErr
+	}
 	return m, failures, nil
 }
 
