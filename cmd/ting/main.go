@@ -18,10 +18,12 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
 	"ting/internal/control"
+	"ting/internal/directory"
 	"ting/internal/telemetry"
 	"ting/internal/ting"
 	"ting/internal/tornet"
@@ -40,11 +42,14 @@ var (
 	allFlag     = flag.Bool("all", false, "measure all pairs from the consensus")
 	outFlag     = flag.String("out", "", "write the all-pairs matrix to this file")
 
-	retryFlag   = flag.Int("retry", 2, "all-pairs: extra attempts per failed pair")
-	backoffFlag = flag.Duration("backoff", time.Second, "all-pairs: base retry backoff (doubled per attempt, jittered)")
-	pairTimeout = flag.Duration("pair-timeout", 0, "all-pairs: per-attempt deadline (0 = none)")
-	halfCache   = flag.Bool("half-cache", true, "all-pairs: memoize half-circuit minima (§4.6) so each C_x series is measured once per scan; false re-measures C_x and C_y for every pair")
+	retryFlag    = flag.Int("retry", 2, "all-pairs: extra attempts per failed pair")
+	backoffFlag  = flag.Duration("backoff", time.Second, "all-pairs: base retry backoff (doubled per attempt, jittered)")
+	pairTimeout  = flag.Duration("pair-timeout", 0, "all-pairs: per-attempt deadline (0 = none)")
+	adaptiveFlag = flag.Bool("adaptive-deadline", false, "all-pairs: bound each attempt by an RTT-derived per-pair deadline (EWMA + 4×deviation, clamped to [-min-pair-timeout, -pair-timeout]) instead of the fixed -pair-timeout; a strangled slow pair retries with the full timeout")
+	minPairFlag  = flag.Duration("min-pair-timeout", 100*time.Millisecond, "all-pairs: floor of the adaptive deadline, so fast pairs cannot strangle a legitimately slow one")
+	halfCache    = flag.Bool("half-cache", true, "all-pairs: memoize half-circuit minima (§4.6) so each C_x series is measured once per scan; false re-measures C_x and C_y for every pair")
 
+	dirFlag        = flag.String("dir", "", "all-pairs: directory server address; the consensus is fetched there and polled for churn during the scan, so relays that join, drain, or rotate keys mid-campaign are reconciled live")
 	checkpointFlag = flag.String("checkpoint", "", "all-pairs: append finished pairs to this crash-safe log")
 	resumeFlag     = flag.Bool("resume", false, "all-pairs: replay -checkpoint and measure only unfinished pairs (relay set comes from the log)")
 	breakerFlag    = flag.Int("breaker", 3, "all-pairs: consecutive failures before a relay's circuit breaker opens (0 disables the scoreboard)")
@@ -167,10 +172,52 @@ func main() {
 			defer fc.Close()
 			cp = fc
 		}
+		// The scan reconciles against the consensus as fetched now: pairs
+		// whose relays are gone are tombstoned instead of burning retries,
+		// and a resumed campaign whose relays vanished while it was down
+		// never re-measures ghosts. With -dir the consensus is a live
+		// mirror of the directory server, so churn during the scan is
+		// reconciled as it happens; the control-port snapshot only covers
+		// churn that predates the scan.
+		var dir *directory.Registry
+		var err error
+		if *dirFlag != "" {
+			dir, err = directory.Fetch(*dirFlag)
+		} else {
+			dir, err = conn.Consensus()
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Tally churn reconciliations for the end-of-scan summary, on top
+		// of whatever telemetry is already watching.
+		var churnMu sync.Mutex
+		churnCount := map[ting.ChurnKind]int{}
+		tombstonedPairs := 0
+		var epochLo, epochHi uint64
+		innerChurn := obs.Churn
+		obs.Churn = func(ev ting.ChurnEvent) {
+			if innerChurn != nil {
+				innerChurn(ev)
+			}
+			churnMu.Lock()
+			churnCount[ev.Kind]++
+			tombstonedPairs += ev.Tombstoned
+			if epochLo == 0 || ev.Epoch < epochLo {
+				epochLo = ev.Epoch
+			}
+			if ev.Epoch > epochHi {
+				epochHi = ev.Epoch
+			}
+			churnMu.Unlock()
+		}
 		// Ctrl-C cancels the scan cooperatively: in-flight pairs finish,
 		// the rest of the campaign is abandoned promptly.
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
+		if *dirFlag != "" {
+			go directory.Mirror(ctx, *dirFlag, dir, time.Second)
+		}
 		sc := &ting.Scanner{
 			// The control connection serializes circuit work, so scan with
 			// one worker; parallel scanning needs parallel control
@@ -190,6 +237,13 @@ func main() {
 			Retry:        *retryFlag,
 			Backoff:      *backoffFlag,
 			PairTimeout:  *pairTimeout,
+			// Adaptive deadlines cut the tail cost of wedged pairs from
+			// -pair-timeout to roughly -min-pair-timeout each.
+			AdaptiveDeadline: *adaptiveFlag,
+			MinPairTimeout:   *minPairFlag,
+			// The consensus snapshot drives churn reconciliation: relays
+			// that left are tombstoned, not retried.
+			Directory: dir,
 			// Half-circuit memoization (§3.3/§4.6): min R_Cx depends only on
 			// x, so the scan samples pairs+N circuit series instead of
 			// 3·pairs. -half-cache=false restores the literal per-pair
@@ -208,10 +262,6 @@ func main() {
 			fmt.Printf("resuming campaign from %s…\n", *checkpointFlag)
 			matrix, failures, scanErr = sc.Resume(ctx, cp)
 		} else {
-			dir, err := conn.Consensus()
-			if err != nil {
-				log.Fatal(err)
-			}
 			names := make([]string, 0, dir.Len())
 			for _, d := range dir.Consensus() {
 				names = append(names, d.Nickname)
@@ -230,8 +280,8 @@ func main() {
 		// Even an interrupted scan yields a usable partial matrix; per-cell
 		// provenance says how much was measured now vs. replayed vs. lost.
 		if matrix != nil {
-			fresh, resumed, missing := matrix.ProvCounts()
-			fmt.Printf("pairs: %d fresh, %d resumed, %d missing\n", fresh, resumed, missing)
+			fresh, resumed, removed, missing := matrix.ProvCounts()
+			fmt.Printf("pairs: %d fresh, %d resumed, %d removed, %d missing\n", fresh, resumed, removed, missing)
 			if *outFlag != "" {
 				f, err := os.Create(*outFlag)
 				if err != nil {
@@ -245,6 +295,13 @@ func main() {
 			}
 			fmt.Printf("mean inter-relay RTT: %.1f ms\n", matrix.Mean())
 		}
+		churnMu.Lock()
+		if churnCount[ting.ChurnJoined]+churnCount[ting.ChurnRemoved]+churnCount[ting.ChurnRotated] > 0 {
+			fmt.Printf("churn: %d joined, %d removed, %d rotated; %d pairs tombstoned (consensus epochs %d..%d)\n",
+				churnCount[ting.ChurnJoined], churnCount[ting.ChurnRemoved], churnCount[ting.ChurnRotated],
+				tombstonedPairs, epochLo, epochHi)
+		}
+		churnMu.Unlock()
 		printHealth(health)
 		printSummary(reg)
 		if scanErr != nil {

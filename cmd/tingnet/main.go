@@ -47,12 +47,14 @@ var (
 
 	crashFlags multiFlag
 	flapFlags  multiFlag
+	churnFlags multiFlag
 	faultSeed  = flag.Int64("fault-seed", 7, "seed for the fault plan's probabilistic decisions")
 )
 
 func init() {
 	flag.Var(&crashFlags, "crash", "kill a relay permanently: name:delay (e.g. relay002:30s; repeatable)")
 	flag.Var(&flapFlags, "flap", "flap a relay: name:period:down (e.g. relay001:10s:2s; repeatable)")
+	flag.Var(&churnFlags, "churn", "churn the consensus: join:name:delay holds the relay out of the initial consensus and publishes it then; drain:name:delay drains it gracefully (e.g. drain:relay003:45s; repeatable)")
 }
 
 // multiFlag collects every occurrence of a repeatable flag.
@@ -80,7 +82,7 @@ func main() {
 		defer shutdown()
 		fmt.Printf("telemetry: http://%s/metrics.json (pprof under /debug/pprof/)\n", addr)
 	}
-	plan, err := buildFaultPlan(crashFlags, flapFlags, *faultSeed, world)
+	plan, err := buildFaultPlan(crashFlags, flapFlags, churnFlags, *faultSeed, world)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -165,11 +167,11 @@ func transportName(tcp bool) string {
 	return "pipe"
 }
 
-// buildFaultPlan turns the -crash and -flap flags into a fault plan, or
-// returns nil when no faults were requested. A relay may appear in both a
-// -crash and a -flap flag; the schedules merge.
-func buildFaultPlan(crashes, flaps []string, seed int64, world *experiments.World) (*faults.Plan, error) {
-	if len(crashes) == 0 && len(flaps) == 0 {
+// buildFaultPlan turns the -crash, -flap, and -churn flags into a fault
+// plan, or returns nil when no faults were requested. A relay may appear in
+// several flags; the schedules merge.
+func buildFaultPlan(crashes, flaps, churns []string, seed int64, world *experiments.World) (*faults.Plan, error) {
+	if len(crashes) == 0 && len(flaps) == 0 && len(churns) == 0 {
 		return nil, nil
 	}
 	schedules := map[string]faults.RelaySchedule{}
@@ -215,6 +217,26 @@ func buildFaultPlan(crashes, flaps []string, seed int64, world *experiments.Worl
 		rs.FlapPeriod, rs.FlapDown = period, down
 		schedules[parts[0]] = rs
 	}
+	for _, spec := range churns {
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 || (parts[0] != "join" && parts[0] != "drain") {
+			return nil, fmt.Errorf("bad -churn %q, want join:name:delay or drain:name:delay", spec)
+		}
+		rs, err := relay(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		delay, err := time.ParseDuration(parts[2])
+		if err != nil || delay <= 0 {
+			return nil, fmt.Errorf("bad -churn delay %q: want a positive duration", parts[2])
+		}
+		if parts[0] == "join" {
+			rs.JoinAfter = delay
+		} else {
+			rs.DrainAfter = delay
+		}
+		schedules[parts[1]] = rs
+	}
 	plan := faults.NewPlan(seed)
 	for name, rs := range schedules {
 		plan.SetRelay(name, rs)
@@ -242,6 +264,12 @@ func printFaultPlan(plan *faults.Plan) {
 		}
 		if rs.FlapPeriod > 0 {
 			fmt.Printf("  %s: down %v at the top of every %v\n", name, rs.FlapDown, rs.FlapPeriod)
+		}
+		if rs.JoinAfter > 0 {
+			fmt.Printf("  %s: held out of the consensus, joins after %v\n", name, rs.JoinAfter)
+		}
+		if rs.DrainAfter > 0 {
+			fmt.Printf("  %s: drains gracefully after %v\n", name, rs.DrainAfter)
 		}
 	}
 }

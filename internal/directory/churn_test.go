@@ -1,0 +1,516 @@
+package directory
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"ting/internal/onion"
+)
+
+func TestEpochAdvancesPerPublicMutation(t *testing.T) {
+	reg := NewRegistry()
+	if reg.Epoch() != 0 {
+		t.Fatalf("fresh registry epoch = %d", reg.Epoch())
+	}
+	if err := reg.Publish(testDesc(t, "a", true, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.AddUnpublished(testDesc(t, "w", false, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Epoch(); got != 1 {
+		t.Errorf("epoch after publish+unpublished = %d, want 1 (unpublished is epoch-invisible)", got)
+	}
+	if !reg.Remove("a") {
+		t.Fatal("Remove(a) = false")
+	}
+	if got := reg.Epoch(); got != 2 {
+		t.Errorf("epoch after remove = %d, want 2", got)
+	}
+	// Removing the unpublished relay and a ghost must not move the epoch.
+	if !reg.Remove("w") {
+		t.Error("Remove(w) = false")
+	}
+	if reg.Remove("ghost") {
+		t.Error("Remove(ghost) = true")
+	}
+	if got := reg.Epoch(); got != 2 {
+		t.Errorf("epoch after silent removes = %d, want 2", got)
+	}
+}
+
+func TestUpdateRotationBumpsGeneration(t *testing.T) {
+	reg := NewRegistry()
+	d := testDesc(t, "r", true, 100)
+	if err := reg.Publish(d); err != nil {
+		t.Fatal(err)
+	}
+	// Same key: an update, not a rotation.
+	same := *d
+	same.BandwidthKBps = 200
+	if err := reg.Update(&same); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := reg.Lookup("r")
+	if got.Generation != 0 {
+		t.Errorf("same-key update bumped generation to %d", got.Generation)
+	}
+	if got.BandwidthKBps != 200 {
+		t.Errorf("update lost bandwidth change: %v", got.BandwidthKBps)
+	}
+	// New key: a rotation.
+	rot := *d
+	id, err := onion.NewIdentity(rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rot.OnionKey = id.Public()
+	if err := reg.Update(&rot); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = reg.Lookup("r")
+	if got.Generation != 1 {
+		t.Errorf("rotation generation = %d, want 1", got.Generation)
+	}
+	if got.Fingerprint() == d.Fingerprint() {
+		t.Error("fingerprint unchanged across rotation")
+	}
+	if err := reg.Update(testDesc(t, "ghost", false, 1)); err == nil {
+		t.Error("Update of unknown relay succeeded")
+	}
+	if got := reg.Epoch(); got != 3 {
+		t.Errorf("epoch = %d, want 3 (publish + 2 updates)", got)
+	}
+}
+
+func TestDeltasSinceAndResync(t *testing.T) {
+	reg := NewRegistry()
+	for _, name := range []string{"a", "b", "c"} {
+		if err := reg.Publish(testDesc(t, name, false, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg.Remove("b")
+	deltas, ok := reg.DeltasSince(0)
+	if !ok || len(deltas) != 4 {
+		t.Fatalf("DeltasSince(0) = %d deltas, ok=%v", len(deltas), ok)
+	}
+	for i, d := range deltas {
+		if d.Epoch != uint64(i+1) {
+			t.Errorf("delta %d epoch = %d", i, d.Epoch)
+		}
+	}
+	if deltas[3].Kind != DeltaLeave || deltas[3].Name != "b" || deltas[3].Desc != nil {
+		t.Errorf("leave delta = %+v", deltas[3])
+	}
+	if deltas[0].Kind != DeltaJoin || deltas[0].Desc == nil {
+		t.Errorf("join delta = %+v", deltas[0])
+	}
+	// Up to date: empty and ok.
+	if d, ok := reg.DeltasSince(4); !ok || len(d) != 0 {
+		t.Errorf("DeltasSince(current) = %v, ok=%v", d, ok)
+	}
+	// A mirror can replay the deltas and converge.
+	mirror := NewRegistry()
+	for _, d := range deltas {
+		if err := mirror.ApplyDelta(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mirror.Epoch() != reg.Epoch() || mirror.Len() != reg.Len() {
+		t.Errorf("mirror epoch=%d len=%d, origin epoch=%d len=%d",
+			mirror.Epoch(), mirror.Len(), reg.Epoch(), reg.Len())
+	}
+	if _, ok := mirror.Lookup("b"); ok {
+		t.Error("mirror still has removed relay b")
+	}
+}
+
+func TestDeltaLogBounded(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Publish(testDesc(t, "seed", false, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Blow past the history bound with churn on a second relay.
+	for i := 0; i < maxDeltaLog+10; i += 2 {
+		if err := reg.Publish(testDesc(t, "flappy", false, 1)); err != nil {
+			t.Fatal(err)
+		}
+		reg.Remove("flappy")
+	}
+	if _, ok := reg.DeltasSince(0); ok {
+		t.Error("DeltasSince(0) claims coverage past the bounded history")
+	}
+	if _, ok := reg.DeltasSince(reg.Epoch() - 5); !ok {
+		t.Error("recent span not covered")
+	}
+}
+
+func TestWatchDeliversInOrder(t *testing.T) {
+	reg := NewRegistry()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch := reg.Watch(ctx)
+
+	go func() {
+		for _, name := range []string{"a", "b", "c"} {
+			_ = reg.Publish(testDesc(t, name, false, 100))
+		}
+		reg.Remove("a")
+	}()
+
+	var got []ConsensusDelta
+	timeout := time.After(5 * time.Second)
+	for len(got) < 4 {
+		select {
+		case d := <-ch:
+			got = append(got, d)
+		case <-timeout:
+			t.Fatalf("timed out after %d deltas", len(got))
+		}
+	}
+	for i, d := range got {
+		if d.Epoch != uint64(i+1) {
+			t.Errorf("delta %d arrived with epoch %d", i, d.Epoch)
+		}
+	}
+	if got[3].Kind != DeltaLeave || got[3].Name != "a" {
+		t.Errorf("last delta = %+v", got[3])
+	}
+	// Cancelling closes the channel and detaches the watcher.
+	cancel()
+	for range ch {
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		reg.mu.RLock()
+		n := len(reg.watchers)
+		reg.mu.RUnlock()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("watcher not detached after cancel: %d left", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestConsensusHeaderEpochRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	for _, name := range []string{"a", "b"} {
+		if err := reg.Publish(testDesc(t, name, false, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg.Remove("a")
+
+	var sb strings.Builder
+	if err := reg.EncodeConsensus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "consensus relays=1 epoch=3\n") {
+		t.Fatalf("header = %q", strings.SplitN(sb.String(), "\n", 2)[0])
+	}
+	got, err := DecodeConsensus(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch() != 3 {
+		t.Errorf("decoded epoch = %d, want 3", got.Epoch())
+	}
+	// A mirror decoded from a full document must resync, not replay the
+	// synthetic joins it performed while decoding.
+	if _, ok := got.DeltasSince(0); ok {
+		t.Error("decoded mirror claims delta coverage from 0")
+	}
+
+	// Legacy headers without an epoch still decode.
+	legacy := "consensus relays=0\nend\n"
+	if _, err := DecodeConsensus(strings.NewReader(legacy)); err != nil {
+		t.Fatalf("legacy header rejected: %v", err)
+	}
+}
+
+func TestServerServesDeltasAndResync(t *testing.T) {
+	reg := NewRegistry()
+	for _, name := range []string{"a", "b"} {
+		if err := reg.Publish(testDesc(t, name, true, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(reg)
+	go srv.Serve(ln)
+	defer srv.Close()
+	addr := ln.Addr().String()
+
+	// A mirror at epoch 0 with full server history gets deltas.
+	deltas, full, err := FetchDeltas(addr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full != nil {
+		t.Fatal("unexpected resync")
+	}
+	if len(deltas) != 2 || deltas[0].Name != "a" || deltas[1].Name != "b" {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+
+	// More churn, including a rotation.
+	reg.Remove("a")
+	rot, _ := reg.Lookup("b")
+	id, err := onion.NewIdentity(rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rot.OnionKey = id.Public()
+	if err := reg.Update(rot); err != nil {
+		t.Fatal(err)
+	}
+	deltas, full, err = FetchDeltas(addr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full != nil || len(deltas) != 2 {
+		t.Fatalf("deltas = %+v, full = %v", deltas, full)
+	}
+	if deltas[0].Kind != DeltaLeave || deltas[0].Name != "a" {
+		t.Errorf("delta[0] = %+v", deltas[0])
+	}
+	if deltas[1].Kind != DeltaRotate || deltas[1].Desc == nil || deltas[1].Desc.OnionKey != rot.OnionKey {
+		t.Errorf("delta[1] = %+v", deltas[1])
+	}
+
+	// Force the history bound and confirm the resync path.
+	reg.mu.Lock()
+	reg.deltas = reg.deltas[len(reg.deltas)-1:]
+	reg.mu.Unlock()
+	deltas, full, err = FetchDeltas(addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deltas != nil || full == nil {
+		t.Fatalf("expected resync, got deltas=%v full=%v", deltas, full)
+	}
+	if full.Epoch() != reg.Epoch() || full.Len() != reg.Len() {
+		t.Errorf("resync consensus epoch=%d len=%d, origin epoch=%d len=%d",
+			full.Epoch(), full.Len(), reg.Epoch(), reg.Len())
+	}
+}
+
+// TestFetchTimeoutStalledServer pins the satellite fix: a peer that
+// accepts and then says nothing cannot hang Fetch forever.
+func TestFetchTimeoutStalledServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // accept and stall
+		}
+	}()
+	start := time.Now()
+	if _, err := FetchTimeout(ln.Addr().String(), 100*time.Millisecond); err == nil {
+		t.Fatal("fetch from stalled server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("fetch took %v despite 100ms timeout", elapsed)
+	}
+}
+
+// TestServerSlowLorisTimeout pins the server half: a client that connects
+// and never finishes its request line is cut off by the conn deadline.
+func TestServerSlowLorisTimeout(t *testing.T) {
+	reg := NewRegistry()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(reg)
+	srv.Timeout = 100 * time.Millisecond
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET conse")); err != nil { // never the newline
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("server answered a half-request")
+	}
+}
+
+// TestMirrorFollowsOrigin polls a live directory server and checks that
+// origin churn — join, leave, rotate — lands in the mirror with origin
+// epochs, firing the mirror's own watchers.
+func TestMirrorFollowsOrigin(t *testing.T) {
+	origin := NewRegistry()
+	for _, name := range []string{"a", "b"} {
+		if err := origin.Publish(testDesc(t, name, false, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(origin)
+	go srv.Serve(ln)
+	defer srv.Close()
+	addr := ln.Addr().String()
+
+	mirror, err := Fetch(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mirror.Epoch(); got != origin.Epoch() {
+		t.Fatalf("mirror epoch = %d, origin %d", got, origin.Epoch())
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	watch := mirror.Watch(ctx)
+	go Mirror(ctx, addr, mirror, 10*time.Millisecond)
+
+	if err := origin.Publish(testDesc(t, "c", false, 100)); err != nil {
+		t.Fatal(err)
+	}
+	origin.Remove("a")
+	rot := testDesc(t, "b", false, 100)
+	id, err := onion.NewIdentity(rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rot.OnionKey = id.Public()
+	if err := origin.Update(rot); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []struct {
+		kind DeltaKind
+		name string
+	}{{DeltaJoin, "c"}, {DeltaLeave, "a"}, {DeltaRotate, "b"}}
+	for i, w := range want {
+		select {
+		case d := <-watch:
+			if d.Kind != w.kind || d.Name != w.name {
+				t.Fatalf("delta %d = (%v, %s), want (%v, %s)", i, d.Kind, d.Name, w.kind, w.name)
+			}
+			if d.Epoch != uint64(3+i) {
+				t.Errorf("delta %d epoch = %d, want %d", i, d.Epoch, 3+i)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("mirror never delivered delta %d (%v %s)", i, w.kind, w.name)
+		}
+	}
+	if _, ok := mirror.Lookup("a"); ok {
+		t.Error("mirror still lists the removed relay")
+	}
+	c, ok := mirror.Lookup("c")
+	if !ok || c.Addr != "addr-c" {
+		t.Errorf("mirror join = (%+v, %v)", c, ok)
+	}
+	b, _ := mirror.Lookup("b")
+	if b.Fingerprint() != rot.Fingerprint() {
+		t.Error("mirror missed the key rotation")
+	}
+	if got := mirror.Epoch(); got != origin.Epoch() {
+		t.Errorf("mirror epoch = %d, origin %d", got, origin.Epoch())
+	}
+}
+
+// TestResyncSynthesizesDeltas feeds a stale mirror a fresh consensus the
+// delta log no longer reaches and checks the missed churn is synthesized:
+// a leave for the dropped relay, a join for the newcomer, a rotate for
+// the changed key — in strictly increasing epochs capped at the origin's.
+func TestResyncSynthesizesDeltas(t *testing.T) {
+	mirror := NewRegistry()
+	for _, name := range []string{"a", "b", "c"} {
+		if err := mirror.Publish(testDesc(t, name, false, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The fresh consensus dropped a, kept b with a new key, kept c
+	// unchanged (same descriptor — key generation is not deterministic,
+	// so reuse the mirror's), and gained d — pretend many epochs passed.
+	fresh := NewRegistry()
+	oldB, _ := mirror.Lookup("b")
+	rot := *oldB
+	id, err := onion.NewIdentity(rand.New(rand.NewSource(98)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rot.OnionKey = id.Public()
+	sameC, _ := mirror.Lookup("c")
+	for _, d := range []*Descriptor{&rot, sameC, testDesc(t, "d", false, 100)} {
+		if err := fresh.Publish(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fresh.mu.Lock()
+	fresh.epoch = 40
+	fresh.mu.Unlock()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	watch := mirror.Watch(ctx)
+	mirror.resync(fresh)
+
+	want := []struct {
+		kind DeltaKind
+		name string
+	}{{DeltaLeave, "a"}, {DeltaRotate, "b"}, {DeltaJoin, "d"}}
+	last := uint64(3) // the mirror's own epoch before the resync
+	for i, w := range want {
+		select {
+		case d := <-watch:
+			if d.Kind != w.kind || d.Name != w.name {
+				t.Fatalf("synthesized delta %d = (%v, %s), want (%v, %s)", i, d.Kind, d.Name, w.kind, w.name)
+			}
+			if d.Epoch <= last || d.Epoch > 40 {
+				t.Errorf("synthesized delta %d epoch = %d, want in (%d, 40]", i, d.Epoch, last)
+			}
+			last = d.Epoch
+		case <-time.After(5 * time.Second):
+			t.Fatalf("resync never delivered delta %d (%v %s)", i, w.kind, w.name)
+		}
+	}
+	if got := mirror.Epoch(); got != 40 {
+		t.Errorf("mirror epoch after resync = %d, want 40", got)
+	}
+	if _, ok := mirror.Lookup("a"); ok {
+		t.Error("resynced mirror still lists a")
+	}
+	if d, ok := mirror.Lookup("d"); !ok || d.Addr != "addr-d" {
+		t.Errorf("resynced mirror join = (%+v, %v)", d, ok)
+	}
+	if b, _ := mirror.Lookup("b"); b.Fingerprint() != rot.Fingerprint() {
+		t.Error("resynced mirror missed the rotation")
+	}
+	// An already-converged resync is a no-op: no deltas, epoch keeps.
+	mirror.resync(fresh)
+	select {
+	case d := <-watch:
+		t.Errorf("converged resync produced delta %+v", d)
+	case <-time.After(50 * time.Millisecond):
+	}
+}

@@ -10,6 +10,7 @@ package directory
 
 import (
 	"bufio"
+	"context"
 	"encoding/hex"
 	"errors"
 	"fmt"
@@ -38,6 +39,17 @@ type Descriptor struct {
 	BandwidthKBps float64
 	// Exit reports whether the relay permits exit streams.
 	Exit bool
+	// Generation counts onion-key rotations for this nickname within one
+	// registry. It is a runtime annotation, not part of the wire encoding:
+	// a freshly parsed descriptor always has generation 0.
+	Generation uint64
+}
+
+// Fingerprint returns a short stable identifier for the descriptor's onion
+// key. Same-nickname descriptors with different keys (a rotation, or an
+// impostor re-join) have different fingerprints.
+func (d *Descriptor) Fingerprint() string {
+	return hex.EncodeToString(d.OnionKey[:8])
 }
 
 // Validate checks the descriptor for completeness.
@@ -100,17 +112,73 @@ func ParseLine(line string) (*Descriptor, error) {
 	return d, nil
 }
 
+// DeltaKind classifies one consensus change.
+type DeltaKind int
+
+const (
+	// DeltaJoin: a relay entered the consensus.
+	DeltaJoin DeltaKind = iota
+	// DeltaLeave: a relay left the consensus.
+	DeltaLeave
+	// DeltaRotate: a relay's descriptor changed in place (typically an
+	// onion-key rotation; the generation counter advances).
+	DeltaRotate
+)
+
+func (k DeltaKind) String() string {
+	switch k {
+	case DeltaJoin:
+		return "join"
+	case DeltaLeave:
+		return "leave"
+	case DeltaRotate:
+		return "rotate"
+	}
+	return fmt.Sprintf("DeltaKind(%d)", int(k))
+}
+
+// ConsensusDelta is one versioned consensus change. Every mutation of the
+// published relay set advances the epoch by exactly one and produces
+// exactly one delta, so a consumer that has seen epoch E is up to date
+// after applying every delta with Epoch > E in order.
+type ConsensusDelta struct {
+	// Epoch is the consensus epoch this change produced.
+	Epoch uint64
+	// Kind says what happened.
+	Kind DeltaKind
+	// Name is the affected relay's nickname.
+	Name string
+	// Desc is the descriptor after the change (nil for DeltaLeave).
+	Desc *Descriptor
+}
+
+// maxDeltaLog bounds the in-memory delta history. Consumers further behind
+// than this must resync from a full consensus.
+const maxDeltaLog = 1024
+
 // Registry holds the published relay population plus unpublished
 // descriptors known only locally. It is safe for concurrent use.
+//
+// The published set is versioned: every Publish/Remove/Update of a public
+// relay advances a monotonically increasing consensus epoch and appends a
+// ConsensusDelta to a bounded history that Watch and DeltasSince expose.
+// Unpublished descriptors never touch the epoch — they are invisible to
+// consensus consumers by design.
 type Registry struct {
-	mu     sync.RWMutex
-	byName map[string]*Descriptor
-	public []string // published nicknames in insertion order
+	mu       sync.RWMutex
+	byName   map[string]*Descriptor
+	public   []string // published nicknames in insertion order
+	epoch    uint64
+	deltas   []ConsensusDelta // trailing window, consecutive epochs
+	watchers map[*watcher]struct{}
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{byName: make(map[string]*Descriptor)}
+	return &Registry{
+		byName:   make(map[string]*Descriptor),
+		watchers: make(map[*watcher]struct{}),
+	}
 }
 
 // Publish adds a descriptor to the public consensus.
@@ -134,8 +202,263 @@ func (r *Registry) add(d *Descriptor, public bool) error {
 	r.byName[d.Nickname] = &cp
 	if public {
 		r.public = append(r.public, d.Nickname)
+		pub := cp
+		r.recordLocked(DeltaJoin, d.Nickname, &pub)
 	}
 	return nil
+}
+
+// Remove deletes a descriptor. Removing a published relay advances the
+// epoch and emits a DeltaLeave; removing an unpublished one is silent.
+// It reports whether the nickname was known.
+func (r *Registry) Remove(nickname string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byName[nickname]; !ok {
+		return false
+	}
+	delete(r.byName, nickname)
+	for i, name := range r.public {
+		if name == nickname {
+			r.public = append(r.public[:i], r.public[i+1:]...)
+			r.recordLocked(DeltaLeave, nickname, nil)
+			break
+		}
+	}
+	return true
+}
+
+// Update replaces an existing descriptor in place. A changed onion key is
+// a rotation and bumps the descriptor's generation. Updating a published
+// relay advances the epoch and emits a DeltaRotate.
+func (r *Registry) Update(d *Descriptor) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old, ok := r.byName[d.Nickname]
+	if !ok {
+		return fmt.Errorf("directory: update of unknown relay %s", d.Nickname)
+	}
+	cp := *d
+	cp.Generation = old.Generation
+	if old.OnionKey != d.OnionKey {
+		cp.Generation++
+	}
+	r.byName[d.Nickname] = &cp
+	for _, name := range r.public {
+		if name == d.Nickname {
+			pub := cp
+			r.recordLocked(DeltaRotate, d.Nickname, &pub)
+			break
+		}
+	}
+	return nil
+}
+
+// recordLocked advances the epoch, appends the delta to the bounded
+// history, and fans it out to watchers. Caller holds r.mu.
+func (r *Registry) recordLocked(kind DeltaKind, name string, desc *Descriptor) {
+	r.epoch++
+	delta := ConsensusDelta{Epoch: r.epoch, Kind: kind, Name: name, Desc: desc}
+	r.deltas = append(r.deltas, delta)
+	if len(r.deltas) > maxDeltaLog {
+		r.deltas = r.deltas[len(r.deltas)-maxDeltaLog:]
+	}
+	for w := range r.watchers {
+		w.push(delta)
+	}
+}
+
+// Epoch returns the current consensus epoch.
+func (r *Registry) Epoch() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.epoch
+}
+
+// DeltasSince returns every delta with Epoch > since, oldest first. The
+// second result is false when the bounded history no longer reaches back
+// to since — the consumer must resync from a full consensus instead.
+func (r *Registry) DeltasSince(since uint64) ([]ConsensusDelta, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if since >= r.epoch {
+		return nil, true
+	}
+	if len(r.deltas) == 0 || r.deltas[0].Epoch > since+1 {
+		return nil, false
+	}
+	var out []ConsensusDelta
+	for _, d := range r.deltas {
+		if d.Epoch > since {
+			cp := d
+			if d.Desc != nil {
+				dc := *d.Desc
+				cp.Desc = &dc
+			}
+			out = append(out, cp)
+		}
+	}
+	return out, true
+}
+
+// ApplyDelta applies a delta produced elsewhere to this registry, keeping
+// a mirror in step with its origin. The mirror's epoch jumps to the
+// delta's epoch.
+func (r *Registry) ApplyDelta(delta ConsensusDelta) error {
+	switch delta.Kind {
+	case DeltaJoin:
+		if delta.Desc == nil {
+			return errors.New("directory: join delta without descriptor")
+		}
+		r.Remove(delta.Name) // idempotent re-join
+		if err := r.Publish(delta.Desc); err != nil {
+			return err
+		}
+	case DeltaLeave:
+		r.Remove(delta.Name)
+	case DeltaRotate:
+		if delta.Desc == nil {
+			return errors.New("directory: rotate delta without descriptor")
+		}
+		if err := r.Update(delta.Desc); err != nil {
+			// A rotate for a relay the mirror never saw joins it.
+			if err := r.Publish(delta.Desc); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("directory: unknown delta kind %d", int(delta.Kind))
+	}
+	r.mu.Lock()
+	r.epoch = delta.Epoch
+	r.mu.Unlock()
+	return nil
+}
+
+// resync folds a freshly fetched consensus into this registry after the
+// origin's delta log no longer reached back to our epoch. The missed
+// churn is synthesized as join/leave/rotate deltas — assigned sequential
+// epochs capped at the origin's, so watchers still observe every change
+// in a strictly increasing order — and the epoch then jumps to the
+// origin's. Used by Mirror.
+func (r *Registry) resync(fresh *Registry) {
+	target := fresh.Epoch()
+	current := make(map[string]*Descriptor)
+	var names []string
+	for _, d := range fresh.Consensus() {
+		current[d.Nickname] = d
+		names = append(names, d.Nickname)
+	}
+	sort.Strings(names)
+	next := r.Epoch()
+	synth := func(kind DeltaKind, name string, desc *Descriptor) {
+		if next < target {
+			next++
+		}
+		_ = r.ApplyDelta(ConsensusDelta{Epoch: next, Kind: kind, Name: name, Desc: desc})
+	}
+	for _, d := range r.Consensus() {
+		if _, still := current[d.Nickname]; !still {
+			synth(DeltaLeave, d.Nickname, nil)
+		}
+	}
+	for _, name := range names {
+		d := current[name]
+		old, ok := r.Lookup(name)
+		switch {
+		case !ok:
+			synth(DeltaJoin, name, d)
+		case old.Fingerprint() != d.Fingerprint():
+			synth(DeltaRotate, name, d)
+		}
+	}
+	r.mu.Lock()
+	if r.epoch < target {
+		r.epoch = target
+	}
+	r.mu.Unlock()
+}
+
+// watcher is one Watch subscription: an unbounded cond-backed queue the
+// registry pushes into under its own lock, drained by a pump goroutine
+// into the subscriber's channel. Deltas are never dropped; a slow consumer
+// only grows its private queue.
+type watcher struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []ConsensusDelta
+	closed bool
+}
+
+func (w *watcher) push(d ConsensusDelta) {
+	w.mu.Lock()
+	if !w.closed {
+		w.queue = append(w.queue, d)
+	}
+	w.mu.Unlock()
+	w.cond.Signal()
+}
+
+func (w *watcher) close() {
+	w.mu.Lock()
+	w.closed = true
+	w.mu.Unlock()
+	w.cond.Signal()
+}
+
+// next blocks until a delta is queued or the watcher closes.
+func (w *watcher) next() (ConsensusDelta, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for len(w.queue) == 0 && !w.closed {
+		w.cond.Wait()
+	}
+	if len(w.queue) == 0 {
+		return ConsensusDelta{}, false
+	}
+	d := w.queue[0]
+	w.queue = w.queue[1:]
+	return d, true
+}
+
+// Watch subscribes to consensus changes. Every delta recorded after the
+// call is delivered in epoch order on the returned channel until ctx is
+// cancelled, at which point the channel closes. Subscribers that need the
+// starting state should snapshot Consensus/Epoch first and discard deltas
+// at or below that epoch.
+func (r *Registry) Watch(ctx context.Context) <-chan ConsensusDelta {
+	w := &watcher{}
+	w.cond = sync.NewCond(&w.mu)
+	r.mu.Lock()
+	r.watchers[w] = struct{}{}
+	r.mu.Unlock()
+
+	ch := make(chan ConsensusDelta)
+	go func() { // closer: detach on cancel
+		<-ctx.Done()
+		r.mu.Lock()
+		delete(r.watchers, w)
+		r.mu.Unlock()
+		w.close()
+	}()
+	go func() { // pump: queue → channel
+		defer close(ch)
+		for {
+			d, ok := w.next()
+			if !ok {
+				return
+			}
+			select {
+			case ch <- d:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return ch
 }
 
 // Lookup returns the descriptor for nickname (published or not).
@@ -169,11 +492,15 @@ func (r *Registry) Len() int {
 	return len(r.public)
 }
 
-// EncodeConsensus writes the consensus document.
+// EncodeConsensus writes the consensus document. The header carries the
+// epoch so mirrors can ask for deltas later.
 func (r *Registry) EncodeConsensus(w io.Writer) error {
+	r.mu.RLock()
+	epoch := r.epoch
+	r.mu.RUnlock()
 	descs := r.Consensus()
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "consensus relays=%d\n", len(descs))
+	fmt.Fprintf(bw, "consensus relays=%d epoch=%d\n", len(descs), epoch)
 	for _, d := range descs {
 		fmt.Fprintln(bw, d.Line())
 	}
@@ -181,7 +508,10 @@ func (r *Registry) EncodeConsensus(w io.Writer) error {
 	return bw.Flush()
 }
 
-// DecodeConsensus parses a consensus document into a fresh registry.
+// DecodeConsensus parses a consensus document into a fresh registry. Both
+// the epoch-carrying header and the legacy epoch-free form decode; a
+// legacy document leaves the registry at the epoch its own publishes
+// accumulated.
 func DecodeConsensus(rd io.Reader) (*Registry, error) {
 	sc := bufio.NewScanner(rd)
 	if !sc.Scan() {
@@ -191,9 +521,18 @@ func DecodeConsensus(rd io.Reader) (*Registry, error) {
 	if !strings.HasPrefix(header, "consensus relays=") {
 		return nil, fmt.Errorf("directory: bad header %q", header)
 	}
-	want, err := strconv.Atoi(strings.TrimPrefix(header, "consensus relays="))
+	rest := strings.TrimPrefix(header, "consensus relays=")
+	countField, epochField, hasEpoch := strings.Cut(rest, " epoch=")
+	want, err := strconv.Atoi(countField)
 	if err != nil {
 		return nil, fmt.Errorf("directory: bad header %q", header)
+	}
+	var epoch uint64
+	if hasEpoch {
+		epoch, err = strconv.ParseUint(epochField, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("directory: bad header %q", header)
+		}
 	}
 	reg := NewRegistry()
 	for sc.Scan() {
@@ -201,6 +540,15 @@ func DecodeConsensus(rd io.Reader) (*Registry, error) {
 		if line == "end" {
 			if reg.Len() != want {
 				return nil, fmt.Errorf("directory: header says %d relays, got %d", want, reg.Len())
+			}
+			if hasEpoch {
+				// The synthetic join deltas accumulated while
+				// re-publishing don't describe real history at the
+				// origin; force mirrors behind this epoch to resync.
+				reg.mu.Lock()
+				reg.epoch = epoch
+				reg.deltas = nil
+				reg.mu.Unlock()
 			}
 			return reg, nil
 		}

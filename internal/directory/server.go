@@ -2,17 +2,33 @@ package directory
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
+	"io"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
-// Server serves the consensus over a one-request text protocol: the client
-// sends "GET consensus\n" and receives the encoded document. It stands in
-// for Tor's directory port in the live-TCP deployment mode.
+// DefaultIOTimeout bounds every directory-protocol conversation, on both
+// ends: a stalled peer cannot hang a Fetch, and a slow-loris client cannot
+// pin a server connection open.
+const DefaultIOTimeout = 10 * time.Second
+
+// Server serves the consensus over a one-request text protocol. The client
+// sends "GET consensus\n" and receives the encoded document, or
+// "GET delta <epoch>\n" and receives the deltas recorded since that epoch
+// (or a resync marker plus the full consensus when the bounded delta
+// history no longer reaches back that far). It stands in for Tor's
+// directory port in the live-TCP deployment mode.
 type Server struct {
 	reg *Registry
+	// Timeout bounds each connection's whole conversation; zero means
+	// DefaultIOTimeout.
+	Timeout time.Duration
 
 	mu sync.Mutex
 	ln net.Listener
@@ -47,26 +63,202 @@ func (s *Server) Close() error {
 
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+	timeout := s.Timeout
+	if timeout <= 0 {
+		timeout = DefaultIOTimeout
+	}
+	_ = conn.SetDeadline(time.Now().Add(timeout))
 	line, err := bufio.NewReader(conn).ReadString('\n')
 	if err != nil {
 		return
 	}
-	if strings.TrimSpace(line) != "GET consensus" {
+	req := strings.TrimSpace(line)
+	switch {
+	case req == "GET consensus":
+		_ = s.reg.EncodeConsensus(conn)
+	case strings.HasPrefix(req, "GET delta "):
+		since, err := strconv.ParseUint(strings.TrimPrefix(req, "GET delta "), 10, 64)
+		if err != nil {
+			fmt.Fprintln(conn, "error bad epoch")
+			return
+		}
+		s.serveDeltas(conn, since)
+	default:
 		fmt.Fprintln(conn, "error unknown request")
-		return
 	}
-	_ = s.reg.EncodeConsensus(conn)
 }
 
-// Fetch downloads and parses the consensus from a directory server at addr.
+// serveDeltas answers "GET delta <since>". The reply is either
+//
+//	deltas from=<since> to=<epoch> count=<k>
+//	<epoch> join <relay line>
+//	<epoch> leave <nickname>
+//	<epoch> rotate <relay line>
+//	end
+//
+// or "resync" followed by a full consensus document when the server's
+// bounded history no longer covers the requested span.
+func (s *Server) serveDeltas(conn net.Conn, since uint64) {
+	deltas, ok := s.reg.DeltasSince(since)
+	bw := bufio.NewWriter(conn)
+	defer bw.Flush()
+	if !ok {
+		fmt.Fprintln(bw, "resync")
+		bw.Flush()
+		_ = s.reg.EncodeConsensus(conn)
+		return
+	}
+	fmt.Fprintf(bw, "deltas from=%d to=%d count=%d\n", since, s.reg.Epoch(), len(deltas))
+	for _, d := range deltas {
+		switch d.Kind {
+		case DeltaLeave:
+			fmt.Fprintf(bw, "%d leave %s\n", d.Epoch, d.Name)
+		default:
+			fmt.Fprintf(bw, "%d %s %s\n", d.Epoch, d.Kind, d.Desc.Line())
+		}
+	}
+	fmt.Fprintln(bw, "end")
+}
+
+// Fetch downloads and parses the consensus from a directory server at
+// addr, bounded by DefaultIOTimeout.
 func Fetch(addr string) (*Registry, error) {
-	conn, err := net.Dial("tcp", addr)
+	return FetchTimeout(addr, DefaultIOTimeout)
+}
+
+// FetchTimeout is Fetch with an explicit bound covering the dial and the
+// whole conversation.
+func FetchTimeout(addr string, timeout time.Duration) (*Registry, error) {
+	conn, err := dialDirectory(addr, timeout)
 	if err != nil {
-		return nil, fmt.Errorf("directory: fetch: %w", err)
+		return nil, err
 	}
 	defer conn.Close()
 	if _, err := fmt.Fprintln(conn, "GET consensus"); err != nil {
 		return nil, fmt.Errorf("directory: fetch: %w", err)
 	}
 	return DecodeConsensus(conn)
+}
+
+// FetchDeltas asks the directory server for every consensus change after
+// epoch since. When the server still has that span, it returns the deltas
+// (possibly empty) and a nil registry; when the server demands a resync it
+// returns a nil delta slice and the full consensus instead. Bounded by
+// DefaultIOTimeout.
+func FetchDeltas(addr string, since uint64) ([]ConsensusDelta, *Registry, error) {
+	conn, err := dialDirectory(addr, DefaultIOTimeout)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "GET delta %d\n", since); err != nil {
+		return nil, nil, fmt.Errorf("directory: fetch deltas: %w", err)
+	}
+	br := bufio.NewReader(conn)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, nil, fmt.Errorf("directory: fetch deltas: %w", err)
+	}
+	header = strings.TrimSpace(header)
+	if header == "resync" {
+		reg, err := DecodeConsensus(br)
+		if err != nil {
+			return nil, nil, err
+		}
+		return nil, reg, nil
+	}
+	if !strings.HasPrefix(header, "deltas ") {
+		return nil, nil, fmt.Errorf("directory: bad delta header %q", header)
+	}
+	deltas := []ConsensusDelta{}
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil, nil, errors.New("directory: truncated delta stream")
+			}
+			return nil, nil, fmt.Errorf("directory: fetch deltas: %w", err)
+		}
+		line = strings.TrimSpace(line)
+		if line == "end" {
+			return deltas, nil, nil
+		}
+		d, err := parseDeltaLine(line)
+		if err != nil {
+			return nil, nil, err
+		}
+		deltas = append(deltas, d)
+	}
+}
+
+func parseDeltaLine(line string) (ConsensusDelta, error) {
+	f := strings.SplitN(line, " ", 3)
+	if len(f) < 3 {
+		return ConsensusDelta{}, fmt.Errorf("directory: malformed delta %q", line)
+	}
+	epoch, err := strconv.ParseUint(f[0], 10, 64)
+	if err != nil {
+		return ConsensusDelta{}, fmt.Errorf("directory: malformed delta %q", line)
+	}
+	switch f[1] {
+	case "leave":
+		return ConsensusDelta{Epoch: epoch, Kind: DeltaLeave, Name: f[2]}, nil
+	case "join", "rotate":
+		desc, err := ParseLine(f[2])
+		if err != nil {
+			return ConsensusDelta{}, err
+		}
+		kind := DeltaJoin
+		if f[1] == "rotate" {
+			kind = DeltaRotate
+		}
+		return ConsensusDelta{Epoch: epoch, Kind: kind, Name: desc.Nickname, Desc: desc}, nil
+	}
+	return ConsensusDelta{}, fmt.Errorf("directory: unknown delta kind in %q", line)
+}
+
+// Mirror keeps reg in step with the directory server at addr by polling
+// for consensus deltas every interval and applying them, so reg's
+// watchers fire as if they were subscribed to the origin registry.
+// Transient fetch errors are silently retried at the next poll; a
+// server-demanded resync (the origin's bounded delta history no longer
+// reaches the mirror's epoch) is folded in as synthesized
+// join/leave/rotate deltas, so no consensus change is ever skipped
+// silently. Blocks until ctx is cancelled; run it in a goroutine.
+func Mirror(ctx context.Context, addr string, reg *Registry, interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		deltas, fresh, err := FetchDeltas(addr, reg.Epoch())
+		if err != nil {
+			continue
+		}
+		if fresh != nil {
+			reg.resync(fresh)
+			continue
+		}
+		for _, d := range deltas {
+			_ = reg.ApplyDelta(d)
+		}
+	}
+}
+
+func dialDirectory(addr string, timeout time.Duration) (net.Conn, error) {
+	if timeout <= 0 {
+		timeout = DefaultIOTimeout
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("directory: fetch: %w", err)
+	}
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	return conn, nil
 }

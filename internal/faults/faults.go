@@ -50,7 +50,8 @@ func (f LinkFaults) active() bool {
 		f.ResetAfter > 0 || f.DialFailProb > 0
 }
 
-// RelaySchedule describes when a relay fails. The zero value never fails.
+// RelaySchedule describes when a relay fails or churns. The zero value
+// never fails.
 type RelaySchedule struct {
 	// CrashAfter, if positive, kills the relay that long after Plan.Begin.
 	// The crash is permanent.
@@ -61,6 +62,15 @@ type RelaySchedule struct {
 	// effect, with FlapDown < FlapPeriod.
 	FlapPeriod time.Duration
 	FlapDown   time.Duration
+	// JoinAfter, if positive, holds the relay out of the initial overlay
+	// and consensus; it starts and publishes that long after Plan.Begin —
+	// the scheduled half of consensus churn.
+	JoinAfter time.Duration
+	// DrainAfter, if positive, gracefully drains the relay that long after
+	// Plan.Begin: it refuses new circuits, DESTROYs live ones, leaves the
+	// consensus, then closes. Unlike CrashAfter, peers see an orderly
+	// departure.
+	DrainAfter time.Duration
 }
 
 // Wildcard matches any endpoint in a link fault rule.

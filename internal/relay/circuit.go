@@ -94,6 +94,12 @@ func (c *circuit) handleExtend(rc cell.RelayCell) {
 		c.extendFailed("refusing to extend to self")
 		return
 	}
+	if c.r.Draining() {
+		// The circuit survived Drain's sweep (racing CREATE); refuse to
+		// grow it any further.
+		c.extendFailed("relay draining")
+		return
+	}
 	c.mu.Lock()
 	if c.next != nil || c.awaitingCreated {
 		c.mu.Unlock()

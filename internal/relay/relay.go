@@ -20,6 +20,7 @@ import (
 	"io"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ting/internal/cell"
@@ -99,6 +100,7 @@ type Relay struct {
 
 	closeOnce sync.Once
 	closed    chan struct{}
+	draining  atomic.Bool
 	wg        sync.WaitGroup
 
 	mu    sync.Mutex
@@ -199,6 +201,39 @@ func (r *Relay) OutConnCount() int {
 	}
 	return n
 }
+
+// Drain moves the relay into the draining half of a graceful departure:
+// new CREATE handshakes are refused with DESTROY, EXTEND requests fail as
+// "relay draining", and every live circuit is torn down with DESTROY
+// propagated in both directions. The listener stays open so peers observe
+// orderly refusals rather than connection resets; the owner unpublishes
+// the descriptor and calls Close once peers have had a chance to react.
+// Drain is idempotent.
+func (r *Relay) Drain() {
+	if !r.draining.CompareAndSwap(false, true) {
+		return
+	}
+	r.mu.Lock()
+	conns := make([]*connState, 0, len(r.conns))
+	for cs := range r.conns {
+		conns = append(conns, cs)
+	}
+	r.mu.Unlock()
+	for _, cs := range conns {
+		cs.mu.Lock()
+		circs := make([]*circuit, 0, len(cs.circuits))
+		for _, circ := range cs.circuits {
+			circs = append(circs, circ)
+		}
+		cs.mu.Unlock()
+		for _, circ := range circs {
+			circ.destroy(true, true)
+		}
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (r *Relay) Draining() bool { return r.draining.Load() }
 
 // Close shuts the relay down and waits for its goroutines.
 func (r *Relay) Close() error {
@@ -326,6 +361,13 @@ func (cs *connState) remove(id cell.CircID) {
 
 func (cs *connState) handleCreate(c *cell.Cell) {
 	r := cs.r
+	if r.Draining() {
+		// Graceful departure: refuse new circuits so clients re-path
+		// instead of building through a relay about to vanish.
+		r.cfg.Logf("%s: refusing CREATE while draining", r.cfg.Nickname)
+		_ = cs.lk.Send(cell.Cell{Circ: c.Circ, Cmd: cell.Destroy})
+		return
+	}
 	cs.mu.Lock()
 	if _, dup := cs.circuits[c.Circ]; dup {
 		cs.mu.Unlock()

@@ -22,6 +22,14 @@ const (
 	RecordCampaign = "campaign"
 	RecordPair     = "pair"
 	RecordHalf     = "half"
+	RecordChurn    = "churn"
+)
+
+// Churn record operations.
+const (
+	ChurnOpJoin   = "join"
+	ChurnOpLeave  = "leave"
+	ChurnOpRotate = "rotate"
 )
 
 // CheckpointRecord is one entry of a campaign log.
@@ -29,6 +37,13 @@ type CheckpointRecord struct {
 	Kind string `json:"t"`
 	// Campaign: the relay set of the scan.
 	Names []string `json:"names,omitempty"`
+	// Campaign/churn: the consensus epoch the scan observed when the
+	// record was written, so Resume against a newer consensus knows how
+	// stale the log is.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Campaign: onion-key fingerprints per relay, so a same-nickname
+	// rejoin with a new key is detected as a rotation on resume.
+	Fps map[string]string `json:"fps,omitempty"`
 	// Pair: one completed measurement.
 	X   string  `json:"x,omitempty"`
 	Y   string  `json:"y,omitempty"`
@@ -38,6 +53,10 @@ type CheckpointRecord struct {
 	Path    []string `json:"path,omitempty"`
 	Samples int      `json:"n,omitempty"`
 	Min     float64  `json:"min,omitempty"`
+	// Churn: one consensus delta the scan reconciled mid-campaign.
+	Op    string `json:"op,omitempty"`
+	Relay string `json:"relay,omitempty"`
+	Fp    string `json:"fp,omitempty"`
 }
 
 // Checkpoint is a durable campaign log. Implementations must be safe for
@@ -250,13 +269,27 @@ type CheckpointState struct {
 	Halves []HalfSeries
 	// Records is how many log entries were replayed.
 	Records int
+	// Epoch is the newest consensus epoch the log recorded (0 when the
+	// campaign ran without a directory).
+	Epoch uint64
+	// Fps are the onion-key fingerprints the log last associated with each
+	// relay (campaign header merged with churn records in order).
+	Fps map[string]string
+	// Removed are relays the log saw leave the consensus mid-campaign.
+	Removed map[string]bool
+	// Joined are relays the log saw join mid-campaign, in join order.
+	Joined []string
 }
 
 // ReplayState replays a campaign log into its aggregated state. Records
 // of unknown kinds are skipped (forward compatibility); malformed records
 // of known kinds are errors.
 func ReplayState(cp Checkpoint) (*CheckpointState, error) {
-	st := &CheckpointState{Pairs: make(map[[2]string]float64)}
+	st := &CheckpointState{
+		Pairs:   make(map[[2]string]float64),
+		Fps:     make(map[string]string),
+		Removed: make(map[string]bool),
+	}
 	halfAt := make(map[string]int)
 	err := cp.Replay(func(rec CheckpointRecord) error {
 		st.Records++
@@ -269,6 +302,12 @@ func ReplayState(cp Checkpoint) (*CheckpointState, error) {
 				return errors.New("ting: checkpoint: log spans campaigns with different relay sets")
 			}
 			st.Names = rec.Names
+			if rec.Epoch > st.Epoch {
+				st.Epoch = rec.Epoch
+			}
+			for name, fp := range rec.Fps {
+				st.Fps[name] = fp
+			}
 		case RecordPair:
 			if rec.X == "" || rec.Y == "" || rec.X == rec.Y {
 				return fmt.Errorf("ting: checkpoint: invalid pair record (%q,%q)", rec.X, rec.Y)
@@ -290,6 +329,38 @@ func ReplayState(cp Checkpoint) (*CheckpointState, error) {
 			} else {
 				halfAt[key] = len(st.Halves)
 				st.Halves = append(st.Halves, HalfSeries{Path: rec.Path, Samples: rec.Samples, Min: rec.Min})
+			}
+		case RecordChurn:
+			if rec.Relay == "" {
+				return errors.New("ting: checkpoint: churn record without relay")
+			}
+			if rec.Epoch > st.Epoch {
+				st.Epoch = rec.Epoch
+			}
+			switch rec.Op {
+			case ChurnOpLeave:
+				st.Removed[rec.Relay] = true
+			case ChurnOpJoin:
+				delete(st.Removed, rec.Relay)
+				joined := false
+				for _, n := range st.Joined {
+					if n == rec.Relay {
+						joined = true
+						break
+					}
+				}
+				if !joined {
+					st.Joined = append(st.Joined, rec.Relay)
+				}
+				if rec.Fp != "" {
+					st.Fps[rec.Relay] = rec.Fp
+				}
+			case ChurnOpRotate:
+				if rec.Fp != "" {
+					st.Fps[rec.Relay] = rec.Fp
+				}
+			default:
+				return fmt.Errorf("ting: checkpoint: unknown churn op %q", rec.Op)
 			}
 		}
 		return nil

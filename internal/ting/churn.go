@@ -1,0 +1,78 @@
+package ting
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrChurned is the sentinel matched by errors.Is for every pair the
+// scanner tombstoned because consensus churn removed one of its relays
+// mid-campaign. Like ErrQuarantined, it is a scheduling verdict, not a
+// measurement failure: no circuits were built and no retry budget was
+// burned.
+var ErrChurned = errors.New("relay left the consensus")
+
+// ChurnError reports that a pair was abandoned because one of its relays
+// left the consensus (or rejoined under a new identity) while the scan was
+// running. Relay is the departed relay and Epoch the consensus epoch at
+// which the scanner learned of the departure.
+type ChurnError struct {
+	Relay string
+	Epoch uint64
+}
+
+func (e *ChurnError) Error() string {
+	return fmt.Sprintf("relay %s left the consensus at epoch %d", e.Relay, e.Epoch)
+}
+
+// Is makes errors.Is(err, ErrChurned) match any *ChurnError.
+func (e *ChurnError) Is(target error) bool { return target == ErrChurned }
+
+// ChurnKind classifies one consensus-churn event the scanner reconciled.
+type ChurnKind int
+
+const (
+	// ChurnJoined: a relay entered the consensus mid-scan; its pairs were
+	// appended to the schedule.
+	ChurnJoined ChurnKind = iota
+	// ChurnRemoved: a relay left the consensus mid-scan; its pending pairs
+	// were tombstoned.
+	ChurnRemoved
+	// ChurnRotated: a relay rotated its onion key (or rejoined under the
+	// same nickname with a new key); its cached half circuits and breaker
+	// state were invalidated.
+	ChurnRotated
+	// ChurnTombstoned: one pending pair was abandoned because a relay it
+	// touches left the consensus. Fired once per tombstoned pair, after
+	// the relay's own ChurnRemoved event.
+	ChurnTombstoned
+)
+
+// String names the kind for logs.
+func (k ChurnKind) String() string {
+	switch k {
+	case ChurnJoined:
+		return "joined"
+	case ChurnRemoved:
+		return "removed"
+	case ChurnRotated:
+		return "rotated"
+	case ChurnTombstoned:
+		return "tombstoned"
+	default:
+		return "unknown"
+	}
+}
+
+// ChurnEvent is one consensus reconciliation the scanner performed,
+// reported through Observer.Churn. Relay is the relay the delta named;
+// for ChurnTombstoned events X, Y identify the abandoned pair and
+// Tombstoned is 1 (it is also set on a ChurnRemoved fired during resume
+// reconciliation, where the abandoned pairs are counted in bulk).
+type ChurnEvent struct {
+	Kind       ChurnKind
+	Relay      string
+	Epoch      uint64
+	X, Y       string
+	Tombstoned int
+}

@@ -1,0 +1,949 @@
+package ting
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	mrand "math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ting/internal/directory"
+	"ting/internal/faults"
+	"ting/internal/geo"
+	"ting/internal/inet"
+	"ting/internal/onion"
+	"ting/internal/telemetry"
+	"ting/internal/tornet"
+)
+
+// churnDesc builds a publishable descriptor with a seed-determined onion
+// key, so two calls with different seeds model a key rotation of the same
+// nickname.
+func churnDesc(t testing.TB, name string, seed int64) *directory.Descriptor {
+	t.Helper()
+	id, err := onion.NewIdentity(mrand.New(mrand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &directory.Descriptor{
+		Nickname:      name,
+		Addr:          "addr-" + name,
+		OnionKey:      id.Public(),
+		BandwidthKBps: 100,
+	}
+}
+
+func TestDeadlineEstimator(t *testing.T) {
+	var sets atomic.Int64
+	obs := &Observer{DeadlineSet: func(x, y string, d time.Duration) { sets.Add(1) }}
+	est := NewDeadlineEstimator(50*time.Millisecond, time.Second, obs)
+
+	if _, ok := est.Deadline("a", "b"); ok {
+		t.Fatal("estimator ready before any observation")
+	}
+	est.Observe("a", "b", 100*time.Millisecond)
+	est.Observe("a", "b", 100*time.Millisecond)
+	if _, ok := est.Deadline("a", "b"); ok {
+		t.Fatal("estimator ready before warmup")
+	}
+	est.Observe("a", "b", 100*time.Millisecond)
+	d, ok := est.Deadline("a", "b")
+	if !ok {
+		t.Fatal("estimator not ready after warmup")
+	}
+	// Identical observations: mean 100ms, deviation 0 — the bound is the
+	// mean itself, above the 50ms floor and below the 1s ceiling.
+	if d != 100*time.Millisecond {
+		t.Errorf("deadline = %v, want 100ms", d)
+	}
+	if sets.Load() == 0 {
+		t.Error("DeadlineSet observer never fired")
+	}
+
+	// The pair is bounded by its SLOWER relay, so an asymmetric pair is
+	// not strangled by its fast end.
+	for i := 0; i < 3; i++ {
+		est.Observe("c", "d", 400*time.Millisecond)
+	}
+	if d, _ := est.Deadline("a", "c"); d != 400*time.Millisecond {
+		t.Errorf("mixed-pair deadline = %v, want the slower relay's 400ms", d)
+	}
+
+	// Floor clamp: a streak of near-zero observations cannot emit less
+	// than Min.
+	for i := 0; i < 3; i++ {
+		est.Observe("e", "f", time.Millisecond)
+	}
+	if d, _ := est.Deadline("e", "f"); d != 50*time.Millisecond {
+		t.Errorf("deadline = %v, want the 50ms floor", d)
+	}
+
+	// Ceiling clamp.
+	for i := 0; i < 3; i++ {
+		est.Observe("g", "h", 10*time.Second)
+	}
+	if d, _ := est.Deadline("g", "h"); d != time.Second {
+		t.Errorf("deadline = %v, want the 1s ceiling", d)
+	}
+
+	// Forget drops the relay's history; the pair falls back to the global
+	// statistic instead of the forgotten one.
+	est.Forget("g")
+	est.Forget("h")
+	if _, ok := est.Deadline("g", "h"); !ok {
+		t.Error("after Forget, the global statistic should still answer")
+	}
+	est.mu.Lock()
+	_, gKept := est.relays["g"]
+	est.mu.Unlock()
+	if gKept {
+		t.Error("Forget left the relay's statistics behind")
+	}
+}
+
+func TestHalfCacheInvalidateRelay(t *testing.T) {
+	hc := NewHalfCache(0)
+	hc.Seed([]string{"w", "x"}, 2, 40)
+	hc.Seed([]string{"w", "y"}, 2, 50)
+	hc.Seed([]string{"w", "x", "q"}, 2, 70)
+	hc.Seed([]string{"w", "xx"}, 2, 10) // name-prefix trap: must survive
+	if n := hc.InvalidateRelay("x"); n != 2 {
+		t.Errorf("InvalidateRelay dropped %d series, want 2", n)
+	}
+	if hc.Len() != 2 {
+		t.Errorf("cache holds %d series after invalidation, want 2", hc.Len())
+	}
+	if n := hc.InvalidateRelay("x"); n != 0 {
+		t.Errorf("second invalidation dropped %d series, want 0", n)
+	}
+}
+
+func TestHealthReset(t *testing.T) {
+	var transitions []string
+	obs := &Observer{BreakerChange: func(relay string, from, to BreakerState) {
+		transitions = append(transitions, fmt.Sprintf("%s:%v->%v", relay, from, to))
+	}}
+	h := NewHealth(HealthConfig{FailureThreshold: 2, Cooldown: time.Hour, Observer: obs})
+	boom := errors.New("boom")
+	h.Failure("x", boom, 0)
+	h.Failure("x", boom, 0)
+	if h.State("x") != BreakerOpen {
+		t.Fatalf("state = %v after threshold failures, want open", h.State("x"))
+	}
+	if qe := h.Allow("x", "y"); qe == nil {
+		t.Fatal("open breaker granted a probe before cooldown")
+	}
+	h.Reset("x")
+	if h.State("x") != BreakerClosed {
+		t.Errorf("state = %v after Reset, want closed", h.State("x"))
+	}
+	if qe := h.Allow("x", "y"); qe != nil {
+		t.Errorf("Allow after Reset = %v, want nil", qe)
+	}
+	want := 2 // closed->open on the threshold failure, open->closed on Reset
+	if len(transitions) != want {
+		t.Errorf("breaker transitions = %v, want %d entries", transitions, want)
+	}
+}
+
+func TestMatrixAddNameGrowsProvenance(t *testing.T) {
+	m, err := NewMatrix([]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddName("c"); err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 3 {
+		t.Fatalf("N = %d after AddName, want 3", m.N())
+	}
+	if err := m.Set("a", "c", 12.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetProv("a", "c", ProvFresh); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetProv("b", "c", ProvRemoved); err != nil {
+		t.Fatal(err)
+	}
+	fresh, resumed, removed, missing := m.ProvCounts()
+	if fresh != 1 || resumed != 0 || removed != 1 || missing != 1 {
+		t.Errorf("ProvCounts = %d/%d/%d/%d, want 1/0/1/1", fresh, resumed, removed, missing)
+	}
+	if err := m.AddName("a"); err == nil {
+		t.Error("AddName accepted a duplicate name")
+	}
+}
+
+func TestReplayStateFoldsChurnRecords(t *testing.T) {
+	cp := &MemCheckpoint{}
+	must := func(rec CheckpointRecord) {
+		t.Helper()
+		if err := cp.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(CheckpointRecord{Kind: RecordCampaign, Names: []string{"a", "b", "c"},
+		Epoch: 3, Fps: map[string]string{"a": "f1", "b": "f2", "c": "f3"}})
+	must(CheckpointRecord{Kind: RecordPair, X: "a", Y: "b", RTT: 1.5})
+	must(CheckpointRecord{Kind: RecordChurn, Op: ChurnOpLeave, Relay: "c", Epoch: 4})
+	must(CheckpointRecord{Kind: RecordChurn, Op: ChurnOpJoin, Relay: "d", Fp: "f4", Epoch: 5})
+	must(CheckpointRecord{Kind: RecordChurn, Op: ChurnOpRotate, Relay: "a", Fp: "f9", Epoch: 6})
+	must(CheckpointRecord{Kind: RecordChurn, Op: ChurnOpLeave, Relay: "d", Epoch: 7})
+	must(CheckpointRecord{Kind: RecordChurn, Op: ChurnOpJoin, Relay: "d", Fp: "f5", Epoch: 8})
+
+	st, err := ReplayState(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch != 8 {
+		t.Errorf("Epoch = %d, want the newest record's 8", st.Epoch)
+	}
+	if len(st.Removed) != 1 || !st.Removed["c"] {
+		t.Errorf("Removed = %v, want exactly {c} (d rejoined)", st.Removed)
+	}
+	if len(st.Joined) != 1 || st.Joined[0] != "d" {
+		t.Errorf("Joined = %v, want [d] deduplicated", st.Joined)
+	}
+	if st.Fps["a"] != "f9" || st.Fps["d"] != "f5" || st.Fps["b"] != "f2" {
+		t.Errorf("Fps = %v, want rotation and rejoin to win", st.Fps)
+	}
+
+	bad := &MemCheckpoint{}
+	_ = bad.Append(CheckpointRecord{Kind: RecordCampaign, Names: []string{"a", "b"}})
+	_ = bad.Append(CheckpointRecord{Kind: RecordChurn, Op: "frobnicate", Relay: "a"})
+	if _, err := ReplayState(bad); err == nil {
+		t.Error("unknown churn op replayed without error")
+	}
+	bad2 := &MemCheckpoint{}
+	_ = bad2.Append(CheckpointRecord{Kind: RecordCampaign, Names: []string{"a", "b"}})
+	_ = bad2.Append(CheckpointRecord{Kind: RecordChurn, Op: ChurnOpLeave})
+	if _, err := ReplayState(bad2); err == nil {
+		t.Error("churn record without a relay replayed without error")
+	}
+}
+
+// hookProber runs a hook before every circuit sample — the test's lever
+// for triggering consensus churn at an exact point of the scan, from the
+// worker goroutine (where no scanner lock is held).
+type hookProber struct {
+	f    *fakeProber
+	hook func(path []string)
+}
+
+func (p *hookProber) SampleCircuit(ctx context.Context, path []string, n int) ([]float64, error) {
+	if p.hook != nil {
+		p.hook(path)
+	}
+	return p.f.SampleCircuit(ctx, path, n)
+}
+
+// drainChurn consumes buffered churn events until one of the wanted kind
+// arrives (or a timeout turns into a test error — never a hang).
+func drainChurn(t testing.TB, ch <-chan ChurnEvent, kind ChurnKind) {
+	deadline := time.NewTimer(10 * time.Second)
+	defer deadline.Stop()
+	for {
+		select {
+		case ev := <-ch:
+			if ev.Kind == kind {
+				return
+			}
+		case <-deadline.C:
+			t.Errorf("timed out waiting for churn event %v", kind)
+			return
+		}
+	}
+}
+
+func pathHas(path []string, name string) bool {
+	for _, r := range path {
+		if r == name {
+			return true
+		}
+	}
+	return false
+}
+
+// TestScanChurnRemoveJoinMidScan is the seeded churn acceptance test: one
+// relay (v) leaves the consensus mid-scan and another (q) joins. The scan
+// must complete without burning retries on v's pairs, tombstone exactly the
+// pairs touching v, measure q against every survivor — and a Resume from
+// the pre-churn checkpoint prefix must reconcile against the post-churn
+// consensus to a bytewise-identical matrix.
+func TestScanChurnRemoveJoinMidScan(t *testing.T) {
+	f := bigFakeWorld()
+	f.fwd["q"] = 0.5
+	for _, peer := range []string{"h", "w", "z", "x", "y", "u", "v"} {
+		f.rtt[[2]string{peer, "q"}] = 30
+	}
+
+	reg := directory.NewRegistry()
+	for i, name := range []string{"x", "y", "u", "v"} {
+		if err := reg.Publish(churnDesc(t, name, int64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qDesc := churnDesc(t, "q", 99)
+
+	churnCh := make(chan ChurnEvent, 64)
+	var retries atomic.Int64
+	obs := &Observer{
+		Churn: func(ev ChurnEvent) { churnCh <- ev },
+		Retry: func(x, y string, attempt int, delay time.Duration, err error) { retries.Add(1) },
+	}
+
+	// The hook fires once, on the first circuit that touches v (the pair
+	// (x,v) with one worker and reuse-aware order): v starts failing, is
+	// removed from the consensus, and q is published. Both deltas are
+	// awaited so the scanner has reconciled before the sample proceeds.
+	// Workers: 1, so the hook and every errs read share one goroutine.
+	var once sync.Once
+	hook := func(path []string) {
+		if !pathHas(path, "v") {
+			return
+		}
+		once.Do(func() {
+			f.errs["v"] = errors.New("circuit destroyed: relay departing")
+			if !reg.Remove("v") {
+				t.Error("Remove(v) found no relay")
+			}
+			drainChurn(t, churnCh, ChurnRemoved)
+			if err := reg.Publish(qDesc); err != nil {
+				t.Error(err)
+			}
+			drainChurn(t, churnCh, ChurnJoined)
+		})
+	}
+
+	cp1 := &MemCheckpoint{}
+	var lastDone, lastTotal int
+	var progMu sync.Mutex
+	sc := &Scanner{
+		NewMeasurer: func(worker int) (*Measurer, error) {
+			return NewMeasurer(Config{Prober: &hookProber{f: f, hook: hook}, W: "w", Z: "z", Samples: 1})
+		},
+		Workers:    1,
+		Retry:      2, // must stay unspent: tombstones bypass the retry budget
+		Directory:  reg,
+		Checkpoint: cp1,
+		Observer:   obs,
+		Progress: func(done, total int) {
+			progMu.Lock()
+			lastDone, lastTotal = done, total
+			progMu.Unlock()
+		},
+	}
+
+	m1, failures, err := sc.Scan(context.Background(), []string{"x", "y", "u", "v"})
+	// No SkipFailures: churn tombstones must not abort even a non-tolerant
+	// scan.
+	if err != nil {
+		t.Fatalf("scan err = %v, want nil (tombstones never abort)", err)
+	}
+	if got := retries.Load(); got != 0 {
+		t.Errorf("retries = %d, want 0 — tombstoned pairs must not burn the retry budget", got)
+	}
+	if len(failures) != 3 {
+		t.Fatalf("failures = %v, want the 3 pairs touching v", failures)
+	}
+	for _, pe := range failures {
+		var ce *ChurnError
+		if !errors.As(pe.Err, &ce) || !errors.Is(pe.Err, ErrChurned) {
+			t.Errorf("pair (%s,%s) failed with %v, want *ChurnError", pe.X, pe.Y, pe.Err)
+			continue
+		}
+		if ce.Relay != "v" || ce.Epoch != 5 {
+			t.Errorf("pair (%s,%s): churn error %+v, want relay v at epoch 5", pe.X, pe.Y, ce)
+		}
+		if pe.X != "v" && pe.Y != "v" {
+			t.Errorf("pair (%s,%s) tombstoned but does not touch v", pe.X, pe.Y)
+		}
+	}
+
+	wantNames := []string{"x", "y", "u", "v", "q"}
+	if len(m1.Names) != len(wantNames) {
+		t.Fatalf("matrix names = %v, want %v", m1.Names, wantNames)
+	}
+	for i, n := range wantNames {
+		if m1.Names[i] != n {
+			t.Fatalf("matrix names = %v, want %v", m1.Names, wantNames)
+		}
+	}
+	fresh, resumed, removed, missing := m1.ProvCounts()
+	if fresh != 6 || resumed != 0 || removed != 3 || missing != 1 {
+		t.Errorf("provenance = %d/%d/%d/%d, want 6 fresh, 3 removed, 1 missing (v,q)", fresh, resumed, removed, missing)
+	}
+	if p := m1.Prov("v", "q"); p != ProvMissing {
+		t.Errorf("Prov(v,q) = %v, want missing — the ghost pair must never be scheduled", p)
+	}
+	for _, peer := range []string{"x", "y", "u"} {
+		rtt, err := m1.RTT("q", peer)
+		if err != nil || rtt <= 0 {
+			t.Errorf("RTT(q,%s) = (%v, %v), want a fresh measurement for the joined relay", peer, rtt, err)
+		}
+	}
+	progMu.Lock()
+	if lastDone != 9 || lastTotal != 9 {
+		t.Errorf("final progress %d/%d, want 9/9 (6 initial + 3 joined pairs)", lastDone, lastTotal)
+	}
+	progMu.Unlock()
+	tombstoneEvents := 0
+	for {
+		select {
+		case ev := <-churnCh:
+			if ev.Kind == ChurnTombstoned {
+				tombstoneEvents += ev.Tombstoned
+			}
+		default:
+			if tombstoneEvents != 3 {
+				t.Errorf("ChurnTombstoned events covered %d pairs, want 3", tombstoneEvents)
+			}
+			goto resume
+		}
+	}
+
+resume:
+	// The campaign header must pin the pre-churn consensus.
+	var header CheckpointRecord
+	gotHeader := false
+	_ = cp1.Replay(func(rec CheckpointRecord) error {
+		if !gotHeader && rec.Kind == RecordCampaign {
+			header, gotHeader = rec, true
+		}
+		return nil
+	})
+	if !gotHeader || header.Epoch != 4 || len(header.Fps) != 4 {
+		t.Fatalf("campaign header = %+v, want epoch 4 with 4 fingerprints", header)
+	}
+
+	// Resume from the pre-churn prefix of the log — the campaign as a
+	// crash would have left it just before the churn hit — against the
+	// post-churn consensus. Reconciliation must converge to the same
+	// matrix, bytewise.
+	pre := &MemCheckpoint{}
+	cut := false
+	_ = cp1.Replay(func(rec CheckpointRecord) error {
+		if cut || rec.Kind == RecordChurn {
+			cut = true
+			return nil
+		}
+		return pre.Append(rec)
+	})
+	if !cut {
+		t.Fatal("no churn record reached the checkpoint log")
+	}
+
+	f2 := bigFakeWorld()
+	f2.fwd["q"] = 0.5
+	for _, peer := range []string{"h", "w", "z", "x", "y", "u", "v"} {
+		f2.rtt[[2]string{peer, "q"}] = 30
+	}
+	sc2 := &Scanner{
+		NewMeasurer: func(worker int) (*Measurer, error) {
+			return NewMeasurer(Config{Prober: f2, W: "w", Z: "z", Samples: 1})
+		},
+		Workers:   1,
+		Directory: reg,
+	}
+	m2, failures2, err := sc2.Resume(context.Background(), pre)
+	if err != nil {
+		t.Fatalf("resume err = %v (failures: %v)", err, failures2)
+	}
+	// The resume settles (v,q) too — a build-time tombstone instead of the
+	// live scan's never-scheduled ghost pair — so it reports 4 churned
+	// pairs, but the matrix VALUES are identical.
+	fresh2, resumed2, removed2, missing2 := m2.ProvCounts()
+	if fresh2 != 4 || resumed2 != 2 || removed2 != 4 || missing2 != 0 {
+		t.Errorf("resume provenance = %d/%d/%d/%d, want 4/2/4/0", fresh2, resumed2, removed2, missing2)
+	}
+	for _, pe := range failures2 {
+		if !errors.Is(pe.Err, ErrChurned) {
+			t.Errorf("resume pair (%s,%s) failed with %v, want churn tombstones only", pe.X, pe.Y, pe.Err)
+		}
+	}
+	var b1, b2 bytes.Buffer
+	if err := m1.Encode(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Encode(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Errorf("resumed matrix differs from the live scan's:\nlive:\n%s\nresumed:\n%s", b1.String(), b2.String())
+	}
+}
+
+// TestScanChurnRotationInvalidatesHalves: a mid-scan key rotation (same
+// nickname, new onion key) must drop the relay's memoized half circuits —
+// they describe the old incarnation — while completed pair RTTs are kept.
+func TestScanChurnRotationInvalidatesHalves(t *testing.T) {
+	f := bigFakeWorld()
+	reg := directory.NewRegistry()
+	for i, name := range []string{"x", "y", "u", "v"} {
+		if err := reg.Publish(churnDesc(t, name, int64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	churnCh := make(chan ChurnEvent, 16)
+	hc := NewHalfCache(0)
+	// Rotate x's key while the final pair (u,v) samples its full circuit;
+	// x's pairs are all complete by then, so nothing repopulates its halves.
+	var once sync.Once
+	hook := func(path []string) {
+		if !pathHas(path, "u") || !pathHas(path, "v") {
+			return
+		}
+		once.Do(func() {
+			if err := reg.Update(churnDesc(t, "x", 1000)); err != nil {
+				t.Error(err)
+			}
+			drainChurn(t, churnCh, ChurnRotated)
+		})
+	}
+	sc := &Scanner{
+		NewMeasurer: func(worker int) (*Measurer, error) {
+			return NewMeasurer(Config{Prober: &hookProber{f: f, hook: hook}, W: "w", Z: "z", Samples: 1})
+		},
+		Workers:      1,
+		HalfCircuits: hc,
+		Directory:    reg,
+		Observer:     &Observer{Churn: func(ev ChurnEvent) { churnCh <- ev }},
+	}
+	m, failures, err := sc.Scan(context.Background(), []string{"x", "y", "u", "v"})
+	if err != nil || len(failures) != 0 {
+		t.Fatalf("scan = (%v, %v), want clean", failures, err)
+	}
+	// Four half-circuit series were memoized; the rotation dropped x's.
+	if hc.Len() != 3 {
+		t.Errorf("half cache holds %d series after rotation, want 3 (x invalidated)", hc.Len())
+	}
+	if n := hc.InvalidateRelay("x"); n != 0 {
+		t.Errorf("x still had %d cached series after the rotation", n)
+	}
+	// Rotation keeps measured data: every pair has a value.
+	if rtt, err := m.RTT("x", "y"); err != nil || rtt <= 0 {
+		t.Errorf("RTT(x,y) = (%v, %v): rotation must not discard completed pairs", rtt, err)
+	}
+}
+
+// wedgeProber wedges the full circuit of one pair until its context
+// deadline; everything else answers from the link map instantly. delay > 0
+// turns the wedge into a legitimate slow pair instead.
+type wedgeProber struct {
+	f          *fakeProber
+	x, y       string
+	delay      time.Duration
+	slowCalls  atomic.Int64
+	totalCalls atomic.Int64
+}
+
+func (p *wedgeProber) SampleCircuit(ctx context.Context, path []string, n int) ([]float64, error) {
+	p.totalCalls.Add(1)
+	if pathHas(path, p.x) && pathHas(path, p.y) {
+		p.slowCalls.Add(1)
+		if p.delay <= 0 {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(p.delay):
+		}
+	}
+	return p.f.SampleCircuit(ctx, path, n)
+}
+
+// TestScannerAdaptiveDeadlineCutsTail: with adaptive deadlines on, a
+// wedged pair costs roughly MinPairTimeout instead of the full PairTimeout.
+func TestScannerAdaptiveDeadlineCutsTail(t *testing.T) {
+	f := bigFakeWorld()
+	p := &wedgeProber{f: f, x: "u", y: "v"} // (u,v) runs last in reuse-aware order
+	var deadlines atomic.Int64
+	sc := &Scanner{
+		NewMeasurer: func(worker int) (*Measurer, error) {
+			return NewMeasurer(Config{Prober: p, W: "w", Z: "z", Samples: 1})
+		},
+		Workers:          1,
+		SkipFailures:     true,
+		PairTimeout:      10 * time.Second,
+		AdaptiveDeadline: true,
+		MinPairTimeout:   30 * time.Millisecond,
+		Observer:         &Observer{DeadlineSet: func(x, y string, d time.Duration) { deadlines.Add(1) }},
+	}
+	start := time.Now()
+	_, failures, err := sc.Scan(context.Background(), []string{"x", "y", "u", "v"})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 1 || failures[0].X != "u" || failures[0].Y != "v" {
+		t.Fatalf("failures = %v, want exactly the wedged (u,v)", failures)
+	}
+	if !errors.Is(failures[0].Err, context.DeadlineExceeded) {
+		t.Errorf("wedged pair failed with %v, want deadline exceeded", failures[0].Err)
+	}
+	// Five fast pairs warm the estimator, then the wedge costs ~30ms, not
+	// the 10s fixed timeout. Seconds of headroom for slow CI.
+	if elapsed > 5*time.Second {
+		t.Errorf("scan took %v; adaptive deadline did not cut the wedged pair's tail", elapsed)
+	}
+	if deadlines.Load() == 0 {
+		t.Error("no adaptive deadline was ever handed out")
+	}
+}
+
+// TestScannerAdaptiveDeadlineRetryGetsFullTimeout: when the estimator
+// strangles a legitimately slow pair, the retry runs with the full
+// PairTimeout, so the pair is measured, not lost.
+func TestScannerAdaptiveDeadlineRetryGetsFullTimeout(t *testing.T) {
+	f := bigFakeWorld()
+	p := &wedgeProber{f: f, x: "u", y: "v", delay: 120 * time.Millisecond}
+	var retries atomic.Int64
+	sc := &Scanner{
+		NewMeasurer: func(worker int) (*Measurer, error) {
+			return NewMeasurer(Config{Prober: p, W: "w", Z: "z", Samples: 1})
+		},
+		Workers:          1,
+		SkipFailures:     true,
+		Retry:            1,
+		Backoff:          time.Millisecond,
+		PairTimeout:      10 * time.Second,
+		AdaptiveDeadline: true,
+		MinPairTimeout:   20 * time.Millisecond,
+		Observer:         &Observer{Retry: func(x, y string, attempt int, delay time.Duration, err error) { retries.Add(1) }},
+	}
+	m, failures, err := sc.Scan(context.Background(), []string{"x", "y", "u", "v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 0 {
+		t.Fatalf("failures = %v, want none — the full-timeout retry must rescue the slow pair", failures)
+	}
+	if got := retries.Load(); got != 1 {
+		t.Errorf("retries = %d, want exactly 1 (the strangled first attempt)", got)
+	}
+	if rtt, err := m.RTT("u", "v"); err != nil || rtt <= 0 {
+		t.Errorf("RTT(u,v) = (%v, %v), want the slow pair measured on retry", rtt, err)
+	}
+}
+
+// TestScannerDrainMidScanFullStack drains a live overlay relay mid-scan:
+// the in-flight and pending pairs touching it must settle as *ChurnError
+// tombstones (no retry exhaustion, no abort) while every other pair is
+// measured. Run under -race in CI.
+func TestScannerDrainMidScanFullStack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack churn test is seconds-long; skipped in -short")
+	}
+	topo, err := inet.Generate(inet.Config{N: 4, Seed: 91, FlatRegions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := topo.AddHost("host", geo.Coord{Lat: 40, Lon: -74}, 92)
+	n, err := tornet.Build(tornet.Config{Topology: topo, Host: host, TimeScale: 0.06})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	names := make([]string, 4)
+	for i := range names {
+		names[i], _ = n.NodeName(inet.NodeID(i))
+	}
+	victim := names[3]
+
+	churnCh := make(chan ChurnEvent, 64)
+	var once sync.Once
+	sc := &Scanner{
+		NewMeasurer: func(worker int) (*Measurer, error) {
+			p := &StackProber{
+				Client:   n.Client,
+				Registry: n.Registry,
+				Target:   tornet.EchoTarget,
+				ToMs:     n.VirtualMs,
+			}
+			return NewMeasurer(Config{Prober: p, W: tornet.WName, Z: tornet.ZName, Samples: 2})
+		},
+		Workers:      2,
+		SkipFailures: true,
+		Retry:        2,
+		Backoff:      50 * time.Millisecond,
+		Directory:    n.Registry,
+		Observer: &Observer{Churn: func(ev ChurnEvent) {
+			select {
+			case churnCh <- ev:
+			default:
+			}
+		}},
+		Progress: func(done, total int) {
+			if done >= 1 {
+				once.Do(func() { n.DrainRelay(victim) })
+			}
+		},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	m, failures, err := sc.Scan(ctx, names)
+	if err != nil {
+		t.Fatalf("scan err = %v, want graceful completion despite the drain", err)
+	}
+	for _, pe := range failures {
+		if pe.X != victim && pe.Y != victim {
+			t.Errorf("pair (%s,%s) failed but does not touch the drained relay: %v", pe.X, pe.Y, pe.Err)
+			continue
+		}
+		if !errors.Is(pe.Err, ErrChurned) {
+			t.Errorf("pair (%s,%s) failed with %v, want a churn tombstone", pe.X, pe.Y, pe.Err)
+		}
+	}
+	// Every pair among the survivors must be measured.
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			if rtt, err := m.RTT(names[i], names[j]); err != nil || rtt <= 0 {
+				t.Errorf("RTT(%s,%s) = (%v, %v), want measured", names[i], names[j], rtt, err)
+			}
+		}
+	}
+	drainChurn(t, churnCh, ChurnRemoved)
+}
+
+// TestChurnSoakJoinLeaveCancelResume is the churn soak driven by CI: a
+// live overlay with a scheduled mid-campaign join and graceful drain, a
+// scan cancelled early, and a resume across the consensus epoch bump that
+// must reconcile and finish. Artifacts (checkpoint + consensus log) land in
+// TING_SOAK_DIR when set so a failing CI run uploads them.
+func TestChurnSoakJoinLeaveCancelResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn soak is seconds-long; skipped in -short")
+	}
+	dir := os.Getenv("TING_SOAK_DIR")
+	if dir == "" {
+		dir = t.TempDir()
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	ckptPath := filepath.Join(dir, "churn-soak.ckpt")
+	os.Remove(ckptPath) // a fresh campaign each run
+	consensusPath := filepath.Join(dir, "churn-soak.consensus.log")
+
+	topo, err := inet.Generate(inet.Config{N: 6, Seed: 81, FlatRegions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := topo.AddHost("host", geo.Coord{Lat: 40, Lon: -74}, 82)
+	plan := faults.NewPlan(83)
+	joiner := topo.Node(4).Name
+	leaver := topo.Node(5).Name
+	plan.SetRelay(joiner, faults.RelaySchedule{JoinAfter: 300 * time.Millisecond})
+	plan.SetRelay(leaver, faults.RelaySchedule{DrainAfter: 500 * time.Millisecond})
+	n, err := tornet.Build(tornet.Config{
+		Topology:  topo,
+		Host:      host,
+		TimeScale: 0.06,
+		Faults:    plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	var names []string
+	for _, d := range n.Registry.Consensus() {
+		names = append(names, d.Nickname)
+	}
+	if len(names) != 5 {
+		t.Fatalf("initial consensus has %d relays, want 5 (joiner held out)", len(names))
+	}
+
+	// One telemetry registry across both phases: the ting.churn.* counters
+	// and the adaptive-deadline histogram accumulate the whole campaign.
+	treg := telemetry.New()
+	var evMu sync.Mutex
+	var churnLog []string
+	newScanner := func(cp Checkpoint, progress func(done, total int)) *Scanner {
+		obs := NewTelemetryObserver(treg)
+		inner := obs.Churn
+		obs.Churn = func(ev ChurnEvent) {
+			inner(ev)
+			evMu.Lock()
+			churnLog = append(churnLog, fmt.Sprintf("epoch=%d kind=%v relay=%s pair=(%s,%s) tombstoned=%d",
+				ev.Epoch, ev.Kind, ev.Relay, ev.X, ev.Y, ev.Tombstoned))
+			evMu.Unlock()
+		}
+		return &Scanner{
+			NewMeasurer: func(worker int) (*Measurer, error) {
+				p := &StackProber{
+					Client:   n.Client,
+					Registry: n.Registry,
+					Target:   tornet.EchoTarget,
+					ToMs:     n.VirtualMs,
+				}
+				return NewMeasurer(Config{Prober: p, W: tornet.WName, Z: tornet.ZName, Samples: 2})
+			},
+			Workers:          2,
+			Shuffle:          84,
+			SkipFailures:     true,
+			Retry:            2,
+			Backoff:          30 * time.Millisecond,
+			Health:           NewHealth(HealthConfig{FailureThreshold: 3, Cooldown: 100 * time.Millisecond}),
+			Checkpoint:       cp,
+			Directory:        n.Registry,
+			AdaptiveDeadline: true,
+			MinPairTimeout:   500 * time.Millisecond,
+			PairTimeout:      10 * time.Second,
+			Observer:         obs,
+			Progress:         progress,
+		}
+	}
+	writeConsensusLog := func() {
+		var buf bytes.Buffer
+		fmt.Fprintf(&buf, "# churn soak consensus trail, final epoch %d\n", n.Registry.Epoch())
+		if err := n.Registry.EncodeConsensus(&buf); err != nil {
+			fmt.Fprintf(&buf, "# encode error: %v\n", err)
+		}
+		evMu.Lock()
+		for _, line := range churnLog {
+			fmt.Fprintln(&buf, line)
+		}
+		evMu.Unlock()
+		if err := os.WriteFile(consensusPath, buf.Bytes(), 0o644); err != nil {
+			t.Logf("consensus log not written: %v", err)
+		}
+	}
+	defer writeConsensusLog()
+
+	// Phase 1: kill the campaign after the first completed pair.
+	cp1, err := OpenFileCheckpoint(ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancelScan := context.WithCancel(context.Background())
+	defer cancelScan()
+	sc1 := newScanner(cp1, func(done, total int) {
+		if done >= 1 {
+			cancelScan()
+		}
+	})
+	if _, _, err := sc1.Scan(ctx, names); !errors.Is(err, context.Canceled) {
+		t.Fatalf("phase 1 err = %v, want context.Canceled", err)
+	}
+	if err := cp1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Let the scheduled churn land before resuming: the joiner must be in
+	// the consensus and the leaver gone, so the resume reconciles across
+	// both epoch bumps.
+	waitUntil := time.Now().Add(15 * time.Second)
+	for {
+		_, joined := n.Registry.Lookup(joiner)
+		_, leaverIn := n.Registry.Lookup(leaver)
+		if joined && !leaverIn {
+			break
+		}
+		if time.Now().After(waitUntil) {
+			t.Fatalf("churn plan did not fire (joined=%v leaverGone=%v)", joined, !leaverIn)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	cp2, err := OpenFileCheckpoint(ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	st, err := ReplayState(cp2)
+	if err != nil {
+		t.Fatalf("checkpoint unreadable after cancel: %v", err)
+	}
+	if st.Epoch < 5 {
+		t.Errorf("checkpoint epoch = %d, want the campaign header's >= 5", st.Epoch)
+	}
+
+	// Phase 2: resume against the churned consensus, bounded so a stall is
+	// a failure rather than a hung job.
+	resumeCtx, cancelResume := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancelResume()
+	sc2 := newScanner(cp2, nil)
+	m, failures, err := sc2.Resume(resumeCtx, cp2)
+	if err != nil {
+		t.Fatalf("resume err = %v (failures: %v)", err, failures)
+	}
+
+	// The matrix covers the original five relays plus the joiner.
+	if len(m.Names) != 6 {
+		t.Fatalf("matrix names = %v, want all 6 relays including the joiner", m.Names)
+	}
+	fresh, resumed, removed, missing := m.ProvCounts()
+	if fresh+resumed+removed+missing != 15 {
+		t.Errorf("provenance %d/%d/%d/%d does not cover 15 pairs", fresh, resumed, removed, missing)
+	}
+	if removed == 0 {
+		t.Error("no pair was tombstoned although the leaver drained mid-campaign")
+	}
+	joinerMeasured := 0
+	for _, peer := range m.Names {
+		if peer == joiner {
+			continue
+		}
+		if rtt, err := m.RTT(joiner, peer); err == nil && rtt > 0 {
+			joinerMeasured++
+		}
+	}
+	if joinerMeasured == 0 {
+		t.Error("the joined relay has no measured pairs")
+	}
+
+	// Telemetry: the churn counters and the adaptive-deadline histogram
+	// must have seen the campaign.
+	if v := treg.Counter("ting.churn.joined").Value(); v < 1 {
+		t.Errorf("ting.churn.joined = %d, want >= 1", v)
+	}
+	if v := treg.Counter("ting.churn.removed").Value(); v < 1 {
+		t.Errorf("ting.churn.removed = %d, want >= 1", v)
+	}
+	if v := treg.Counter("ting.churn.tombstoned_pairs").Value(); v < 1 {
+		t.Errorf("ting.churn.tombstoned_pairs = %d, want >= 1", v)
+	}
+	if c := treg.Histogram("ting.deadline.adaptive_ms").Count(); c < 1 {
+		t.Errorf("ting.deadline.adaptive_ms observations = %d, want >= 1", c)
+	}
+}
+
+// The committed tail-cost benchmark pair: one wedged pair under a fixed
+// 150ms PairTimeout versus adaptive deadlines floored at 20ms. The wedge
+// dominates both scans, so ns/op is the tail cost — adaptive cuts it
+// roughly PairTimeout/MinPairTimeout-fold.
+func benchmarkChurnScan(b *testing.B, adaptive bool) {
+	f := bigFakeWorld()
+	for i := 0; i < b.N; i++ {
+		p := &wedgeProber{f: f, x: "u", y: "v"}
+		sc := &Scanner{
+			NewMeasurer: func(worker int) (*Measurer, error) {
+				return NewMeasurer(Config{Prober: p, W: "w", Z: "z", Samples: 1})
+			},
+			Workers:      1,
+			SkipFailures: true,
+			PairTimeout:  150 * time.Millisecond,
+		}
+		if adaptive {
+			sc.AdaptiveDeadline = true
+			sc.MinPairTimeout = 20 * time.Millisecond
+		}
+		if _, failures, err := sc.Scan(context.Background(), []string{"x", "y", "u", "v"}); err != nil || len(failures) != 1 {
+			b.Fatalf("scan = (%v, %v), want exactly the wedged pair failing", failures, err)
+		}
+	}
+}
+
+func BenchmarkScanFixedDeadline(b *testing.B)    { benchmarkChurnScan(b, false) }
+func BenchmarkScanAdaptiveDeadline(b *testing.B) { benchmarkChurnScan(b, true) }

@@ -94,6 +94,29 @@ func (c *HalfCache) SetStoreHook(fn func(path []string, samples int, min float64
 	c.mu.Unlock()
 }
 
+// InvalidateRelay drops every memoized series whose path contains the
+// named relay and returns how many were dropped — churn invalidation: a
+// rotated key means new crypto (and possibly a new host) behind the same
+// nickname, so its cached minima no longer describe the relay. In-flight
+// measurements are left to finish; their stale result is overwritten the
+// next time the key is invalidated or expires.
+func (c *HalfCache) InvalidateRelay(name string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for key := range c.entries {
+		pathPart, _, _ := strings.Cut(key, "#")
+		for _, hop := range strings.Split(pathPart, ",") {
+			if hop == name {
+				delete(c.entries, key)
+				dropped++
+				break
+			}
+		}
+	}
+	return dropped
+}
+
 // Do returns the memoized minimum RTT for the half circuit, measuring it
 // with fn on a miss. Concurrent calls for the same key share one
 // measurement; obs (nil-safe) is told whether this call hit, measured, or

@@ -256,6 +256,24 @@ func (h *Health) Failure(name string, err error, elapsed time.Duration) {
 	}
 }
 
+// Reset forgets the relay's scoreboard entirely — churn invalidation: a
+// relay that rotated its key or rejoined the consensus is a new
+// incarnation whose past failures (and open breaker) say nothing about
+// it. If the breaker was open or half-open, the observer sees it close.
+func (h *Health) Reset(name string) {
+	h.mu.Lock()
+	rh := h.relays[name]
+	var fire func()
+	if rh != nil {
+		fire = h.setState(name, rh, BreakerClosed)
+		delete(h.relays, name)
+	}
+	h.mu.Unlock()
+	if fire != nil {
+		fire()
+	}
+}
+
 // State returns the relay's breaker position (closed for unknown relays).
 func (h *Health) State(name string) BreakerState {
 	h.mu.Lock()

@@ -38,6 +38,9 @@ const (
 	ProvFresh
 	// ProvResumed: replayed from a checkpoint by Scanner.Resume.
 	ProvResumed
+	// ProvRemoved: tombstoned — a relay of the pair left the consensus
+	// before the pair could be measured (churn, not failure).
+	ProvRemoved
 )
 
 func (p Provenance) String() string {
@@ -48,6 +51,8 @@ func (p Provenance) String() string {
 		return "fresh"
 	case ProvResumed:
 		return "resumed"
+	case ProvRemoved:
+		return "removed"
 	}
 	return fmt.Sprintf("Provenance(%d)", int(p))
 }
@@ -77,6 +82,32 @@ func NewMatrix(names []string) (*Matrix, error) {
 
 // N returns the number of relays.
 func (m *Matrix) N() int { return len(m.Names) }
+
+// AddName grows the matrix by one relay: a new zeroed row and column whose
+// cells are ProvMissing until measured. This is how a mid-scan consensus
+// join enters an in-progress campaign's matrix.
+func (m *Matrix) AddName(name string) error {
+	if name == "" {
+		return errors.New("ting: empty relay name")
+	}
+	if _, dup := m.index[name]; dup {
+		return fmt.Errorf("ting: duplicate relay %q", name)
+	}
+	m.index[name] = len(m.Names)
+	m.Names = append(m.Names, name)
+	n := len(m.Names)
+	for i := range m.R {
+		m.R[i] = append(m.R[i], 0)
+	}
+	m.R = append(m.R, make([]float64, n))
+	if m.prov != nil {
+		for i := range m.prov {
+			m.prov[i] = append(m.prov[i], ProvMissing)
+		}
+		m.prov = append(m.prov, make([]Provenance, n))
+	}
+	return nil
+}
 
 // Set records the RTT for a pair, both directions.
 func (m *Matrix) Set(x, y string, ms float64) error {
@@ -149,7 +180,7 @@ func (m *Matrix) Prov(x, y string) Provenance {
 
 // ProvCounts tallies the upper triangle's provenance — the "how complete
 // is this campaign" summary.
-func (m *Matrix) ProvCounts() (fresh, resumed, missing int) {
+func (m *Matrix) ProvCounts() (fresh, resumed, removed, missing int) {
 	n := len(m.Names)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
@@ -162,12 +193,14 @@ func (m *Matrix) ProvCounts() (fresh, resumed, missing int) {
 				fresh++
 			case ProvResumed:
 				resumed++
+			case ProvRemoved:
+				removed++
 			default:
 				missing++
 			}
 		}
 	}
-	return fresh, resumed, missing
+	return fresh, resumed, removed, missing
 }
 
 // Mean returns µ, the average RTT over all unordered pairs — the term

@@ -46,6 +46,12 @@ type Observer struct {
 	// open breaker (final=false) and again if the pair is given up as
 	// ErrQuarantined at the end of the scan (final=true).
 	Quarantine func(x, y, relay string, final bool)
+	// Churn fires once per consensus delta the scanner reconciled
+	// mid-scan: a relay joined, left, or rotated its key.
+	Churn func(ev ChurnEvent)
+	// DeadlineSet fires when the adaptive deadline estimator bounds a
+	// pair's attempt at d instead of the fixed PairTimeout.
+	DeadlineSet func(x, y string, d time.Duration)
 }
 
 // HalfCircuitEvent classifies one HalfCache consultation.
@@ -135,6 +141,18 @@ func (o *Observer) quarantine(x, y, relay string, final bool) {
 	}
 }
 
+func (o *Observer) churn(ev ChurnEvent) {
+	if o != nil && o.Churn != nil {
+		o.Churn(ev)
+	}
+}
+
+func (o *Observer) deadlineSet(x, y string, d time.Duration) {
+	if o != nil && o.DeadlineSet != nil {
+		o.DeadlineSet(x, y, d)
+	}
+}
+
 // NewTelemetryObserver wires an Observer into a telemetry.Registry. All
 // metrics are resolved once here, so the per-event cost is an atomic add
 // (plus a trace record for lifecycle events). Metric names:
@@ -155,6 +173,10 @@ func (o *Observer) quarantine(x, y, relay string, final bool) {
 //	ting.checkpoint.replayed                        counter
 //	ting.health.breaker_open                        gauge (breakers currently open)
 //	ting.quarantined_pairs                          counter
+//	ting.churn.joined / ting.churn.removed          counters
+//	ting.churn.rotated                              counter
+//	ting.churn.tombstoned_pairs                     counter
+//	ting.deadline.adaptive_ms                       histogram
 //
 // A nil registry yields a valid Observer whose callbacks are no-ops.
 func NewTelemetryObserver(reg *telemetry.Registry) *Observer {
@@ -179,6 +201,11 @@ func NewTelemetryObserver(reg *telemetry.Registry) *Observer {
 		cpReplayed   = reg.Counter("ting.checkpoint.replayed")
 		breakersOpen = reg.Gauge("ting.health.breaker_open")
 		quarantined  = reg.Counter("ting.quarantined_pairs")
+		churnJoined  = reg.Counter("ting.churn.joined")
+		churnRemoved = reg.Counter("ting.churn.removed")
+		churnRotated = reg.Counter("ting.churn.rotated")
+		tombstoned   = reg.Counter("ting.churn.tombstoned_pairs")
+		adaptiveMs   = reg.Histogram("ting.deadline.adaptive_ms")
 		trace        = reg.Trace()
 	)
 	return &Observer{
@@ -260,6 +287,22 @@ func NewTelemetryObserver(reg *telemetry.Registry) *Observer {
 				quarantined.Inc()
 				trace.Record("quarantine", x+"-"+y+" blocked by "+relay, 0)
 			}
+		},
+		Churn: func(ev ChurnEvent) {
+			switch ev.Kind {
+			case ChurnJoined:
+				churnJoined.Inc()
+			case ChurnRemoved:
+				churnRemoved.Inc()
+			case ChurnRotated:
+				churnRotated.Inc()
+			}
+			tombstoned.Add(int64(ev.Tombstoned))
+			trace.Record("churn", fmt.Sprintf("%s %s at epoch %d (%d pairs tombstoned)",
+				ev.Relay, ev.Kind, ev.Epoch, ev.Tombstoned), 0)
+		},
+		DeadlineSet: func(x, y string, d time.Duration) {
+			adaptiveMs.Observe(float64(d) / float64(time.Millisecond))
 		},
 		SweepDone: func(stats MonitorStats) {
 			sweeps.Inc()

@@ -95,7 +95,7 @@ func TestScannerResumeAfterCancel(t *testing.T) {
 	if partial == nil {
 		t.Fatal("cancelled scan returned no partial matrix")
 	}
-	if fresh, resumed, missing := partial.ProvCounts(); fresh != 3 || resumed != 0 || missing != 3 {
+	if fresh, resumed, _, missing := partial.ProvCounts(); fresh != 3 || resumed != 0 || missing != 3 {
 		t.Fatalf("phase 1 provenance = %d/%d/%d, want 3 fresh, 0 resumed, 3 missing", fresh, resumed, missing)
 	}
 	if rec1.len() != 3 {
@@ -152,7 +152,7 @@ func TestScannerResumeAfterCancel(t *testing.T) {
 			}
 		}
 	}
-	if fresh, resumed, missing := m.ProvCounts(); fresh != 3 || resumed != 3 || missing != 0 {
+	if fresh, resumed, _, missing := m.ProvCounts(); fresh != 3 || resumed != 3 || missing != 0 {
 		t.Errorf("final provenance = %d/%d/%d, want 3/3/0", fresh, resumed, missing)
 	}
 
@@ -461,7 +461,7 @@ func TestChaosSoakFlapCancelResume(t *testing.T) {
 	if err != nil {
 		t.Fatalf("resume err = %v (failures: %v)", err, failures)
 	}
-	fresh, resumed, missing := m.ProvCounts()
+	fresh, resumed, _, missing := m.ProvCounts()
 	if resumed != len(st.Pairs) {
 		t.Errorf("resumed %d pairs, checkpoint held %d", resumed, len(st.Pairs))
 	}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"ting/internal/directory"
 	"ting/internal/stats"
 )
 
@@ -18,7 +19,11 @@ import (
 // the live network's churn (§4.5): failed pairs can be retried with
 // exponential backoff on a different worker, each attempt can carry a
 // deadline, and a non-tolerant scan aborts promptly instead of measuring
-// the rest of the campaign after the first error.
+// the rest of the campaign after the first error. With a Directory, the
+// scan also tracks the consensus while it runs: relays that leave mid-scan
+// have their pending pairs tombstoned instead of burning retries, relays
+// that join are appended to the schedule, and key rotations invalidate the
+// departed identity's cached state.
 type Scanner struct {
 	// NewMeasurer builds one Measurer per worker. Probers are typically
 	// not safe for concurrent use, so each worker gets its own. Required.
@@ -48,8 +53,9 @@ type Scanner struct {
 	// relay back to back and workers never contend on one singleflight.
 	Shuffle int64
 	// Progress, if non-nil, is called after each pair reaches a final
-	// disposition — success or (in tolerant mode) permanent failure — so
-	// done always reaches total on a completed scan.
+	// disposition — success, (in tolerant mode) permanent failure, or a
+	// churn tombstone — so done always reaches total on a completed scan.
+	// total can grow mid-scan when a relay joins the consensus.
 	Progress func(done, total int)
 	// SkipFailures keeps scanning when a pair fails (live relays churn;
 	// aborting a 10,000-pair campaign for one dead relay is wrong). Failed
@@ -68,10 +74,22 @@ type Scanner struct {
 	// prober), so a wedged transport is bounded by the prober's own
 	// timeouts, not this one. Zero means no deadline.
 	PairTimeout time.Duration
+	// AdaptiveDeadline replaces the fixed PairTimeout with a per-pair
+	// estimate — EWMA of observed attempt durations plus K× their EWMA
+	// absolute deviation, clamped to [MinPairTimeout, PairTimeout] — once
+	// enough attempts have been observed. A pair that times out under an
+	// adaptive deadline retries with the full PairTimeout, so a
+	// legitimately slow pair is bounded, not lost. Cuts the tail cost of
+	// wedged pairs from PairTimeout to roughly MinPairTimeout each.
+	AdaptiveDeadline bool
+	// MinPairTimeout is the adaptive deadline's floor; default 100ms. It
+	// keeps a streak of fast pairs from strangling a legitimately slow
+	// one.
+	MinPairTimeout time.Duration
 	// Observer, if non-nil, receives scan-lifecycle callbacks (cache
-	// lookups, retries, worker occupancy). Per-measurement callbacks come
-	// from the Measurer's own Observer; set both to the same value to see
-	// the whole picture.
+	// lookups, retries, worker occupancy, churn reconciliations).
+	// Per-measurement callbacks come from the Measurer's own Observer; set
+	// both to the same value to see the whole picture.
 	Observer *Observer
 	// Checkpoint, if non-nil, makes the campaign durable: the relay set
 	// and every completed pair (plus memoized half-circuit minima) are
@@ -89,12 +107,24 @@ type Scanner struct {
 	// with a Monitor) to carry relay reputation between campaigns. Nil
 	// disables the breaker entirely.
 	Health *Health
+	// Directory, if non-nil, is the live consensus the scan reconciles
+	// against. The scan subscribes to consensus deltas: a relay that
+	// leaves mid-scan has its pending pairs tombstoned with *ChurnError
+	// (provenance ProvRemoved, no retry budget burned, the scan is not
+	// aborted even without SkipFailures); a relay that joins has its pairs
+	// appended to the schedule; a key rotation invalidates the relay's
+	// cached half circuits, breaker state, and deadline statistics. With a
+	// Checkpoint too, the campaign header records the consensus epoch and
+	// per-relay onion-key fingerprints, and every reconciled delta is
+	// logged — so Resume against a newer consensus reconciles instead of
+	// re-measuring ghosts.
+	Directory *directory.Registry
 }
 
 // PairError records one failed measurement in a tolerant scan. It is an
 // error itself, and Unwrap exposes the cause so callers can
-// errors.Is(err, context.Canceled) or errors.Is(err, ErrQuarantined)
-// instead of string-matching.
+// errors.Is(err, context.Canceled), errors.Is(err, ErrQuarantined), or
+// errors.Is(err, ErrChurned) instead of string-matching.
 type PairError struct {
 	X, Y string
 	Err  error
@@ -117,6 +147,11 @@ type pairJob struct {
 	// once already; a deferred job that still cannot run is quarantined
 	// rather than parked again, so the scan always terminates.
 	deferred bool
+	// fullDeadline marks a retry of an attempt that timed out under an
+	// adaptive deadline: this attempt gets the full PairTimeout, so the
+	// estimator being wrong about a slow pair costs one retry, not the
+	// pair.
+	fullDeadline bool
 }
 
 // workQueue is an unbounded FIFO with blocking pop. Each worker owns one,
@@ -214,15 +249,17 @@ func assignJobs(todo []pairJob, workers int, shuffled bool) [][]pairJob {
 
 // Scan measures every unordered pair among names and returns the matrix
 // plus the failed pairs (tolerant mode), sorted by pair name for
-// reproducibility. Without SkipFailures the failure slice is always empty:
-// the first error aborts the scan. Cancelling ctx aborts the scan:
+// reproducibility. Without SkipFailures the failure slice holds only
+// churn tombstones (*ChurnError pairs, which never abort a scan): the
+// first real error aborts the scan. Cancelling ctx aborts the scan:
 // in-flight attempts finish (or hit their cooperative cancellation points)
 // and ctx.Err() is returned.
 //
 // Scans degrade gracefully: even on error or cancellation the partial
 // matrix measured so far is returned alongside the error, with per-cell
-// provenance (Matrix.Prov) distinguishing fresh, resumed, and missing
-// cells — with a Checkpoint configured, nothing measured is ever lost.
+// provenance (Matrix.Prov) distinguishing fresh, resumed, removed, and
+// missing cells — with a Checkpoint configured, nothing measured is ever
+// lost.
 func (s *Scanner) Scan(ctx context.Context, names []string) (*Matrix, []PairError, error) {
 	return s.run(ctx, names, nil, s.Checkpoint, false)
 }
@@ -232,7 +269,12 @@ func (s *Scanner) Scan(ctx context.Context, names []string) (*Matrix, []PairErro
 // half-circuit cache, and only unfinished pairs are scheduled. New
 // completions are appended to the same log, so Resume itself is
 // interruptible — a campaign survives any number of crashes. The relay
-// set comes from the log's campaign header; the contract is Scan's.
+// set comes from the log's campaign header; with a Directory it is then
+// reconciled against the current consensus — relays that vanished while
+// the campaign was down are tombstoned (their replayed pairs are kept:
+// measured data is data), relays that appeared are appended, and a relay
+// whose onion-key fingerprint changed is treated as rotated (its replayed
+// half circuits are dropped, its breaker reset). The contract is Scan's.
 func (s *Scanner) Resume(ctx context.Context, cp Checkpoint) (*Matrix, []PairError, error) {
 	if cp == nil {
 		return nil, nil, errors.New("ting: Resume needs a checkpoint")
@@ -254,12 +296,77 @@ func (s *Scanner) run(ctx context.Context, names []string, resumed *CheckpointSt
 	if ctx == nil {
 		ctx = context.Background()
 	}
+
+	// Consensus snapshot and (on resume) reconciliation: the campaign's
+	// name list is extended with relays that joined while it was down, and
+	// relays that vanished are marked for build-time tombstoning.
+	var (
+		startEpoch     uint64
+		startFps       map[string]string
+		removedAtStart map[string]uint64
+		joinedAtStart  []string
+		rotatedAtStart []string
+	)
+	if s.Directory != nil {
+		startEpoch = s.Directory.Epoch()
+		inConsensus := make(map[string]string)
+		var consensusOrder []string
+		for _, d := range s.Directory.Consensus() {
+			inConsensus[d.Nickname] = d.Fingerprint()
+			consensusOrder = append(consensusOrder, d.Nickname)
+		}
+		if resuming {
+			base := append([]string(nil), names...)
+			seen := make(map[string]bool, len(base))
+			for _, n := range base {
+				seen[n] = true
+			}
+			for _, n := range resumed.Joined {
+				if !seen[n] {
+					base = append(base, n)
+					seen[n] = true
+				}
+			}
+			removedAtStart = make(map[string]uint64)
+			for _, n := range base {
+				if _, ok := inConsensus[n]; !ok {
+					removedAtStart[n] = startEpoch
+				}
+			}
+			// Joins are appended in consensus (publish) order — the same
+			// order a live scan appends them in as deltas arrive, so a
+			// resumed campaign converges to a bytewise-identical matrix.
+			for _, n := range consensusOrder {
+				if !seen[n] {
+					base = append(base, n)
+					seen[n] = true
+					joinedAtStart = append(joinedAtStart, n)
+				}
+			}
+			for n, fp := range resumed.Fps {
+				if cur, ok := inConsensus[n]; ok && cur != fp {
+					rotatedAtStart = append(rotatedAtStart, n)
+				}
+			}
+			sort.Strings(rotatedAtStart)
+			names = base
+		}
+		startFps = make(map[string]string, len(names))
+		for _, n := range names {
+			if fp, ok := inConsensus[n]; ok {
+				startFps[n] = fp
+			}
+		}
+	}
+
 	m, err := NewMatrix(names)
 	if err != nil {
 		return nil, nil, err
 	}
+	var failures []PairError
 	var todo []pairJob
 	replayedPairs := 0
+	startTombstoned := make(map[string]int)
 	for i := 0; i < len(names); i++ {
 		for j := i + 1; j < len(names); j++ {
 			x, y := names[i], names[j]
@@ -268,6 +375,28 @@ func (s *Scanner) run(ctx context.Context, names []string, resumed *CheckpointSt
 					_ = m.Set(x, y, rtt)
 					_ = m.SetProv(x, y, ProvResumed)
 					replayedPairs++
+					continue
+				}
+			}
+			if len(removedAtStart) > 0 {
+				relay, ok := "", false
+				if ep, hit := removedAtStart[x]; hit {
+					relay, ok = x, true
+					_ = ep
+				} else if _, hit := removedAtStart[y]; hit {
+					relay, ok = y, true
+				}
+				if ok {
+					// The relay left while the campaign was down: its
+					// unfinished pairs are settled here, outside the
+					// progress totals (like replayed pairs, they are not
+					// work this run will do).
+					_ = m.SetProv(x, y, ProvRemoved)
+					failures = append(failures, PairError{
+						X: x, Y: y,
+						Err: &ChurnError{Relay: relay, Epoch: removedAtStart[relay]},
+					})
+					startTombstoned[relay]++
 					continue
 				}
 			}
@@ -322,6 +451,18 @@ func (s *Scanner) run(ctx context.Context, names []string, resumed *CheckpointSt
 		}
 	}
 
+	// Adaptive attempt deadlines: bounded below so a run of fast pairs
+	// cannot strangle a legitimately slow one, above by the fixed
+	// PairTimeout.
+	var est *DeadlineEstimator
+	if s.AdaptiveDeadline {
+		min := s.MinPairTimeout
+		if min <= 0 {
+			min = 100 * time.Millisecond
+		}
+		est = NewDeadlineEstimator(min, s.PairTimeout, s.Observer)
+	}
+
 	scanCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -348,11 +489,14 @@ func (s *Scanner) run(ctx context.Context, names []string, resumed *CheckpointSt
 	if cp != nil {
 		if !resuming {
 			// The header first, so even an immediately-killed scan leaves
-			// a resumable log.
-			if err := cp.Append(CheckpointRecord{Kind: RecordCampaign, Names: names}); err != nil {
+			// a resumable log. With a directory it pins the consensus
+			// epoch and each relay's onion-key fingerprint, so a later
+			// Resume can tell churn from continuity.
+			header := CheckpointRecord{Kind: RecordCampaign, Names: names, Epoch: startEpoch, Fps: startFps}
+			if err := cp.Append(header); err != nil {
 				return nil, nil, fmt.Errorf("ting: checkpoint header: %w", err)
 			}
-			s.Observer.checkpointAppend(&CheckpointRecord{Kind: RecordCampaign, Names: names})
+			s.Observer.checkpointAppend(&header)
 		}
 		if hc != nil {
 			hc.SetStoreHook(func(path []string, samples int, min float64) {
@@ -375,6 +519,38 @@ func (s *Scanner) run(ctx context.Context, names []string, resumed *CheckpointSt
 		s.Observer.checkpointReplay(replayedPairs, replayedHalves)
 	}
 
+	// Report and log the build-time reconciliation (after half-circuit
+	// seeding, so a rotated relay's replayed series are dropped, not
+	// resurrected).
+	if s.Directory != nil && resuming {
+		removedNames := make([]string, 0, len(removedAtStart))
+		for n := range removedAtStart {
+			removedNames = append(removedNames, n)
+		}
+		sort.Strings(removedNames)
+		for _, relay := range removedNames {
+			s.Observer.churn(ChurnEvent{
+				Kind: ChurnRemoved, Relay: relay, Epoch: removedAtStart[relay],
+				Tombstoned: startTombstoned[relay],
+			})
+			appendRec(CheckpointRecord{Kind: RecordChurn, Op: ChurnOpLeave, Relay: relay, Epoch: removedAtStart[relay]})
+		}
+		for _, name := range joinedAtStart {
+			s.Observer.churn(ChurnEvent{Kind: ChurnJoined, Relay: name, Epoch: startEpoch})
+			appendRec(CheckpointRecord{Kind: RecordChurn, Op: ChurnOpJoin, Relay: name, Fp: startFps[name], Epoch: startEpoch})
+		}
+		for _, name := range rotatedAtStart {
+			if hc != nil {
+				hc.InvalidateRelay(name)
+			}
+			if s.Health != nil {
+				s.Health.Reset(name)
+			}
+			s.Observer.churn(ChurnEvent{Kind: ChurnRotated, Relay: name, Epoch: startEpoch})
+			appendRec(CheckpointRecord{Kind: RecordChurn, Op: ChurnOpRotate, Relay: name, Fp: startFps[name], Epoch: startEpoch})
+		}
+	}
+
 	backoff := stats.Backoff{Base: s.Backoff, Factor: 2, Jitter: 0.5}
 	var jitterMu sync.Mutex
 	jitterRNG := rand.New(rand.NewSource(s.Shuffle ^ 0x7107))
@@ -384,9 +560,14 @@ func (s *Scanner) run(ctx context.Context, names []string, resumed *CheckpointSt
 		return backoff.Delay(attempt, jitterRNG)
 	}
 
-	// Every pair is assigned to a worker queue up front; retries are the
-	// only cross-queue traffic. The queues close once every pair has
-	// settled, regardless of how many attempts it consumed.
+	// Every initial pair is assigned to a worker queue up front; retries
+	// and churn-joined pairs are the only later traffic. The queues close
+	// once every open pair has settled, regardless of how many attempts it
+	// consumed. remaining is a mutex-guarded counter rather than a
+	// WaitGroup because consensus joins add jobs mid-scan, and a WaitGroup
+	// forbids Add once Wait may have returned — addJobs refuses instead,
+	// atomically with completion, so a join that loses the race with the
+	// end of the scan is dropped, not deadlocked.
 	queues := make([]*workQueue, workers)
 	for w := range queues {
 		queues[w] = newWorkQueue()
@@ -396,10 +577,36 @@ func (s *Scanner) run(ctx context.Context, names []string, resumed *CheckpointSt
 			queues[w].push(job)
 		}
 	}
-	var remaining sync.WaitGroup // open pairs, regardless of attempt count
-	remaining.Add(len(todo))
+	var remMu sync.Mutex
+	remaining := len(todo)
+	settledAll := false
+	allSettled := make(chan struct{})
+	remMu.Lock()
+	if remaining == 0 {
+		settledAll = true
+		close(allSettled)
+	}
+	remMu.Unlock()
+	addJobs := func(k int) bool {
+		remMu.Lock()
+		defer remMu.Unlock()
+		if settledAll {
+			return false
+		}
+		remaining += k
+		return true
+	}
+	jobDone := func() {
+		remMu.Lock()
+		remaining--
+		if remaining == 0 && !settledAll {
+			settledAll = true
+			close(allSettled)
+		}
+		remMu.Unlock()
+	}
 	go func() {
-		remaining.Wait()
+		<-allSettled
 		for _, q := range queues {
 			q.close()
 		}
@@ -430,16 +637,16 @@ func (s *Scanner) run(ctx context.Context, names []string, resumed *CheckpointSt
 			flushDeferred()
 		}
 		defMu.Unlock()
-		remaining.Done()
+		jobDone()
 	}
 	deferJob := func(job pairJob) {
 		defMu.Lock()
 		if drained {
 			// The scan was cancelled while this job was in flight toward
 			// the parking lot: release it unsettled, like the worker drain
-			// path, so remaining.Wait can fire and close the queues.
+			// path, so the queues can close.
 			defMu.Unlock()
-			remaining.Done()
+			jobDone()
 			return
 		}
 		job.deferred = true
@@ -451,7 +658,7 @@ func (s *Scanner) run(ctx context.Context, names []string, resumed *CheckpointSt
 		defMu.Unlock()
 	}
 	// Parked jobs are invisible to the workers, so a cancelled scan would
-	// deadlock on remaining.Wait without this watcher draining the lot.
+	// deadlock waiting for them without this watcher draining the lot.
 	go func() {
 		<-scanCtx.Done()
 		defMu.Lock()
@@ -460,16 +667,15 @@ func (s *Scanner) run(ctx context.Context, names []string, resumed *CheckpointSt
 		deferredJobs = nil
 		defMu.Unlock()
 		for range parked {
-			remaining.Done()
+			jobDone()
 		}
 	}()
 
 	maxAttempts := s.Retry + 1
-	var mu sync.Mutex // guards matrix writes, progress counter, errors
-	var done int
+	var mu sync.Mutex // guards matrix writes, progress counters, errors
+	done := 0
+	total := len(todo)
 	var firstErr error
-	var failures []PairError
-	var wg sync.WaitGroup
 
 	settle := func(job pairJob, err error) {
 		mu.Lock()
@@ -491,13 +697,221 @@ func (s *Scanner) run(ctx context.Context, names []string, resumed *CheckpointSt
 		}
 		if err == nil || s.SkipFailures {
 			if s.Progress != nil {
-				s.Progress(done, len(todo))
+				s.Progress(done, total)
 			}
 		}
 		mu.Unlock()
 		noteSettled()
 	}
 
+	// Live churn state. removed is the set of campaign relays the
+	// consensus dropped mid-scan (pre-seeded with build-time removals so a
+	// joining relay never pairs against a ghost); nameSet/curNames track
+	// the campaign roster as joins extend it.
+	type churnState struct {
+		mu       sync.Mutex
+		epoch    uint64
+		removed  map[string]uint64
+		fps      map[string]string
+		nameSet  map[string]bool
+		curNames []string
+	}
+	churn := &churnState{
+		epoch:    startEpoch,
+		removed:  make(map[string]uint64),
+		fps:      make(map[string]string),
+		nameSet:  make(map[string]bool, len(names)),
+		curNames: append([]string(nil), names...),
+	}
+	for n, ep := range removedAtStart {
+		churn.removed[n] = ep
+	}
+	for n, fp := range startFps {
+		churn.fps[n] = fp
+	}
+	for _, n := range names {
+		churn.nameSet[n] = true
+	}
+	removedRelay := func(x, y string) (string, uint64, bool) {
+		churn.mu.Lock()
+		defer churn.mu.Unlock()
+		if ep, ok := churn.removed[x]; ok {
+			return x, ep, true
+		}
+		if ep, ok := churn.removed[y]; ok {
+			return y, ep, true
+		}
+		return "", 0, false
+	}
+	// tombstone settles one pending pair abandoned to churn. It counts as
+	// completed work (it was scheduled), never aborts the scan, and burns
+	// no retry budget.
+	tombstone := func(job pairJob, relay string, epoch uint64) {
+		mu.Lock()
+		_ = m.SetProv(job.x, job.y, ProvRemoved)
+		failures = append(failures, PairError{
+			X: job.x, Y: job.y,
+			Err:      &ChurnError{Relay: relay, Epoch: epoch},
+			Attempts: job.attempt,
+		})
+		done++
+		if s.Progress != nil {
+			s.Progress(done, total)
+		}
+		mu.Unlock()
+		s.Observer.churn(ChurnEvent{
+			Kind: ChurnTombstoned, Relay: relay, Epoch: epoch,
+			X: job.x, Y: job.y, Tombstoned: 1,
+		})
+		noteSettled()
+	}
+
+	handleDelta := func(delta directory.ConsensusDelta) {
+		churn.mu.Lock()
+		if delta.Epoch <= churn.epoch {
+			// Already seen: the catch-up DeltasSince pass and the live
+			// watch overlap by design; epochs are the dedup key.
+			churn.mu.Unlock()
+			return
+		}
+		churn.epoch = delta.Epoch
+		known := churn.nameSet[delta.Name]
+		switch delta.Kind {
+		case directory.DeltaLeave:
+			if !known {
+				churn.mu.Unlock()
+				return
+			}
+			if _, already := churn.removed[delta.Name]; already {
+				churn.mu.Unlock()
+				return
+			}
+			churn.removed[delta.Name] = delta.Epoch
+			churn.mu.Unlock()
+			s.Observer.churn(ChurnEvent{Kind: ChurnRemoved, Relay: delta.Name, Epoch: delta.Epoch})
+			appendRec(CheckpointRecord{Kind: RecordChurn, Op: ChurnOpLeave, Relay: delta.Name, Epoch: delta.Epoch})
+
+		case directory.DeltaJoin:
+			fp := ""
+			if delta.Desc != nil {
+				fp = delta.Desc.Fingerprint()
+			}
+			if known {
+				// A campaign relay rejoined. Its not-yet-tombstoned pairs
+				// simply resume being measured; already-tombstoned ones
+				// stay tombstoned (their verdicts were already reported).
+				// A new fingerprint means a new incarnation: rotation.
+				_, wasRemoved := churn.removed[delta.Name]
+				delete(churn.removed, delta.Name)
+				oldFp := churn.fps[delta.Name]
+				churn.fps[delta.Name] = fp
+				churn.mu.Unlock()
+				if oldFp != "" && fp != "" && oldFp != fp {
+					if hc != nil {
+						hc.InvalidateRelay(delta.Name)
+					}
+					if s.Health != nil {
+						s.Health.Reset(delta.Name)
+					}
+					if est != nil {
+						est.Forget(delta.Name)
+					}
+					s.Observer.churn(ChurnEvent{Kind: ChurnRotated, Relay: delta.Name, Epoch: delta.Epoch})
+					appendRec(CheckpointRecord{Kind: RecordChurn, Op: ChurnOpRotate, Relay: delta.Name, Fp: fp, Epoch: delta.Epoch})
+				} else if wasRemoved {
+					s.Observer.churn(ChurnEvent{Kind: ChurnJoined, Relay: delta.Name, Epoch: delta.Epoch})
+					appendRec(CheckpointRecord{Kind: RecordChurn, Op: ChurnOpJoin, Relay: delta.Name, Fp: fp, Epoch: delta.Epoch})
+				}
+				return
+			}
+			// A genuinely new relay: extend the matrix and schedule its
+			// pairs against every live campaign relay.
+			peers := make([]string, 0, len(churn.curNames))
+			for _, n := range churn.curNames {
+				if _, gone := churn.removed[n]; !gone {
+					peers = append(peers, n)
+				}
+			}
+			churn.nameSet[delta.Name] = true
+			churn.curNames = append(churn.curNames, delta.Name)
+			churn.fps[delta.Name] = fp
+			churn.mu.Unlock()
+			if len(peers) == 0 || !addJobs(len(peers)) {
+				// The scan already settled (or there is nobody to pair
+				// with): too late to measure this relay in this campaign.
+				churn.mu.Lock()
+				delete(churn.nameSet, delta.Name)
+				churn.curNames = churn.curNames[:len(churn.curNames)-1]
+				churn.mu.Unlock()
+				return
+			}
+			defMu.Lock()
+			undeferred += len(peers)
+			defMu.Unlock()
+			mu.Lock()
+			_ = m.AddName(delta.Name)
+			total += len(peers)
+			mu.Unlock()
+			for i, p := range peers {
+				queues[i%workers].push(pairJob{x: delta.Name, y: p})
+			}
+			s.Observer.churn(ChurnEvent{Kind: ChurnJoined, Relay: delta.Name, Epoch: delta.Epoch})
+			appendRec(CheckpointRecord{Kind: RecordChurn, Op: ChurnOpJoin, Relay: delta.Name, Fp: fp, Epoch: delta.Epoch})
+
+		case directory.DeltaRotate:
+			newFp := ""
+			if delta.Desc != nil {
+				newFp = delta.Desc.Fingerprint()
+			}
+			if known {
+				churn.fps[delta.Name] = newFp
+			}
+			churn.mu.Unlock()
+			if !known {
+				return
+			}
+			// New key, same nickname: the cached half circuits, breaker
+			// history, and deadline statistics describe the old
+			// incarnation. Completed pair RTTs are kept — a key rotation
+			// does not move the relay.
+			if hc != nil {
+				hc.InvalidateRelay(delta.Name)
+			}
+			if s.Health != nil {
+				s.Health.Reset(delta.Name)
+			}
+			if est != nil {
+				est.Forget(delta.Name)
+			}
+			s.Observer.churn(ChurnEvent{Kind: ChurnRotated, Relay: delta.Name, Epoch: delta.Epoch})
+			appendRec(CheckpointRecord{Kind: RecordChurn, Op: ChurnOpRotate, Relay: delta.Name, Fp: newFp, Epoch: delta.Epoch})
+
+		default:
+			churn.mu.Unlock()
+		}
+	}
+
+	var churnWg sync.WaitGroup
+	if s.Directory != nil {
+		deltaCh := s.Directory.Watch(scanCtx)
+		churnWg.Add(1)
+		go func() {
+			defer churnWg.Done()
+			// Catch up on deltas that slipped between the snapshot above
+			// and the watch registration; the epoch guard in handleDelta
+			// dedups any overlap with the live stream.
+			if missed, ok := s.Directory.DeltasSince(startEpoch); ok {
+				for _, d := range missed {
+					handleDelta(d)
+				}
+			}
+			for d := range deltaCh {
+				handleDelta(d)
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int, meas *Measurer) {
@@ -512,6 +926,14 @@ func (s *Scanner) run(ctx context.Context, names []string, resumed *CheckpointSt
 					// result is partial, so abandoned pairs are not
 					// settled — progress must not count them as done.
 					noteSettled()
+					continue
+				}
+				// Churn gate: a pair touching a relay the consensus
+				// dropped is tombstoned, not measured — no circuits, no
+				// retries, no breaker charges against a relay that is
+				// simply gone.
+				if relay, ep, hit := removedRelay(job.x, job.y); hit {
+					tombstone(job, relay, ep)
 					continue
 				}
 				// Breaker gate: a pair touching a quarantined relay is
@@ -530,8 +952,16 @@ func (s *Scanner) run(ctx context.Context, names []string, resumed *CheckpointSt
 				}
 				attemptCtx := scanCtx
 				var cancelAttempt context.CancelFunc
-				if s.PairTimeout > 0 {
-					attemptCtx, cancelAttempt = context.WithTimeout(scanCtx, s.PairTimeout)
+				timeout := s.PairTimeout
+				adaptive := false
+				if est != nil && !job.fullDeadline {
+					if d, ok := est.Deadline(job.x, job.y); ok && (timeout <= 0 || d < timeout) {
+						timeout = d
+						adaptive = true
+					}
+				}
+				if timeout > 0 {
+					attemptCtx, cancelAttempt = context.WithTimeout(scanCtx, timeout)
 				}
 				s.Observer.workerActive(1)
 				start := time.Now()
@@ -543,6 +973,9 @@ func (s *Scanner) run(ctx context.Context, names []string, resumed *CheckpointSt
 				}
 				job.attempt++
 				if err == nil {
+					if est != nil {
+						est.Observe(job.x, job.y, elapsed)
+					}
 					mu.Lock()
 					_ = m.Set(job.x, job.y, rtt)
 					_ = m.SetProv(job.x, job.y, ProvFresh)
@@ -555,6 +988,13 @@ func (s *Scanner) run(ctx context.Context, names []string, resumed *CheckpointSt
 					settle(job, nil)
 					continue
 				}
+				// A failure whose relay left the consensus mid-attempt is
+				// churn fallout (the relay DESTROYed its circuits on the
+				// way out), not evidence against anyone still present.
+				if relay, ep, hit := removedRelay(job.x, job.y); hit {
+					tombstone(job, relay, ep)
+					continue
+				}
 				if s.Health != nil && scanCtx.Err() == nil {
 					// Charge only the relays on the failing circuit's path
 					// (CircuitError), not both pair endpoints blindly.
@@ -563,6 +1003,11 @@ func (s *Scanner) run(ctx context.Context, names []string, resumed *CheckpointSt
 					}
 				}
 				if !job.deferred && job.attempt < maxAttempts && scanCtx.Err() == nil {
+					if adaptive && errors.Is(err, context.DeadlineExceeded) {
+						// The estimator may have strangled a legitimately
+						// slow pair: the retry gets the full PairTimeout.
+						job.fullDeadline = true
+					}
 					d := nextDelay(job.attempt)
 					s.Observer.retry(job.x, job.y, job.attempt, d, err)
 					if d > 0 {
@@ -595,6 +1040,12 @@ func (s *Scanner) run(ctx context.Context, names []string, resumed *CheckpointSt
 		}(w, measurers[w])
 	}
 	wg.Wait()
+	// The scan is over: detach the consensus watch and wait for the delta
+	// goroutine so it cannot mutate the failure list mid-sort below. Any
+	// still-queued deltas are drained harmlessly — addJobs refuses new
+	// work once every pair has settled.
+	cancel()
+	churnWg.Wait()
 
 	sort.Slice(failures, func(i, j int) bool {
 		if failures[i].X != failures[j].X {

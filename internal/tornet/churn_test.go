@@ -1,0 +1,152 @@
+package tornet
+
+import (
+	"testing"
+	"time"
+
+	"ting/internal/faults"
+	"ting/internal/geo"
+	"ting/internal/inet"
+)
+
+// TestDrainRelayGracefulDeparture drains a relay carrying a live circuit:
+// the circuit is DESTROYed, new circuits through the relay fail, and the
+// consensus drops it with an epoch bump — the orderly half of churn.
+func TestDrainRelayGracefulDeparture(t *testing.T) {
+	n := faultOverlay(t, faults.NewPlan(71))
+	var names []string
+	for i := 0; i < 3; i++ {
+		name, _ := n.NodeName(inet.NodeID(i))
+		names = append(names, name)
+	}
+	victim := names[1]
+	epoch0 := n.Registry.Epoch()
+
+	circ, err := n.Client.BuildCircuit(circuitPath(t, n, names...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := circ.OpenStream(EchoTarget); err != nil {
+		t.Fatal(err)
+	} else if _, err := st.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+
+	path := circuitPath(t, n, names...) // resolve before the consensus drops the victim
+	if !n.DrainRelay(victim) {
+		t.Fatalf("DrainRelay(%s) found no relay", victim)
+	}
+	if _, ok := n.Registry.Lookup(victim); ok {
+		t.Error("drained relay still in the registry")
+	}
+	if got := n.Registry.Epoch(); got != epoch0+1 {
+		t.Errorf("epoch = %d after drain, want %d", got, epoch0+1)
+	}
+	// The courtesy DESTROYs must kill the live circuit within the teardown
+	// window.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := circ.OpenStream(EchoTarget); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("circuit through drained relay still carries streams")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, err := n.Client.BuildCircuit(path); err == nil {
+		t.Error("circuit rebuilt through a drained relay")
+	}
+	if n.DrainRelay(victim) {
+		t.Error("second drain of the same relay reported success")
+	}
+}
+
+// TestAddRelayJoinsConsensus starts a held-out topology node at runtime:
+// the consensus grows by one epoch and circuits through the newcomer work.
+func TestAddRelayJoinsConsensus(t *testing.T) {
+	topo, err := inet.Generate(inet.Config{N: 3, Seed: 72})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := topo.AddHost("host", geo.Coord{Lat: 51, Lon: 0}, 73)
+	// Hold node 2 out of the initial overlay with a far-future join, then
+	// bring it up manually.
+	late := topo.Node(2).Name
+	plan := faults.NewPlan(74)
+	plan.SetRelay(late, faults.RelaySchedule{JoinAfter: time.Hour})
+	n, err := Build(Config{Topology: topo, Host: host, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if _, ok := n.Registry.Lookup(late); ok {
+		t.Fatal("held-out relay already in the consensus")
+	}
+	epoch0 := n.Registry.Epoch()
+
+	if err := n.AddRelay(late, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Registry.Epoch(); got != epoch0+1 {
+		t.Errorf("epoch = %d after join, want %d", got, epoch0+1)
+	}
+	if err := n.AddRelay(late, 2); err == nil {
+		t.Error("duplicate AddRelay succeeded")
+	}
+	a, _ := n.NodeName(0)
+	circ, err := n.Client.BuildCircuit(circuitPath(t, n, a, late))
+	if err != nil {
+		t.Fatalf("circuit through the joined relay: %v", err)
+	}
+	circ.Close()
+}
+
+// TestFaultPlanJoinDrainSchedule lets the plan's JoinAfter and DrainAfter
+// timers drive churn end to end: the joiner appears in the consensus, the
+// leaver departs, each bumping the epoch.
+func TestFaultPlanJoinDrainSchedule(t *testing.T) {
+	topo, err := inet.Generate(inet.Config{N: 4, Seed: 75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := topo.AddHost("host", geo.Coord{Lat: 51, Lon: 0}, 76)
+	joiner := topo.Node(2).Name
+	leaver := topo.Node(3).Name
+	plan := faults.NewPlan(77)
+	plan.SetRelay(joiner, faults.RelaySchedule{JoinAfter: 30 * time.Millisecond})
+	plan.SetRelay(leaver, faults.RelaySchedule{DrainAfter: 60 * time.Millisecond})
+	n, err := Build(Config{Topology: topo, Host: host, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if _, ok := n.Registry.Lookup(joiner); ok {
+		t.Fatal("JoinAfter relay published at build time")
+	}
+	epoch0 := n.Registry.Epoch()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, joined := n.Registry.Lookup(joiner)
+		_, stillIn := n.Registry.Lookup(leaver)
+		if joined && !stillIn {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("schedule never converged (joined=%v leaverGone=%v)", joined, !stillIn)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := n.Registry.Epoch(); got != epoch0+2 {
+		t.Errorf("epoch = %d after join+drain, want %d", got, epoch0+2)
+	}
+	// The deltas since build tell the same story in order.
+	deltas, ok := n.Registry.DeltasSince(epoch0)
+	if !ok || len(deltas) != 2 {
+		t.Fatalf("DeltasSince(%d) = (%v, %v), want the join and the leave", epoch0, deltas, ok)
+	}
+	if deltas[0].Name != joiner || deltas[1].Name != leaver {
+		t.Errorf("deltas = [%s, %s], want [%s, %s]", deltas[0].Name, deltas[1].Name, joiner, leaver)
+	}
+}

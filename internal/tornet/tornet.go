@@ -87,14 +87,18 @@ type Net struct {
 	Registry *directory.Registry
 	Client   *client.Client
 
+	// mu guards the relay maps below: the overlay mutates at runtime now
+	// (AddRelay/DrainRelay/RemoveRelay), and dial paths read the maps
+	// concurrently with churn.
+	mu          sync.RWMutex
 	relays      []*relay.Relay
 	relayByName map[string]*relay.Relay
 	names       map[inet.NodeID]string // node → nickname of its public relay (or first local)
 	nodeByAddr  map[string]inet.NodeID // relay address → node
 	nameByAddr  map[string]string      // relay address → nickname, for fault-rule lookup
 
-	crashTimers []*time.Timer
-	closeOnce   sync.Once
+	timers    []*time.Timer // crash/join/drain schedules from the fault plan
+	closeOnce sync.Once
 }
 
 // Build constructs and starts the overlay.
@@ -130,6 +134,14 @@ func Build(cfg Config) (*Net, error) {
 		nameByAddr:  make(map[string]string),
 	}
 
+	// Relays with a scheduled JoinAfter stay out of the initial overlay
+	// and consensus; a timer brings them in later.
+	var schedules map[string]faults.RelaySchedule
+	if cfg.Faults != nil {
+		schedules = cfg.Faults.Relays()
+	}
+	pendingJoins := make(map[string]inet.NodeID)
+
 	// Public relays at their topology nodes.
 	for _, id := range nodes {
 		node := cfg.Topology.Node(id)
@@ -140,6 +152,10 @@ func Build(cfg Config) (*Net, error) {
 		if id == cfg.Host {
 			n.Close()
 			return nil, errors.New("tornet: host node cannot also be a public relay")
+		}
+		if rs, ok := schedules[node.Name]; ok && rs.JoinAfter > 0 {
+			pendingJoins[node.Name] = id
+			continue
 		}
 		if err := n.addRelay(node.Name, id, node.Fwd, true); err != nil {
 			n.Close()
@@ -172,18 +188,33 @@ func Build(cfg Config) (*Net, error) {
 	if cfg.Faults != nil {
 		cfg.Faults.SetTelemetry(cfg.Telemetry)
 		cfg.Faults.Begin()
-		for name, rs := range cfg.Faults.Relays() {
-			if rs.CrashAfter <= 0 {
-				continue
-			}
-			if _, ok := n.relayByName[name]; !ok {
+		// Validate and collect first, then arm: no timer may fire while
+		// Build still reads the relay maps unlocked.
+		type event struct {
+			after time.Duration
+			fire  func()
+		}
+		var events []event
+		for name, rs := range schedules {
+			name := name
+			_, running := n.relayByName[name]
+			joinID, joining := pendingJoins[name]
+			if (rs.CrashAfter > 0 || rs.DrainAfter > 0 || rs.JoinAfter > 0) && !running && !joining {
 				n.Close()
-				return nil, fmt.Errorf("tornet: fault plan crashes unknown relay %q", name)
+				return nil, fmt.Errorf("tornet: fault plan schedules unknown relay %q", name)
 			}
-			crashed := name
-			n.crashTimers = append(n.crashTimers, time.AfterFunc(rs.CrashAfter, func() {
-				n.CrashRelay(crashed)
-			}))
+			if rs.JoinAfter > 0 {
+				events = append(events, event{rs.JoinAfter, func() { _ = n.AddRelay(name, joinID) }})
+			}
+			if rs.CrashAfter > 0 {
+				events = append(events, event{rs.CrashAfter, func() { n.CrashRelay(name) }})
+			}
+			if rs.DrainAfter > 0 {
+				events = append(events, event{rs.DrainAfter, func() { n.DrainRelay(name) }})
+			}
+		}
+		for _, ev := range events {
+			n.timers = append(n.timers, time.AfterFunc(ev.after, ev.fire))
 		}
 	}
 	return n, nil
@@ -195,7 +226,9 @@ func Build(cfg Config) (*Net, error) {
 // the relay is also marked Down there, so future dials are refused at the
 // fault layer. Returns false for an unknown relay.
 func (n *Net) CrashRelay(name string) bool {
+	n.mu.RLock()
 	r := n.relayByName[name]
+	n.mu.RUnlock()
 	if r == nil {
 		return false
 	}
@@ -205,6 +238,74 @@ func (n *Net) CrashRelay(name string) bool {
 	n.cfg.Telemetry.Counter("tornet.relay_crashes").Inc()
 	r.Close()
 	return true
+}
+
+// AddRelay starts a relay at topology node id and publishes it, growing
+// the consensus at runtime — the join half of churn. The node must exist
+// in the topology; the nickname must not collide with a running relay.
+func (n *Net) AddRelay(name string, id inet.NodeID) error {
+	node := n.cfg.Topology.Node(id)
+	if node == nil {
+		return fmt.Errorf("tornet: join node %d not in topology", id)
+	}
+	if id == n.cfg.Host {
+		return errors.New("tornet: host node cannot join as a public relay")
+	}
+	n.mu.RLock()
+	_, running := n.relayByName[name]
+	n.mu.RUnlock()
+	if running {
+		return fmt.Errorf("tornet: relay %q already running", name)
+	}
+	if err := n.addRelay(name, id, node.Fwd, true); err != nil {
+		return err
+	}
+	n.cfg.Telemetry.Counter("tornet.relay_joins").Inc()
+	return nil
+}
+
+// DrainRelay gracefully removes the named relay: it stops accepting
+// CREATE/EXTEND and DESTROYs its live circuits (relay.Drain), leaves the
+// consensus, then closes. Peers and mid-scan measurements observe an
+// orderly departure instead of a crash. Returns false for an unknown
+// relay.
+func (n *Net) DrainRelay(name string) bool {
+	r := n.takeRelay(name)
+	if r == nil {
+		return false
+	}
+	r.Drain()
+	n.Registry.Remove(name)
+	n.cfg.Telemetry.Counter("tornet.relay_drains").Inc()
+	r.Close()
+	return true
+}
+
+// RemoveRelay abruptly unpublishes and closes the named relay — a
+// departure without the courtesy DESTROYs of DrainRelay. Returns false
+// for an unknown relay.
+func (n *Net) RemoveRelay(name string) bool {
+	r := n.takeRelay(name)
+	if r == nil {
+		return false
+	}
+	n.Registry.Remove(name)
+	n.cfg.Telemetry.Counter("tornet.relay_removes").Inc()
+	r.Close()
+	return true
+}
+
+// takeRelay detaches a relay from the by-name map so the nickname can be
+// reused by a later join. The address maps keep their entries: dials to a
+// gone relay fail at the link layer, as they would for a vanished host.
+func (n *Net) takeRelay(name string) *relay.Relay {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	r := n.relayByName[name]
+	if r != nil {
+		delete(n.relayByName, name)
+	}
+	return r
 }
 
 // addRelay starts one relay whose network position is node id.
@@ -250,6 +351,7 @@ func (n *Net) addRelay(name string, id inet.NodeID, fwd inet.ForwardingModel, pu
 		return err
 	}
 	r.Start()
+	n.mu.Lock()
 	n.relays = append(n.relays, r)
 	n.relayByName[name] = r
 	n.nodeByAddr[dialAddr] = id
@@ -257,6 +359,7 @@ func (n *Net) addRelay(name string, id inet.NodeID, fwd inet.ForwardingModel, pu
 	if _, taken := n.names[id]; !taken {
 		n.names[id] = name
 	}
+	n.mu.Unlock()
 
 	bw := 1000.0
 	if node := n.cfg.Topology.Node(id); node != nil {
@@ -285,6 +388,8 @@ func (n *Net) VirtualMs(d time.Duration) float64 {
 
 // nodeOf maps a relay address back to its topology node.
 func (n *Net) nodeOf(addr string) (inet.NodeID, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	id, ok := n.nodeByAddr[addr]
 	return id, ok
 }
@@ -292,11 +397,15 @@ func (n *Net) nodeOf(addr string) (inet.NodeID, bool) {
 // RelayByName returns the running relay with the given nickname, or nil.
 // Tests and operational tooling use it to read relay statistics.
 func (n *Net) RelayByName(name string) *relay.Relay {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	return n.relayByName[name]
 }
 
 // NodeName returns the nickname of the relay at a node.
 func (n *Net) NodeName(id inet.NodeID) (string, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	name, ok := n.names[id]
 	return name, ok
 }
@@ -330,7 +439,10 @@ func (n *Net) dialerFrom(from inet.NodeID, fromName string) link.Dialer {
 		// at send time closes the whole delayed link, exactly like a path
 		// failing under traffic.
 		inner = n.cfg.Faults.WrapDialer(inner, fromName, func(addr string) string {
-			if name, ok := n.nameByAddr[addr]; ok {
+			n.mu.RLock()
+			name, ok := n.nameByAddr[addr]
+			n.mu.RUnlock()
+			if ok {
 				return name
 			}
 			return addr
@@ -357,13 +469,16 @@ func (e *exitDialer) DialStream(target string) (io.ReadWriteCloser, error) {
 	return link.DelayedRW(a, oneWay, oneWay), nil
 }
 
-// Close stops every relay and cancels pending fault-plan crash timers.
+// Close stops every relay and cancels pending fault-plan timers.
 func (n *Net) Close() {
 	n.closeOnce.Do(func() {
-		for _, t := range n.crashTimers {
+		for _, t := range n.timers {
 			t.Stop()
 		}
-		for _, r := range n.relays {
+		n.mu.RLock()
+		relays := append([]*relay.Relay(nil), n.relays...)
+		n.mu.RUnlock()
+		for _, r := range relays {
 			r.Close()
 		}
 	})
