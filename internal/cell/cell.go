@@ -99,16 +99,25 @@ func (c *Cell) MarshalInto(buf []byte) int {
 // Unmarshal decodes a cell from buf, which must hold at least Size bytes.
 func Unmarshal(buf []byte) (Cell, error) {
 	var c Cell
+	err := UnmarshalInto(&c, buf)
+	return c, err
+}
+
+// UnmarshalInto decodes a cell from buf into c, overwriting it in place.
+// Receive loops that reuse one Cell per connection avoid copying the
+// 512-byte value through every return; this is the decode counterpart of
+// MarshalInto.
+func UnmarshalInto(c *Cell, buf []byte) error {
 	if len(buf) < Size {
-		return c, fmt.Errorf("%w: %d bytes", ErrShortCell, len(buf))
+		return fmt.Errorf("%w: %d bytes", ErrShortCell, len(buf))
 	}
 	c.Circ = CircID(binary.BigEndian.Uint32(buf[0:4]))
 	c.Cmd = Command(buf[4])
 	if !c.Cmd.Valid() {
-		return c, fmt.Errorf("%w: %d", ErrBadCommand, buf[4])
+		return fmt.Errorf("%w: %d", ErrBadCommand, buf[4])
 	}
 	copy(c.Payload[:], buf[HeaderLen:Size])
-	return c, nil
+	return nil
 }
 
 // String renders a compact description for logs.

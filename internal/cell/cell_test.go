@@ -285,3 +285,45 @@ func TestExtendErrors(t *testing.T) {
 		t.Error("empty decoded address accepted")
 	}
 }
+
+func TestUnmarshalInto(t *testing.T) {
+	c := Cell{Circ: 0xCAFE, Cmd: Relay}
+	for i := range c.Payload {
+		c.Payload[i] = byte(i * 3)
+	}
+	buf := c.Marshal()
+
+	// The destination may hold stale state from a previous receive; every
+	// byte must be overwritten.
+	dst := Cell{Circ: 0xFFFF, Cmd: Destroy}
+	for i := range dst.Payload {
+		dst.Payload[i] = 0xEE
+	}
+	if err := UnmarshalInto(&dst, buf); err != nil {
+		t.Fatal(err)
+	}
+	if dst != c {
+		t.Error("UnmarshalInto result differs from source cell")
+	}
+
+	// And it must agree with the by-value decoder.
+	byValue, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst != byValue {
+		t.Error("UnmarshalInto and Unmarshal disagree")
+	}
+}
+
+func TestUnmarshalIntoErrors(t *testing.T) {
+	var dst Cell
+	if err := UnmarshalInto(&dst, make([]byte, Size-1)); err == nil {
+		t.Error("want error for short buffer")
+	}
+	bad := make([]byte, Size)
+	bad[4] = 99 // unknown command
+	if err := UnmarshalInto(&dst, bad); err == nil {
+		t.Error("want error for unknown command")
+	}
+}

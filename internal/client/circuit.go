@@ -144,7 +144,7 @@ func (circ *Circuit) build() error {
 	create.Circ = circ.id
 	create.Cmd = cell.Create
 	copy(create.Payload[:], hs.Onionskin())
-	if err := circ.lk.Send(create); err != nil {
+	if err := circ.lk.Send(&create); err != nil {
 		return fmt.Errorf("client: send CREATE: %w", err)
 	}
 	reply, err := circ.waitCreated()
@@ -240,14 +240,17 @@ func (circ *Circuit) sendForward(hop int, rc cell.RelayCell) error {
 	if err := circ.crypto.EncryptForward(hop, &p); err != nil {
 		return err
 	}
-	return circ.lk.Send(cell.Cell{Circ: circ.id, Cmd: cell.Relay, Payload: p})
+	out := cell.Cell{Circ: circ.id, Cmd: cell.Relay, Payload: p}
+	return circ.lk.Send(&out)
 }
 
 // readLoop dispatches inbound cells until the link dies or the circuit is
-// closed.
+// closed. One cell is reused across iterations; handlers copy what they
+// keep.
 func (circ *Circuit) readLoop() {
+	var c cell.Cell
 	for {
-		c, err := circ.lk.Recv()
+		err := circ.lk.Recv(&c)
 		if err != nil {
 			circ.fail(fmt.Errorf("client: link lost: %w", err))
 			return
@@ -389,7 +392,8 @@ func (circ *Circuit) shutdown(notify bool) {
 			st.closeLocal()
 		}
 		if notify {
-			_ = circ.lk.Send(cell.Cell{Circ: circ.id, Cmd: cell.Destroy})
+			dc := cell.Cell{Circ: circ.id, Cmd: cell.Destroy}
+			_ = circ.lk.Send(&dc)
 		}
 		close(circ.closed)
 		circ.lk.Close()

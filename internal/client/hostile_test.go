@@ -63,7 +63,7 @@ func TestClientTimesOutOnSilentRelay(t *testing.T) {
 	d := scriptedRelay(t, pn, "silent", func(lk link.Link) {
 		// Accept and say nothing.
 		for {
-			if _, err := lk.Recv(); err != nil {
+			if _, err := recvCell(lk); err != nil {
 				return
 			}
 		}
@@ -85,7 +85,7 @@ func TestClientTimesOutOnSilentRelay(t *testing.T) {
 func TestClientRejectsForgedCreated(t *testing.T) {
 	pn := link.NewPipeNet()
 	d := scriptedRelay(t, pn, "forger", func(lk link.Link) {
-		c, err := lk.Recv()
+		c, err := recvCell(lk)
 		if err != nil {
 			return
 		}
@@ -97,7 +97,7 @@ func TestClientRejectsForgedCreated(t *testing.T) {
 		for i := 0; i < onion.ReplyLen; i++ {
 			reply.Payload[i] = byte(i*7 + 1)
 		}
-		_ = lk.Send(reply)
+		_ = sendCell(lk, reply)
 	})
 	c := hostileClient(t, pn)
 	if _, err := c.BuildCircuit(twoHopPath(t, pn, d)); err == nil {
@@ -108,7 +108,7 @@ func TestClientRejectsForgedCreated(t *testing.T) {
 func TestClientSurvivesJunkRelayCells(t *testing.T) {
 	pn := link.NewPipeNet()
 	d := scriptedRelay(t, pn, "junker", func(lk link.Link) {
-		c, err := lk.Recv()
+		c, err := recvCell(lk)
 		if err != nil {
 			return
 		}
@@ -119,7 +119,7 @@ func TestClientSurvivesJunkRelayCells(t *testing.T) {
 		junk.Cmd = cell.Relay
 		for i := 0; i < 5; i++ {
 			junk.Payload[0] = byte(i)
-			if err := lk.Send(junk); err != nil {
+			if err := sendCell(lk, junk); err != nil {
 				return
 			}
 		}
@@ -133,11 +133,11 @@ func TestClientSurvivesJunkRelayCells(t *testing.T) {
 func TestClientHandlesImmediateDestroy(t *testing.T) {
 	pn := link.NewPipeNet()
 	d := scriptedRelay(t, pn, "destroyer", func(lk link.Link) {
-		c, err := lk.Recv()
+		c, err := recvCell(lk)
 		if err != nil {
 			return
 		}
-		_ = lk.Send(cell.Cell{Circ: c.Circ, Cmd: cell.Destroy})
+		_ = sendCell(lk, cell.Cell{Circ: c.Circ, Cmd: cell.Destroy})
 	})
 	c := hostileClient(t, pn)
 	_, err := c.BuildCircuit(twoHopPath(t, pn, d))
@@ -152,7 +152,7 @@ func TestClientHandlesImmediateDestroy(t *testing.T) {
 func TestClientHandlesConnDropMidBuild(t *testing.T) {
 	pn := link.NewPipeNet()
 	d := scriptedRelay(t, pn, "dropper", func(lk link.Link) {
-		if _, err := lk.Recv(); err != nil {
+		if _, err := recvCell(lk); err != nil {
 			return
 		}
 		lk.Close()
@@ -166,7 +166,7 @@ func TestClientHandlesConnDropMidBuild(t *testing.T) {
 func TestClientIgnoresWrongCircuitID(t *testing.T) {
 	pn := link.NewPipeNet()
 	d := scriptedRelay(t, pn, "misdirect", func(lk link.Link) {
-		c, err := lk.Recv()
+		c, err := recvCell(lk)
 		if err != nil {
 			return
 		}
@@ -175,7 +175,7 @@ func TestClientIgnoresWrongCircuitID(t *testing.T) {
 		var reply cell.Cell
 		reply.Circ = c.Circ + 1
 		reply.Cmd = cell.Created
-		_ = lk.Send(reply)
+		_ = sendCell(lk, reply)
 	})
 	c := hostileClient(t, pn)
 	_, err := c.BuildCircuit(twoHopPath(t, pn, d))

@@ -113,6 +113,10 @@ func PaddingSweep(m *ting.Matrix, maxPads []float64, trials int, seed int64) ([]
 // between the source and the known exit.
 type VariableScenario struct {
 	m *ting.Matrix
+	// rtt is a dense snapshot of m: the attacker's scoring loops read
+	// O(N²) cells per candidate pass, which would pay the tiled store's
+	// indirection on every read.
+	rtt [][]float64
 	// Members are the on-path relays the attacker must find (everything
 	// but the exit).
 	Members []int
@@ -126,6 +130,13 @@ type VariableScenario struct {
 // NewVariableScenario draws a circuit whose length is uniform over
 // [minLen, maxLen] hops.
 func NewVariableScenario(m *ting.Matrix, minLen, maxLen int, rng *rand.Rand) (*VariableScenario, error) {
+	return newVariableScenario(m, m.Dense(), minLen, maxLen, rng)
+}
+
+// newVariableScenario lets callers drawing many scenarios from one matrix
+// (LengthDefense) share a single dense snapshot instead of re-copying N²
+// cells per trial.
+func newVariableScenario(m *ting.Matrix, rtt [][]float64, minLen, maxLen int, rng *rand.Rand) (*VariableScenario, error) {
 	n := m.N()
 	if minLen < 3 || maxLen < minLen {
 		return nil, fmt.Errorf("deanon: bad length range [%d,%d]", minLen, maxLen)
@@ -141,14 +152,15 @@ func NewVariableScenario(m *ting.Matrix, minLen, maxLen int, rng *rand.Rand) (*V
 	attacker := perm[1+length]
 
 	exit := hops[length-1]
-	e2e := m.At(src, hops[0])
+	e2e := rtt[src][hops[0]]
 	for i := 0; i+1 < length; i++ {
-		e2e += m.At(hops[i], hops[i+1])
+		e2e += rtt[hops[i]][hops[i+1]]
 	}
-	r := m.At(exit, attacker)
+	r := rtt[exit][attacker]
 	e2e += r
 	return &VariableScenario{
 		m:               m,
+		rtt:             rtt,
 		Members:         append([]int(nil), hops[:length-1]...),
 		Exit:            exit,
 		Source:          src,
@@ -193,9 +205,10 @@ func LengthDefense(m *ting.Matrix, minLen, maxLen, trials int, seed int64) (*Len
 	}
 	rng := rand.New(rand.NewSource(seed))
 	mu := m.Mean()
+	rtt := m.Dense()
 	var fracRand, fracRTT, extra []float64
 	for t := 0; t < trials; t++ {
-		v, err := NewVariableScenario(m, minLen, maxLen, rng)
+		v, err := newVariableScenario(m, rtt, minLen, maxLen, rng)
 		if err != nil {
 			return nil, err
 		}
@@ -256,25 +269,26 @@ func candidateListVar(v *VariableScenario, rng *rand.Rand, score func(int) float
 func threeHopScore(v *VariableScenario, c int, mu float64) float64 {
 	n := v.m.N()
 	best := -1.0
+	consider := func(sum float64) {
+		if sum > v.E2E {
+			return
+		}
+		d := v.E2E - (sum + mu)
+		if d < 0 {
+			d = -d
+		}
+		if best < 0 || d < best {
+			best = d
+		}
+	}
+	rowC := v.rtt[c]
+	exitCol := v.Exit
 	for j := 0; j < n; j++ {
-		if j == c || j == v.Exit {
+		if j == c || j == exitCol {
 			continue
 		}
-		for _, sum := range []float64{
-			v.m.At(c, j) + v.m.At(j, v.Exit) + v.AttackerExitRTT, // c entry
-			v.m.At(j, c) + v.m.At(c, v.Exit) + v.AttackerExitRTT, // c middle
-		} {
-			if sum > v.E2E {
-				continue
-			}
-			d := v.E2E - (sum + mu)
-			if d < 0 {
-				d = -d
-			}
-			if best < 0 || d < best {
-				best = d
-			}
-		}
+		consider(rowC[j] + v.rtt[j][exitCol] + v.AttackerExitRTT) // c entry
+		consider(v.rtt[j][c] + rowC[exitCol] + v.AttackerExitRTT) // c middle
 	}
 	if best < 0 {
 		return 1e18 // no fitting circuit at all: probe last

@@ -24,10 +24,10 @@ func TestHealthyPlanPassesThrough(t *testing.T) {
 	if wrapped != a {
 		t.Fatal("healthy plan should not wrap the link")
 	}
-	if err := wrapped.Send(testCell()); err != nil {
+	if err := sendCell(wrapped, testCell()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b.Recv(); err != nil {
+	if _, err := recvCell(b); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -37,13 +37,13 @@ func TestDropLosesCellsSilently(t *testing.T) {
 	p.SetLink("a", "b", LinkFaults{DropProb: 1})
 	a, b := link.Pipe(4, "a", "b")
 	w := p.WrapLink(a, "a", "b")
-	if err := w.Send(testCell()); err != nil {
+	if err := sendCell(w, testCell()); err != nil {
 		t.Fatalf("dropped send must look successful, got %v", err)
 	}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		b.Recv()
+		recvCell(b)
 	}()
 	select {
 	case <-done:
@@ -61,21 +61,21 @@ func TestResetAfterDeterministic(t *testing.T) {
 	a, b := link.Pipe(8, "a", "b")
 	w := p.WrapLink(a, "a", "b")
 	for i := 0; i < 2; i++ {
-		if err := w.Send(testCell()); err != nil {
+		if err := sendCell(w, testCell()); err != nil {
 			t.Fatalf("send %d: %v", i, err)
 		}
 	}
-	err := w.Send(testCell())
+	err := sendCell(w, testCell())
 	if !errors.Is(err, ErrInjectedReset) {
 		t.Fatalf("third send: %v, want injected reset", err)
 	}
 	// Both ends observe the closure (after draining what arrived).
 	for i := 0; i < 2; i++ {
-		if _, err := b.Recv(); err != nil {
+		if _, err := recvCell(b); err != nil {
 			t.Fatalf("drain %d: %v", i, err)
 		}
 	}
-	if _, err := b.Recv(); err == nil {
+	if _, err := recvCell(b); err == nil {
 		t.Fatal("peer did not observe reset")
 	}
 }
@@ -86,10 +86,10 @@ func TestStallDelaysCell(t *testing.T) {
 	a, b := link.Pipe(4, "a", "b")
 	w := p.WrapLink(a, "a", "b")
 	start := time.Now()
-	if err := w.Send(testCell()); err != nil {
+	if err := sendCell(w, testCell()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b.Recv(); err != nil {
+	if _, err := recvCell(b); err != nil {
 		t.Fatal(err)
 	}
 	if d := time.Since(start); d < 25*time.Millisecond {
@@ -107,7 +107,7 @@ func TestSeededFaultSequenceReproducible(t *testing.T) {
 		for i := 0; i < sends; i++ {
 			c := testCell()
 			c.Circ = cell.CircID(i + 1)
-			if err := w.Send(c); err != nil {
+			if err := sendCell(w, c); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -118,7 +118,7 @@ func TestSeededFaultSequenceReproducible(t *testing.T) {
 			dropped[i] = true
 		}
 		for {
-			c, err := b.Recv()
+			c, err := recvCell(b)
 			if err != nil {
 				break
 			}
@@ -222,11 +222,11 @@ func TestDownRelayResetsExistingLinks(t *testing.T) {
 	if w == a {
 		t.Fatal("link with a scheduled peer must be wrapped")
 	}
-	if err := w.Send(testCell()); err != nil {
+	if err := sendCell(w, testCell()); err != nil {
 		t.Fatal(err)
 	}
 	p.Crash("b")
-	if err := w.Send(testCell()); !errors.Is(err, ErrInjectedReset) {
+	if err := sendCell(w, testCell()); !errors.Is(err, ErrInjectedReset) {
 		t.Fatalf("send to crashed relay: %v, want reset", err)
 	}
 }

@@ -1,0 +1,16 @@
+package faults
+
+import (
+	"ting/internal/cell"
+	"ting/internal/link"
+)
+
+// sendCell and recvCell adapt the pointer-based Link API to the by-value
+// style the tests are written in.
+func sendCell(lk link.Link, c cell.Cell) error { return lk.Send(&c) }
+
+func recvCell(lk link.Link) (cell.Cell, error) {
+	var c cell.Cell
+	err := lk.Recv(&c)
+	return c, err
+}

@@ -1,0 +1,157 @@
+package link
+
+import (
+	"sync"
+	"testing"
+
+	"ting/internal/cell"
+)
+
+// tcpPair dials a loopback TCP link pair.
+func tcpPair(t *testing.T) (client, server Link) {
+	t.Helper()
+	ln, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		server, _ = ln.Accept()
+	}()
+	client, err = TCPDialer{}.Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if server == nil {
+		t.Fatal("accept failed")
+	}
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+func TestTCPSendBatchRecvBatch(t *testing.T) {
+	client, server := tcpPair(t)
+	bs, ok := client.(BatchSender)
+	if !ok {
+		t.Fatal("TCP link does not implement BatchSender")
+	}
+	br, ok := server.(BatchRecver)
+	if !ok {
+		t.Fatal("TCP link does not implement BatchRecver")
+	}
+
+	const total = 20
+	sent := make([]cell.Cell, total)
+	for i := range sent {
+		sent[i] = testCell(uint32(i+1), byte(i))
+	}
+	if err := bs.SendBatch(sent); err != nil {
+		t.Fatal(err)
+	}
+
+	// RecvBatch must return at least one cell per call and all cells in
+	// order across calls, regardless of how TCP frames them.
+	got := make([]cell.Cell, 0, total)
+	buf := make([]cell.Cell, 8)
+	for len(got) < total {
+		n, err := br.RecvBatch(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n < 1 {
+			t.Fatal("RecvBatch returned 0 cells without error")
+		}
+		got = append(got, buf[:n]...)
+	}
+	for i := range sent {
+		if got[i] != sent[i] {
+			t.Fatalf("cell %d mismatch: circ %d tag %d", i, got[i].Circ, got[i].Payload[0])
+		}
+	}
+}
+
+func TestTCPBatchInterleavesWithSingles(t *testing.T) {
+	client, server := tcpPair(t)
+	bs := client.(BatchSender)
+
+	if err := sendCell(client, testCell(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := bs.SendBatch([]cell.Cell{testCell(2, 2), testCell(3, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sendCell(client, testCell(4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	for want := uint32(1); want <= 4; want++ {
+		got, err := recvCell(server)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Circ != cell.CircID(want) {
+			t.Fatalf("cell %d out of order: got circ %d", want, got.Circ)
+		}
+	}
+}
+
+func TestPipeRecvBatch(t *testing.T) {
+	a, b := Pipe(8, "a", "b")
+	defer a.Close()
+	defer b.Close()
+	br, ok := b.(BatchRecver)
+	if !ok {
+		t.Fatal("pipe link does not implement BatchRecver")
+	}
+	for i := 0; i < 5; i++ {
+		if err := sendCell(a, testCell(uint32(i+10), byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]cell.Cell, 8)
+	got := 0
+	for got < 5 {
+		n, err := br.RecvBatch(buf[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n < 1 {
+			t.Fatal("RecvBatch returned 0 cells without error")
+		}
+		for k := 0; k < n; k++ {
+			if buf[k].Circ != cell.CircID(got+10) {
+				t.Fatalf("cell %d out of order: circ %d", got, buf[k].Circ)
+			}
+			got++
+		}
+	}
+}
+
+func TestRecvBatchSurfacesCloseAfterDrain(t *testing.T) {
+	client, server := tcpPair(t)
+	bs := client.(BatchSender)
+	br := server.(BatchRecver)
+	if err := bs.SendBatch([]cell.Cell{testCell(1, 0), testCell(2, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	buf := make([]cell.Cell, 4)
+	got := 0
+	for {
+		n, err := br.RecvBatch(buf)
+		got += n
+		if err != nil {
+			break
+		}
+		if n == 0 {
+			t.Fatal("RecvBatch returned 0 cells without error")
+		}
+	}
+	if got != 2 {
+		t.Errorf("drained %d cells before close error, want 2", got)
+	}
+}

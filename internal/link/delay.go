@@ -51,7 +51,7 @@ type delayedLink struct {
 	closed    chan struct{}
 }
 
-func (d *delayedLink) Send(c cell.Cell) error {
+func (d *delayedLink) Send(c *cell.Cell) error {
 	select {
 	case <-d.closed:
 		return ErrClosed
@@ -60,7 +60,7 @@ func (d *delayedLink) Send(c cell.Cell) error {
 	select {
 	case <-d.closed:
 		return ErrClosed
-	case d.sendQ <- timedCell{c: c, due: time.Now().Add(d.sendDelay)}:
+	case d.sendQ <- timedCell{c: *c, due: time.Now().Add(d.sendDelay)}:
 		return nil
 	}
 }
@@ -72,7 +72,7 @@ func (d *delayedLink) sendPump() {
 			return
 		case tc := <-d.sendQ:
 			sleepUntil(tc.due, d.closed)
-			if err := d.inner.Send(tc.c); err != nil {
+			if err := d.inner.Send(&tc.c); err != nil {
 				// The peer is gone; nothing useful to do with the error
 				// here — the caller will learn via Recv or the next Send
 				// after close.
@@ -84,29 +84,31 @@ func (d *delayedLink) sendPump() {
 
 func (d *delayedLink) recvPump() {
 	for {
-		c, err := d.inner.Recv()
-		tr := timedResult{c: c, err: err, due: time.Now().Add(d.recvDelay)}
+		var tr timedResult
+		tr.err = d.inner.Recv(&tr.c)
+		tr.due = time.Now().Add(d.recvDelay)
 		select {
 		case <-d.closed:
 			return
 		case d.recvQ <- tr:
 		}
-		if err != nil {
+		if tr.err != nil {
 			return
 		}
 	}
 }
 
-func (d *delayedLink) Recv() (cell.Cell, error) {
+func (d *delayedLink) Recv(c *cell.Cell) error {
 	select {
 	case <-d.closed:
-		return cell.Cell{}, ErrClosed
+		return ErrClosed
 	case tr := <-d.recvQ:
 		if tr.err != nil {
-			return cell.Cell{}, tr.err
+			return tr.err
 		}
 		sleepUntil(tr.due, d.closed)
-		return tr.c, nil
+		*c = tr.c
+		return nil
 	}
 }
 

@@ -1,0 +1,13 @@
+package link
+
+import "ting/internal/cell"
+
+// sendCell and recvCell adapt the pointer-based Link API to the by-value
+// style the tests are written in.
+func sendCell(lk Link, c cell.Cell) error { return lk.Send(&c) }
+
+func recvCell(lk Link) (cell.Cell, error) {
+	var c cell.Cell
+	err := lk.Recv(&c)
+	return c, err
+}

@@ -26,15 +26,37 @@ var ErrClosed = errors.New("link: closed")
 // Link is an ordered, reliable, cell-oriented connection between two nodes.
 // Send and Recv may be used concurrently with each other; neither may be
 // called concurrently with itself.
+//
+// Both directions pass cells by pointer: a cell is 512 bytes, and the relay
+// forward path moves every cell through several wrapper layers (faults,
+// delay, transport), so by-value signatures would copy each cell four or
+// five times per hop. Send does not retain c past the call; Recv overwrites
+// *c in place.
 type Link interface {
-	// Send transmits one cell.
-	Send(c cell.Cell) error
-	// Recv blocks for the next cell.
-	Recv() (cell.Cell, error)
+	// Send transmits one cell. The callee does not retain c.
+	Send(c *cell.Cell) error
+	// Recv blocks for the next cell and decodes it into *c.
+	Recv(c *cell.Cell) error
 	// Close tears the link down; pending Recv calls fail.
 	Close() error
 	// RemoteAddr names the peer, for logs and circuit bookkeeping.
 	RemoteAddr() string
+}
+
+// BatchRecver is an optional Link extension: RecvBatch blocks for the first
+// cell, then fills as many further entries of cs as are available without
+// blocking, returning how many were filled (≥ 1 on nil error). Receive
+// loops use it to drain a burst in one wakeup and hand the run to batched
+// onion crypto.
+type BatchRecver interface {
+	RecvBatch(cs []cell.Cell) (int, error)
+}
+
+// BatchSender is an optional Link extension: SendBatch transmits cs
+// back-to-back with at most one flush, preserving order. The callee does
+// not retain cs.
+type BatchSender interface {
+	SendBatch(cs []cell.Cell) error
 }
 
 // Dialer opens Links to named peers.
@@ -73,8 +95,12 @@ const writeBatch = 8
 // sender flushes. A lone Send therefore still costs exactly one syscall
 // with no added latency — crucial for an RTT instrument — while
 // concurrent senders ride the same flush.
+//
+// Reads go through a bufio.Reader so RecvBatch can see whole cells already
+// buffered from a burst and return them without extra syscalls.
 type netLink struct {
 	conn net.Conn
+	br   *bufio.Reader
 	wmu  sync.Mutex
 	bw   *bufio.Writer
 	// pending counts Sends that have announced themselves but not yet
@@ -86,10 +112,14 @@ type netLink struct {
 
 // NewNetLink wraps a stream connection as a Link.
 func NewNetLink(conn net.Conn) Link {
-	return &netLink{conn: conn, bw: bufio.NewWriterSize(conn, writeBatch*cell.Size)}
+	return &netLink{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, writeBatch*cell.Size),
+		bw:   bufio.NewWriterSize(conn, writeBatch*cell.Size),
+	}
 }
 
-func (l *netLink) Send(c cell.Cell) error {
+func (l *netLink) Send(c *cell.Cell) error {
 	l.pending.Add(1)
 	l.wmu.Lock()
 	defer l.wmu.Unlock()
@@ -108,15 +138,64 @@ func (l *netLink) Send(c cell.Cell) error {
 	return nil
 }
 
-func (l *netLink) Recv() (cell.Cell, error) {
-	if _, err := io.ReadFull(l.conn, l.rbuf[:]); err != nil {
-		return cell.Cell{}, fmt.Errorf("link: recv: %w", err)
+// SendBatch implements BatchSender: all cells share one buffered write run
+// and the flush obligation is claimed once for the whole batch.
+func (l *netLink) SendBatch(cs []cell.Cell) error {
+	if len(cs) == 0 {
+		return nil
 	}
-	c, err := cell.Unmarshal(l.rbuf[:])
+	l.pending.Add(1)
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	var err error
+	for i := range cs {
+		cs[i].MarshalInto(l.wbuf[:])
+		if _, err = l.bw.Write(l.wbuf[:]); err != nil {
+			break
+		}
+	}
+	if l.pending.Add(-1) == 0 && err == nil {
+		err = l.bw.Flush()
+	}
 	if err != nil {
-		return cell.Cell{}, err
+		return fmt.Errorf("link: send: %w", err)
 	}
-	return c, nil
+	return nil
+}
+
+func (l *netLink) Recv(c *cell.Cell) error {
+	if err := l.readCell(c); err != nil {
+		return err
+	}
+	return nil
+}
+
+// RecvBatch implements BatchRecver: one blocking read for the first cell,
+// then whole cells already sitting in the read buffer are decoded without
+// touching the socket again.
+func (l *netLink) RecvBatch(cs []cell.Cell) (int, error) {
+	if len(cs) == 0 {
+		return 0, nil
+	}
+	if err := l.readCell(&cs[0]); err != nil {
+		return 0, err
+	}
+	n := 1
+	for n < len(cs) && l.br.Buffered() >= cell.Size {
+		if err := l.readCell(&cs[n]); err != nil {
+			// The first n cells are valid; surface the error on the next call.
+			return n, nil
+		}
+		n++
+	}
+	return n, nil
+}
+
+func (l *netLink) readCell(c *cell.Cell) error {
+	if _, err := io.ReadFull(l.br, l.rbuf[:]); err != nil {
+		return fmt.Errorf("link: recv: %w", err)
+	}
+	return cell.UnmarshalInto(c, l.rbuf[:])
 }
 
 func (l *netLink) Close() error       { return l.conn.Close() }

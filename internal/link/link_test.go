@@ -24,10 +24,10 @@ func TestPipeRoundTrip(t *testing.T) {
 		t.Errorf("RemoteAddrs: %q, %q", a.RemoteAddr(), b.RemoteAddr())
 	}
 	want := testCell(7, 0x42)
-	if err := a.Send(want); err != nil {
+	if err := sendCell(a, want); err != nil {
 		t.Fatal(err)
 	}
-	got, err := b.Recv()
+	got, err := recvCell(b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,10 +35,10 @@ func TestPipeRoundTrip(t *testing.T) {
 		t.Error("cell mismatch over pipe")
 	}
 	// And the other direction.
-	if err := b.Send(testCell(8, 1)); err != nil {
+	if err := sendCell(b, testCell(8, 1)); err != nil {
 		t.Fatal(err)
 	}
-	if got, err := a.Recv(); err != nil || got.Circ != 8 {
+	if got, err := recvCell(a); err != nil || got.Circ != 8 {
 		t.Errorf("reverse direction: %v, %v", got, err)
 	}
 }
@@ -48,12 +48,12 @@ func TestPipeOrdering(t *testing.T) {
 	defer a.Close()
 	defer b.Close()
 	for i := 0; i < 100; i++ {
-		if err := a.Send(testCell(uint32(i), byte(i))); err != nil {
+		if err := sendCell(a, testCell(uint32(i), byte(i))); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := 0; i < 100; i++ {
-		got, err := b.Recv()
+		got, err := recvCell(b)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -67,7 +67,7 @@ func TestPipeCloseUnblocksRecv(t *testing.T) {
 	a, b := Pipe(1, "a", "b")
 	done := make(chan error, 1)
 	go func() {
-		_, err := b.Recv()
+		_, err := recvCell(b)
 		done <- err
 	}()
 	time.Sleep(10 * time.Millisecond)
@@ -80,25 +80,25 @@ func TestPipeCloseUnblocksRecv(t *testing.T) {
 	case <-time.After(2 * time.Second):
 		t.Fatal("Recv did not unblock on peer close")
 	}
-	if err := a.Send(testCell(1, 1)); !errors.Is(err, ErrClosed) {
+	if err := sendCell(a, testCell(1, 1)); !errors.Is(err, ErrClosed) {
 		t.Errorf("Send on closed link = %v, want ErrClosed", err)
 	}
 }
 
 func TestPipeDrainsBufferAfterPeerClose(t *testing.T) {
 	a, b := Pipe(4, "a", "b")
-	if err := a.Send(testCell(5, 5)); err != nil {
+	if err := sendCell(a, testCell(5, 5)); err != nil {
 		t.Fatal(err)
 	}
 	a.Close()
-	got, err := b.Recv()
+	got, err := recvCell(b)
 	if err != nil {
 		t.Fatalf("buffered cell lost on close: %v", err)
 	}
 	if got.Circ != 5 {
 		t.Errorf("got circ %d", got.Circ)
 	}
-	if _, err := b.Recv(); err == nil {
+	if _, err := recvCell(b); err == nil {
 		t.Error("second Recv should fail after drain")
 	}
 }
@@ -130,10 +130,10 @@ func TestTCPLinkRoundTrip(t *testing.T) {
 	defer serverLink.Close()
 
 	want := testCell(99, 0xAB)
-	if err := clientLink.Send(want); err != nil {
+	if err := sendCell(clientLink, want); err != nil {
 		t.Fatal(err)
 	}
-	got, err := serverLink.Recv()
+	got, err := recvCell(serverLink)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,10 +141,10 @@ func TestTCPLinkRoundTrip(t *testing.T) {
 		t.Error("cell mismatch over TCP")
 	}
 	// Reverse direction.
-	if err := serverLink.Send(testCell(100, 1)); err != nil {
+	if err := sendCell(serverLink, testCell(100, 1)); err != nil {
 		t.Fatal(err)
 	}
-	if got, err := clientLink.Recv(); err != nil || got.Circ != 100 {
+	if got, err := recvCell(clientLink); err != nil || got.Circ != 100 {
 		t.Errorf("reverse: %v %v", got, err)
 	}
 }
@@ -165,21 +165,21 @@ func TestDelayedLinkInjectsLatency(t *testing.T) {
 	// Echo server on the raw side.
 	go func() {
 		for {
-			c, err := b.Recv()
+			c, err := recvCell(b)
 			if err != nil {
 				return
 			}
-			if err := b.Send(c); err != nil {
+			if err := sendCell(b, c); err != nil {
 				return
 			}
 		}
 	}()
 
 	start := time.Now()
-	if err := da.Send(testCell(1, 1)); err != nil {
+	if err := sendCell(da, testCell(1, 1)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := da.Recv(); err != nil {
+	if _, err := recvCell(da); err != nil {
 		t.Fatal(err)
 	}
 	rtt := time.Since(start)
@@ -197,12 +197,12 @@ func TestDelayedLinkPreservesOrder(t *testing.T) {
 	defer da.Close()
 	defer b.Close()
 	for i := 0; i < 20; i++ {
-		if err := da.Send(testCell(uint32(i), 0)); err != nil {
+		if err := sendCell(da, testCell(uint32(i), 0)); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := 0; i < 20; i++ {
-		got, err := b.Recv()
+		got, err := recvCell(b)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -217,7 +217,7 @@ func TestDelayedLinkClose(t *testing.T) {
 	da := Delayed(a, time.Millisecond, time.Millisecond)
 	done := make(chan error, 1)
 	go func() {
-		_, err := da.Recv()
+		_, err := recvCell(da)
 		done <- err
 	}()
 	time.Sleep(5 * time.Millisecond)
@@ -230,7 +230,7 @@ func TestDelayedLinkClose(t *testing.T) {
 	case <-time.After(2 * time.Second):
 		t.Fatal("Recv did not unblock")
 	}
-	if err := da.Send(testCell(0, 0)); !errors.Is(err, ErrClosed) {
+	if err := sendCell(da, testCell(0, 0)); !errors.Is(err, ErrClosed) {
 		t.Errorf("Send after close = %v", err)
 	}
 	b.Close()
@@ -241,7 +241,7 @@ func TestDelayedPropagatesPeerClose(t *testing.T) {
 	da := Delayed(a, 0, 0)
 	defer da.Close()
 	b.Close()
-	if _, err := da.Recv(); err == nil {
+	if _, err := recvCell(da); err == nil {
 		t.Error("Recv should fail once peer closes")
 	}
 }
@@ -260,21 +260,21 @@ func TestPipeNetDialAndListen(t *testing.T) {
 		if err != nil {
 			return
 		}
-		c, err := l.Recv()
+		c, err := recvCell(l)
 		if err != nil {
 			return
 		}
-		_ = l.Send(c)
+		_ = sendCell(l, c)
 	}()
 	lk, err := n.Dial("relay1")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer lk.Close()
-	if err := lk.Send(testCell(3, 3)); err != nil {
+	if err := sendCell(lk, testCell(3, 3)); err != nil {
 		t.Fatal(err)
 	}
-	got, err := lk.Recv()
+	got, err := recvCell(lk)
 	if err != nil || got.Circ != 3 {
 		t.Errorf("echo through pipenet: %v %v", got, err)
 	}
@@ -332,7 +332,7 @@ func TestConcurrentSendRecv(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < n; i++ {
-			if err := a.Send(testCell(uint32(i), 0)); err != nil {
+			if err := sendCell(a, testCell(uint32(i), 0)); err != nil {
 				t.Errorf("send %d: %v", i, err)
 				return
 			}
@@ -341,7 +341,7 @@ func TestConcurrentSendRecv(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < n; i++ {
-			got, err := b.Recv()
+			got, err := recvCell(b)
 			if err != nil {
 				t.Errorf("recv %d: %v", i, err)
 				return

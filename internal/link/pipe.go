@@ -36,7 +36,7 @@ func Pipe(capacity int, addrA, addrB string) (Link, Link) {
 	return a, b
 }
 
-func (p *pipeHalf) Send(c cell.Cell) error {
+func (p *pipeHalf) Send(c *cell.Cell) error {
 	// Check our own closure first: a buffered out channel could otherwise
 	// win the select below even after Close.
 	select {
@@ -49,26 +49,57 @@ func (p *pipeHalf) Send(c cell.Cell) error {
 		return ErrClosed
 	case <-p.peerClosed:
 		return fmt.Errorf("link: peer %s closed", p.peerAddr)
-	case p.out <- c:
+	case p.out <- *c:
 		return nil
 	}
 }
 
-func (p *pipeHalf) Recv() (cell.Cell, error) {
+// SendBatch implements BatchSender over the channel transport.
+func (p *pipeHalf) SendBatch(cs []cell.Cell) error {
+	for i := range cs {
+		if err := p.Send(&cs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *pipeHalf) Recv(c *cell.Cell) error {
 	select {
 	case <-p.closed:
-		return cell.Cell{}, ErrClosed
-	case c := <-p.in:
-		return c, nil
+		return ErrClosed
+	case *c = <-p.in:
+		return nil
 	case <-p.peerClosed:
 		// Drain anything already buffered before reporting closure.
 		select {
-		case c := <-p.in:
-			return c, nil
+		case *c = <-p.in:
+			return nil
 		default:
-			return cell.Cell{}, fmt.Errorf("link: peer %s closed", p.peerAddr)
+			return fmt.Errorf("link: peer %s closed", p.peerAddr)
 		}
 	}
+}
+
+// RecvBatch implements BatchRecver: one blocking receive, then a
+// non-blocking drain of whatever the peer has already queued.
+func (p *pipeHalf) RecvBatch(cs []cell.Cell) (int, error) {
+	if len(cs) == 0 {
+		return 0, nil
+	}
+	if err := p.Recv(&cs[0]); err != nil {
+		return 0, err
+	}
+	n := 1
+	for n < len(cs) {
+		select {
+		case cs[n] = <-p.in:
+			n++
+		default:
+			return n, nil
+		}
+	}
+	return n, nil
 }
 
 func (p *pipeHalf) Close() error {

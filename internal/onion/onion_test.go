@@ -465,3 +465,76 @@ func TestMultiHopRoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// twinHops derives two hop states from the same key schedule — the
+// handshake's key generation is deliberately non-deterministic, so tests
+// that need identical twins go straight to the KDF.
+func twinHops(t *testing.T, label byte) (a, b *HopState) {
+	t.Helper()
+	secret := bytes.Repeat([]byte{label}, 64)
+	ks := deriveKeys(secret)
+	a, err := newHopState(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err = newHopState(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func TestCryptForwardBatchMatchesSequential(t *testing.T) {
+	// Twin states from one key schedule: one crypts sequentially and the
+	// other in a batch, and the ciphertexts — and the keystream positions
+	// afterwards — must agree.
+	seqHop, batchHop := twinHops(t, 0x41)
+
+	const n = 5
+	var seq, batch [n][cell.PayloadLen]byte
+	for k := 0; k < n; k++ {
+		for i := range seq[k] {
+			seq[k][i] = byte(k*31 + i)
+		}
+		batch[k] = seq[k]
+	}
+
+	ps := make([]*[cell.PayloadLen]byte, n)
+	for k := range batch {
+		ps[k] = &batch[k]
+	}
+	batchHop.CryptForwardBatch(ps)
+	for k := range seq {
+		seqHop.CryptForward(&seq[k])
+	}
+	for k := range seq {
+		if seq[k] != batch[k] {
+			t.Fatalf("payload %d: batch ciphertext differs from sequential", k)
+		}
+	}
+
+	// The streams must stay aligned for whatever comes next — including a
+	// single-payload batch (the fast path) against a plain crypt.
+	var a, b [cell.PayloadLen]byte
+	for i := range a {
+		a[i] = byte(i ^ 0x5A)
+	}
+	b = a
+	seqHop.CryptForward(&a)
+	batchHop.CryptForwardBatch([]*[cell.PayloadLen]byte{&b})
+	if a != b {
+		t.Error("keystream positions diverged after batch crypt")
+	}
+}
+
+func TestCryptForwardBatchEmpty(t *testing.T) {
+	hop, other := twinHops(t, 0x42)
+	hop.CryptForwardBatch(nil) // must not panic or advance the stream
+	var p, q [cell.PayloadLen]byte
+	q = p
+	hop.CryptForward(&p)
+	other.CryptForward(&q)
+	if p != q {
+		t.Error("empty batch advanced the keystream")
+	}
+}

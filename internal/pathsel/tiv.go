@@ -36,16 +36,20 @@ func FindTIVs(m *ting.Matrix) ([]TIV, error) {
 		return nil, errors.New("pathsel: nil matrix")
 	}
 	n := m.N()
+	// O(N³) cell reads: one dense materialization up front beats paying
+	// the tiled store's indirection per read.
+	rtt := m.Dense()
 	var out []TIV
 	for s := 0; s < n; s++ {
+		rowS := rtt[s]
 		for d := s + 1; d < n; d++ {
-			direct := m.At(s, d)
+			direct := rowS[d]
 			best := TIV{S: s, D: d, R: -1, DirectMs: direct, DetourMs: direct}
 			for r := 0; r < n; r++ {
 				if r == s || r == d {
 					continue
 				}
-				detour := m.At(s, r) + m.At(r, d)
+				detour := rowS[r] + rtt[r][d]
 				if detour < best.DetourMs {
 					best.DetourMs = detour
 					best.R = r

@@ -70,7 +70,8 @@ func (c *circuit) sendBackward(rc cell.RelayCell) error {
 	defer c.bwdMu.Unlock()
 	c.hop.SealBackward(&p)
 	c.hop.CryptBackward(&p)
-	return c.prevCS.lk.Send(cell.Cell{Circ: c.prevID, Cmd: cell.Relay, Payload: p})
+	out := cell.Cell{Circ: c.prevID, Cmd: cell.Relay, Payload: p}
+	return c.prevCS.lk.Send(&out)
 }
 
 // relayBackward adds this hop's layer to a cell arriving from the next
@@ -79,7 +80,8 @@ func (c *circuit) relayBackward(p *[cell.PayloadLen]byte) error {
 	c.bwdMu.Lock()
 	defer c.bwdMu.Unlock()
 	c.hop.CryptBackward(p)
-	return c.prevCS.lk.Send(cell.Cell{Circ: c.prevID, Cmd: cell.Relay, Payload: *p})
+	out := cell.Cell{Circ: c.prevID, Cmd: cell.Relay, Payload: *p}
+	return c.prevCS.lk.Send(&out)
 }
 
 func (c *circuit) handleExtend(rc cell.RelayCell) {
@@ -134,7 +136,7 @@ func (c *circuit) handleExtend(rc cell.RelayCell) {
 	create.Circ = nextID
 	create.Cmd = cell.Create
 	copy(create.Payload[:], onionskin)
-	if err := oc.send(create); err != nil {
+	if err := oc.send(&create); err != nil {
 		c.clearExtend()
 		oc.unregister(nextID)
 		c.extendFailed(fmt.Sprintf("create to %s: %v", addr, err))
@@ -433,12 +435,13 @@ func (c *circuit) destroy(notifyPrev, notifyNext bool) {
 		st.close()
 	}
 	if notifyPrev {
-		_ = c.prevCS.lk.Send(cell.Cell{Circ: c.prevID, Cmd: cell.Destroy})
+		_ = c.prevCS.sendControl(c.prevID, cell.Destroy)
 	}
 	if next != nil {
 		next.unregister(nextID)
 		if notifyNext {
-			_ = next.send(cell.Cell{Circ: nextID, Cmd: cell.Destroy})
+			dc := cell.Cell{Circ: nextID, Cmd: cell.Destroy}
+			_ = next.send(&dc)
 		}
 	}
 }

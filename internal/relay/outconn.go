@@ -102,11 +102,12 @@ func (oc *outConn) lookup(id cell.CircID) *circuit {
 	return oc.circuits[id]
 }
 
-// readLoop demultiplexes inbound cells to their circuits.
+// readLoop demultiplexes inbound cells to their circuits. One cell is
+// reused across iterations; every handler below copies what it keeps.
 func (oc *outConn) readLoop() {
+	var c cell.Cell
 	for {
-		c, err := oc.lk.Recv()
-		if err != nil {
+		if err := oc.lk.Recv(&c); err != nil {
 			oc.teardown()
 			return
 		}
@@ -168,4 +169,18 @@ func (oc *outConn) teardown() {
 }
 
 // send transmits a cell on the shared link.
-func (oc *outConn) send(c cell.Cell) error { return oc.lk.Send(c) }
+func (oc *outConn) send(c *cell.Cell) error { return oc.lk.Send(c) }
+
+// sendBatch transmits cells back-to-back, with one flush when the link
+// supports batched sends.
+func (oc *outConn) sendBatch(cs []cell.Cell) error {
+	if bs, ok := oc.lk.(link.BatchSender); ok {
+		return bs.SendBatch(cs)
+	}
+	for i := range cs {
+		if err := oc.lk.Send(&cs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -86,10 +86,10 @@ func TestCreateHandshakeDirect(t *testing.T) {
 	create.Circ = 7
 	create.Cmd = cell.Create
 	copy(create.Payload[:], hs.Onionskin())
-	if err := lk.Send(create); err != nil {
+	if err := sendCell(lk, create); err != nil {
 		t.Fatal(err)
 	}
-	got, err := lk.Recv()
+	got, err := recvCell(lk)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,16 +119,16 @@ func TestDuplicateCreateDestroyed(t *testing.T) {
 		create.Circ = 9
 		create.Cmd = cell.Create
 		copy(create.Payload[:], hs.Onionskin())
-		if err := lk.Send(create); err != nil {
+		if err := sendCell(lk, create); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// First reply: CREATED. Second: DESTROY (duplicate ID).
-	first, err := lk.Recv()
+	first, err := recvCell(lk)
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := lk.Recv()
+	second, err := recvCell(lk)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,10 +150,10 @@ func TestGarbageCreateDestroyed(t *testing.T) {
 	create.Cmd = cell.Create
 	// All-zero onionskin is an invalid X25519 point result (low order);
 	// the relay must refuse, not crash.
-	if err := lk.Send(create); err != nil {
+	if err := sendCell(lk, create); err != nil {
 		t.Fatal(err)
 	}
-	got, err := lk.Recv()
+	got, err := recvCell(lk)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,14 +170,14 @@ func TestRelayOnUnknownCircuitIgnored(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer lk.Close()
-	if err := lk.Send(cell.Cell{Circ: 123, Cmd: cell.Relay}); err != nil {
+	if err := sendCell(lk, cell.Cell{Circ: 123, Cmd: cell.Relay}); err != nil {
 		t.Fatal(err)
 	}
 	// Also padding and destroy on unknown circuits must be harmless.
-	if err := lk.Send(cell.Cell{Circ: 5, Cmd: cell.Padding}); err != nil {
+	if err := sendCell(lk, cell.Cell{Circ: 5, Cmd: cell.Padding}); err != nil {
 		t.Fatal(err)
 	}
-	if err := lk.Send(cell.Cell{Circ: 5, Cmd: cell.Destroy}); err != nil {
+	if err := sendCell(lk, cell.Cell{Circ: 5, Cmd: cell.Destroy}); err != nil {
 		t.Fatal(err)
 	}
 	time.Sleep(20 * time.Millisecond)

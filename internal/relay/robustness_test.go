@@ -31,10 +31,10 @@ func establishedCircuit(t *testing.T, pn *link.PipeNet, name string) (link.Link,
 	create.Circ = 77
 	create.Cmd = cell.Create
 	copy(create.Payload[:], hs.Onionskin())
-	if err := lk.Send(create); err != nil {
+	if err := sendCell(lk, create); err != nil {
 		t.Fatal(err)
 	}
-	got, err := lk.Recv()
+	got, err := recvCell(lk)
 	if err != nil || got.Cmd != cell.Created {
 		t.Fatalf("no CREATED: %v %v", got.Cmd, err)
 	}
@@ -59,11 +59,11 @@ func TestRelaySurvivesGarbageRelayCells(t *testing.T) {
 	for i := range c.Payload {
 		c.Payload[i] = byte(rng.Intn(256))
 	}
-	if err := lk.Send(c); err != nil {
+	if err := sendCell(lk, c); err != nil {
 		t.Fatal(err)
 	}
 	// The relay answers with DESTROY (junk at the end of a circuit).
-	got, err := lk.Recv()
+	got, err := recvCell(lk)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,10 +83,10 @@ func TestRelaySurvivesRecognizedGarbageCommand(t *testing.T) {
 	p[0] = 250 // unknown relay command, recognized=0
 	hop.SealForward(&p)
 	hop.CryptForward(&p)
-	if err := lk.Send(cell.Cell{Circ: circ, Cmd: cell.Relay, Payload: p}); err != nil {
+	if err := sendCell(lk, cell.Cell{Circ: circ, Cmd: cell.Relay, Payload: p}); err != nil {
 		t.Fatal(err)
 	}
-	got, err := lk.Recv()
+	got, err := recvCell(lk)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +107,7 @@ func TestRelayIgnoresDropCells(t *testing.T) {
 	}
 	hop.SealForward(&p)
 	hop.CryptForward(&p)
-	if err := lk.Send(cell.Cell{Circ: circ, Cmd: cell.Relay, Payload: p}); err != nil {
+	if err := sendCell(lk, cell.Cell{Circ: circ, Cmd: cell.Relay, Payload: p}); err != nil {
 		t.Fatal(err)
 	}
 	// The circuit stays alive: a subsequent sealed BEGIN to a non-exit is
@@ -119,10 +119,10 @@ func TestRelayIgnoresDropCells(t *testing.T) {
 	}
 	hop.SealForward(&p2)
 	hop.CryptForward(&p2)
-	if err := lk.Send(cell.Cell{Circ: circ, Cmd: cell.Relay, Payload: p2}); err != nil {
+	if err := sendCell(lk, cell.Cell{Circ: circ, Cmd: cell.Relay, Payload: p2}); err != nil {
 		t.Fatal(err)
 	}
-	got, err := lk.Recv()
+	got, err := recvCell(lk)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,10 +154,10 @@ func TestRelaySurvivesExtendGarbage(t *testing.T) {
 	}
 	hop.SealForward(&p)
 	hop.CryptForward(&p)
-	if err := lk.Send(cell.Cell{Circ: circ, Cmd: cell.Relay, Payload: p}); err != nil {
+	if err := sendCell(lk, cell.Cell{Circ: circ, Cmd: cell.Relay, Payload: p}); err != nil {
 		t.Fatal(err)
 	}
-	got, err := lk.Recv()
+	got, err := recvCell(lk)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,10 +185,10 @@ func TestRelayDataOnUnknownStream(t *testing.T) {
 	}
 	hop.SealForward(&p)
 	hop.CryptForward(&p)
-	if err := lk.Send(cell.Cell{Circ: circ, Cmd: cell.Relay, Payload: p}); err != nil {
+	if err := sendCell(lk, cell.Cell{Circ: circ, Cmd: cell.Relay, Payload: p}); err != nil {
 		t.Fatal(err)
 	}
-	got, err := lk.Recv()
+	got, err := recvCell(lk)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +218,7 @@ func TestRelaySurvivesCellFlood(t *testing.T) {
 	// design — and stall the flood itself.
 	go func() {
 		for {
-			if _, err := lk.Recv(); err != nil {
+			if _, err := recvCell(lk); err != nil {
 				return
 			}
 		}
@@ -232,7 +232,7 @@ func TestRelaySurvivesCellFlood(t *testing.T) {
 		for j := 0; j < 16; j++ {
 			c.Payload[rng.Intn(cell.PayloadLen)] = byte(rng.Intn(256))
 		}
-		if err := lk.Send(c); err != nil {
+		if err := sendCell(lk, c); err != nil {
 			t.Fatalf("flood send %d: %v", i, err)
 		}
 	}
@@ -261,11 +261,11 @@ func TestRelaySurvivesCellFlood(t *testing.T) {
 		create.Circ = 1
 		create.Cmd = cell.Create
 		copy(create.Payload[:], hs.Onionskin())
-		if err := lk2.Send(create); err != nil {
+		if err := sendCell(lk2, create); err != nil {
 			okCh <- err
 			return
 		}
-		got, err := lk2.Recv()
+		got, err := recvCell(lk2)
 		if err != nil {
 			okCh <- err
 			return
@@ -273,7 +273,7 @@ func TestRelaySurvivesCellFlood(t *testing.T) {
 		// After a flood of garbage CREATEs the relay may answer DESTROY to
 		// bad ones but must answer CREATED to ours.
 		for got.Cmd != cell.Created {
-			got, err = lk2.Recv()
+			got, err = recvCell(lk2)
 			if err != nil {
 				okCh <- err
 				return

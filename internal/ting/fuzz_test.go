@@ -39,9 +39,9 @@ func FuzzDecodeMatrix(f *testing.F) {
 		if again.N() != got.N() {
 			t.Fatal("size changed across round trip")
 		}
-		for i := range got.R {
-			for j := range got.R[i] {
-				a, b := got.R[i][j], again.R[i][j]
+		for i := 0; i < got.N(); i++ {
+			for j := 0; j < got.N(); j++ {
+				a, b := got.At(i, j), again.At(i, j)
 				if a != b && !(a != a && b != b) { // NaN-tolerant equality
 					t.Fatalf("cell (%d,%d) changed: %v → %v", i, j, a, b)
 				}

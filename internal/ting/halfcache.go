@@ -56,8 +56,8 @@ func NewHalfCache(ttl time.Duration) *HalfCache {
 	return &HalfCache{
 		ttl:     ttl,
 		now:     time.Now,
-		entries: make(map[string]halfEntry),
-		flights: make(map[string]*halfFlight),
+		entries: make(map[string]halfEntry, 64),
+		flights: make(map[string]*halfFlight, 8),
 	}
 }
 
@@ -65,6 +65,21 @@ func NewHalfCache(ttl time.Duration) *HalfCache {
 // sample count it was measured with.
 func halfKey(path []string, samples int) string {
 	return strings.Join(path, ",") + "#" + strconv.Itoa(samples)
+}
+
+// halfKeyInto appends the same key to a caller-owned buffer. Do builds its
+// key on the stack and looks it up via map[string(buf)] — which the
+// compiler performs without materializing the string — so cache hits, the
+// all-pairs steady state, allocate nothing.
+func halfKeyInto(buf []byte, path []string, samples int) []byte {
+	for i, hop := range path {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, hop...)
+	}
+	buf = append(buf, '#')
+	return strconv.AppendInt(buf, int64(samples), 10)
 }
 
 // Len returns the number of memoized half circuits (completed series only,
@@ -122,15 +137,19 @@ func (c *HalfCache) InvalidateRelay(name string) int {
 // measurement; obs (nil-safe) is told whether this call hit, measured, or
 // waited on another worker's in-flight series.
 func (c *HalfCache) Do(ctx context.Context, path []string, samples int, obs *Observer, fn func(context.Context) (float64, error)) (float64, error) {
-	key := halfKey(path, samples)
+	// The key lives on the stack; the string conversions inside the map
+	// indexes below do not allocate. A real string is only made on the miss
+	// path, where a measurement is about to dwarf it.
+	var kb [96]byte
+	key := halfKeyInto(kb[:0], path, samples)
 	for {
 		c.mu.Lock()
-		if e, ok := c.entries[key]; ok && !c.expired(e) {
+		if e, ok := c.entries[string(key)]; ok && !c.expired(e) {
 			c.mu.Unlock()
 			obs.halfCircuit(path, HalfCircuitHit)
 			return e.min, nil
 		}
-		if f, ok := c.flights[key]; ok {
+		if f, ok := c.flights[string(key)]; ok {
 			c.mu.Unlock()
 			obs.halfCircuit(path, HalfCircuitWait)
 			select {
@@ -148,24 +167,28 @@ func (c *HalfCache) Do(ctx context.Context, path []string, samples int, obs *Obs
 			// a fresher flight to join or measure ourselves.
 			continue
 		}
+		skey := string(key)
 		f := &halfFlight{done: make(chan struct{})}
-		c.flights[key] = f
+		c.flights[skey] = f
 		c.mu.Unlock()
 
 		obs.halfCircuit(path, HalfCircuitMiss)
 		min, err := fn(ctx)
 		f.min, f.err = min, err
 		c.mu.Lock()
-		delete(c.flights, key)
+		delete(c.flights, skey)
 		var hook func(path []string, samples int, min float64)
 		if err == nil {
-			c.entries[key] = halfEntry{min: min, when: c.now()}
+			c.entries[skey] = halfEntry{min: min, when: c.now()}
 			hook = c.onStore
 		}
 		c.mu.Unlock()
 		close(f.done)
 		if hook != nil {
-			hook(path, samples, min)
+			// The hook outlives this call (it appends to the checkpoint
+			// asynchronously in principle); the path it sees must not alias
+			// the Measurer's scratch.
+			hook(clonePath(path), samples, min)
 		}
 		return min, err
 	}

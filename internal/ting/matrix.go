@@ -12,18 +12,45 @@ import (
 	"time"
 )
 
+// TileShift is log2 of the matrix tile dimension: cells are stored in
+// TileDim×TileDim blocks, allocated on first write.
+const TileShift = 6
+
+const (
+	// TileDim is the tile edge length in cells.
+	TileDim  = 1 << TileShift
+	tileMask = TileDim - 1
+)
+
+// tile is one TileDim×TileDim block of the matrix, row-major. Value and
+// provenance live side by side so a cell's full state has one owner; the
+// zero value of both arrays (0.0, ProvMissing) is exactly the meaning of
+// an unwritten cell, so tiles need no initialization beyond allocation.
+type tile struct {
+	r    [TileDim * TileDim]float64
+	prov [TileDim * TileDim]Provenance
+}
+
+// tidx maps global indices to a cell's offset within its tile.
+func tidx(i, j int) int { return (i&tileMask)<<TileShift | (j & tileMask) }
+
 // Matrix is an all-pairs RTT dataset over named relays — the artifact
 // Ting exists to produce and every Section 5 application consumes.
+// R[i][j], read via At/RTT, is the measured RTT between Names[i] and
+// Names[j] in milliseconds; symmetric with zero diagonal.
+//
+// Storage is tiled: cells live in TileDim×TileDim blocks materialized on
+// first write, so a 10k-relay campaign that has measured 1% of its pairs
+// holds 1% (plus block rounding) of the 800 MB a dense N² array would
+// pin. Unmaterialized tiles read as zero / ProvMissing.
 type Matrix struct {
 	Names []string
-	// R[i][j] is the measured RTT between Names[i] and Names[j] in
-	// milliseconds. Symmetric with zero diagonal.
-	R [][]float64
 
 	index map[string]int
-	// prov is lazily allocated cell provenance; nil means every cell is
-	// ProvMissing. Runtime annotation only — Encode does not persist it.
-	prov [][]Provenance
+	// tiles[ti][tj] covers rows [ti·TileDim, (ti+1)·TileDim) × the
+	// matching column band; nil until a cell in the block is written. The
+	// grid itself is N²/TileDim² pointers — negligible next to the cells.
+	tiles [][]*tile
 }
 
 // Provenance classifies how a matrix cell got its value — the per-cell
@@ -57,14 +84,15 @@ func (p Provenance) String() string {
 	return fmt.Sprintf("Provenance(%d)", int(p))
 }
 
-// NewMatrix allocates a zeroed matrix over names.
+// NewMatrix allocates a zeroed matrix over names. No cell tiles are
+// materialized: a fresh matrix costs O(N²/TileDim²) pointers, not O(N²)
+// cells.
 func NewMatrix(names []string) (*Matrix, error) {
 	if len(names) < 2 {
 		return nil, errors.New("ting: matrix needs at least two relays")
 	}
 	m := &Matrix{
 		Names: append([]string(nil), names...),
-		R:     make([][]float64, len(names)),
 		index: make(map[string]int, len(names)),
 	}
 	for i, n := range m.Names {
@@ -75,17 +103,60 @@ func NewMatrix(names []string) (*Matrix, error) {
 			return nil, fmt.Errorf("ting: duplicate relay %q", n)
 		}
 		m.index[n] = i
-		m.R[i] = make([]float64, len(names))
 	}
+	m.tiles = newTileGrid(tileCount(len(names)), nil)
 	return m, nil
+}
+
+// tileCount is how many tile bands cover n cells per axis.
+func tileCount(n int) int { return (n + tileMask) >> TileShift }
+
+// newTileGrid allocates a tn×tn grid of nil tile pointers in one backing
+// slice, copying old's pointers into the top-left corner when growing.
+// Tiling is index-stable — cell (i,j) lives in tile (i»TileShift,
+// j»TileShift) no matter how large the matrix is — so growth never moves
+// cells, only re-places tile pointers on the wider grid.
+func newTileGrid(tn int, old [][]*tile) [][]*tile {
+	grid := make([][]*tile, tn)
+	backing := make([]*tile, tn*tn)
+	for ti := range grid {
+		grid[ti] = backing[ti*tn : (ti+1)*tn : (ti+1)*tn]
+		if ti < len(old) {
+			copy(grid[ti], old[ti])
+		}
+	}
+	return grid
 }
 
 // N returns the number of relays.
 func (m *Matrix) N() int { return len(m.Names) }
 
+// at reads a cell without bounds checking; unmaterialized tiles are zero.
+func (m *Matrix) at(i, j int) float64 {
+	t := m.tiles[i>>TileShift][j>>TileShift]
+	if t == nil {
+		return 0
+	}
+	return t.r[tidx(i, j)]
+}
+
+// cellTile returns the tile holding (i,j), materializing it on first
+// write.
+func (m *Matrix) cellTile(i, j int) *tile {
+	ti, tj := i>>TileShift, j>>TileShift
+	t := m.tiles[ti][tj]
+	if t == nil {
+		t = new(tile)
+		m.tiles[ti][tj] = t
+	}
+	return t
+}
+
 // AddName grows the matrix by one relay: a new zeroed row and column whose
 // cells are ProvMissing until measured. This is how a mid-scan consensus
-// join enters an in-progress campaign's matrix.
+// join enters an in-progress campaign's matrix. Crossing a tile boundary
+// re-places the existing tile pointers on a wider grid; cell blocks
+// themselves never move or reallocate.
 func (m *Matrix) AddName(name string) error {
 	if name == "" {
 		return errors.New("ting: empty relay name")
@@ -95,16 +166,8 @@ func (m *Matrix) AddName(name string) error {
 	}
 	m.index[name] = len(m.Names)
 	m.Names = append(m.Names, name)
-	n := len(m.Names)
-	for i := range m.R {
-		m.R[i] = append(m.R[i], 0)
-	}
-	m.R = append(m.R, make([]float64, n))
-	if m.prov != nil {
-		for i := range m.prov {
-			m.prov[i] = append(m.prov[i], ProvMissing)
-		}
-		m.prov = append(m.prov, make([]Provenance, n))
+	if tn := tileCount(len(m.Names)); tn > len(m.tiles) {
+		m.tiles = newTileGrid(tn, m.tiles)
 	}
 	return nil
 }
@@ -119,8 +182,8 @@ func (m *Matrix) Set(x, y string, ms float64) error {
 	if !ok {
 		return fmt.Errorf("ting: unknown relay %q", y)
 	}
-	m.R[i][j] = ms
-	m.R[j][i] = ms
+	m.cellTile(i, j).r[tidx(i, j)] = ms
+	m.cellTile(j, i).r[tidx(j, i)] = ms
 	return nil
 }
 
@@ -134,11 +197,61 @@ func (m *Matrix) RTT(x, y string) (float64, error) {
 	if !ok {
 		return 0, fmt.Errorf("ting: unknown relay %q", y)
 	}
-	return m.R[i][j], nil
+	return m.at(i, j), nil
 }
 
-// At returns the RTT by index.
-func (m *Matrix) At(i, j int) float64 { return m.R[i][j] }
+// At returns the RTT by index; it panics on out-of-range indices like the
+// slice access it replaces.
+func (m *Matrix) At(i, j int) float64 {
+	n := len(m.Names)
+	if i < 0 || j < 0 || i >= n || j >= n {
+		panic(fmt.Sprintf("ting: matrix index (%d,%d) out of range [0,%d)", i, j, n))
+	}
+	return m.at(i, j)
+}
+
+// Dense materializes the matrix as row slices over one backing array —
+// for O(N²)-and-up analysis loops (TIV scans, path enumeration) where
+// per-cell At calls would pay the tile indirection N³ times. The copy is
+// independent of the matrix; mutate neither expecting the other to see
+// it.
+func (m *Matrix) Dense() [][]float64 {
+	n := len(m.Names)
+	rows := make([][]float64, n)
+	backing := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		rows[i] = backing[i*n : (i+1)*n : (i+1)*n]
+		trow := m.tiles[i>>TileShift]
+		for j := 0; j < n; j++ {
+			if t := trow[j>>TileShift]; t != nil {
+				rows[i][j] = t.r[tidx(i, j)]
+			}
+		}
+	}
+	return rows
+}
+
+// Clone returns a deep copy: only materialized tiles are copied, so a
+// snapshot of a sparse matrix is as cheap as the matrix itself.
+func (m *Matrix) Clone() *Matrix {
+	cp := &Matrix{
+		Names: append([]string(nil), m.Names...),
+		index: make(map[string]int, len(m.index)),
+	}
+	for k, v := range m.index {
+		cp.index[k] = v
+	}
+	cp.tiles = newTileGrid(len(m.tiles), nil)
+	for ti, row := range m.tiles {
+		for tj, t := range row {
+			if t != nil {
+				dup := *t
+				cp.tiles[ti][tj] = &dup
+			}
+		}
+	}
+	return cp
+}
 
 // SetProv records a cell's provenance, both directions.
 func (m *Matrix) SetProv(x, y string, p Provenance) error {
@@ -150,23 +263,14 @@ func (m *Matrix) SetProv(x, y string, p Provenance) error {
 	if !ok {
 		return fmt.Errorf("ting: unknown relay %q", y)
 	}
-	if m.prov == nil {
-		m.prov = make([][]Provenance, len(m.Names))
-		for k := range m.prov {
-			m.prov[k] = make([]Provenance, len(m.Names))
-		}
-	}
-	m.prov[i][j] = p
-	m.prov[j][i] = p
+	m.cellTile(i, j).prov[tidx(i, j)] = p
+	m.cellTile(j, i).prov[tidx(j, i)] = p
 	return nil
 }
 
-// Prov returns a cell's provenance; unknown relays and unannotated
-// matrices report ProvMissing.
+// Prov returns a cell's provenance; unknown relays and unwritten cells
+// report ProvMissing.
 func (m *Matrix) Prov(x, y string) Provenance {
-	if m.prov == nil {
-		return ProvMissing
-	}
 	i, ok := m.index[x]
 	if !ok {
 		return ProvMissing
@@ -175,20 +279,27 @@ func (m *Matrix) Prov(x, y string) Provenance {
 	if !ok {
 		return ProvMissing
 	}
-	return m.prov[i][j]
+	t := m.tiles[i>>TileShift][j>>TileShift]
+	if t == nil {
+		return ProvMissing
+	}
+	return t.prov[tidx(i, j)]
 }
 
 // ProvCounts tallies the upper triangle's provenance — the "how complete
-// is this campaign" summary.
+// is this campaign" summary. Unmaterialized tiles count as all-missing
+// without being touched.
 func (m *Matrix) ProvCounts() (fresh, resumed, removed, missing int) {
 	n := len(m.Names)
 	for i := 0; i < n; i++ {
+		trow := m.tiles[i>>TileShift]
 		for j := i + 1; j < n; j++ {
-			if m.prov == nil {
+			t := trow[j>>TileShift]
+			if t == nil {
 				missing++
 				continue
 			}
-			switch m.prov[i][j] {
+			switch t.prov[tidx(i, j)] {
 			case ProvFresh:
 				fresh++
 			case ProvResumed:
@@ -210,8 +321,11 @@ func (m *Matrix) Mean() float64 {
 	var sum float64
 	var count int
 	for i := 0; i < n; i++ {
+		trow := m.tiles[i>>TileShift]
 		for j := i + 1; j < n; j++ {
-			sum += m.R[i][j]
+			if t := trow[j>>TileShift]; t != nil {
+				sum += t.r[tidx(i, j)]
+			}
 			count++
 		}
 	}
@@ -226,25 +340,50 @@ func (m *Matrix) PairValues() []float64 {
 	n := len(m.Names)
 	out := make([]float64, 0, n*(n-1)/2)
 	for i := 0; i < n; i++ {
+		trow := m.tiles[i>>TileShift]
 		for j := i + 1; j < n; j++ {
-			out = append(out, m.R[i][j])
+			var v float64
+			if t := trow[j>>TileShift]; t != nil {
+				v = t.r[tidx(i, j)]
+			}
+			out = append(out, v)
 		}
 	}
 	return out
 }
 
 // Encode writes the matrix as a text document (names header plus one row
-// per line), the published-dataset format.
+// per line), the published-dataset format. The encoder streams: each
+// number is appended to one reused scratch buffer and written through the
+// bufio.Writer, so encoding never builds a row's (let alone the
+// document's) text in memory — the dense-encode double-buffer a 10k-node
+// matrix cannot afford.
 func (m *Matrix) Encode(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "tingmatrix n=%d\n", len(m.Names))
-	fmt.Fprintln(bw, strings.Join(m.Names, " "))
-	for _, row := range m.R {
-		parts := make([]string, len(row))
-		for i, v := range row {
-			parts[i] = strconv.FormatFloat(v, 'g', -1, 64)
+	for i, name := range m.Names {
+		if i > 0 {
+			bw.WriteByte(' ')
 		}
-		fmt.Fprintln(bw, strings.Join(parts, " "))
+		bw.WriteString(name)
+	}
+	bw.WriteByte('\n')
+	n := len(m.Names)
+	num := make([]byte, 0, 32)
+	for i := 0; i < n; i++ {
+		trow := m.tiles[i>>TileShift]
+		for j := 0; j < n; j++ {
+			if j > 0 {
+				bw.WriteByte(' ')
+			}
+			var v float64
+			if t := trow[j>>TileShift]; t != nil {
+				v = t.r[tidx(i, j)]
+			}
+			num = strconv.AppendFloat(num[:0], v, 'g', -1, 64)
+			bw.Write(num)
+		}
+		bw.WriteByte('\n')
 	}
 	return bw.Flush()
 }
@@ -302,7 +441,11 @@ func DecodeMatrix(r io.Reader) (*Matrix, error) {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
 				return nil, fmt.Errorf("ting: row %d col %d: non-finite cell %q", i, j, f)
 			}
-			m.R[i][j] = v
+			// Zero cells stay unmaterialized: decoding a sparse campaign's
+			// dense document reconstructs a sparse matrix.
+			if v != 0 {
+				m.cellTile(i, j).r[tidx(i, j)] = v
+			}
 		}
 	}
 	for sc.Scan() {
@@ -312,6 +455,156 @@ func DecodeMatrix(r io.Reader) (*Matrix, error) {
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("ting: matrix document: %w", err)
+	}
+	return m, nil
+}
+
+// EncodeTiles writes the matrix in the sparse tile format: a header, the
+// names line, one record per materialized tile (clipped to the matrix
+// extent), and an "end" terminator. Unmaterialized tiles are simply
+// absent, so the document size tracks cells measured, not N² — the format
+// a partially-scanned 10k-node campaign publishes without emitting 99
+// million zeros. Like Encode, provenance is runtime annotation and is not
+// persisted.
+func (m *Matrix) EncodeTiles(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	n := len(m.Names)
+	fmt.Fprintf(bw, "tingtiles n=%d dim=%d\n", n, TileDim)
+	for i, name := range m.Names {
+		if i > 0 {
+			bw.WriteByte(' ')
+		}
+		bw.WriteString(name)
+	}
+	bw.WriteByte('\n')
+	num := make([]byte, 0, 32)
+	for ti, row := range m.tiles {
+		for tj, t := range row {
+			if t == nil {
+				continue
+			}
+			h, wdt := tileExtent(ti, n), tileExtent(tj, n)
+			fmt.Fprintf(bw, "tile %d %d\n", ti, tj)
+			for r := 0; r < h; r++ {
+				for c := 0; c < wdt; c++ {
+					if c > 0 {
+						bw.WriteByte(' ')
+					}
+					num = strconv.AppendFloat(num[:0], t.r[r<<TileShift|c], 'g', -1, 64)
+					bw.Write(num)
+				}
+				bw.WriteByte('\n')
+			}
+		}
+	}
+	fmt.Fprintln(bw, "end")
+	return bw.Flush()
+}
+
+// tileExtent is how many rows (or columns) of tile band t are inside an
+// n-cell matrix: TileDim for interior bands, the remainder for the last.
+func tileExtent(t, n int) int {
+	if e := n - t<<TileShift; e < TileDim {
+		return e
+	}
+	return TileDim
+}
+
+// DecodeTiles parses a tile document. Exactly the listed tiles are
+// materialized, so a round trip preserves sparsity as well as values.
+// Malformed documents — bad header, unknown dim, out-of-range or
+// duplicate tiles, short or oversized rows, non-finite cells, a missing
+// "end", trailing data — are explicit errors.
+func DecodeTiles(r io.Reader) (*Matrix, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("ting: tiles header: %w", err)
+		}
+		return nil, errors.New("ting: empty tile document")
+	}
+	var n, dim int
+	if _, err := fmt.Sscanf(sc.Text(), "tingtiles n=%d dim=%d", &n, &dim); err != nil {
+		return nil, fmt.Errorf("ting: bad tiles header %q", sc.Text())
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("ting: matrix dimension %d, need at least 2", n)
+	}
+	if dim != TileDim {
+		return nil, fmt.Errorf("ting: unsupported tile dim %d (want %d)", dim, TileDim)
+	}
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("ting: tiles names: %w", err)
+		}
+		return nil, errors.New("ting: tile document missing names")
+	}
+	names := strings.Fields(sc.Text())
+	if len(names) != n {
+		return nil, fmt.Errorf("ting: header says %d names, got %d", n, len(names))
+	}
+	m, err := NewMatrix(names)
+	if err != nil {
+		return nil, err
+	}
+	tn := tileCount(n)
+	ended := false
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "end" {
+			ended = true
+			break
+		}
+		var ti, tj int
+		if _, err := fmt.Sscanf(line, "tile %d %d", &ti, &tj); err != nil {
+			return nil, fmt.Errorf("ting: bad tile record %q", line)
+		}
+		if ti < 0 || tj < 0 || ti >= tn || tj >= tn {
+			return nil, fmt.Errorf("ting: tile (%d,%d) out of range for n=%d", ti, tj, n)
+		}
+		if m.tiles[ti][tj] != nil {
+			return nil, fmt.Errorf("ting: duplicate tile (%d,%d)", ti, tj)
+		}
+		t := new(tile)
+		m.tiles[ti][tj] = t
+		h, wdt := tileExtent(ti, n), tileExtent(tj, n)
+		for r := 0; r < h; r++ {
+			if !sc.Scan() {
+				if err := sc.Err(); err != nil {
+					return nil, fmt.Errorf("ting: tile (%d,%d) row %d: %w", ti, tj, r, err)
+				}
+				return nil, fmt.Errorf("ting: tile (%d,%d) truncated at row %d", ti, tj, r)
+			}
+			fields := strings.Fields(sc.Text())
+			if len(fields) != wdt {
+				return nil, fmt.Errorf("ting: tile (%d,%d) row %d has %d values, want %d", ti, tj, r, len(fields), wdt)
+			}
+			for c, f := range fields {
+				v, err := strconv.ParseFloat(f, 64)
+				if err != nil {
+					return nil, fmt.Errorf("ting: tile (%d,%d) cell (%d,%d): %w", ti, tj, r, c, err)
+				}
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return nil, fmt.Errorf("ting: tile (%d,%d) cell (%d,%d): non-finite %q", ti, tj, r, c, f)
+				}
+				t.r[r<<TileShift|c] = v
+			}
+		}
+	}
+	if !ended {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("ting: tile document: %w", err)
+		}
+		return nil, errors.New("ting: tile document missing end terminator")
+	}
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) != "" {
+			return nil, fmt.Errorf("ting: trailing data after tile end")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ting: tile document: %w", err)
 	}
 	return m, nil
 }

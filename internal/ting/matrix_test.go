@@ -1,0 +1,324 @@
+package ting
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// tileNames returns n distinct relay names — enough to span several tile
+// bands when n > TileDim.
+func tileNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("r%03d", i)
+	}
+	return names
+}
+
+func TestMatrixEncodeGoldenDenseFormat(t *testing.T) {
+	// The tiled store must keep the published dense document byte-for-byte:
+	// existing datasets and their consumers predate the tiling.
+	m, err := NewMatrix([]string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set("a", "b", 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set("b", "c", 42); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "tingmatrix n=3\n" +
+		"a b c\n" +
+		"0 1.5 0\n" +
+		"1.5 0 42\n" +
+		"0 42 0\n"
+	if buf.String() != want {
+		t.Errorf("dense encoding changed:\ngot:\n%q\nwant:\n%q", buf.String(), want)
+	}
+}
+
+func TestMatrixAddNameProvCountsParity(t *testing.T) {
+	// Growth must treat a never-annotated matrix and an annotated one
+	// identically: the new relay's pairs are ProvMissing in both, and
+	// existing annotations survive untouched.
+	bare, err := NewMatrix([]string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noted, err := NewMatrix([]string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := noted.SetProv("a", "b", ProvFresh); err != nil {
+		t.Fatal(err)
+	}
+	if err := noted.SetProv("b", "c", ProvResumed); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []*Matrix{bare, noted} {
+		if err := m.AddName("d"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f, r, rm, miss := bare.ProvCounts(); f != 0 || r != 0 || rm != 0 || miss != 6 {
+		t.Errorf("bare ProvCounts = %d/%d/%d/%d, want 0/0/0/6", f, r, rm, miss)
+	}
+	if f, r, rm, miss := noted.ProvCounts(); f != 1 || r != 1 || rm != 0 || miss != 4 {
+		t.Errorf("annotated ProvCounts = %d/%d/%d/%d, want 1/1/0/4", f, r, rm, miss)
+	}
+	for _, m := range []*Matrix{bare, noted} {
+		for _, x := range []string{"a", "b", "c"} {
+			if p := m.Prov(x, "d"); p != ProvMissing {
+				t.Errorf("Prov(%s,d) = %v after growth, want missing", x, p)
+			}
+		}
+	}
+}
+
+func TestMatrixTileBoundaryGrowth(t *testing.T) {
+	// Start one relay short of a tile band, write near the far edge, then
+	// grow across the boundary: the grid is re-placed but cells must not
+	// move or change.
+	names := tileNames(TileDim - 1)
+	m, err := NewMatrix(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set(names[0], names[TileDim-2], 7.25); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetProv(names[0], names[TileDim-2], ProvFresh); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < TileDim+2; i++ {
+		if err := m.AddName(fmt.Sprintf("x%03d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.N() != 2*TileDim+1 {
+		t.Fatalf("N = %d, want %d", m.N(), 2*TileDim+1)
+	}
+	if got, err := m.RTT(names[0], names[TileDim-2]); err != nil || got != 7.25 {
+		t.Errorf("RTT after growth = %v, %v; want 7.25", got, err)
+	}
+	if p := m.Prov(names[0], names[TileDim-2]); p != ProvFresh {
+		t.Errorf("Prov after growth = %v, want fresh", p)
+	}
+	// Writes across the new boundary land in freshly materialized tiles.
+	if err := m.Set("x000", "x065", 3.5); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := m.RTT("x065", "x000"); got != 3.5 {
+		t.Errorf("cross-boundary RTT = %v, want 3.5", got)
+	}
+}
+
+func TestMatrixCloneIndependent(t *testing.T) {
+	m, err := NewMatrix([]string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set("a", "b", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetProv("a", "b", ProvFresh); err != nil {
+		t.Fatal(err)
+	}
+	cp := m.Clone()
+	if err := m.Set("a", "b", 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetProv("a", "c", ProvRemoved); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := cp.RTT("a", "b"); got != 5 {
+		t.Errorf("clone RTT = %v after original mutated, want 5", got)
+	}
+	if p := cp.Prov("a", "c"); p != ProvMissing {
+		t.Errorf("clone Prov = %v after original mutated, want missing", p)
+	}
+	if err := cp.AddName("d"); err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 3 {
+		t.Error("growing the clone grew the original")
+	}
+}
+
+func TestMatrixAtPanicsOutOfRange(t *testing.T) {
+	m, err := NewMatrix([]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("At out of range did not panic")
+		}
+	}()
+	_ = m.At(0, 2)
+}
+
+func TestEncodeTilesRoundTrip(t *testing.T) {
+	// Span three tile bands and write a scattered subset of pairs; the
+	// tile document must reproduce every cell and re-encode identically
+	// (sparsity included).
+	names := tileNames(2*TileDim + 5)
+	m, err := NewMatrix(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := [][2]int{{0, 1}, {0, TileDim}, {3, 2*TileDim + 1}, {TileDim - 1, TileDim}, {TileDim + 7, 2 * TileDim}}
+	for k, p := range pairs {
+		if err := m.Set(names[p[0]], names[p[1]], float64(k)*3.25+0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := m.EncodeTiles(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	got, err := DecodeTiles(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("DecodeTiles: %v\ndoc:\n%s", err, doc)
+	}
+	if got.N() != m.N() {
+		t.Fatalf("N = %d, want %d", got.N(), m.N())
+	}
+	for i := 0; i < m.N(); i++ {
+		for j := 0; j < m.N(); j++ {
+			if got.At(i, j) != m.At(i, j) {
+				t.Fatalf("cell (%d,%d): %v vs %v", i, j, got.At(i, j), m.At(i, j))
+			}
+		}
+	}
+	var again bytes.Buffer
+	if err := got.EncodeTiles(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != doc {
+		t.Error("tile document not stable across a round trip")
+	}
+}
+
+func TestEncodeTilesMatchesDenseValues(t *testing.T) {
+	// The two formats are different serializations of the same matrix: a
+	// dense decode of the dense encoding and a tile decode of the tile
+	// encoding must agree cell for cell.
+	names := tileNames(TileDim + 3)
+	m, err := NewMatrix(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(names); i += 7 {
+		for j := i + 1; j < len(names); j += 11 {
+			if err := m.Set(names[i], names[j], float64(i*100+j)/8); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var dense, tiled bytes.Buffer
+	if err := m.Encode(&dense); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EncodeTiles(&tiled); err != nil {
+		t.Fatal(err)
+	}
+	fromDense, err := DecodeMatrix(&dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromTiles, err := DecodeTiles(&tiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m.N(); i++ {
+		for j := 0; j < m.N(); j++ {
+			if fromDense.At(i, j) != fromTiles.At(i, j) {
+				t.Fatalf("cell (%d,%d): dense %v vs tiled %v", i, j, fromDense.At(i, j), fromTiles.At(i, j))
+			}
+		}
+	}
+}
+
+func TestDecodeTilesErrors(t *testing.T) {
+	valid := func() string {
+		m, _ := NewMatrix([]string{"a", "b", "c"})
+		_ = m.Set("a", "b", 1)
+		var buf bytes.Buffer
+		_ = m.EncodeTiles(&buf)
+		return buf.String()
+	}()
+	cases := map[string]string{
+		"empty":          "",
+		"bad header":     "tingmatrix n=3\na b c\nend\n",
+		"bad dim":        "tingtiles n=3 dim=32\na b c\nend\n",
+		"tiny":           "tingtiles n=1 dim=64\na\nend\n",
+		"missing names":  "tingtiles n=3 dim=64\n",
+		"short names":    "tingtiles n=3 dim=64\na b\nend\n",
+		"missing end":    strings.TrimSuffix(valid, "end\n"),
+		"trailing junk":  valid + "extra\n",
+		"bad record":     "tingtiles n=3 dim=64\na b c\nbogus 0 0\nend\n",
+		"tile oob":       "tingtiles n=3 dim=64\na b c\ntile 4 0\n0 0 0\n0 0 0\n0 0 0\nend\n",
+		"truncated tile": "tingtiles n=3 dim=64\na b c\ntile 0 0\n0 1 0\nend\n",
+		"short row":      "tingtiles n=3 dim=64\na b c\ntile 0 0\n0 1\n1 0 0\n0 0 0\nend\n",
+		"non-finite":     "tingtiles n=3 dim=64\na b c\ntile 0 0\n0 NaN 0\nNaN 0 0\n0 0 0\nend\n",
+		"duplicate tile": "tingtiles n=3 dim=64\na b c\ntile 0 0\n0 1 0\n1 0 0\n0 0 0\ntile 0 0\n0 1 0\n1 0 0\n0 0 0\nend\n",
+	}
+	for name, doc := range cases {
+		if _, err := DecodeTiles(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	if _, err := DecodeTiles(strings.NewReader(valid)); err != nil {
+		t.Errorf("valid document rejected: %v", err)
+	}
+}
+
+func TestDecodeMatrixStaysSparse(t *testing.T) {
+	// Dense documents full of zeros decode without materializing tiles:
+	// the decoded matrix must still report zero everywhere but Encode
+	// identically to its source.
+	names := tileNames(TileDim + 1)
+	m, err := NewMatrix(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set(names[0], names[TileDim], 2.5); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	got, err := DecodeMatrix(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiles := 0
+	for _, row := range got.tiles {
+		for _, tl := range row {
+			if tl != nil {
+				tiles++
+			}
+		}
+	}
+	if tiles != 2 {
+		t.Errorf("decode materialized %d tiles, want 2 (the mirrored written pair)", tiles)
+	}
+	var again bytes.Buffer
+	if err := got.Encode(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != doc {
+		t.Error("sparse decode re-encodes differently")
+	}
+}

@@ -35,8 +35,29 @@ type Config struct {
 }
 
 // Measurer measures RTTs between arbitrary relay pairs.
+//
+// A Measurer is not safe for concurrent use: it reuses internal scratch
+// (circuit paths, sample buffers) across measurements to keep the all-pairs
+// scan loop allocation-free. The Scanner gives each worker its own Measurer
+// via Config.NewMeasurer. Path slices handed to observers and probers alias
+// that scratch and are only valid until the next measurement; anything that
+// outlives the call (CircuitError, the half-circuit store hook) gets a
+// private copy.
 type Measurer struct {
 	cfg Config
+	// pathBuf backs the three circuit paths of one pair measurement:
+	// [W x | W x y Z | W y].
+	pathBuf [8]string
+	// sbuf is the reused sample buffer for probers implementing SamplerInto.
+	sbuf []float64
+}
+
+// SamplerInto is an optional CircuitProber extension: SampleCircuitInto
+// takes len(out) samples into a caller-owned buffer instead of allocating a
+// fresh slice per circuit. The Measurer detects it and reuses one buffer
+// across every circuit it measures.
+type SamplerInto interface {
+	SampleCircuitInto(ctx context.Context, path []string, out []float64) error
 }
 
 // NewMeasurer validates cfg and returns a Measurer.
@@ -113,26 +134,10 @@ func (m *Measurer) MeasurePair(ctx context.Context, x, y string) (*Measurement, 
 		return nil, err
 	}
 	start := time.Now()
-	// C_x first, then the full circuit: the full path extends C_x's, so a
-	// reusing prober (leaky-pipe extension) grows one circuit instead of
-	// building two. The estimate is order-independent.
-	pathX := []string{m.cfg.W, x}
-	minX, err := m.minRTT(ctx, pathX)
-	if err != nil {
-		m.cfg.Observer.pairDone(x, y, nil, err)
-		return nil, &CircuitError{Circuit: "C_x", Path: pathX, Err: err}
-	}
-	pathFull := []string{m.cfg.W, x, y, m.cfg.Z}
-	minFull, err := m.minRTT(ctx, pathFull)
-	if err != nil {
-		m.cfg.Observer.pairDone(x, y, nil, err)
-		return nil, &CircuitError{Circuit: "C_xy", Path: pathFull, Err: err}
-	}
-	pathY := []string{m.cfg.W, y}
-	minY, err := m.minRTT(ctx, pathY)
-	if err != nil {
-		m.cfg.Observer.pairDone(x, y, nil, err)
-		return nil, &CircuitError{Circuit: "C_y", Path: pathY, Err: err}
+	minFull, minX, minY, cerr := m.measureMins(ctx, x, y)
+	if cerr != nil {
+		m.cfg.Observer.pairDone(x, y, nil, cerr.Err)
+		return nil, cerr
 	}
 	res := &Measurement{
 		X: x, Y: y,
@@ -146,6 +151,67 @@ func (m *Measurer) MeasurePair(ctx context.Context, x, y string) (*Measurement, 
 	m.cfg.Observer.pairDone(x, y, res, nil)
 	return res, nil
 }
+
+// measurePairRTT is the scanner's fast path: just the Eq. (4) estimate,
+// with the full Measurement materialized only when an observer is
+// listening for it — otherwise the per-pair loop performs no heap
+// allocation at all.
+func (m *Measurer) measurePairRTT(ctx context.Context, x, y string) (float64, error) {
+	if err := m.checkPair(x, y); err != nil {
+		return 0, err
+	}
+	wantPair := m.cfg.Observer != nil && m.cfg.Observer.PairDone != nil
+	var start time.Time
+	if wantPair {
+		start = time.Now()
+	}
+	minFull, minX, minY, cerr := m.measureMins(ctx, x, y)
+	if cerr != nil {
+		m.cfg.Observer.pairDone(x, y, nil, cerr.Err)
+		return 0, cerr
+	}
+	rtt := Estimate(minFull, minX, minY)
+	if wantPair {
+		m.cfg.Observer.PairDone(x, y, &Measurement{
+			X: x, Y: y,
+			RTT:               rtt,
+			MinFull:           minFull,
+			MinX:              minX,
+			MinY:              minY,
+			SamplesPerCircuit: m.cfg.Samples,
+			Elapsed:           time.Since(start),
+		}, nil)
+	}
+	return rtt, nil
+}
+
+// measureMins runs the three circuit series of one pair over scratch-backed
+// paths. A non-nil *CircuitError names the failing circuit and carries a
+// private copy of its path (the scratch is overwritten by the next pair).
+func (m *Measurer) measureMins(ctx context.Context, x, y string) (minFull, minX, minY float64, cerr *CircuitError) {
+	// C_x first, then the full circuit: the full path extends C_x's, so a
+	// reusing prober (leaky-pipe extension) grows one circuit instead of
+	// building two. The estimate is order-independent.
+	m.pathBuf = [8]string{m.cfg.W, x, m.cfg.W, x, y, m.cfg.Z, m.cfg.W, y}
+	pathX := m.pathBuf[0:2:2]
+	pathFull := m.pathBuf[2:6:6]
+	pathY := m.pathBuf[6:8:8]
+	minX, err := m.minRTT(ctx, pathX)
+	if err != nil {
+		return 0, 0, 0, &CircuitError{Circuit: "C_x", Path: clonePath(pathX), Err: err}
+	}
+	minFull, err = m.minRTT(ctx, pathFull)
+	if err != nil {
+		return 0, 0, 0, &CircuitError{Circuit: "C_xy", Path: clonePath(pathFull), Err: err}
+	}
+	minY, err = m.minRTT(ctx, pathY)
+	if err != nil {
+		return 0, 0, 0, &CircuitError{Circuit: "C_y", Path: clonePath(pathY), Err: err}
+	}
+	return minFull, minX, minY, nil
+}
+
+func clonePath(path []string) []string { return append([]string(nil), path...) }
 
 // Estimate applies Eq. (4): R(x,y) = R_Cxy − ½R_Cx − ½R_Cy.
 func Estimate(minFull, minX, minY float64) float64 {
@@ -179,13 +245,27 @@ func (m *Measurer) minRTT(ctx context.Context, path []string) (float64, error) {
 	return m.measureMin(ctx, path)
 }
 
-// measureMin is the uncached sampling path behind minRTT.
+// measureMin is the uncached sampling path behind minRTT. Probers
+// implementing SamplerInto fill the Measurer's reused sample buffer;
+// others keep the allocating SampleCircuit contract.
 func (m *Measurer) measureMin(ctx context.Context, path []string) (float64, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
 	start := time.Now()
-	samples, err := m.cfg.Prober.SampleCircuit(ctx, path, m.cfg.Samples)
+	var samples []float64
+	var err error
+	if si, ok := m.cfg.Prober.(SamplerInto); ok {
+		if cap(m.sbuf) < m.cfg.Samples {
+			m.sbuf = make([]float64, m.cfg.Samples)
+		}
+		samples = m.sbuf[:m.cfg.Samples]
+		if err = si.SampleCircuitInto(ctx, path, samples); err != nil {
+			samples = nil
+		}
+	} else {
+		samples, err = m.cfg.Prober.SampleCircuit(ctx, path, m.cfg.Samples)
+	}
 	m.cfg.Observer.circuitDone(path, len(samples), time.Since(start), err)
 	if err != nil {
 		return 0, err

@@ -88,11 +88,7 @@ func NewMonitor(cfg MonitorConfig) (*Monitor, error) {
 func (mon *Monitor) Matrix() *Matrix {
 	mon.mu.Lock()
 	defer mon.mu.Unlock()
-	cp, _ := NewMatrix(mon.matrix.Names)
-	for i := range mon.matrix.R {
-		copy(cp.R[i], mon.matrix.R[i])
-	}
-	return cp
+	return mon.matrix.Clone()
 }
 
 // Stats returns a snapshot of monitor counters.

@@ -63,10 +63,16 @@ type DirectProber interface {
 // ModelProber samples circuits directly from the synthetic Internet's
 // ground-truth model. It is exact by construction and fast enough for the
 // paper's large sweeps (930 pairs × 1000 samples, 10,000 live pairs).
+//
+// A ModelProber is not safe for concurrent use: its underlying model
+// prober draws from one RNG stream and SampleCircuitInto reuses a node-ID
+// scratch. Give each scanner worker its own (seeded differently), as the
+// experiments' World helper does.
 type ModelProber struct {
 	prober *inet.Prober
 	host   inet.NodeID
 	nodeOf map[string]inet.NodeID
+	ids    []inet.NodeID
 }
 
 // NewModelProber creates a prober at the given host node. nodeOf maps
@@ -91,28 +97,44 @@ func (p *ModelProber) SampleCircuit(ctx context.Context, path []string, n int) (
 	if n <= 0 {
 		return nil, errors.New("ting: sample count must be positive")
 	}
-	ids := make([]inet.NodeID, len(path))
+	out := make([]float64, n)
+	if err := p.SampleCircuitInto(ctx, path, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SampleCircuitInto implements SamplerInto: like SampleCircuit but filling
+// a caller-owned buffer, so a scan's million-sample inner loop allocates
+// nothing. The path→node resolution scratch is reused across calls.
+func (p *ModelProber) SampleCircuitInto(ctx context.Context, path []string, out []float64) error {
+	if len(out) == 0 {
+		return errors.New("ting: sample count must be positive")
+	}
+	if cap(p.ids) < len(path) {
+		p.ids = make([]inet.NodeID, len(path))
+	}
+	ids := p.ids[:len(path)]
 	for i, name := range path {
 		id, ok := p.nodeOf[name]
 		if !ok {
-			return nil, fmt.Errorf("ting: unknown relay %q", name)
+			return fmt.Errorf("ting: unknown relay %q", name)
 		}
 		ids[i] = id
 	}
-	out := make([]float64, n)
 	for i := range out {
 		if i%stackProbeBatch == 0 {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return err
 			}
 		}
 		s, err := p.prober.TorPathRTT(p.host, ids)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		out[i] = s
 	}
-	return out, nil
+	return nil
 }
 
 // Ping implements DirectProber with one ICMP sample host↔target.

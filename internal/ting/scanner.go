@@ -185,6 +185,24 @@ func (q *workQueue) push(job pairJob) {
 	q.cond.Signal()
 }
 
+// pushAll enqueues a batch with at most one slice growth — the initial
+// assignment fill, where per-job push would re-grow the backing slice
+// log(n) times per worker.
+func (q *workQueue) pushAll(jobs []pairJob) {
+	if len(jobs) == 0 {
+		return
+	}
+	q.mu.Lock()
+	if need := len(q.jobs) + len(jobs); cap(q.jobs) < need {
+		grown := make([]pairJob, len(q.jobs), need)
+		copy(grown, q.jobs)
+		q.jobs = grown
+	}
+	q.jobs = append(q.jobs, jobs...)
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
 // pop blocks until a job is available or the queue is closed and empty.
 func (q *workQueue) pop() (pairJob, bool) {
 	q.mu.Lock()
@@ -217,32 +235,64 @@ func (q *workQueue) close() {
 func assignJobs(todo []pairJob, workers int, shuffled bool) [][]pairJob {
 	queues := make([][]pairJob, workers)
 	if shuffled {
+		if workers > 0 && len(todo) > 0 {
+			per := (len(todo) + workers - 1) / workers
+			for w := range queues {
+				queues[w] = make([]pairJob, 0, per)
+			}
+		}
 		for i, job := range todo {
 			queues[i%workers] = append(queues[i%workers], job)
 		}
 		return queues
 	}
-	var order []string
-	groups := make(map[string][]pairJob)
+	// Group by first endpoint in two passes — count, then carve each
+	// group as a contiguous sub-slice of one backing array — so grouping
+	// costs a handful of allocations, not one append chain per relay.
+	order := make([]string, 0, 64)
+	counts := make(map[string]int, 64)
 	for _, job := range todo {
-		if _, ok := groups[job.x]; !ok {
+		if counts[job.x] == 0 {
 			order = append(order, job.x)
 		}
+		counts[job.x]++
+	}
+	backing := make([]pairJob, len(todo))
+	groups := make(map[string][]pairJob, len(order))
+	pos := 0
+	for _, x := range order {
+		n := counts[x]
+		groups[x] = backing[pos:pos : pos+n]
+		pos += n
+	}
+	for _, job := range todo {
 		groups[job.x] = append(groups[job.x], job)
 	}
 	sort.SliceStable(order, func(a, b int) bool {
 		return len(groups[order[a]]) > len(groups[order[b]])
 	})
+	// First LPT pass computes each worker's final load so the queues can
+	// be allocated exactly once; the second fills them in the same order.
 	load := make([]int, workers)
-	for _, x := range order {
+	homes := make([]int, len(order))
+	for oi, x := range order {
 		w := 0
 		for i := 1; i < workers; i++ {
 			if load[i] < load[w] {
 				w = i
 			}
 		}
-		queues[w] = append(queues[w], groups[x]...)
+		homes[oi] = w
 		load[w] += len(groups[x])
+	}
+	for w := range queues {
+		if load[w] > 0 {
+			queues[w] = make([]pairJob, 0, load[w])
+		}
+	}
+	for oi, x := range order {
+		w := homes[oi]
+		queues[w] = append(queues[w], groups[x]...)
 	}
 	return queues
 }
@@ -364,7 +414,7 @@ func (s *Scanner) run(ctx context.Context, names []string, resumed *CheckpointSt
 		return nil, nil, err
 	}
 	var failures []PairError
-	var todo []pairJob
+	todo := make([]pairJob, 0, len(names)*(len(names)-1)/2)
 	replayedPairs := 0
 	startTombstoned := make(map[string]int)
 	for i := 0; i < len(names); i++ {
@@ -484,7 +534,12 @@ func (s *Scanner) run(ctx context.Context, names []string, resumed *CheckpointSt
 			cpMu.Unlock()
 			return
 		}
-		s.Observer.checkpointAppend(&rec)
+		// Copy before taking the address: &rec itself would force the
+		// parameter to the heap on every call, including the early return
+		// above — checkpoint-less scans record nothing and must allocate
+		// nothing here.
+		r := rec
+		s.Observer.checkpointAppend(&r)
 	}
 	if cp != nil {
 		if !resuming {
@@ -573,9 +628,7 @@ func (s *Scanner) run(ctx context.Context, names []string, resumed *CheckpointSt
 		queues[w] = newWorkQueue()
 	}
 	for w, jobs := range assignJobs(todo, workers, s.Shuffle != 0) {
-		for _, job := range jobs {
-			queues[w].push(job)
-		}
+		queues[w].pushAll(jobs)
 	}
 	var remMu sync.Mutex
 	remaining := len(todo)
@@ -1079,12 +1132,12 @@ func (s *Scanner) measureOne(ctx context.Context, meas *Measurer, x, y string) (
 			return rtt, nil
 		}
 	}
-	res, err := meas.MeasurePair(ctx, x, y)
+	rtt, err := meas.measurePairRTT(ctx, x, y)
 	if err != nil {
 		return 0, err
 	}
 	if s.Cache != nil {
-		s.Cache.Put(x, y, res.RTT)
+		s.Cache.Put(x, y, rtt)
 	}
-	return res.RTT, nil
+	return rtt, nil
 }

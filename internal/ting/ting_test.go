@@ -350,10 +350,10 @@ func TestMatrixEncodeDecode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := range m.R {
-		for j := range m.R[i] {
-			if got.R[i][j] != m.R[i][j] {
-				t.Fatalf("cell (%d,%d): %v vs %v", i, j, got.R[i][j], m.R[i][j])
+	for i := 0; i < m.N(); i++ {
+		for j := 0; j < m.N(); j++ {
+			if got.At(i, j) != m.At(i, j) {
+				t.Fatalf("cell (%d,%d): %v vs %v", i, j, got.At(i, j), m.At(i, j))
 			}
 		}
 	}
@@ -383,9 +383,9 @@ func TestMatrixEncodeDecodeProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		for i := range m.R {
-			for j := range m.R[i] {
-				if got.R[i][j] != m.R[i][j] {
+		for i := 0; i < m.N(); i++ {
+			for j := 0; j < m.N(); j++ {
+				if got.At(i, j) != m.At(i, j) {
 					return false
 				}
 			}

@@ -1,0 +1,123 @@
+#!/bin/sh
+# benchdiff.sh — diff two bench artifacts (benchjson.sh output) and fail
+# on regression. Usage:
+#
+#   ./scripts/benchdiff.sh BENCH_<base>.json BENCH_<head>.json > diff.md
+#
+# Prints a markdown table of every benchmark in the head artifact with its
+# delta against the baseline, and exits 1 if any benchmark regressed. A
+# missing baseline file prints a notice and exits 0 — the gate cannot
+# ratchet before the first blessed artifact exists.
+#
+# Regression thresholds (tunable via environment):
+#   ns/op     — fails above BENCHDIFF_NS_TOLERANCE  × baseline (default
+#               1.50); baselines under BENCHDIFF_NS_FLOOR ns (default 500)
+#               are informational only, fixed-iteration timings that small
+#               are timer-granularity noise.
+#   allocs/op — fails above BENCHDIFF_ALLOC_TOLERANCE × baseline (default
+#               1.25) and by more than 2 allocs absolute; allocation
+#               counts are deterministic, so the band is tight.
+#
+# Benchmarks only in the head artifact are reported as "new" (never fail);
+# baseline keys without a head counterpart are reported as "gone". Head
+# keys are matched against the baseline exactly first, then by bare
+# benchmark name, so an artifact from before keys were package-prefixed
+# still gates. To bless an intentional regression, regenerate and commit
+# the baseline artifact (see README).
+#
+# Stdlib tooling only: POSIX sh + awk, no jq.
+set -eu
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 baseline.json current.json" >&2
+    exit 2
+fi
+base="$1"
+cur="$2"
+
+if [ ! -f "$base" ]; then
+    echo "benchdiff: no baseline at $base; diff skipped" >&2
+    echo "_No bench baseline (\`$base\`) — regression gate skipped._"
+    exit 0
+fi
+if [ ! -f "$cur" ]; then
+    echo "benchdiff: no current artifact at $cur" >&2
+    exit 2
+fi
+
+awk -v ns_tol="${BENCHDIFF_NS_TOLERANCE:-1.50}" \
+    -v ns_floor="${BENCHDIFF_NS_FLOOR:-500}" \
+    -v al_tol="${BENCHDIFF_ALLOC_TOLERANCE:-1.25}" \
+    -v basefile="$base" -v curfile="$cur" '
+function parseline(line) {
+    if (line !~ /"ns_per_op"/) return
+    key = line
+    sub(/^[ \t]*"/, "", key); sub(/".*/, "", key)
+    ns = line
+    sub(/.*"ns_per_op":[ ]*/, "", ns); sub(/[,}].*/, "", ns)
+    al = line
+    sub(/.*"allocs_per_op":[ ]*/, "", al); sub(/[,}].*/, "", al)
+}
+function bare(key) {
+    n = split(key, parts, "/")
+    return parts[n]
+}
+function pct(c, b) {
+    if (b == 0) return (c == 0 ? "0%" : "+inf")
+    d = (c - b) * 100 / b
+    return sprintf("%+.1f%%", d)
+}
+BEGIN {
+    while ((getline line < basefile) > 0) {
+        parseline(line)
+        if (key == "") continue
+        bns[key] = ns; bal[key] = al
+        bns[bare(key)] = ns; bal[bare(key)] = al
+        bseen[key] = 1
+        key = ""
+    }
+    close(basefile)
+    print "### Bench diff: `" curfile "` vs `" basefile "`"
+    print ""
+    print "| benchmark | ns/op (base → head) | Δ | allocs/op (base → head) | Δ | status |"
+    print "|---|---|---|---|---|---|"
+    fails = 0; news = 0
+    while ((getline line < curfile) > 0) {
+        parseline(line)
+        if (key == "") continue
+        k = key
+        if (!(k in bseen)) k = bare(key)
+        if (!(k in bns)) {
+            printf "| %s | — → %s | new | — → %s | new | 🆕 new |\n", key, ns, al
+            news++
+            key = ""
+            continue
+        }
+        matched[k] = 1; matched[bare(key)] = 1
+        status = "ok"
+        if (bns[k] + 0 >= ns_floor && ns + 0 > bns[k] * ns_tol) status = "REGRESSION(ns/op)"
+        if (al + 0 > bal[k] * al_tol && al + 0 > bal[k] + 2) {
+            status = (status == "ok" ? "REGRESSION(allocs/op)" : status " +allocs")
+        }
+        if (status == "ok") mark = "✅ ok"
+        else { mark = "❌ " status; fails++ }
+        printf "| %s | %s → %s | %s | %s → %s | %s | %s |\n", \
+            key, bns[k], ns, pct(ns, bns[k]), bal[k], al, pct(al, bal[k]), mark
+        key = ""
+    }
+    close(curfile)
+    gone = 0
+    for (k in bseen) if (!(k in matched) && !(bare(k) in matched)) {
+        printf "| %s | %s → — | gone | %s → — | gone | ⚠️ gone |\n", k, bns[k], bal[k]
+        gone++
+    }
+    print ""
+    if (fails > 0) {
+        print fails " benchmark(s) regressed past tolerance. To bless an"
+        print "intentional regression, regenerate and commit the baseline"
+        print "artifact (see README \"Benchmarks\")."
+        exit 1
+    }
+    print "No regressions past tolerance (" news " new, " gone " gone)."
+}
+'

@@ -1,26 +1,42 @@
 #!/bin/sh
 # benchjson.sh — convert `go test -bench -benchmem` output (stdin) into a
-# JSON object mapping benchmark name → {ns_per_op, allocs_per_op}, for the
-# CI bench artifact (BENCH_<sha>.json). Usage:
+# JSON object mapping "<package>/<Benchmark>" → {ns_per_op, allocs_per_op},
+# for the CI bench artifact (BENCH_<shortsha>.json). Usage:
 #
-#   go test -run '^$' -bench . -benchtime 1x -benchmem ./... |
+#   go test -run '^$' -bench . -benchtime 50x -count 3 -benchmem ./... |
 #       ./scripts/benchjson.sh > "BENCH_$(git rev-parse --short HEAD).json"
+#
+# Keys are prefixed with the import path from the `pkg:` header go test
+# prints per package, so BenchmarkFoo in two packages cannot collide (the
+# old unprefixed format silently kept only the last one). When a benchmark
+# appears multiple times (-count N), the minimum ns/op and allocs/op are
+# kept: minima are the noise-robust statistic for "how fast can this go".
 #
 # Stdlib tooling only: POSIX sh + awk, no jq.
 exec awk '
-BEGIN { printf "{\n" }
+/^pkg: / { pkg = $2 }
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix
-    ns = ""; allocs = "0"
+    key = (pkg != "" ? pkg "/" name : name)
+    ns = ""; allocs = ""
     for (i = 2; i < NF; i++) {
         if ($(i + 1) == "ns/op") ns = $i
         if ($(i + 1) == "allocs/op") allocs = $i
     }
-    if (ns != "") {
-        if (n++) printf ",\n"
-        printf "  \"%s\": {\"ns_per_op\": %s, \"allocs_per_op\": %s}", name, ns, allocs
-    }
+    if (ns == "") next
+    if (allocs == "") allocs = "0"
+    if (!(key in best_ns)) { order[++n] = key; best_ns[key] = ns; best_al[key] = allocs; next }
+    if (ns + 0 < best_ns[key] + 0) best_ns[key] = ns
+    if (allocs + 0 < best_al[key] + 0) best_al[key] = allocs
 }
-END { printf "\n}\n" }
+END {
+    printf "{\n"
+    for (i = 1; i <= n; i++) {
+        key = order[i]
+        printf "  \"%s\": {\"ns_per_op\": %s, \"allocs_per_op\": %s}", key, best_ns[key], best_al[key]
+        if (i < n) printf ",\n"
+    }
+    printf "\n}\n"
+}
 '
