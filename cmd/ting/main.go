@@ -22,6 +22,7 @@ import (
 	"syscall"
 	"time"
 
+	"ting/internal/cliflags"
 	"ting/internal/control"
 	"ting/internal/directory"
 	"ting/internal/telemetry"
@@ -49,13 +50,13 @@ var (
 	minPairFlag  = flag.Duration("min-pair-timeout", 100*time.Millisecond, "all-pairs: floor of the adaptive deadline, so fast pairs cannot strangle a legitimately slow one")
 	halfCache    = flag.Bool("half-cache", true, "all-pairs: memoize half-circuit minima (§4.6) so each C_x series is measured once per scan; false re-measures C_x and C_y for every pair")
 
-	dirFlag        = flag.String("dir", "", "all-pairs: directory server address; the consensus is fetched there and polled for churn during the scan, so relays that join, drain, or rotate keys mid-campaign are reconciled live")
+	dirFlag        = cliflags.Dir(flag.CommandLine, "all-pairs: directory server address; the consensus is fetched there and polled for churn during the scan, so relays that join, drain, or rotate keys mid-campaign are reconciled live")
 	checkpointFlag = flag.String("checkpoint", "", "all-pairs: append finished pairs to this crash-safe log")
 	resumeFlag     = flag.Bool("resume", false, "all-pairs: replay -checkpoint and measure only unfinished pairs (relay set comes from the log)")
 	breakerFlag    = flag.Int("breaker", 3, "all-pairs: consecutive failures before a relay's circuit breaker opens (0 disables the scoreboard)")
 	breakerCool    = flag.Duration("breaker-cooldown", 30*time.Second, "all-pairs: quarantine before an open breaker half-opens for a probe")
 
-	debugAddr = flag.String("debug-addr", "", "serve telemetry and pprof on this address (e.g. 127.0.0.1:6060)")
+	debugAddr = cliflags.DebugAddr(flag.CommandLine)
 
 	planFlag     = flag.Bool("plan", false, "project campaign cost instead of measuring")
 	planRelays   = flag.Int("relays", 0, "plan: relay population (all pairs)")
@@ -101,16 +102,11 @@ func main() {
 
 	// Telemetry is off (nil registry, no-op metrics) unless -debug-addr
 	// asks for the debug surface.
-	var reg *telemetry.Registry
-	if *debugAddr != "" {
-		reg = telemetry.New()
-		addr, shutdown, err := telemetry.Serve(*debugAddr, reg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer shutdown()
-		fmt.Printf("telemetry: http://%s/metrics.json (pprof under /debug/pprof/)\n", addr)
+	reg, _, shutdownTelemetry, err := cliflags.BootTelemetry(*debugAddr)
+	if err != nil {
+		log.Fatal(err)
 	}
+	defer shutdownTelemetry()
 	obs := ting.NewTelemetryObserver(reg)
 
 	newMeasurer := func() (*ting.Measurer, error) {

@@ -1,0 +1,266 @@
+// Command tingd is the serving plane of the latency matrix: a long-running
+// daemon that keeps an all-pairs RTT dataset fresh with continuous Monitor
+// sweeps and serves it at high QPS. Each completed sweep is published as an
+// immutable epoch snapshot and swapped in atomically, so readers never lock
+// against the sweeper; queries are answered over a versioned HTTP/JSON API
+// (/v1/…) and a compact length-prefixed binary protocol (see
+// internal/serve).
+//
+// Measurement sources, pick one:
+//
+//	tingd -model 16                              synthetic Internet, model-direct measurers (self-contained)
+//	tingd -control 127.0.0.1:9051 -data :9052    a running mintor network (cmd/tingnet) via its control port
+//	tingd -matrix matrix.ting                    a finished cmd/ting campaign, served statically as epoch 1
+//
+// Usage:
+//
+//	tingd -model 16 -http 127.0.0.1:7070 -bin 127.0.0.1:7071 -debug-addr 127.0.0.1:0
+//	tingload -bin 127.0.0.1:7071 -duration 5s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ting/internal/cliflags"
+	"ting/internal/control"
+	"ting/internal/directory"
+	"ting/internal/experiments"
+	"ting/internal/serve"
+	"ting/internal/ting"
+	"ting/internal/tornet"
+)
+
+var (
+	httpAddr = flag.String("http", "127.0.0.1:7070", "serve the /v1 HTTP/JSON query API on this address (empty disables)")
+	binAddr  = flag.String("bin", "127.0.0.1:7071", "serve the binary query protocol on this address (empty disables)")
+	addrFile = flag.String("addr-file", "", "write the bound addresses (http=…, bin=…, debug=… lines) to this file, so :0 binds are discoverable without races")
+
+	modelFlag = flag.Int("model", 0, "serve a synthetic n-relay Internet measured with model-direct probers (self-contained mode)")
+	seedFlag  = flag.Int64("seed", 42, "model: topology seed")
+
+	controlAddr = flag.String("control", "", "control port of an onion proxy to measure through (deployment mode)")
+	dataAddr    = flag.String("data", "127.0.0.1:9052", "control mode: data port of the onion proxy")
+	password    = flag.String("password", "", "control mode: control-port password")
+	wFlag       = flag.String("w", tornet.WName, "control mode: nickname of local relay w")
+	zFlag       = flag.String("z", tornet.ZName, "control mode: nickname of local relay z")
+	target      = flag.String("target", tornet.EchoTarget, "control mode: echo destination name")
+	scaleFlag   = flag.Float64("scale", 1.0, "control mode: the network's time scale, to convert wall-clock to virtual ms")
+
+	matrixFlag = flag.String("matrix", "", "serve a finished campaign's matrix file statically (no sweeps)")
+
+	samples       = flag.Int("samples", 10, "samples per circuit per measurement")
+	maxAge        = flag.Duration("max-age", time.Minute, "re-measure a pair once its measurement is older than this")
+	pairsPerSweep = flag.Int("pairs-per-sweep", 0, "bound how many pairs one sweep refreshes (0 = all stale pairs)")
+	workers       = flag.Int("workers", 2, "sweep parallelism (forced to 1 in control mode: one control connection serializes circuit work)")
+	sweepInterval = flag.Duration("sweep-interval", time.Second, "pause between sweeps")
+	quiet         = flag.Bool("quiet", false, "do not log epoch swaps")
+
+	dirFlag   = cliflags.Dir(flag.CommandLine, "control mode: directory server address to fetch the relay set from (default: the control port's consensus)")
+	debugAddr = cliflags.DebugAddr(flag.CommandLine)
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tingd: ")
+	flag.Parse()
+
+	reg, debugBound, shutdownTelemetry, err := cliflags.BootTelemetry(*debugAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer shutdownTelemetry()
+
+	pub := serve.NewPublisher(reg)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// The measurement source: exactly one of -model, -control, -matrix.
+	var mon *ting.Monitor
+	switch {
+	case *matrixFlag != "":
+		f, err := os.Open(*matrixFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := ting.DecodeMatrix(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := pub.Publish(m); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("serving %s statically: %d relays, epoch 1\n", *matrixFlag, m.N())
+
+	case *modelFlag > 0:
+		world, err := experiments.NewTestbedWorld(*modelFlag, *seedFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mon, err = ting.NewMonitor(ting.MonitorConfig{
+			NewMeasurer: func(worker int) (*ting.Measurer, error) {
+				return world.Measurer(*samples, *seedFlag+int64(worker)+1)
+			},
+			Names:         world.Names,
+			MaxAge:        *maxAge,
+			PairsPerSweep: *pairsPerSweep,
+			Workers:       *workers,
+			Observer:      ting.NewTelemetryObserver(reg),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("sweeping a synthetic %d-relay Internet (seed %d)\n", *modelFlag, *seedFlag)
+
+	case *controlAddr != "":
+		conn, err := control.Dial(*controlAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer conn.Close()
+		if err := conn.Authenticate(*password); err != nil {
+			log.Fatal(err)
+		}
+		var dir *directory.Registry
+		if *dirFlag != "" {
+			dir, err = directory.Fetch(*dirFlag)
+		} else {
+			dir, err = conn.Consensus()
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		names := make([]string, 0, dir.Len())
+		for _, d := range dir.Consensus() {
+			names = append(names, d.Nickname)
+		}
+		mon, err = ting.NewMonitor(ting.MonitorConfig{
+			NewMeasurer: func(worker int) (*ting.Measurer, error) {
+				return ting.NewMeasurer(ting.Config{
+					Prober: &ting.ControlProber{
+						Conn:     conn,
+						DataAddr: *dataAddr,
+						Target:   *target,
+						ToMs: func(d time.Duration) float64 {
+							return float64(d) / float64(time.Millisecond) / *scaleFlag
+						},
+					},
+					W:        *wFlag,
+					Z:        *zFlag,
+					Samples:  *samples,
+					Observer: ting.NewTelemetryObserver(reg),
+				})
+			},
+			Names:         names,
+			MaxAge:        *maxAge,
+			PairsPerSweep: *pairsPerSweep,
+			// One control connection serializes circuit work.
+			Workers: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("sweeping %d relays through %s\n", len(names), *controlAddr)
+
+	default:
+		log.Fatal("need a measurement source: -model n, -control addr, or -matrix file")
+	}
+
+	// Query surfaces. Both answer from the same publisher, so they are
+	// always mutually consistent for a given epoch.
+	written := map[string]string{}
+	if debugBound != "" {
+		written["debug"] = debugBound
+	}
+	if *httpAddr != "" {
+		ln := listen(*httpAddr)
+		srv := &http.Server{Handler: serve.NewServer(pub, reg).Handler()}
+		go func() {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				log.Fatal(err)
+			}
+		}()
+		defer srv.Close()
+		written["http"] = ln.Addr().String()
+		fmt.Printf("http:   http://%s/v1/epoch\n", ln.Addr())
+	}
+	if *binAddr != "" {
+		ln := listen(*binAddr)
+		bin := serve.NewBinaryServer(pub, reg)
+		go func() {
+			if err := bin.Serve(ctx, ln); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		written["bin"] = ln.Addr().String()
+		fmt.Printf("binary: %s\n", ln.Addr())
+	}
+	if len(written) == 0 {
+		log.Fatal("both -http and -bin disabled: nothing to serve")
+	}
+	if *addrFile != "" {
+		writeAddrFile(*addrFile, written)
+	}
+
+	if mon != nil {
+		sw := &serve.Sweeper{
+			Monitor:   mon,
+			Publisher: pub,
+			Interval:  *sweepInterval,
+			OnSweep: func(stats ting.MonitorStats, snap *serve.Snapshot, err error) {
+				if err != nil && ctx.Err() == nil {
+					log.Printf("sweep error: %v", err)
+				}
+				if snap != nil && !*quiet {
+					fresh, resumed, removed, missing := snap.ProvCounts()
+					log.Printf("epoch %d: %d measured total (pairs: %d fresh, %d resumed, %d removed, %d missing)",
+						snap.Epoch(), stats.Measured, fresh, resumed, removed, missing)
+				}
+			},
+		}
+		if err := sw.Run(ctx); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		<-ctx.Done()
+	}
+	fmt.Println("shutting down")
+}
+
+func listen(addr string) net.Listener {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("listen %s: %v", addr, err)
+	}
+	return ln
+}
+
+// writeAddrFile publishes the bound addresses atomically (write + rename),
+// so a watcher polling for the file never reads a half-written one.
+func writeAddrFile(path string, addrs map[string]string) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, k := range []string{"http", "bin", "debug"} {
+		if v, ok := addrs[k]; ok {
+			fmt.Fprintf(f, "%s=%s\n", k, v)
+		}
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -112,7 +112,7 @@ func runTIVs(path string) {
 	fmt.Println("  top detours:")
 	for _, t := range tivs[:n] {
 		fmt.Printf("    %s ↔ %s: %.1fms direct, %.1fms via %s (−%.1f%%)\n",
-			m.Names[t.S], m.Names[t.D], t.DirectMs, t.DetourMs, m.Names[t.R],
+			m.Names()[t.S], m.Names()[t.D], t.DirectMs, t.DetourMs, m.Names()[t.R],
 			100*t.SavingsFraction())
 	}
 }
@@ -120,11 +120,11 @@ func runTIVs(path string) {
 func runCompare(oldPath, newPath string) {
 	a, b := load(oldPath), load(newPath)
 	shared := make(map[string]bool)
-	for _, n := range a.Names {
+	for _, n := range a.Names() {
 		shared[n] = true
 	}
 	var common []string
-	for _, n := range b.Names {
+	for _, n := range b.Names() {
 		if shared[n] {
 			common = append(common, n)
 		}

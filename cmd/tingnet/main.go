@@ -20,16 +20,12 @@ import (
 	"net"
 	"os"
 	"os/signal"
-	"sort"
-	"strings"
-	"time"
 
+	"ting/internal/cliflags"
 	"ting/internal/control"
 	"ting/internal/directory"
 	"ting/internal/experiments"
-	"ting/internal/faults"
 	"ting/internal/inet"
-	"ting/internal/telemetry"
 	"ting/internal/tornet"
 )
 
@@ -43,25 +39,14 @@ var (
 	scaleFlag   = flag.Float64("scale", 1.0, "virtual-ms to wall-clock scale (0.1 = 10x faster)")
 	fwdFlag     = flag.Bool("fwd", true, "apply stochastic relay forwarding delays")
 	password    = flag.String("password", "", "control-port password (empty accepts any)")
-	debugAddr   = flag.String("debug-addr", "", "serve overlay telemetry and pprof on this address")
+	debugAddr   = cliflags.DebugAddr(flag.CommandLine)
 
-	crashFlags multiFlag
-	flapFlags  multiFlag
-	churnFlags multiFlag
-	faultSeed  = flag.Int64("fault-seed", 7, "seed for the fault plan's probabilistic decisions")
+	faultFlags cliflags.FaultFlags
 )
 
 func init() {
-	flag.Var(&crashFlags, "crash", "kill a relay permanently: name:delay (e.g. relay002:30s; repeatable)")
-	flag.Var(&flapFlags, "flap", "flap a relay: name:period:down (e.g. relay001:10s:2s; repeatable)")
-	flag.Var(&churnFlags, "churn", "churn the consensus: join:name:delay holds the relay out of the initial consensus and publishes it then; drain:name:delay drains it gracefully (e.g. drain:relay003:45s; repeatable)")
+	faultFlags.Register(flag.CommandLine)
 }
-
-// multiFlag collects every occurrence of a repeatable flag.
-type multiFlag []string
-
-func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
-func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func main() {
 	log.SetFlags(0)
@@ -72,17 +57,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	var reg *telemetry.Registry
-	if *debugAddr != "" {
-		reg = telemetry.New()
-		addr, shutdown, err := telemetry.Serve(*debugAddr, reg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer shutdown()
-		fmt.Printf("telemetry: http://%s/metrics.json (pprof under /debug/pprof/)\n", addr)
+	reg, _, shutdownTelemetry, err := cliflags.BootTelemetry(*debugAddr)
+	if err != nil {
+		log.Fatal(err)
 	}
-	plan, err := buildFaultPlan(crashFlags, flapFlags, churnFlags, *faultSeed, world)
+	defer shutdownTelemetry()
+	plan, err := faultFlags.BuildPlan(func(name string) bool {
+		_, ok := world.NodeOf[name]
+		return ok
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -126,7 +109,7 @@ func main() {
 	fmt.Printf("  control: %s\n  data:    %s\n  dir:     %s\n",
 		ctrlLn.Addr(), dataLn.Addr(), dirLn.Addr())
 	fmt.Printf("  echo target: %q (the only address exit policies allow)\n", tornet.EchoTarget)
-	printFaultPlan(plan)
+	cliflags.PrintFaultPlan(os.Stdout, plan)
 	fmt.Println()
 	fmt.Println("ground-truth RTTs (ms):")
 	for i := 0; i < len(world.Names); i++ {
@@ -165,111 +148,4 @@ func transportName(tcp bool) string {
 		return "tcp"
 	}
 	return "pipe"
-}
-
-// buildFaultPlan turns the -crash, -flap, and -churn flags into a fault
-// plan, or returns nil when no faults were requested. A relay may appear in
-// several flags; the schedules merge.
-func buildFaultPlan(crashes, flaps, churns []string, seed int64, world *experiments.World) (*faults.Plan, error) {
-	if len(crashes) == 0 && len(flaps) == 0 && len(churns) == 0 {
-		return nil, nil
-	}
-	schedules := map[string]faults.RelaySchedule{}
-	relay := func(name string) (faults.RelaySchedule, error) {
-		if _, ok := world.NodeOf[name]; !ok {
-			return faults.RelaySchedule{}, fmt.Errorf("fault plan: unknown relay %q", name)
-		}
-		return schedules[name], nil
-	}
-	for _, spec := range crashes {
-		parts := strings.Split(spec, ":")
-		if len(parts) != 2 {
-			return nil, fmt.Errorf("bad -crash %q, want name:delay", spec)
-		}
-		rs, err := relay(parts[0])
-		if err != nil {
-			return nil, err
-		}
-		delay, err := time.ParseDuration(parts[1])
-		if err != nil || delay <= 0 {
-			return nil, fmt.Errorf("bad -crash delay %q: want a positive duration", parts[1])
-		}
-		rs.CrashAfter = delay
-		schedules[parts[0]] = rs
-	}
-	for _, spec := range flaps {
-		parts := strings.Split(spec, ":")
-		if len(parts) != 3 {
-			return nil, fmt.Errorf("bad -flap %q, want name:period:down", spec)
-		}
-		rs, err := relay(parts[0])
-		if err != nil {
-			return nil, err
-		}
-		period, err := time.ParseDuration(parts[1])
-		if err != nil || period <= 0 {
-			return nil, fmt.Errorf("bad -flap period %q: want a positive duration", parts[1])
-		}
-		down, err := time.ParseDuration(parts[2])
-		if err != nil || down <= 0 || down >= period {
-			return nil, fmt.Errorf("bad -flap downtime %q: want a positive duration shorter than the period", parts[2])
-		}
-		rs.FlapPeriod, rs.FlapDown = period, down
-		schedules[parts[0]] = rs
-	}
-	for _, spec := range churns {
-		parts := strings.Split(spec, ":")
-		if len(parts) != 3 || (parts[0] != "join" && parts[0] != "drain") {
-			return nil, fmt.Errorf("bad -churn %q, want join:name:delay or drain:name:delay", spec)
-		}
-		rs, err := relay(parts[1])
-		if err != nil {
-			return nil, err
-		}
-		delay, err := time.ParseDuration(parts[2])
-		if err != nil || delay <= 0 {
-			return nil, fmt.Errorf("bad -churn delay %q: want a positive duration", parts[2])
-		}
-		if parts[0] == "join" {
-			rs.JoinAfter = delay
-		} else {
-			rs.DrainAfter = delay
-		}
-		schedules[parts[1]] = rs
-	}
-	plan := faults.NewPlan(seed)
-	for name, rs := range schedules {
-		plan.SetRelay(name, rs)
-	}
-	return plan, nil
-}
-
-// printFaultPlan reports the injected failure schedule so a transcript of
-// the run records what the network was doing to itself.
-func printFaultPlan(plan *faults.Plan) {
-	if plan == nil {
-		return
-	}
-	fmt.Printf("fault plan (seed %d, clock starts now):\n", plan.Seed)
-	relays := plan.Relays()
-	names := make([]string, 0, len(relays))
-	for name := range relays {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		rs := relays[name]
-		if rs.CrashAfter > 0 {
-			fmt.Printf("  %s: crashes permanently after %v\n", name, rs.CrashAfter)
-		}
-		if rs.FlapPeriod > 0 {
-			fmt.Printf("  %s: down %v at the top of every %v\n", name, rs.FlapDown, rs.FlapPeriod)
-		}
-		if rs.JoinAfter > 0 {
-			fmt.Printf("  %s: held out of the consensus, joins after %v\n", name, rs.JoinAfter)
-		}
-		if rs.DrainAfter > 0 {
-			fmt.Printf("  %s: drains gracefully after %v\n", name, rs.DrainAfter)
-		}
-	}
 }

@@ -40,7 +40,7 @@ type Circuit struct {
 
 // Scenario is one deanonymization instance: what the attacker knows.
 type Scenario struct {
-	m    *ting.Matrix
+	m    ting.MatrixView
 	circ Circuit
 
 	// AttackerExitRTT is r, the destination's RTT to the exit.
@@ -51,7 +51,7 @@ type Scenario struct {
 }
 
 // Matrix returns the all-pairs dataset the attacker uses.
-func (sc *Scenario) Matrix() *ting.Matrix { return sc.m }
+func (sc *Scenario) Matrix() ting.MatrixView { return sc.m }
 
 // Circuit returns the ground-truth circuit (hidden from strategies except
 // through the probe oracle).
@@ -61,7 +61,7 @@ func (sc *Scenario) Circuit() Circuit { return sc.circ }
 // attacker location are drawn from the node set; entry, middle, and exit
 // are distinct relays chosen uniformly (weights nil) or
 // bandwidth-weighted.
-func NewScenario(m *ting.Matrix, weights []float64, rng *rand.Rand) (*Scenario, error) {
+func NewScenario(m ting.MatrixView, weights []float64, rng *rand.Rand) (*Scenario, error) {
 	n := m.N()
 	if n < 5 {
 		return nil, errors.New("deanon: need at least 5 nodes")

@@ -31,7 +31,7 @@ type PaddedScenario struct {
 
 // NewPaddedScenario draws a scenario and adds U(0, maxPadMs) of padding at
 // each of the three relays.
-func NewPaddedScenario(m *ting.Matrix, maxPadMs float64, rng *rand.Rand) (*PaddedScenario, error) {
+func NewPaddedScenario(m ting.MatrixView, maxPadMs float64, rng *rand.Rand) (*PaddedScenario, error) {
 	if maxPadMs < 0 {
 		return nil, errors.New("deanon: negative padding")
 	}
@@ -67,7 +67,7 @@ func (p PaddingSweepPoint) Speedup() float64 {
 
 // PaddingSweep measures how latency padding erodes the informed attacker's
 // advantage, at each maximum per-relay padding level.
-func PaddingSweep(m *ting.Matrix, maxPads []float64, trials int, seed int64) ([]PaddingSweepPoint, error) {
+func PaddingSweep(m ting.MatrixView, maxPads []float64, trials int, seed int64) ([]PaddingSweepPoint, error) {
 	if trials <= 0 {
 		return nil, fmt.Errorf("deanon: trials %d", trials)
 	}
@@ -112,7 +112,7 @@ func PaddingSweep(m *ting.Matrix, maxPads []float64, trials int, seed int64) ([]
 // randomized-length defense. The attacker must identify every relay
 // between the source and the known exit.
 type VariableScenario struct {
-	m *ting.Matrix
+	m ting.MatrixView
 	// rtt is a dense snapshot of m: the attacker's scoring loops read
 	// O(N²) cells per candidate pass, which would pay the tiled store's
 	// indirection on every read.
@@ -129,14 +129,14 @@ type VariableScenario struct {
 
 // NewVariableScenario draws a circuit whose length is uniform over
 // [minLen, maxLen] hops.
-func NewVariableScenario(m *ting.Matrix, minLen, maxLen int, rng *rand.Rand) (*VariableScenario, error) {
+func NewVariableScenario(m ting.MatrixView, minLen, maxLen int, rng *rand.Rand) (*VariableScenario, error) {
 	return newVariableScenario(m, m.Dense(), minLen, maxLen, rng)
 }
 
 // newVariableScenario lets callers drawing many scenarios from one matrix
 // (LengthDefense) share a single dense snapshot instead of re-copying N²
 // cells per trial.
-func newVariableScenario(m *ting.Matrix, rtt [][]float64, minLen, maxLen int, rng *rand.Rand) (*VariableScenario, error) {
+func newVariableScenario(m ting.MatrixView, rtt [][]float64, minLen, maxLen int, rng *rand.Rand) (*VariableScenario, error) {
 	n := m.N()
 	if minLen < 3 || maxLen < minLen {
 		return nil, fmt.Errorf("deanon: bad length range [%d,%d]", minLen, maxLen)
@@ -199,7 +199,7 @@ type LengthDefensePoint struct {
 // The attacker is granted a completeness oracle (it knows when it has
 // found every member), which is generous to the attacker — the defense's
 // measured benefit is therefore a lower bound.
-func LengthDefense(m *ting.Matrix, minLen, maxLen, trials int, seed int64) (*LengthDefensePoint, error) {
+func LengthDefense(m ting.MatrixView, minLen, maxLen, trials int, seed int64) (*LengthDefensePoint, error) {
 	if trials <= 0 {
 		return nil, fmt.Errorf("deanon: trials %d", trials)
 	}

@@ -22,7 +22,7 @@ type Trial struct {
 // Simulation runs many scenarios over one matrix.
 type Simulation struct {
 	// Matrix is the all-pairs Ting dataset. Required.
-	Matrix *ting.Matrix
+	Matrix ting.MatrixView
 	// Strategies to compare. Required.
 	Strategies []Strategy
 	// Weights, if non-nil, biases circuit construction by bandwidth.

@@ -43,8 +43,8 @@ func (r *Fig11Result) RTTCDF() (*stats.CDF, error) {
 // Weights returns each matrix relay's bandwidth, aligned with
 // Matrix.Names.
 func (r *Fig11Result) Weights() []float64 {
-	out := make([]float64, len(r.Matrix.Names))
-	for i, name := range r.Matrix.Names {
+	out := make([]float64, len(r.Matrix.Names()))
+	for i, name := range r.Matrix.Names() {
 		out[i] = r.World.Topo.Node(r.World.NodeOf[name]).BandwidthKBps
 	}
 	return out

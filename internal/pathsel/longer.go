@@ -19,7 +19,7 @@ type CircuitSample struct {
 // SampleCircuits draws count random circuits of the given length (distinct
 // hops, random order) over the matrix and computes each one's internal
 // RTT. §5.2.2 samples 10,000 circuits per length 3–10.
-func SampleCircuits(m *ting.Matrix, length, count int, rng *rand.Rand) ([]CircuitSample, error) {
+func SampleCircuits(m ting.MatrixView, length, count int, rng *rand.Rand) ([]CircuitSample, error) {
 	if m == nil {
 		return nil, errors.New("pathsel: nil matrix")
 	}
@@ -71,7 +71,7 @@ const BinMs = 50
 // AnalyzeLengths reproduces Figures 16 and 17: for each length, sample
 // circuits, histogram their RTTs with C(n,l) scaling, and compute the
 // median per-node membership probability per bin.
-func AnalyzeLengths(m *ting.Matrix, lengths []int, samples int, seed int64) ([]LengthHistogram, error) {
+func AnalyzeLengths(m ting.MatrixView, lengths []int, samples int, seed int64) ([]LengthHistogram, error) {
 	if len(lengths) == 0 {
 		return nil, errors.New("pathsel: no lengths")
 	}

@@ -22,7 +22,7 @@ import (
 // with at most `attempts` draws. The result is an unbiased sample of the
 // qualifying-circuit population, which is what preserves selection
 // entropy.
-func SelectLowLatency(m *ting.Matrix, length int, budgetMs float64, k, attempts int, rng *rand.Rand) ([]CircuitSample, error) {
+func SelectLowLatency(m ting.MatrixView, length int, budgetMs float64, k, attempts int, rng *rand.Rand) ([]CircuitSample, error) {
 	if m == nil {
 		return nil, errors.New("pathsel: nil matrix")
 	}

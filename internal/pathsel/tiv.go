@@ -31,7 +31,7 @@ func (t TIV) SavingsFraction() float64 {
 // pair with at least one violating relay, the best (lowest-detour) TIV.
 // §5.2.1: "for 69% of all pairs of Tor nodes in our data, there exists at
 // least one circuit that results in a TIV."
-func FindTIVs(m *ting.Matrix) ([]TIV, error) {
+func FindTIVs(m ting.MatrixView) ([]TIV, error) {
 	if m == nil {
 		return nil, errors.New("pathsel: nil matrix")
 	}
@@ -82,7 +82,7 @@ func (s TIVSummary) FractionWithTIV() float64 {
 }
 
 // SummarizeTIVs runs FindTIVs and aggregates.
-func SummarizeTIVs(m *ting.Matrix) (TIVSummary, error) {
+func SummarizeTIVs(m ting.MatrixView) (TIVSummary, error) {
 	tivs, err := FindTIVs(m)
 	if err != nil {
 		return TIVSummary{}, err

@@ -1,0 +1,286 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+
+	"ting/internal/ting"
+)
+
+// startBinary boots a BinaryServer on loopback and returns a connected
+// client. Everything is torn down with the test.
+func startBinary(t *testing.T, pub *Publisher) *BinClient {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	srv := NewBinaryServer(pub, nil)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := srv.Serve(ctx, ln); err != nil {
+			t.Errorf("binary server: %v", err)
+		}
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+	})
+	c, err := DialBinary(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestBinaryEpochNamesRTT(t *testing.T) {
+	pub := NewPublisher(nil)
+	m := testMatrix(t, 4)
+	snap, err := pub.Publish(m.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := startBinary(t, pub)
+
+	info, err := c.Epoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Epoch != 1 || info.Relays != 4 || info.ETag != snap.ETag() {
+		t.Fatalf("epoch info %+v", info)
+	}
+
+	epoch, names, err := c.Names()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 || len(names) != 4 || names[2] != "relay02" {
+		t.Fatalf("names (epoch %d) %v", epoch, names)
+	}
+
+	epoch, rtt, prov, err := c.RTT("relay00", "relay02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 || rtt != m.At(0, 2) || prov != ting.ProvFresh {
+		t.Fatalf("rtt epoch=%d v=%v prov=%v", epoch, rtt, prov)
+	}
+	_, _, prov, err = c.RTT("relay00", "relay01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prov != ting.ProvResumed {
+		t.Fatalf("resumed pair reported %v", prov)
+	}
+
+	pairs := []uint32{0, 1, 0, 2, 3, 1}
+	epoch, cells, err := c.RTTBatch(pairs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 || len(cells) != 3 {
+		t.Fatalf("batch epoch=%d cells=%d", epoch, len(cells))
+	}
+	for k := 0; k < len(cells); k++ {
+		i, j := int(pairs[k*2]), int(pairs[k*2+1])
+		if cells[k].RTTms != m.At(i, j) || cells[k].Prov != m.ProvAt(i, j) {
+			t.Errorf("cell %d (%d,%d) = %+v", k, i, j, cells[k])
+		}
+	}
+}
+
+func TestBinaryStatuses(t *testing.T) {
+	empty := NewPublisher(nil)
+	c := startBinary(t, empty)
+	if _, err := c.Epoch(); !isStatus(err, statusNoEpoch) {
+		t.Errorf("no-epoch error = %v", err)
+	}
+
+	pub := NewPublisher(nil)
+	if _, err := pub.Publish(testMatrix(t, 4)); err != nil {
+		t.Fatal(err)
+	}
+	c2 := startBinary(t, pub)
+	if _, _, _, err := c2.RTT("relay00", "nope"); !isStatus(err, statusUnknownRelay) {
+		t.Errorf("unknown relay error = %v", err)
+	}
+	if _, _, err := c2.RTTBatch([]uint32{0, 99}, nil); !isStatus(err, statusOutOfRange) {
+		t.Errorf("out-of-range error = %v", err)
+	}
+	// Unknown op fails closed, and the connection survives to answer the
+	// next request.
+	c2.req = c2.req[:0]
+	if _, err := c2.roundTrip(0x7f); !isStatus(err, statusBadRequest) {
+		t.Errorf("unknown op error = %v", err)
+	}
+	if _, err := c2.Epoch(); err != nil {
+		t.Errorf("connection dead after bad op: %v", err)
+	}
+}
+
+func isStatus(err error, status byte) bool {
+	var se *StatusError
+	return errors.As(err, &se) && se.Status == status
+}
+
+// TestHTTPBinaryCrossCheck is the acceptance golden: for one epoch, the
+// HTTP and binary protocols must return byte-for-byte identical answers —
+// same epoch, same ETag, same names, and same (RTT, provenance) for every
+// pair, whether looked up by name over HTTP, by name over the wire, or by
+// index in a batch.
+func TestHTTPBinaryCrossCheck(t *testing.T) {
+	pub := NewPublisher(nil)
+	m := testMatrix(t, 8)
+	if _, err := pub.Publish(m); err != nil {
+		t.Fatal(err)
+	}
+	h := NewServer(pub, nil).Handler()
+	c := startBinary(t, pub)
+
+	// Epoch metadata.
+	_, epochBody := get(t, h, "/v1/epoch", nil)
+	info, err := c.Epoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(epochBody["epoch"].(float64)) != info.Epoch ||
+		int(epochBody["relays"].(float64)) != info.Relays ||
+		epochBody["etag"].(string) != info.ETag {
+		t.Fatalf("epoch mismatch: http %v, binary %+v", epochBody, info)
+	}
+
+	// Name table.
+	_, namesBody := get(t, h, "/v1/names", nil)
+	_, names, err := c.Names()
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpNames := namesBody["names"].([]any)
+	if len(httpNames) != len(names) {
+		t.Fatalf("name count: http %d, binary %d", len(httpNames), len(names))
+	}
+	for i := range names {
+		if httpNames[i].(string) != names[i] {
+			t.Fatalf("name %d: http %v, binary %v", i, httpNames[i], names[i])
+		}
+	}
+
+	// Every pair, three ways.
+	n := len(names)
+	var pairs []uint32
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs = append(pairs, uint32(i), uint32(j))
+		}
+	}
+	batchEpoch, cells, err := c.RTTBatch(pairs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < len(cells); k++ {
+		i, j := int(pairs[k*2]), int(pairs[k*2+1])
+		x, y := names[i], names[j]
+
+		rec, httpBody := get(t, h, fmt.Sprintf("/v1/rtt?x=%s&y=%s", x, y), nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("http rtt %s/%s: %d", x, y, rec.Code)
+		}
+		binEpoch, binRTT, binProv, err := c.RTT(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if httpBody["rtt_ms"].(float64) != binRTT || binRTT != cells[k].RTTms {
+			t.Errorf("pair %s/%s RTT: http %v, binary %v, batch %v",
+				x, y, httpBody["rtt_ms"], binRTT, cells[k].RTTms)
+		}
+		if httpBody["provenance"].(string) != binProv.String() || binProv != cells[k].Prov {
+			t.Errorf("pair %s/%s prov: http %v, binary %v, batch %v",
+				x, y, httpBody["provenance"], binProv, cells[k].Prov)
+		}
+		if uint64(httpBody["epoch"].(float64)) != binEpoch || binEpoch != batchEpoch {
+			t.Errorf("pair %s/%s epoch: http %v, binary %v, batch %v",
+				x, y, httpBody["epoch"], binEpoch, batchEpoch)
+		}
+	}
+}
+
+// TestBinaryConcurrentClientsAcrossSwaps runs many clients hammering the
+// binary server while the publisher churns epochs — the serving plane's
+// whole point, under -race. Every batch answer must be internally
+// consistent with the epoch that produced it (the stamped cell trick from
+// the publisher hammer test).
+func TestBinaryConcurrentClientsAcrossSwaps(t *testing.T) {
+	pub := NewPublisher(nil)
+	base := testMatrix(t, 8)
+	stamp := func(epoch int) *ting.Matrix {
+		m := base.Clone()
+		if err := m.Set("relay00", "relay01", float64(1000+epoch)); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	if _, err := pub.Publish(stamp(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go NewBinaryServer(pub, nil).Serve(ctx, ln)
+
+	const clients = 4
+	iters := 300
+	if testing.Short() {
+		iters = 50
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := DialBinary(ln.Addr().String())
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer c.Close()
+			var cells []BatchCell
+			for i := 0; i < iters; i++ {
+				epoch, out, err := c.RTTBatch([]uint32{0, 1, 2, 3}, cells)
+				if err != nil {
+					errc <- err
+					return
+				}
+				cells = out
+				if want := float64(1000 + epoch); cells[0].RTTms != want {
+					errc <- fmt.Errorf("epoch %d served stamped cell %v, want %v",
+						epoch, cells[0].RTTms, want)
+					return
+				}
+			}
+		}()
+	}
+	for i := 2; i <= 50; i++ {
+		if _, err := pub.Publish(stamp(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

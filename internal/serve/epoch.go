@@ -1,0 +1,197 @@
+// Package serve is the serving plane of the latency matrix: it turns the
+// file-writing, exit-on-completion workflow of cmd/ting into a long-running
+// query service. A sweeper keeps an all-pairs matrix fresh with continuous
+// Monitor sweeps and publishes each completed sweep as an immutable epoch
+// snapshot; readers — an HTTP/JSON API under /v1 and a compact
+// length-prefixed binary protocol — resolve the current snapshot with one
+// atomic pointer load and never lock against the sweeper.
+//
+// Epoch lifecycle:
+//
+//	sweep → Monitor.Matrix() (private clone) → ting.Publish(m, seq)
+//	      → Publisher.Publish (atomic swap) → readers pick it up lock-free
+//
+// Old epochs stay valid for requests already holding them (readers capture
+// the snapshot once per request, so a swap mid-request can never produce a
+// torn answer) and are garbage-collected when the last reference drops.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ting/internal/pathsel"
+	"ting/internal/telemetry"
+	"ting/internal/ting"
+)
+
+// Snapshot is one published epoch: an immutable matrix view plus the
+// serving metadata derived from it. All fields are computed at publish
+// time except the TIV scan, which is O(N³) and therefore computed lazily,
+// at most once per epoch, shared by every request that asks.
+type Snapshot struct {
+	view        *ting.PublishedMatrix
+	etag        string
+	publishedAt time.Time
+
+	fresh, resumed, removed, missing int
+
+	tivOnce sync.Once
+	tivs    []pathsel.TIV
+	tivErr  error
+}
+
+// View returns the epoch's immutable matrix view.
+func (s *Snapshot) View() ting.MatrixView { return s.view }
+
+// Epoch returns the snapshot's monotonic sequence number (≥ 1).
+func (s *Snapshot) Epoch() uint64 { return s.view.Epoch() }
+
+// ETag is the strong HTTP validator for this epoch, quotes included. It is
+// derived from the epoch alone: two snapshots from one publisher never
+// share an epoch, so equality of ETags is equality of snapshots.
+func (s *Snapshot) ETag() string { return s.etag }
+
+// PublishedAt is when the snapshot was swapped in.
+func (s *Snapshot) PublishedAt() time.Time { return s.publishedAt }
+
+// ProvCounts reports the upper triangle's provenance tally, computed once
+// at publish time.
+func (s *Snapshot) ProvCounts() (fresh, resumed, removed, missing int) {
+	return s.fresh, s.resumed, s.removed, s.missing
+}
+
+// TIVs returns the epoch's triangle-inequality violations, best detour per
+// violating pair. The O(N³) scan runs on first call and is memoized for
+// the snapshot's lifetime — an epoch's TIV answer never changes, so every
+// subsequent request is a slice read.
+func (s *Snapshot) TIVs() ([]pathsel.TIV, error) {
+	s.tivOnce.Do(func() {
+		s.tivs, s.tivErr = pathsel.FindTIVs(s.view)
+	})
+	return s.tivs, s.tivErr
+}
+
+// etagFor formats the epoch validator. Strong (no W/ prefix): a snapshot
+// is byte-identical for its whole lifetime.
+func etagFor(epoch uint64) string { return fmt.Sprintf("%q", fmt.Sprintf("e%d", epoch)) }
+
+// Publisher owns the current-epoch pointer. Publish (the sweeper, rare) is
+// serialized by a mutex; Current (every query, hot) is a single atomic
+// load. This is the reader/writer separation the MatrixView split exists
+// for: the sweeper keeps mutating its own *Matrix, and only immutable
+// PublishedMatrix snapshots ever cross to the readers.
+type Publisher struct {
+	mu  sync.Mutex // serializes Publish: seq and cur move together
+	seq uint64
+	cur atomic.Pointer[Snapshot]
+
+	now func() time.Time
+
+	swaps      *telemetry.Counter
+	epochGauge *telemetry.Gauge
+}
+
+// NewPublisher creates a publisher reporting into reg (nil = no-op
+// metrics).
+func NewPublisher(reg *telemetry.Registry) *Publisher {
+	return &Publisher{
+		now:        time.Now,
+		swaps:      reg.Counter("serve.epoch_swaps"),
+		epochGauge: reg.Gauge("serve.epoch"),
+	}
+}
+
+// Publish stamps m as the next epoch and swaps it in atomically. The
+// caller transfers ownership of m: it must be a private copy (Clone, or
+// Monitor.Matrix()) that no writer will touch again.
+func (p *Publisher) Publish(m *ting.Matrix) (*Snapshot, error) {
+	if m == nil {
+		return nil, errors.New("serve: publish nil matrix")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	seq := p.seq + 1
+	pm, err := ting.Publish(m, seq)
+	if err != nil {
+		return nil, err
+	}
+	snap := &Snapshot{
+		view:        pm,
+		etag:        etagFor(seq),
+		publishedAt: p.now(),
+	}
+	snap.fresh, snap.resumed, snap.removed, snap.missing = pm.ProvCounts()
+	p.seq = seq
+	p.cur.Store(snap)
+	p.swaps.Inc()
+	p.epochGauge.Set(int64(seq))
+	return snap, nil
+}
+
+// Current returns the latest published snapshot, or nil before the first
+// Publish. It is wait-free and safe from any number of goroutines; the
+// returned snapshot stays valid (and internally consistent) no matter how
+// many epochs are published after it.
+func (p *Publisher) Current() *Snapshot { return p.cur.Load() }
+
+// Sweeper runs continuous Monitor sweeps and publishes each completed
+// sweep that measured anything as a new epoch. Sweep errors do not stop
+// the loop: a dead relay must not wedge the serving plane, and the epoch
+// still advances with whatever the sweep did measure.
+type Sweeper struct {
+	// Monitor drives the measurements. Required.
+	Monitor *ting.Monitor
+	// Publisher receives each sweep's snapshot. Required.
+	Publisher *Publisher
+	// Interval is the pause between sweeps. Default 1s.
+	Interval time.Duration
+	// OnSweep, if non-nil, is called after every sweep (and its publish, if
+	// one happened) with the cumulative monitor stats, the published
+	// snapshot (nil when the sweep changed nothing), and the sweep error.
+	OnSweep func(stats ting.MonitorStats, snap *Snapshot, err error)
+}
+
+// Run sweeps until ctx is cancelled (which returns nil — a stopped sweeper
+// is a request, not a failure). The first sweep runs immediately, and the
+// first publish happens even if that sweep measured nothing, so a server
+// over an already-complete matrix still comes up serving epoch 1.
+func (s *Sweeper) Run(ctx context.Context) error {
+	if s.Monitor == nil || s.Publisher == nil {
+		return errors.New("serve: sweeper needs Monitor and Publisher")
+	}
+	interval := s.Interval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	lastMeasured := -1 // forces the first publish
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		_, err := s.Monitor.Sweep(ctx)
+		if ctx.Err() != nil {
+			return nil
+		}
+		stats := s.Monitor.Stats()
+		var snap *Snapshot
+		// Publish only when the dataset can have changed: re-stamping an
+		// identical matrix would churn epochs and invalidate client caches
+		// for nothing.
+		if stats.Measured != lastMeasured {
+			lastMeasured = stats.Measured
+			snap, _ = s.Publisher.Publish(s.Monitor.Matrix())
+		}
+		if s.OnSweep != nil {
+			s.OnSweep(stats, snap, err)
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-t.C:
+		}
+	}
+}

@@ -21,9 +21,17 @@ type HistogramSnapshot struct {
 	P99   float64 `json:"p99"`
 }
 
+// SchemaVersion is the version of the JSON exposition format, carried as
+// the top-level "schema" field so consumers can detect incompatible
+// changes. Bump it when a field is renamed, retyped, or removed — not for
+// additions, which versioned consumers must tolerate. The plain-text
+// format (WriteText) is the stable scrape surface and is not versioned.
+const SchemaVersion = 1
+
 // Snapshot is a point-in-time view of a registry. Encoding to JSON is
 // deterministic (map keys sort), so tests can pin the schema.
 type Snapshot struct {
+	Schema     int                          `json:"schema"`
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]int64             `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
@@ -35,6 +43,7 @@ type Snapshot struct {
 // empty (but non-nil-map) snapshot.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
+		Schema:     SchemaVersion,
 		Counters:   map[string]int64{},
 		Gauges:     map[string]int64{},
 		Histograms: map[string]HistogramSnapshot{},

@@ -199,6 +199,7 @@ func TestSnapshotGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	golden := `{
+  "schema": 1,
   "counters": {
     "ting.pairs_measured": 3,
     "ting.retries": 1

@@ -368,12 +368,12 @@ func TestScanChurnRemoveJoinMidScan(t *testing.T) {
 	}
 
 	wantNames := []string{"x", "y", "u", "v", "q"}
-	if len(m1.Names) != len(wantNames) {
-		t.Fatalf("matrix names = %v, want %v", m1.Names, wantNames)
+	if len(m1.Names()) != len(wantNames) {
+		t.Fatalf("matrix names = %v, want %v", m1.Names(), wantNames)
 	}
 	for i, n := range wantNames {
-		if m1.Names[i] != n {
-			t.Fatalf("matrix names = %v, want %v", m1.Names, wantNames)
+		if m1.Names()[i] != n {
+			t.Fatalf("matrix names = %v, want %v", m1.Names(), wantNames)
 		}
 	}
 	fresh, resumed, removed, missing := m1.ProvCounts()
@@ -880,8 +880,8 @@ func TestChurnSoakJoinLeaveCancelResume(t *testing.T) {
 	}
 
 	// The matrix covers the original five relays plus the joiner.
-	if len(m.Names) != 6 {
-		t.Fatalf("matrix names = %v, want all 6 relays including the joiner", m.Names)
+	if len(m.Names()) != 6 {
+		t.Fatalf("matrix names = %v, want all 6 relays including the joiner", m.Names())
 	}
 	fresh, resumed, removed, missing := m.ProvCounts()
 	if fresh+resumed+removed+missing != 15 {
@@ -891,7 +891,7 @@ func TestChurnSoakJoinLeaveCancelResume(t *testing.T) {
 		t.Error("no pair was tombstoned although the leaver drained mid-campaign")
 	}
 	joinerMeasured := 0
-	for _, peer := range m.Names {
+	for _, peer := range m.Names() {
 		if peer == joiner {
 			continue
 		}

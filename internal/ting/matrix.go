@@ -36,15 +36,21 @@ func tidx(i, j int) int { return (i&tileMask)<<TileShift | (j & tileMask) }
 
 // Matrix is an all-pairs RTT dataset over named relays — the artifact
 // Ting exists to produce and every Section 5 application consumes.
-// R[i][j], read via At/RTT, is the measured RTT between Names[i] and
-// Names[j] in milliseconds; symmetric with zero diagonal.
+// R[i][j], read via At/RTT, is the measured RTT between Names()[i] and
+// Names()[j] in milliseconds; symmetric with zero diagonal.
+//
+// Matrix is the *write side* of the dataset: scanners and monitors call
+// Set/SetProv/AddName. Read-only consumers (pathsel, deanon, the serving
+// plane) take the MatrixView interface instead, which *Matrix implements —
+// see view.go for the read-side contract and the epoch-stamped immutable
+// PublishedMatrix.
 //
 // Storage is tiled: cells live in TileDim×TileDim blocks materialized on
 // first write, so a 10k-relay campaign that has measured 1% of its pairs
 // holds 1% (plus block rounding) of the 800 MB a dense N² array would
 // pin. Unmaterialized tiles read as zero / ProvMissing.
 type Matrix struct {
-	Names []string
+	names []string
 
 	index map[string]int
 	// tiles[ti][tj] covers rows [ti·TileDim, (ti+1)·TileDim) × the
@@ -92,10 +98,10 @@ func NewMatrix(names []string) (*Matrix, error) {
 		return nil, errors.New("ting: matrix needs at least two relays")
 	}
 	m := &Matrix{
-		Names: append([]string(nil), names...),
+		names: append([]string(nil), names...),
 		index: make(map[string]int, len(names)),
 	}
-	for i, n := range m.Names {
+	for i, n := range m.names {
 		if n == "" {
 			return nil, errors.New("ting: empty relay name")
 		}
@@ -129,7 +135,7 @@ func newTileGrid(tn int, old [][]*tile) [][]*tile {
 }
 
 // N returns the number of relays.
-func (m *Matrix) N() int { return len(m.Names) }
+func (m *Matrix) N() int { return len(m.names) }
 
 // at reads a cell without bounds checking; unmaterialized tiles are zero.
 func (m *Matrix) at(i, j int) float64 {
@@ -164,9 +170,9 @@ func (m *Matrix) AddName(name string) error {
 	if _, dup := m.index[name]; dup {
 		return fmt.Errorf("ting: duplicate relay %q", name)
 	}
-	m.index[name] = len(m.Names)
-	m.Names = append(m.Names, name)
-	if tn := tileCount(len(m.Names)); tn > len(m.tiles) {
+	m.index[name] = len(m.names)
+	m.names = append(m.names, name)
+	if tn := tileCount(len(m.names)); tn > len(m.tiles) {
 		m.tiles = newTileGrid(tn, m.tiles)
 	}
 	return nil
@@ -203,7 +209,7 @@ func (m *Matrix) RTT(x, y string) (float64, error) {
 // At returns the RTT by index; it panics on out-of-range indices like the
 // slice access it replaces.
 func (m *Matrix) At(i, j int) float64 {
-	n := len(m.Names)
+	n := len(m.names)
 	if i < 0 || j < 0 || i >= n || j >= n {
 		panic(fmt.Sprintf("ting: matrix index (%d,%d) out of range [0,%d)", i, j, n))
 	}
@@ -216,7 +222,7 @@ func (m *Matrix) At(i, j int) float64 {
 // independent of the matrix; mutate neither expecting the other to see
 // it.
 func (m *Matrix) Dense() [][]float64 {
-	n := len(m.Names)
+	n := len(m.names)
 	rows := make([][]float64, n)
 	backing := make([]float64, n*n)
 	for i := 0; i < n; i++ {
@@ -235,7 +241,7 @@ func (m *Matrix) Dense() [][]float64 {
 // snapshot of a sparse matrix is as cheap as the matrix itself.
 func (m *Matrix) Clone() *Matrix {
 	cp := &Matrix{
-		Names: append([]string(nil), m.Names...),
+		names: append([]string(nil), m.names...),
 		index: make(map[string]int, len(m.index)),
 	}
 	for k, v := range m.index {
@@ -290,7 +296,7 @@ func (m *Matrix) Prov(x, y string) Provenance {
 // is this campaign" summary. Unmaterialized tiles count as all-missing
 // without being touched.
 func (m *Matrix) ProvCounts() (fresh, resumed, removed, missing int) {
-	n := len(m.Names)
+	n := len(m.names)
 	for i := 0; i < n; i++ {
 		trow := m.tiles[i>>TileShift]
 		for j := i + 1; j < n; j++ {
@@ -317,7 +323,7 @@ func (m *Matrix) ProvCounts() (fresh, resumed, removed, missing int) {
 // Mean returns µ, the average RTT over all unordered pairs — the term
 // Algorithm 1 uses to approximate the unknown source→entry RTT.
 func (m *Matrix) Mean() float64 {
-	n := len(m.Names)
+	n := len(m.names)
 	var sum float64
 	var count int
 	for i := 0; i < n; i++ {
@@ -337,7 +343,7 @@ func (m *Matrix) Mean() float64 {
 
 // PairValues returns the RTTs of all unordered pairs.
 func (m *Matrix) PairValues() []float64 {
-	n := len(m.Names)
+	n := len(m.names)
 	out := make([]float64, 0, n*(n-1)/2)
 	for i := 0; i < n; i++ {
 		trow := m.tiles[i>>TileShift]
@@ -360,15 +366,15 @@ func (m *Matrix) PairValues() []float64 {
 // matrix cannot afford.
 func (m *Matrix) Encode(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "tingmatrix n=%d\n", len(m.Names))
-	for i, name := range m.Names {
+	fmt.Fprintf(bw, "tingmatrix n=%d\n", len(m.names))
+	for i, name := range m.names {
 		if i > 0 {
 			bw.WriteByte(' ')
 		}
 		bw.WriteString(name)
 	}
 	bw.WriteByte('\n')
-	n := len(m.Names)
+	n := len(m.names)
 	num := make([]byte, 0, 32)
 	for i := 0; i < n; i++ {
 		trow := m.tiles[i>>TileShift]
@@ -468,9 +474,9 @@ func DecodeMatrix(r io.Reader) (*Matrix, error) {
 // persisted.
 func (m *Matrix) EncodeTiles(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	n := len(m.Names)
+	n := len(m.names)
 	fmt.Fprintf(bw, "tingtiles n=%d dim=%d\n", n, TileDim)
-	for i, name := range m.Names {
+	for i, name := range m.names {
 		if i > 0 {
 			bw.WriteByte(' ')
 		}

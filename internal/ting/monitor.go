@@ -108,7 +108,7 @@ func (mon *Monitor) StalePairs() [][2]string {
 func (mon *Monitor) stalePairsLocked() [][2]string {
 	now := mon.cfg.now()
 	var out [][2]string
-	names := mon.matrix.Names
+	names := mon.matrix.Names()
 	for i := 0; i < len(names); i++ {
 		for j := i + 1; j < len(names); j++ {
 			key := pairKey(names[i], names[j])
@@ -142,7 +142,7 @@ func (mon *Monitor) Sweep(ctx context.Context) (int, error) {
 	}
 	mon.mu.Lock()
 	stale := mon.stalePairsLocked()
-	total := len(mon.matrix.Names) * (len(mon.matrix.Names) - 1) / 2
+	total := mon.matrix.N() * (mon.matrix.N() - 1) / 2
 	limit := mon.cfg.PairsPerSweep
 	if limit <= 0 || limit > len(stale) {
 		limit = len(stale)
@@ -239,6 +239,7 @@ func (mon *Monitor) Sweep(ctx context.Context) (int, error) {
 				}
 				mon.mu.Lock()
 				_ = mon.matrix.Set(p[0], p[1], res.RTT)
+				_ = mon.matrix.SetProv(p[0], p[1], ProvFresh)
 				mon.when[pairKey(p[0], p[1])] = mon.cfg.now()
 				mon.stats.Measured++
 				mon.mu.Unlock()
