@@ -14,8 +14,10 @@ import (
 	"time"
 
 	"ting/internal/cell"
+	"ting/internal/coords"
 	"ting/internal/deanon"
 	"ting/internal/experiments"
+	"ting/internal/inet"
 	"ting/internal/onion"
 	"ting/internal/pathsel"
 	"ting/internal/ting"
@@ -530,5 +532,66 @@ func BenchmarkCachePut(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Put(keys[i%len(keys)], "peer", float64(i))
+	}
+}
+
+// --- Coordinate-embedding and budgeted-scan benchmarks ---
+
+// BenchmarkScanBudgeted is the N² counterpart of BenchmarkScanAllPairsMemoized:
+// same 20-node world, but a budget of 30 measured pairs (~15%) with the
+// coordinate model filling in the rest. The ratchet guards the claim that it
+// samples ≥4× fewer circuit series than the memoized all-pairs scan.
+func BenchmarkScanBudgeted(b *testing.B) {
+	w, err := experiments.NewWorld(20, 25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := &ting.Scanner{
+			NewMeasurer: func(worker int) (*ting.Measurer, error) {
+				return w.Measurer(50, 26+int64(worker))
+			},
+			Workers: 4,
+		}
+		if _, _, err := sc.ScanBudget(context.Background(), w.Names, 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEmbedFit times one full coordinate fit: 200 nodes, 15% of pairs
+// observed, 10 passes — the per-batch refit cost inside a budgeted campaign.
+func BenchmarkEmbedFit(b *testing.B) {
+	const n = 200
+	topo, err := inet.Generate(inet.Config{N: n, Seed: 31})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(32))
+	all := n * (n - 1) / 2
+	obs := make([]coords.Observation, 0, all*15/100)
+	seen := make(map[[2]int]bool)
+	for len(obs) < all*15/100 {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		if i > j {
+			i, j = j, i
+		}
+		if seen[[2]int{i, j}] {
+			continue
+		}
+		seen[[2]int{i, j}] = true
+		obs = append(obs, coords.Observation{I: i, J: j, RTTMs: topo.RTT(inet.NodeID(i), inet.NodeID(j))})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := coords.New(n, coords.Config{Seed: 33})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Fit(obs, 10)
 	}
 }

@@ -41,6 +41,7 @@ var (
 	scaleFlag   = flag.Float64("scale", 1.0, "the network's time scale, to convert wall-clock to virtual ms")
 	pairFlag    = flag.String("pair", "", "comma-separated relay pair to measure")
 	allFlag     = flag.Bool("all", false, "measure all pairs from the consensus")
+	budgetFlag  = flag.Int("budget", 0, "with -all: measure at most this many pairs and complete the rest from a Vivaldi coordinate embedding (active learning picks the pairs; completed cells carry provenance 'predicted' plus a confidence)")
 	outFlag     = flag.String("out", "", "write the all-pairs matrix to this file")
 
 	retryFlag    = flag.Int("retry", 2, "all-pairs: extra attempts per failed pair")
@@ -77,6 +78,7 @@ func main() {
 			Samples:  *samples,
 			MeanRTT:  *planRTT,
 			Parallel: *planParallel,
+			Budget:   *budgetFlag,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -262,8 +264,15 @@ func main() {
 			for _, d := range dir.Consensus() {
 				names = append(names, d.Nickname)
 			}
-			fmt.Printf("measuring all %d pairs of %d relays…\n", len(names)*(len(names)-1)/2, len(names))
-			matrix, failures, scanErr = sc.Scan(ctx, names)
+			allPairs := len(names) * (len(names) - 1) / 2
+			if *budgetFlag > 0 && *budgetFlag < allPairs {
+				fmt.Printf("measuring %d of %d pairs of %d relays (embedding completes the rest)…\n",
+					*budgetFlag, allPairs, len(names))
+				matrix, failures, scanErr = sc.ScanBudget(ctx, names, *budgetFlag)
+			} else {
+				fmt.Printf("measuring all %d pairs of %d relays…\n", allPairs, len(names))
+				matrix, failures, scanErr = sc.Scan(ctx, names)
+			}
 		}
 		fmt.Println()
 		for _, f := range failures {
@@ -276,8 +285,27 @@ func main() {
 		// Even an interrupted scan yields a usable partial matrix; per-cell
 		// provenance says how much was measured now vs. replayed vs. lost.
 		if matrix != nil {
-			fresh, resumed, removed, missing := matrix.ProvCounts()
-			fmt.Printf("pairs: %d fresh, %d resumed, %d removed, %d missing\n", fresh, resumed, removed, missing)
+			pc := matrix.ProvCounts()
+			fmt.Printf("pairs: %d fresh, %d resumed, %d removed, %d predicted, %d missing\n",
+				pc.Fresh, pc.Resumed, pc.Removed, pc.Predicted, pc.Missing)
+			if pc.Predicted > 0 {
+				// Measured-vs-predicted summary for budgeted campaigns: how
+				// much of the matrix is real, and how confident the model is
+				// about the rest.
+				names := matrix.Names()
+				var confSum float64
+				for i := 0; i < len(names); i++ {
+					for j := i + 1; j < len(names); j++ {
+						if matrix.ProvAt(i, j) == ting.ProvPredicted {
+							confSum += matrix.ConfAt(i, j)
+						}
+					}
+				}
+				total := pc.Measured() + pc.Predicted
+				fmt.Printf("budget: %d/%d pairs measured (%.1f%%), %d predicted at mean confidence %.2f\n",
+					pc.Measured(), total, 100*float64(pc.Measured())/float64(total),
+					pc.Predicted, confSum/float64(pc.Predicted))
+			}
 			if *outFlag != "" {
 				f, err := os.Create(*outFlag)
 				if err != nil {

@@ -96,6 +96,20 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		// The document persists predicted provenance but not measured (it is
+		// runtime annotation): stamp every other nonzero cell as resumed so
+		// replayed measurements don't rank below model predictions — a
+		// confidence-floored consumer must prefer the real data.
+		names := m.Names()
+		for i := 0; i < len(names); i++ {
+			for j := i + 1; j < len(names); j++ {
+				if v := m.At(i, j); v > 0 && m.ProvAt(i, j) != ting.ProvPredicted {
+					if err := m.SetProv(names[i], names[j], ting.ProvResumed); err != nil {
+						log.Fatal(err)
+					}
+				}
+			}
+		}
 		if _, err := pub.Publish(m); err != nil {
 			log.Fatal(err)
 		}
@@ -221,9 +235,9 @@ func main() {
 					log.Printf("sweep error: %v", err)
 				}
 				if snap != nil && !*quiet {
-					fresh, resumed, removed, missing := snap.ProvCounts()
-					log.Printf("epoch %d: %d measured total (pairs: %d fresh, %d resumed, %d removed, %d missing)",
-						snap.Epoch(), stats.Measured, fresh, resumed, removed, missing)
+					pc := snap.ProvCounts()
+					log.Printf("epoch %d: %d measured total (pairs: %d fresh, %d resumed, %d removed, %d predicted, %d missing)",
+						snap.Epoch(), stats.Measured, pc.Fresh, pc.Resumed, pc.Removed, pc.Predicted, pc.Missing)
 				}
 			},
 		}

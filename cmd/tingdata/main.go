@@ -8,6 +8,11 @@
 //	tingdata stats   matrix.ting          # distribution summary
 //	tingdata tivs    matrix.ting          # triangle inequality violations
 //	tingdata compare old.ting new.ting    # stability between two scans
+//
+// Matrices from budgeted scans (ting -budget) mix measured and
+// model-predicted cells. "tivs" skips violations whose direct leg is a
+// prediction — they may be embedding artifacts, not real detours — unless
+// -predicted is given, which lists them flagged instead.
 package main
 
 import (
@@ -20,6 +25,9 @@ import (
 	"ting/internal/stats"
 	"ting/internal/ting"
 )
+
+var withPredicted = flag.Bool("predicted", false,
+	"tivs: include violations whose direct leg is a predicted cell, flagged")
 
 func main() {
 	log.SetFlags(0)
@@ -78,42 +86,72 @@ func runStats(path string) {
 	if unmeasured > 0 {
 		fmt.Printf("  WARNING: %d pairs unmeasured (zero)\n", unmeasured)
 	}
+	// Measured provenance is runtime-only, but predicted cells persist in
+	// the document: everything nonzero and not predicted was measured.
+	pc := m.ProvCounts()
+	if pc.Predicted > 0 {
+		measured := len(vals) - unmeasured - pc.Predicted
+		fmt.Printf("  provenance: %d measured, %d predicted (budgeted scan)\n",
+			measured, pc.Predicted)
+	}
 }
 
 func runTIVs(path string) {
 	m := load(path)
-	sum, err := pathsel.SummarizeTIVs(m)
+	all, err := pathsel.FindTIVs(m)
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Violations resting on a predicted direct leg may be embedding
+	// artifacts; keep them out of the headline numbers.
+	var tivs []pathsel.TIV
+	predicted := 0
+	for _, t := range all {
+		if t.Predicted {
+			predicted++
+			if !*withPredicted {
+				continue
+			}
+		}
+		tivs = append(tivs, t)
+	}
+	n := m.N()
+	pairs := n * (n - 1) / 2
 	fmt.Printf("%s: %d of %d pairs (%.1f%%) have a TIV detour\n",
-		path, sum.WithTIV, sum.Pairs, 100*sum.FractionWithTIV())
-	if len(sum.Savings) == 0 {
+		path, len(tivs), pairs, 100*float64(len(tivs))/float64(pairs))
+	if predicted > 0 && !*withPredicted {
+		fmt.Printf("  skipped %d violations on predicted direct legs (re-run with -predicted to list)\n",
+			predicted)
+	}
+	if len(tivs) == 0 {
 		return
 	}
-	med, _ := stats.Median(sum.Savings)
-	p90, _ := stats.Quantile(sum.Savings, 0.9)
+	savings := make([]float64, len(tivs))
+	for i, t := range tivs {
+		savings[i] = t.SavingsFraction()
+	}
+	med, _ := stats.Median(savings)
+	p90, _ := stats.Quantile(savings, 0.9)
 	fmt.Printf("  savings: median %.1f%%, p90 %.1f%%\n", 100*med, 100*p90)
 
-	tivs, err := pathsel.FindTIVs(m)
-	if err != nil {
-		log.Fatal(err)
-	}
 	// Show the five biggest detour wins.
 	for i := 0; i < len(tivs); i++ {
 		for j := i; j > 0 && tivs[j].SavingsFraction() > tivs[j-1].SavingsFraction(); j-- {
 			tivs[j], tivs[j-1] = tivs[j-1], tivs[j]
 		}
 	}
-	n := 5
-	if len(tivs) < n {
-		n = len(tivs)
+	if len(tivs) > 5 {
+		tivs = tivs[:5]
 	}
 	fmt.Println("  top detours:")
-	for _, t := range tivs[:n] {
-		fmt.Printf("    %s ↔ %s: %.1fms direct, %.1fms via %s (−%.1f%%)\n",
+	for _, t := range tivs {
+		mark := ""
+		if t.Predicted {
+			mark = "  [predicted]"
+		}
+		fmt.Printf("    %s ↔ %s: %.1fms direct, %.1fms via %s (−%.1f%%)%s\n",
 			m.Names()[t.S], m.Names()[t.D], t.DirectMs, t.DetourMs, m.Names()[t.R],
-			100*t.SavingsFraction())
+			100*t.SavingsFraction(), mark)
 	}
 }
 

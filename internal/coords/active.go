@@ -1,0 +1,102 @@
+package coords
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Pair is an unordered node pair (I < J by convention of the producers in
+// this package).
+type Pair struct {
+	I, J int
+}
+
+// SelectUncertain picks up to k unmeasured pairs for the next measurement
+// batch, prioritizing the pairs the model is least certain about: each
+// candidate is scored by the sum of its endpoints' error estimates, and
+// the batch is filled mostly from the top of that ranking with a seeded
+// random minority mixed in (epsilon-greedy — pure exploitation keeps
+// hammering the same confused clique and starves fresh information).
+//
+// A per-node cap (derived from the batch size) stops one high-error node
+// from monopolizing the batch: measuring a node against 50 peers in one
+// round teaches little more than measuring it against 5 and refitting.
+//
+// measured reports whether a pair already has ground truth; candidates
+// for which it returns true are skipped. The selection is deterministic
+// for a fixed model state, seed, and candidate set.
+func (m *Model) SelectUncertain(k int, measured func(i, j int) bool, seed int64) []Pair {
+	if k <= 0 {
+		return nil
+	}
+	m.mu.RLock()
+	n := len(m.height)
+	type scored struct {
+		p     Pair
+		score float64
+	}
+	cands := make([]scored, 0, n*4)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if measured(i, j) {
+				continue
+			}
+			cands = append(cands, scored{Pair{i, j}, m.errEst[i] + m.errEst[j]})
+		}
+	}
+	m.mu.RUnlock()
+	if len(cands) == 0 {
+		return nil
+	}
+	// Stable order first so equal scores tie-break deterministically.
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].score != cands[b].score {
+			return cands[a].score > cands[b].score
+		}
+		if cands[a].p.I != cands[b].p.I {
+			return cands[a].p.I < cands[b].p.I
+		}
+		return cands[a].p.J < cands[b].p.J
+	})
+	if k > len(cands) {
+		k = len(cands)
+	}
+
+	// Per-node cap: spread the batch across at least ~8 distinct nodes'
+	// worth of pairs.
+	cap := k/4 + 1
+	perNode := make([]int, n)
+	rng := rand.New(rand.NewSource(seed))
+
+	greedy := k - k/4 // 75% exploitation
+	out := make([]Pair, 0, k)
+	taken := make([]bool, len(cands))
+	for idx, c := range cands {
+		if len(out) >= greedy {
+			break
+		}
+		if perNode[c.p.I] >= cap || perNode[c.p.J] >= cap {
+			continue
+		}
+		out = append(out, c.p)
+		taken[idx] = true
+		perNode[c.p.I]++
+		perNode[c.p.J]++
+	}
+	// 25% exploration: seeded random picks from the remainder, no cap —
+	// these exist precisely to reach starved corners.
+	rest := make([]int, 0, len(cands))
+	for idx := range cands {
+		if !taken[idx] {
+			rest = append(rest, idx)
+		}
+	}
+	rng.Shuffle(len(rest), func(a, b int) { rest[a], rest[b] = rest[b], rest[a] })
+	for _, idx := range rest {
+		if len(out) >= k {
+			break
+		}
+		out = append(out, cands[idx].p)
+	}
+	return out
+}

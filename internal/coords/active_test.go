@@ -1,0 +1,144 @@
+package coords
+
+import (
+	"testing"
+)
+
+// fitUneven gives the model a lopsided information diet: nodes 0..n/2 see
+// plenty of observations, the rest none, so the selector has a clear
+// uncertainty gradient to exploit.
+func fitUneven(t *testing.T, n int) *Model {
+	t.Helper()
+	m, err := New(n, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var obs []Observation
+	for i := 0; i < n/2; i++ {
+		for j := i + 1; j < n/2; j++ {
+			obs = append(obs, Observation{I: i, J: j, RTTMs: 10 + float64(i+j)})
+		}
+	}
+	m.Fit(obs, 20)
+	return m
+}
+
+func TestSelectUncertainBasics(t *testing.T) {
+	const n = 20
+	m := fitUneven(t, n)
+	none := func(i, j int) bool { return false }
+
+	got := m.SelectUncertain(30, none, 1)
+	if len(got) != 30 {
+		t.Fatalf("selected %d pairs, want 30", len(got))
+	}
+	seen := map[Pair]bool{}
+	for _, p := range got {
+		if p.I >= p.J || p.I < 0 || p.J >= n {
+			t.Fatalf("malformed pair %+v", p)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate pair %+v", p)
+		}
+		seen[p] = true
+	}
+
+	// The greedy majority must chase the unobserved (high-error) half.
+	unobserved := 0
+	for _, p := range got {
+		if p.I >= n/2 || p.J >= n/2 {
+			unobserved++
+		}
+	}
+	if unobserved < len(got)/2 {
+		t.Errorf("only %d/%d selected pairs touch the unobserved half", unobserved, len(got))
+	}
+
+	if got := m.SelectUncertain(0, none, 1); got != nil {
+		t.Errorf("k=0 returned %v", got)
+	}
+	if got := m.SelectUncertain(-3, none, 1); got != nil {
+		t.Errorf("negative k returned %v", got)
+	}
+}
+
+func TestSelectUncertainSkipsMeasured(t *testing.T) {
+	m := fitUneven(t, 12)
+	// Everything measured → nothing to select.
+	if got := m.SelectUncertain(5, func(i, j int) bool { return true }, 1); got != nil {
+		t.Errorf("fully-measured selection = %v, want nil", got)
+	}
+	// Only pairs containing node 0 unmeasured.
+	only0 := func(i, j int) bool { return i != 0 && j != 0 }
+	got := m.SelectUncertain(50, only0, 1)
+	if len(got) != 11 {
+		t.Fatalf("selected %d pairs, want the 11 containing node 0", len(got))
+	}
+	for _, p := range got {
+		if p.I != 0 {
+			t.Errorf("pair %+v does not contain node 0", p)
+		}
+	}
+}
+
+func TestSelectUncertainDeterministic(t *testing.T) {
+	m := fitUneven(t, 16)
+	none := func(i, j int) bool { return false }
+	a := m.SelectUncertain(20, none, 9)
+	b := m.SelectUncertain(20, none, 9)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("selection not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := m.SelectUncertain(20, none, 10)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical exploration picks")
+	}
+}
+
+// TestSelectUncertainCapsGreedyMonopoly: with one node vastly more
+// uncertain than the rest, the greedy phase must not spend the whole batch
+// on it.
+func TestSelectUncertainCapsGreedyMonopoly(t *testing.T) {
+	const n = 30
+	m, err := New(n, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Observe every pair except those touching node 0: node 0 keeps the
+	// init-ceiling error, everyone else settles.
+	var obs []Observation
+	for i := 1; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			obs = append(obs, Observation{I: i, J: j, RTTMs: 20})
+		}
+	}
+	m.Fit(obs, 10)
+	const k = 20
+	got := m.SelectUncertain(k, func(i, j int) bool { return false }, 1)
+	count0 := 0
+	for _, p := range got {
+		if p.I == 0 || p.J == 0 {
+			count0++
+		}
+	}
+	// Greedy picks are capped at k/4+1 = 6; exploration may add a few more
+	// by chance, but node 0 must not own the batch.
+	if count0 > k/2 {
+		t.Errorf("node 0 monopolized %d/%d picks despite the per-node cap", count0, k)
+	}
+	if count0 == 0 {
+		t.Error("most-uncertain node never picked")
+	}
+}

@@ -290,3 +290,74 @@ func TestNodeProbEntropicMiddle(t *testing.T) {
 		t.Errorf("tail probability %.4g not well below peak %.4g", probs[len(probs)-1], peak)
 	}
 }
+
+// TestFindTIVsPredictedCells pins the completed-matrix contract: a
+// predicted *witness* leg can never manufacture a detour, while a
+// predicted *direct* leg only flags the violation as a candidate.
+func TestFindTIVsPredictedCells(t *testing.T) {
+	build := func() *ting.Matrix {
+		m, _ := ting.NewMatrix([]string{"a", "b", "c", "d"})
+		// a—b direct 100; detour a—c—b = 50.
+		m.Set("a", "b", 100)
+		m.Set("a", "c", 20)
+		m.Set("c", "b", 30)
+		m.Set("a", "d", 200)
+		m.Set("b", "d", 200)
+		m.Set("c", "d", 195)
+		for _, p := range [][2]string{{"a", "b"}, {"a", "c"}, {"c", "b"}, {"a", "d"}, {"b", "d"}, {"c", "d"}} {
+			m.SetProv(p[0], p[1], ting.ProvFresh)
+		}
+		return m
+	}
+	find := func(m *ting.Matrix) *TIV {
+		t.Helper()
+		tivs, err := FindTIVs(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range tivs {
+			if tivs[i].S == 0 && tivs[i].D == 1 {
+				return &tivs[i]
+			}
+		}
+		return nil
+	}
+
+	// Fully measured: the a—b TIV exists unflagged.
+	if tiv := find(build()); tiv == nil || tiv.Predicted {
+		t.Fatalf("measured-world TIV = %+v, want unflagged detour", tiv)
+	}
+
+	// Predicted witness leg (a—c): the detour's evidence is a model guess,
+	// so the candidate disappears entirely.
+	m := build()
+	if err := m.SetPredicted("a", "c", 20, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if tiv := find(m); tiv != nil {
+		t.Errorf("TIV %+v reported via predicted witness leg", tiv)
+	}
+
+	// The other witness leg (c—b) predicted: same exclusion.
+	m = build()
+	if err := m.SetPredicted("c", "b", 30, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if tiv := find(m); tiv != nil {
+		t.Errorf("TIV %+v reported via predicted witness leg c—b", tiv)
+	}
+
+	// Predicted direct leg: measured witnesses, so the violation is real
+	// evidence — reported, but flagged.
+	m = build()
+	if err := m.SetPredicted("a", "b", 100, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	tiv := find(m)
+	if tiv == nil || !tiv.Predicted {
+		t.Fatalf("predicted-direct TIV = %+v, want flagged candidate", tiv)
+	}
+	if tiv.R != 2 || tiv.DetourMs != 50 {
+		t.Errorf("flagged TIV = %+v, want detour via c at 50ms", tiv)
+	}
+}

@@ -23,6 +23,17 @@ import (
 // qualifying-circuit population, which is what preserves selection
 // entropy.
 func SelectLowLatency(m ting.MatrixView, length int, budgetMs float64, k, attempts int, rng *rand.Rand) ([]CircuitSample, error) {
+	return SelectLowLatencyConf(m, length, budgetMs, 0, k, attempts, rng)
+}
+
+// SelectLowLatencyConf is SelectLowLatency with a per-cell confidence
+// floor: circuits using any hop-to-hop cell whose ConfAt is below minConf
+// are rejected. On a coordinate-completed matrix this lets a client trade
+// candidate-set size for trustworthy latency estimates — minConf 0 accepts
+// every cell (measured cells always score 1), minConf just above 0 rejects
+// missing cells, and a high minConf restricts selection to measured or
+// confidently-predicted pairs.
+func SelectLowLatencyConf(m ting.MatrixView, length int, budgetMs, minConf float64, k, attempts int, rng *rand.Rand) ([]CircuitSample, error) {
 	if m == nil {
 		return nil, errors.New("pathsel: nil matrix")
 	}
@@ -31,6 +42,9 @@ func SelectLowLatency(m ting.MatrixView, length int, budgetMs float64, k, attemp
 	}
 	if budgetMs <= 0 {
 		return nil, errors.New("pathsel: non-positive budget")
+	}
+	if minConf > 1 {
+		return nil, fmt.Errorf("pathsel: minConf %v > 1 rejects every circuit", minConf)
 	}
 	n := m.N()
 	if length < 2 || length > n {
@@ -49,6 +63,10 @@ func SelectLowLatency(m ting.MatrixView, length int, budgetMs float64, k, attemp
 		var rtt float64
 		ok := true
 		for i := 0; i+1 < length; i++ {
+			if minConf > 0 && m.ConfAt(perm[i], perm[i+1]) < minConf {
+				ok = false
+				break
+			}
 			rtt += m.At(perm[i], perm[i+1])
 			if rtt > budgetMs {
 				ok = false

@@ -3,6 +3,8 @@ package pathsel
 import (
 	"math/rand"
 	"testing"
+
+	"ting/internal/ting"
 )
 
 func TestSelectLowLatency(t *testing.T) {
@@ -120,5 +122,96 @@ func TestMedianRTTEmpty(t *testing.T) {
 	med, _ = MedianRTT([]CircuitSample{{RTTms: 1}, {RTTms: 3}})
 	if med != 2 {
 		t.Errorf("even median = %v", med)
+	}
+}
+
+// TestSelectLowLatencyConf pins the confidence floor on a matrix mixing
+// measured and predicted cells: minConf 0 accepts everything, a floor
+// above a predicted cell's confidence excludes circuits through it, and a
+// floor above 1 is rejected outright.
+func TestSelectLowLatencyConf(t *testing.T) {
+	names := []string{"a", "b", "c", "d"}
+	m, _ := ting.NewMatrix(names)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			m.Set(names[i], names[j], 10)
+			m.SetProv(names[i], names[j], ting.ProvFresh)
+		}
+	}
+	// The a—b cell becomes a low-confidence prediction.
+	if err := m.SetPredicted("a", "b", 10, 0.4); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	all, err := SelectLowLatencyConf(m, 3, 100, 0, 50, 5000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	usesAB := func(c CircuitSample) bool {
+		for i := 0; i+1 < len(c.Hops); i++ {
+			x, y := c.Hops[i], c.Hops[i+1]
+			if (x == 0 && y == 1) || (x == 1 && y == 0) {
+				return true
+			}
+		}
+		return false
+	}
+	found := false
+	for _, c := range all {
+		if usesAB(c) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("minConf 0 never sampled the predicted a—b hop; test world too small?")
+	}
+
+	strict, err := SelectLowLatencyConf(m, 3, 100, 0.5, 50, 5000, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range strict {
+		if usesAB(c) {
+			t.Errorf("minConf 0.5 selected circuit %v through the 0.4-confidence cell", c.Hops)
+		}
+	}
+
+	// A floor every predicted cell passes keeps the hop available.
+	loose, err := SelectLowLatencyConf(m, 3, 100, 0.3, 50, 5000, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found = false
+	for _, c := range loose {
+		if usesAB(c) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("minConf 0.3 excluded a 0.4-confidence cell")
+	}
+
+	if _, err := SelectLowLatencyConf(m, 3, 100, 1.5, 5, 100, rng); err == nil {
+		t.Error("minConf > 1 accepted")
+	}
+
+	// SelectLowLatency delegates with minConf 0: identical seeds, identical
+	// sample.
+	a, err := SelectLowLatency(m, 3, 100, 10, 1000, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SelectLowLatencyConf(m, 3, 100, 0, 10, 1000, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("delegation drifted: %d vs %d circuits", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].RTTms != b[i].RTTms {
+			t.Fatalf("delegation drifted at %d: %+v vs %+v", i, a[i], b[i])
+		}
 	}
 }

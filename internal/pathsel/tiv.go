@@ -17,6 +17,12 @@ type TIV struct {
 	S, D, R int
 	// DirectMs is R(s,d); DetourMs is R(s,r)+R(r,d).
 	DirectMs, DetourMs float64
+	// Predicted marks a violation whose *direct* leg is a model-completed
+	// (ProvPredicted) cell: the violation may be an artifact of prediction
+	// error, so it is reported as a candidate and flagged. Violations
+	// whose *witness* legs (s→r or r→d) are predicted are never reported
+	// at all — a completed matrix must not manufacture fake detours.
+	Predicted bool
 }
 
 // SavingsFraction is 1 − detour/direct, the x-axis of Figure 14.
@@ -39,21 +45,60 @@ func FindTIVs(m ting.MatrixView) ([]TIV, error) {
 	// O(N³) cell reads: one dense materialization up front beats paying
 	// the tiled store's indirection per read.
 	rtt := m.Dense()
+	// Predicted-cell mask, O(N²) up front. Fully-measured matrices (the
+	// common case, and the benched one) take the branch-free inner loop
+	// below; only matrices that actually contain predicted cells pay the
+	// mask lookups.
+	var pred [][]bool
+	for s := 0; s < n && pred == nil; s++ {
+		for d := s + 1; d < n; d++ {
+			if m.ProvAt(s, d) == ting.ProvPredicted {
+				pred = make([][]bool, n)
+				break
+			}
+		}
+	}
+	if pred != nil {
+		backing := make([]bool, n*n)
+		for s := 0; s < n; s++ {
+			pred[s] = backing[s*n : (s+1)*n : (s+1)*n]
+			for d := 0; d < n; d++ {
+				if s != d && m.ProvAt(s, d) == ting.ProvPredicted {
+					pred[s][d] = true
+				}
+			}
+		}
+	}
 	var out []TIV
 	for s := 0; s < n; s++ {
 		rowS := rtt[s]
 		for d := s + 1; d < n; d++ {
 			direct := rowS[d]
 			best := TIV{S: s, D: d, R: -1, DirectMs: direct, DetourMs: direct}
-			for r := 0; r < n; r++ {
-				if r == s || r == d {
-					continue
+			if pred == nil {
+				for r := 0; r < n; r++ {
+					if r == s || r == d {
+						continue
+					}
+					detour := rowS[r] + rtt[r][d]
+					if detour < best.DetourMs {
+						best.DetourMs = detour
+						best.R = r
+					}
 				}
-				detour := rowS[r] + rtt[r][d]
-				if detour < best.DetourMs {
-					best.DetourMs = detour
-					best.R = r
+			} else {
+				predS := pred[s]
+				for r := 0; r < n; r++ {
+					if r == s || r == d || predS[r] || pred[r][d] {
+						continue
+					}
+					detour := rowS[r] + rtt[r][d]
+					if detour < best.DetourMs {
+						best.DetourMs = detour
+						best.R = r
+					}
 				}
+				best.Predicted = predS[d]
 			}
 			if best.R >= 0 {
 				out = append(out, best)

@@ -31,6 +31,10 @@ import (
 //	                → u64 epoch | f64 rttMs | u8 prov
 //	0x04 rttBatch   u32 count | count × (u32 i | u32 j)
 //	                → u64 epoch | count × (f64 rttMs | u8 prov)
+//	0x05 rttEx      u16 xLen | x | u16 yLen | y
+//	                → u64 epoch | f64 rttMs | u8 prov | u8 conf (0..255 = 0..1)
+//	0x06 rttBatchEx u32 count | count × (u32 i | u32 j)
+//	                → u64 epoch | count × (f64 rttMs | u8 prov | u8 conf)
 //
 // Statuses: 0 ok; non-ok responses carry u16 msgLen | msg instead of the
 // op's body. The epoch leads every ok body, so a client interleaving
@@ -45,6 +49,12 @@ const (
 	opNames    = 0x02
 	opRTT      = 0x03
 	opRTTBatch = 0x04
+	// The Ex ops append a per-cell confidence byte to each cell — the
+	// coordinate-completed matrix's measured-vs-predicted signal. New ops
+	// rather than new fields on 0x03/0x04: old clients keep decoding the
+	// exact frames they always got.
+	opRTTEx      = 0x05
+	opRTTBatchEx = 0x06
 
 	respFlag = 0x80
 
@@ -176,7 +186,7 @@ func (s *BinaryServer) handle(op byte, body, out []byte) []byte {
 		}
 		return out
 
-	case opRTT:
+	case opRTT, opRTTEx:
 		x, rest, ok := readString16(body)
 		if !ok {
 			return appendErr(out, op, statusBadRequest, "truncated x name")
@@ -198,9 +208,13 @@ func (s *BinaryServer) handle(op byte, body, out []byte) []byte {
 		out = append(out, op|respFlag, statusOK)
 		out = binary.BigEndian.AppendUint64(out, snap.Epoch())
 		out = binary.BigEndian.AppendUint64(out, floatBits(view.At(i, j)))
-		return append(out, byte(view.ProvAt(i, j)))
+		out = append(out, byte(view.ProvAt(i, j)))
+		if op == opRTTEx {
+			out = append(out, confByte(view.ConfAt(i, j)))
+		}
+		return out
 
-	case opRTTBatch:
+	case opRTTBatch, opRTTBatchEx:
 		if len(body) < 4 {
 			return appendErr(out, op, statusBadRequest, "truncated batch count")
 		}
@@ -233,6 +247,9 @@ func (s *BinaryServer) handle(op byte, body, out []byte) []byte {
 			j := int(binary.BigEndian.Uint32(body[k*8+4:]))
 			out = binary.BigEndian.AppendUint64(out, floatBits(view.At(i, j)))
 			out = append(out, byte(view.ProvAt(i, j)))
+			if op == opRTTBatchEx {
+				out = append(out, confByte(view.ConfAt(i, j)))
+			}
 		}
 		return out
 
@@ -266,6 +283,17 @@ func readString16(b []byte) (s string, rest []byte, ok bool) {
 }
 
 func floatBits(f float64) uint64 { return math.Float64bits(f) }
+
+// confByte quantizes a [0,1] confidence to the wire's u8, saturating.
+func confByte(c float64) byte {
+	if c <= 0 {
+		return 0
+	}
+	if c >= 1 {
+		return 255
+	}
+	return byte(c*255 + 0.5)
+}
 
 // statusText names a wire status for client error messages.
 func statusText(status byte) string {

@@ -284,3 +284,84 @@ func TestBinaryConcurrentClientsAcrossSwaps(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestBinaryExOps drives the confidence-carrying ops (0x05/0x06) over a
+// matrix mixing measured and predicted cells, and cross-checks them
+// against the HTTP surface and the classic ops.
+func TestBinaryExOps(t *testing.T) {
+	pub := NewPublisher(nil)
+	m := testMatrix(t, 4)
+	// Overwrite one cell as a completion-layer prediction at 0.8 confidence.
+	if err := m.SetPredicted("relay02", "relay03", 55.5, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Publish(m.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	c := startBinary(t, pub)
+	h := NewServer(pub, nil).Handler()
+
+	// Single-pair Ex lookup: measured cell.
+	epoch, rtt, prov, conf, err := c.RTTEx("relay00", "relay02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 || rtt != m.At(0, 2) || prov != ting.ProvFresh || conf != 1 {
+		t.Fatalf("measured Ex = epoch %d rtt %v prov %v conf %v", epoch, rtt, prov, conf)
+	}
+	// Predicted cell: provenance and quantized confidence survive the wire.
+	_, rtt, prov, conf, err = c.RTTEx("relay02", "relay03")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt != 55.5 || prov != ting.ProvPredicted {
+		t.Fatalf("predicted Ex = rtt %v prov %v", rtt, prov)
+	}
+	if conf != m.Conf("relay02", "relay03") {
+		t.Fatalf("wire conf %v != matrix conf %v", conf, m.Conf("relay02", "relay03"))
+	}
+
+	// The classic op still answers with its original 17-byte frame.
+	_, rttOld, provOld, err := c.RTT("relay02", "relay03")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rttOld != rtt || provOld != prov {
+		t.Fatalf("op 0x03 drifted from 0x05: (%v,%v) vs (%v,%v)", rttOld, provOld, rtt, prov)
+	}
+
+	// Batch Ex over every pair, cross-checked against the HTTP confidence.
+	var pairs []uint32
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			pairs = append(pairs, uint32(i), uint32(j))
+		}
+	}
+	_, cells, err := c.RTTBatchEx(pairs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := m.Names()
+	for k := range cells {
+		i, j := int(pairs[k*2]), int(pairs[k*2+1])
+		if cells[k].RTTms != m.At(i, j) || cells[k].Prov != m.ProvAt(i, j) || cells[k].Conf != m.ConfAt(i, j) {
+			t.Errorf("batchEx cell %d (%d,%d) = %+v", k, i, j, cells[k])
+		}
+		rec, body := get(t, h, fmt.Sprintf("/v1/rtt?x=%s&y=%s", names[i], names[j]), nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("http rtt: %d", rec.Code)
+		}
+		if body["confidence"].(float64) != cells[k].Conf {
+			t.Errorf("pair (%d,%d) confidence: http %v, binary %v", i, j, body["confidence"], cells[k].Conf)
+		}
+	}
+
+	// Reusing the out slice must not allocate a fresh one.
+	_, cells2, err := c.RTTBatchEx(pairs[:4], cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &cells2[0] != &cells[0] {
+		t.Error("RTTBatchEx reallocated a reusable out slice")
+	}
+}

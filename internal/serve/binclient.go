@@ -172,10 +172,37 @@ func (c *BinClient) RTT(x, y string) (epoch uint64, rttMs float64, prov ting.Pro
 		ting.Provenance(body[16]), nil
 }
 
+// RTTEx looks up one pair by name, including the cell's confidence
+// (op 0x05). Confidence is 1 for measured cells, the embedding's score
+// for predicted ones, 0 for missing.
+func (c *BinClient) RTTEx(x, y string) (epoch uint64, rttMs float64, prov ting.Provenance, conf float64, err error) {
+	c.req = appendString16(c.req[:0], x)
+	c.req = appendString16(c.req, y)
+	body, err := c.roundTrip(opRTTEx)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if len(body) != 18 {
+		return 0, 0, 0, 0, fmt.Errorf("serve: rttEx body %d bytes", len(body))
+	}
+	return binary.BigEndian.Uint64(body),
+		math.Float64frombits(binary.BigEndian.Uint64(body[8:])),
+		ting.Provenance(body[16]),
+		float64(body[17]) / 255, nil
+}
+
 // BatchCell is one answer of an RTTBatch call.
 type BatchCell struct {
 	RTTms float64
 	Prov  ting.Provenance
+}
+
+// BatchCellEx is one answer of an RTTBatchEx call: a BatchCell plus the
+// cell's confidence in [0, 1].
+type BatchCellEx struct {
+	RTTms float64
+	Prov  ting.Provenance
+	Conf  float64
 }
 
 // RTTBatch looks up count pairs by index in one round trip. pairs is flat
@@ -211,6 +238,45 @@ func (c *BinClient) RTTBatch(pairs []uint32, out []BatchCell) (uint64, []BatchCe
 		out[k] = BatchCell{
 			RTTms: math.Float64frombits(binary.BigEndian.Uint64(body[k*9:])),
 			Prov:  ting.Provenance(body[k*9+8]),
+		}
+	}
+	return epoch, out, nil
+}
+
+// RTTBatchEx is RTTBatch over op 0x06: each cell additionally carries its
+// confidence. pairs is flat (i0, j0, i1, j1, …); out is reused when it has
+// capacity.
+func (c *BinClient) RTTBatchEx(pairs []uint32, out []BatchCellEx) (uint64, []BatchCellEx, error) {
+	if len(pairs)%2 != 0 {
+		return 0, out, fmt.Errorf("serve: odd pair-index count %d", len(pairs))
+	}
+	count := len(pairs) / 2
+	if count == 0 || count > MaxBatch {
+		return 0, out, fmt.Errorf("serve: batch count %d outside [1,%d]", count, MaxBatch)
+	}
+	c.req = binary.BigEndian.AppendUint32(c.req[:0], uint32(count))
+	for _, v := range pairs {
+		c.req = binary.BigEndian.AppendUint32(c.req, v)
+	}
+	body, err := c.roundTrip(opRTTBatchEx)
+	if err != nil {
+		return 0, out, err
+	}
+	want := 8 + count*10
+	if len(body) != want {
+		return 0, out, fmt.Errorf("serve: batchEx body %d bytes, want %d", len(body), want)
+	}
+	epoch := binary.BigEndian.Uint64(body)
+	body = body[8:]
+	if cap(out) < count {
+		out = make([]BatchCellEx, count)
+	}
+	out = out[:count]
+	for k := 0; k < count; k++ {
+		out[k] = BatchCellEx{
+			RTTms: math.Float64frombits(binary.BigEndian.Uint64(body[k*10:])),
+			Prov:  ting.Provenance(body[k*10+8]),
+			Conf:  float64(body[k*10+9]) / 255,
 		}
 	}
 	return epoch, out, nil

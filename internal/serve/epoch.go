@@ -38,7 +38,7 @@ type Snapshot struct {
 	etag        string
 	publishedAt time.Time
 
-	fresh, resumed, removed, missing int
+	prov ting.ProvCount
 
 	tivOnce sync.Once
 	tivs    []pathsel.TIV
@@ -61,9 +61,7 @@ func (s *Snapshot) PublishedAt() time.Time { return s.publishedAt }
 
 // ProvCounts reports the upper triangle's provenance tally, computed once
 // at publish time.
-func (s *Snapshot) ProvCounts() (fresh, resumed, removed, missing int) {
-	return s.fresh, s.resumed, s.removed, s.missing
-}
+func (s *Snapshot) ProvCounts() ting.ProvCount { return s.prov }
 
 // TIVs returns the epoch's triangle-inequality violations, best detour per
 // violating pair. The O(N³) scan runs on first call and is memoized for
@@ -125,7 +123,7 @@ func (p *Publisher) Publish(m *ting.Matrix) (*Snapshot, error) {
 		etag:        etagFor(seq),
 		publishedAt: p.now(),
 	}
-	snap.fresh, snap.resumed, snap.removed, snap.missing = pm.ProvCounts()
+	snap.prov = pm.ProvCounts()
 	p.seq = seq
 	p.cur.Store(snap)
 	p.swaps.Inc()

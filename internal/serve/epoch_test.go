@@ -250,9 +250,9 @@ func TestSweeperPublishesEpochs(t *testing.T) {
 	if served <= 0 {
 		t.Fatalf("served RTT %v", served)
 	}
-	fresh, _, _, missing := snap.ProvCounts()
-	if missing != 0 || fresh == 0 {
-		t.Fatalf("prov counts fresh=%d missing=%d", fresh, missing)
+	pc := snap.ProvCounts()
+	if pc.Missing != 0 || pc.Fresh == 0 {
+		t.Fatalf("prov counts fresh=%d missing=%d", pc.Fresh, pc.Missing)
 	}
 }
 

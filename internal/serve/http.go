@@ -128,20 +128,24 @@ type epochReply struct {
 }
 
 type provReply struct {
-	Fresh   int `json:"fresh"`
-	Resumed int `json:"resumed"`
-	Removed int `json:"removed"`
-	Missing int `json:"missing"`
+	Fresh     int `json:"fresh"`
+	Resumed   int `json:"resumed"`
+	Removed   int `json:"removed"`
+	Predicted int `json:"predicted"`
+	Missing   int `json:"missing"`
 }
 
 func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
-	fresh, resumed, removed, missing := snap.ProvCounts()
+	pc := snap.ProvCounts()
 	writeJSON(w, epochReply{
 		Epoch:     snap.Epoch(),
 		ETag:      snap.ETag(),
 		Published: snap.PublishedAt(),
 		Relays:    snap.View().N(),
-		Pairs:     provReply{Fresh: fresh, Resumed: resumed, Removed: removed, Missing: missing},
+		Pairs: provReply{
+			Fresh: pc.Fresh, Resumed: pc.Resumed, Removed: pc.Removed,
+			Predicted: pc.Predicted, Missing: pc.Missing,
+		},
 	})
 }
 
@@ -160,6 +164,9 @@ type rttReply struct {
 	Y          string  `json:"y"`
 	RTTMs      float64 `json:"rtt_ms"`
 	Provenance string  `json:"provenance"`
+	// Confidence is 1 for measured cells, the embedding's per-cell score
+	// for predicted ones, 0 for missing.
+	Confidence float64 `json:"confidence"`
 }
 
 func (s *Server) handleRTT(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
@@ -175,12 +182,15 @@ func (s *Server) handleRTT(w http.ResponseWriter, r *http.Request, snap *Snapsho
 		return
 	}
 	s.lookups.Inc()
+	xi, _ := view.Index(x)
+	yi, _ := view.Index(y)
 	writeJSON(w, rttReply{
 		Epoch:      snap.Epoch(),
 		X:          x,
 		Y:          y,
 		RTTMs:      rtt,
 		Provenance: view.Prov(x, y).String(),
+		Confidence: view.ConfAt(xi, yi),
 	})
 }
 
@@ -274,6 +284,11 @@ type tivEntry struct {
 	DirectMs float64 `json:"direct_ms"`
 	DetourMs float64 `json:"detour_ms"`
 	Savings  float64 `json:"savings"`
+	// Predicted flags a violation whose direct leg is a model-completed
+	// cell rather than a measurement — a candidate, not evidence.
+	// Violations whose witness (detour) legs are predicted are dropped
+	// from the scan entirely.
+	Predicted bool `json:"predicted,omitempty"`
 }
 
 func (s *Server) handleTIV(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
@@ -290,10 +305,10 @@ func (s *Server) handleTIV(w http.ResponseWriter, r *http.Request, snap *Snapsho
 	view := snap.View()
 	n := view.N()
 	reply := tivReply{
-		Epoch:    snap.Epoch(),
-		Pairs:    n * (n - 1) / 2,
-		WithTIV:  len(tivs),
-		Top:      []tivEntry{},
+		Epoch:   snap.Epoch(),
+		Pairs:   n * (n - 1) / 2,
+		WithTIV: len(tivs),
+		Top:     []tivEntry{},
 	}
 	if reply.Pairs > 0 {
 		reply.Fraction = float64(reply.WithTIV) / float64(reply.Pairs)
@@ -312,7 +327,7 @@ func (s *Server) handleTIV(w http.ResponseWriter, r *http.Request, snap *Snapsho
 		reply.Top = append(reply.Top, tivEntry{
 			X: names[t.S], Y: names[t.D], Via: names[t.R],
 			DirectMs: t.DirectMs, DetourMs: t.DetourMs,
-			Savings: t.SavingsFraction(),
+			Savings: t.SavingsFraction(), Predicted: t.Predicted,
 		})
 	}
 	writeJSON(w, reply)

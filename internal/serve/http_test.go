@@ -105,7 +105,7 @@ func TestHTTPErrors(t *testing.T) {
 		{"/v1/rtt", http.StatusBadRequest},
 		{"/v1/rtt?x=relay00", http.StatusBadRequest},
 		{"/v1/rtt?x=relay00&y=nope", http.StatusNotFound},
-		{"/v1/paths?length=3&k=2", http.StatusBadRequest},      // no budget
+		{"/v1/paths?length=3&k=2", http.StatusBadRequest}, // no budget
 		{"/v1/paths?length=zz&budget_ms=500", http.StatusBadRequest},
 		{"/v1/tiv?top=-1", http.StatusBadRequest},
 		{"/nope", http.StatusNotFound},

@@ -116,6 +116,7 @@ func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 //	/               index
 //	/metrics        plain-text snapshot
 //	/metrics.json   JSON snapshot
+//	/metrics.prom   OpenMetrics/Prometheus text exposition
 //	/trace.json     the event trace, oldest first
 //	/debug/pprof/   the standard pprof handlers
 //
@@ -127,7 +128,7 @@ func (r *Registry) Handler() http.Handler {
 			http.NotFound(w, req)
 			return
 		}
-		io.WriteString(w, "ting telemetry\n\n/metrics\n/metrics.json\n/trace.json\n/debug/pprof/\n")
+		io.WriteString(w, "ting telemetry\n\n/metrics\n/metrics.json\n/metrics.prom\n/trace.json\n/debug/pprof/\n")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -136,6 +137,10 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		r.Snapshot().WriteJSON(w)
+	})
+	mux.HandleFunc("/metrics.prom", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		r.Snapshot().WriteOpenMetrics(w)
 	})
 	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

@@ -172,9 +172,9 @@ func TestMatrixAddNameGrowsProvenance(t *testing.T) {
 	if err := m.SetProv("b", "c", ProvRemoved); err != nil {
 		t.Fatal(err)
 	}
-	fresh, resumed, removed, missing := m.ProvCounts()
-	if fresh != 1 || resumed != 0 || removed != 1 || missing != 1 {
-		t.Errorf("ProvCounts = %d/%d/%d/%d, want 1/0/1/1", fresh, resumed, removed, missing)
+	pc := m.ProvCounts()
+	if pc.Fresh != 1 || pc.Resumed != 0 || pc.Removed != 1 || pc.Missing != 1 {
+		t.Errorf("ProvCounts = %+v, want 1/0/1/1", pc)
 	}
 	if err := m.AddName("a"); err == nil {
 		t.Error("AddName accepted a duplicate name")
@@ -376,9 +376,9 @@ func TestScanChurnRemoveJoinMidScan(t *testing.T) {
 			t.Fatalf("matrix names = %v, want %v", m1.Names(), wantNames)
 		}
 	}
-	fresh, resumed, removed, missing := m1.ProvCounts()
-	if fresh != 6 || resumed != 0 || removed != 3 || missing != 1 {
-		t.Errorf("provenance = %d/%d/%d/%d, want 6 fresh, 3 removed, 1 missing (v,q)", fresh, resumed, removed, missing)
+	pc1 := m1.ProvCounts()
+	if pc1.Fresh != 6 || pc1.Resumed != 0 || pc1.Removed != 3 || pc1.Missing != 1 {
+		t.Errorf("provenance = %+v, want 6 fresh, 3 removed, 1 missing (v,q)", pc1)
 	}
 	if p := m1.Prov("v", "q"); p != ProvMissing {
 		t.Errorf("Prov(v,q) = %v, want missing — the ghost pair must never be scheduled", p)
@@ -459,9 +459,9 @@ resume:
 	// The resume settles (v,q) too — a build-time tombstone instead of the
 	// live scan's never-scheduled ghost pair — so it reports 4 churned
 	// pairs, but the matrix VALUES are identical.
-	fresh2, resumed2, removed2, missing2 := m2.ProvCounts()
-	if fresh2 != 4 || resumed2 != 2 || removed2 != 4 || missing2 != 0 {
-		t.Errorf("resume provenance = %d/%d/%d/%d, want 4/2/4/0", fresh2, resumed2, removed2, missing2)
+	pc2 := m2.ProvCounts()
+	if pc2.Fresh != 4 || pc2.Resumed != 2 || pc2.Removed != 4 || pc2.Missing != 0 {
+		t.Errorf("resume provenance = %+v, want 4/2/4/0", pc2)
 	}
 	for _, pe := range failures2 {
 		if !errors.Is(pe.Err, ErrChurned) {
@@ -883,11 +883,11 @@ func TestChurnSoakJoinLeaveCancelResume(t *testing.T) {
 	if len(m.Names()) != 6 {
 		t.Fatalf("matrix names = %v, want all 6 relays including the joiner", m.Names())
 	}
-	fresh, resumed, removed, missing := m.ProvCounts()
-	if fresh+resumed+removed+missing != 15 {
-		t.Errorf("provenance %d/%d/%d/%d does not cover 15 pairs", fresh, resumed, removed, missing)
+	pc := m.ProvCounts()
+	if pc.Total() != 15 {
+		t.Errorf("provenance %+v does not cover 15 pairs", pc)
 	}
-	if removed == 0 {
+	if pc.Removed == 0 {
 		t.Error("no pair was tombstoned although the leaver drained mid-campaign")
 	}
 	joinerMeasured := 0

@@ -22,13 +22,19 @@ const (
 	tileMask = TileDim - 1
 )
 
-// tile is one TileDim×TileDim block of the matrix, row-major. Value and
-// provenance live side by side so a cell's full state has one owner; the
-// zero value of both arrays (0.0, ProvMissing) is exactly the meaning of
-// an unwritten cell, so tiles need no initialization beyond allocation.
+// tile is one TileDim×TileDim block of the matrix, row-major. Value,
+// provenance, and confidence live side by side so a cell's full state has
+// one owner; the zero value of all three arrays (0.0, ProvMissing, conf 0)
+// is exactly the meaning of an unwritten cell, so tiles need no
+// initialization beyond allocation.
 type tile struct {
 	r    [TileDim * TileDim]float64
 	prov [TileDim * TileDim]Provenance
+	// conf quantizes per-cell confidence to 1/255 steps: 255 for measured
+	// cells, the embedding's Confidence score for predicted ones, 0 for
+	// missing. A byte per cell keeps the completed matrix's annotation
+	// overhead at 1/8th of the values themselves.
+	conf [TileDim * TileDim]uint8
 }
 
 // tidx maps global indices to a cell's offset within its tile.
@@ -74,6 +80,11 @@ const (
 	// ProvRemoved: tombstoned — a relay of the pair left the consensus
 	// before the pair could be measured (churn, not failure).
 	ProvRemoved
+	// ProvPredicted: completed by the coordinate embedding, not measured —
+	// the value is a model prediction carrying a per-cell confidence
+	// (ConfAt), and consumers that must not act on synthetic data (TIV
+	// witnesses, high-stakes path selection) filter on this.
+	ProvPredicted
 )
 
 func (p Provenance) String() string {
@@ -86,6 +97,8 @@ func (p Provenance) String() string {
 		return "resumed"
 	case ProvRemoved:
 		return "removed"
+	case ProvPredicted:
+		return "predicted"
 	}
 	return fmt.Sprintf("Provenance(%d)", int(p))
 }
@@ -259,7 +272,10 @@ func (m *Matrix) Clone() *Matrix {
 	return cp
 }
 
-// SetProv records a cell's provenance, both directions.
+// SetProv records a cell's provenance, both directions. Confidence is
+// derived: measured cells (fresh or resumed) are fully trusted, everything
+// else scores zero — predicted cells carry a real model confidence and go
+// through SetPredicted instead.
 func (m *Matrix) SetProv(x, y string, p Provenance) error {
 	i, ok := m.index[x]
 	if !ok {
@@ -269,8 +285,51 @@ func (m *Matrix) SetProv(x, y string, p Provenance) error {
 	if !ok {
 		return fmt.Errorf("ting: unknown relay %q", y)
 	}
-	m.cellTile(i, j).prov[tidx(i, j)] = p
-	m.cellTile(j, i).prov[tidx(j, i)] = p
+	var conf uint8
+	if p == ProvFresh || p == ProvResumed {
+		conf = 255
+	}
+	ij, ji := tidx(i, j), tidx(j, i)
+	tij, tji := m.cellTile(i, j), m.cellTile(j, i)
+	tij.prov[ij] = p
+	tij.conf[ij] = conf
+	tji.prov[ji] = p
+	tji.conf[ji] = conf
+	return nil
+}
+
+// SetPredicted fills a cell from the coordinate embedding: value, the
+// ProvPredicted provenance, and the model's confidence (clamped to [0, 1],
+// quantized to 1/255 steps), both directions. This is the completion
+// layer's single write path, so a predicted cell can never masquerade as a
+// measured one.
+func (m *Matrix) SetPredicted(x, y string, ms, conf float64) error {
+	i, ok := m.index[x]
+	if !ok {
+		return fmt.Errorf("ting: unknown relay %q", x)
+	}
+	j, ok := m.index[y]
+	if !ok {
+		return fmt.Errorf("ting: unknown relay %q", y)
+	}
+	if i == j {
+		return fmt.Errorf("ting: refusing to predict self-pair %q", x)
+	}
+	if conf < 0 {
+		conf = 0
+	}
+	if conf > 1 {
+		conf = 1
+	}
+	q := uint8(conf*255 + 0.5)
+	ij, ji := tidx(i, j), tidx(j, i)
+	tij, tji := m.cellTile(i, j), m.cellTile(j, i)
+	tij.r[ij] = ms
+	tij.prov[ij] = ProvPredicted
+	tij.conf[ij] = q
+	tji.r[ji] = ms
+	tji.prov[ji] = ProvPredicted
+	tji.conf[ji] = q
 	return nil
 }
 
@@ -292,32 +351,90 @@ func (m *Matrix) Prov(x, y string) Provenance {
 	return t.prov[tidx(i, j)]
 }
 
-// ProvCounts tallies the upper triangle's provenance — the "how complete
-// is this campaign" summary. Unmaterialized tiles count as all-missing
-// without being touched.
-func (m *Matrix) ProvCounts() (fresh, resumed, removed, missing int) {
+// Conf returns a cell's confidence in [0, 1] by name: 1 for measured
+// cells, the embedding's (quantized) score for predicted ones, 0 for
+// missing cells and unknown relays.
+func (m *Matrix) Conf(x, y string) float64 {
+	i, ok := m.index[x]
+	if !ok {
+		return 0
+	}
+	j, ok := m.index[y]
+	if !ok {
+		return 0
+	}
+	t := m.tiles[i>>TileShift][j>>TileShift]
+	if t == nil {
+		return 0
+	}
+	return float64(t.conf[tidx(i, j)]) / 255
+}
+
+// ConfAt returns a cell's confidence by index; it panics on out-of-range
+// indices like At. The diagonal is fully trusted by definition.
+func (m *Matrix) ConfAt(i, j int) float64 {
+	n := len(m.names)
+	if i < 0 || j < 0 || i >= n || j >= n {
+		panic(fmt.Sprintf("ting: matrix index (%d,%d) out of range [0,%d)", i, j, n))
+	}
+	if i == j {
+		return 1
+	}
+	t := m.tiles[i>>TileShift][j>>TileShift]
+	if t == nil {
+		return 0
+	}
+	return float64(t.conf[tidx(i, j)]) / 255
+}
+
+// ProvCount is the upper-triangle provenance tally — the "how complete is
+// this campaign" summary. A struct (rather than positional returns) so
+// new provenance classes extend it without breaking every caller.
+type ProvCount struct {
+	Fresh     int
+	Resumed   int
+	Removed   int
+	Predicted int
+	Missing   int
+}
+
+// Measured is the number of pairs backed by real measurements (fresh or
+// resumed) — the numerator of a budgeted campaign's measured fraction.
+func (c ProvCount) Measured() int { return c.Fresh + c.Resumed }
+
+// Total is the number of unordered pairs tallied.
+func (c ProvCount) Total() int {
+	return c.Fresh + c.Resumed + c.Removed + c.Predicted + c.Missing
+}
+
+// ProvCounts tallies the upper triangle's provenance. Unmaterialized
+// tiles count as all-missing without being touched.
+func (m *Matrix) ProvCounts() ProvCount {
+	var c ProvCount
 	n := len(m.names)
 	for i := 0; i < n; i++ {
 		trow := m.tiles[i>>TileShift]
 		for j := i + 1; j < n; j++ {
 			t := trow[j>>TileShift]
 			if t == nil {
-				missing++
+				c.Missing++
 				continue
 			}
 			switch t.prov[tidx(i, j)] {
 			case ProvFresh:
-				fresh++
+				c.Fresh++
 			case ProvResumed:
-				resumed++
+				c.Resumed++
 			case ProvRemoved:
-				removed++
+				c.Removed++
+			case ProvPredicted:
+				c.Predicted++
 			default:
-				missing++
+				c.Missing++
 			}
 		}
 	}
-	return fresh, resumed, removed, missing
+	return c
 }
 
 // Mean returns µ, the average RTT over all unordered pairs — the term
@@ -364,6 +481,13 @@ func (m *Matrix) PairValues() []float64 {
 // bufio.Writer, so encoding never builds a row's (let alone the
 // document's) text in memory — the dense-encode double-buffer a 10k-node
 // matrix cannot afford.
+//
+// Measured provenance (fresh/resumed/removed) is runtime annotation and
+// not persisted, but predicted cells are: a budgeted campaign's document
+// gains one "pred i j q" trailer line per model-completed pair (q the
+// quantized confidence, 0–255), so a consumer of the published dataset
+// can still tell measurement from model opinion. Fully-measured matrices
+// encode byte-identically to the pre-trailer format.
 func (m *Matrix) Encode(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "tingmatrix n=%d\n", len(m.names))
@@ -390,6 +514,16 @@ func (m *Matrix) Encode(w io.Writer) error {
 			bw.Write(num)
 		}
 		bw.WriteByte('\n')
+	}
+	for i := 0; i < n; i++ {
+		trow := m.tiles[i>>TileShift]
+		for j := i + 1; j < n; j++ {
+			t := trow[j>>TileShift]
+			if t == nil || t.prov[tidx(i, j)] != ProvPredicted {
+				continue
+			}
+			fmt.Fprintf(bw, "pred %d %d %d\n", i, j, t.conf[tidx(i, j)])
+		}
 	}
 	return bw.Flush()
 }
@@ -455,9 +589,29 @@ func DecodeMatrix(r io.Reader) (*Matrix, error) {
 		}
 	}
 	for sc.Scan() {
-		if strings.TrimSpace(sc.Text()) != "" {
-			return nil, fmt.Errorf("ting: trailing data after %d matrix rows", n)
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
 		}
+		// Optional predicted-cell trailer: "pred i j q" marks cell (i,j) as
+		// model-completed with quantized confidence q. The raw 0–255 byte is
+		// persisted (not a dequantized float) so a round trip is exact.
+		var i, j, q int
+		if _, err := fmt.Sscanf(line, "pred %d %d %d", &i, &j, &q); err != nil {
+			return nil, fmt.Errorf("ting: trailing data after %d matrix rows: %q", n, line)
+		}
+		if i < 0 || j < 0 || i >= n || j >= n || i == j {
+			return nil, fmt.Errorf("ting: pred record (%d,%d) out of range for n=%d", i, j, n)
+		}
+		if q < 0 || q > 255 {
+			return nil, fmt.Errorf("ting: pred record (%d,%d) confidence %d outside [0,255]", i, j, q)
+		}
+		ij, ji := tidx(i, j), tidx(j, i)
+		tij, tji := m.cellTile(i, j), m.cellTile(j, i)
+		tij.prov[ij] = ProvPredicted
+		tij.conf[ij] = uint8(q)
+		tji.prov[ji] = ProvPredicted
+		tji.conf[ji] = uint8(q)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("ting: matrix document: %w", err)
@@ -470,8 +624,9 @@ func DecodeMatrix(r io.Reader) (*Matrix, error) {
 // extent), and an "end" terminator. Unmaterialized tiles are simply
 // absent, so the document size tracks cells measured, not N² — the format
 // a partially-scanned 10k-node campaign publishes without emitting 99
-// million zeros. Like Encode, provenance is runtime annotation and is not
-// persisted.
+// million zeros. Unlike Encode, the tile format carries no provenance at
+// all — it is the campaign-internal interchange format, not the published
+// dataset.
 func (m *Matrix) EncodeTiles(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	n := len(m.names)

@@ -67,11 +67,11 @@ func TestMatrixAddNameProvCountsParity(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if f, r, rm, miss := bare.ProvCounts(); f != 0 || r != 0 || rm != 0 || miss != 6 {
-		t.Errorf("bare ProvCounts = %d/%d/%d/%d, want 0/0/0/6", f, r, rm, miss)
+	if pc := bare.ProvCounts(); pc != (ProvCount{Missing: 6}) {
+		t.Errorf("bare ProvCounts = %+v, want 0/0/0/0/6", pc)
 	}
-	if f, r, rm, miss := noted.ProvCounts(); f != 1 || r != 1 || rm != 0 || miss != 4 {
-		t.Errorf("annotated ProvCounts = %d/%d/%d/%d, want 1/1/0/4", f, r, rm, miss)
+	if pc := noted.ProvCounts(); pc != (ProvCount{Fresh: 1, Resumed: 1, Missing: 4}) {
+		t.Errorf("annotated ProvCounts = %+v, want 1/1/0/0/4", pc)
 	}
 	for _, m := range []*Matrix{bare, noted} {
 		for _, x := range []string{"a", "b", "c"} {
@@ -320,5 +320,159 @@ func TestDecodeMatrixStaysSparse(t *testing.T) {
 	}
 	if again.String() != doc {
 		t.Error("sparse decode re-encodes differently")
+	}
+}
+
+func TestMatrixSetPredictedAndConfidence(t *testing.T) {
+	m, err := NewMatrix(tileNames(TileDim + 3)) // span a tile boundary
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := m.Names()
+	if err := m.Set(names[0], names[1], 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetProv(names[0], names[1], ProvFresh); err != nil {
+		t.Fatal(err)
+	}
+	// Measured cells read confidence 1 both ways.
+	if c := m.Conf(names[0], names[1]); c != 1 {
+		t.Errorf("measured Conf = %v, want 1", c)
+	}
+	if c := m.ConfAt(1, 0); c != 1 {
+		t.Errorf("measured ConfAt(j,i) = %v, want 1", c)
+	}
+	// Predicted cell across the tile boundary.
+	x, y := names[2], names[TileDim+1]
+	if err := m.SetPredicted(x, y, 73.5, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	if p := m.Prov(x, y); p != ProvPredicted {
+		t.Errorf("Prov = %v, want predicted", p)
+	}
+	if p := m.Prov(y, x); p != ProvPredicted {
+		t.Errorf("Prov transposed = %v, want predicted", p)
+	}
+	if v, err := m.RTT(x, y); err != nil || v != 73.5 {
+		t.Errorf("RTT = %v, %v", v, err)
+	}
+	// Confidence is quantized to a byte: 0.8 → round(0.8·255)/255.
+	q := 0.8*255 + 0.5
+	want := float64(uint8(q)) / 255
+	if c := m.Conf(x, y); c != want {
+		t.Errorf("Conf = %v, want %v", c, want)
+	}
+	xi, _ := m.Index(x)
+	yi, _ := m.Index(y)
+	if m.ConfAt(xi, yi) != m.ConfAt(yi, xi) {
+		t.Error("predicted confidence asymmetric")
+	}
+	// Out-of-range confidence clamps rather than wrapping the byte.
+	if err := m.SetPredicted(names[3], names[4], 5, 1.7); err != nil {
+		t.Fatal(err)
+	}
+	if c := m.Conf(names[3], names[4]); c != 1 {
+		t.Errorf("clamped Conf = %v, want 1", c)
+	}
+	if err := m.SetPredicted(names[5], names[6], 5, -0.3); err != nil {
+		t.Fatal(err)
+	}
+	if c := m.Conf(names[5], names[6]); c != 0 {
+		t.Errorf("clamped Conf = %v, want 0", c)
+	}
+	// Diagonal and untouched cells.
+	if c := m.ConfAt(2, 2); c != 1 {
+		t.Errorf("diagonal ConfAt = %v, want 1", c)
+	}
+	if c := m.Conf(names[7], names[8]); c != 0 {
+		t.Errorf("missing-cell Conf = %v, want 0", c)
+	}
+	// ProvCounts sees the predicted cells; a clone carries confidence.
+	pc := m.ProvCounts()
+	if pc.Predicted != 3 || pc.Fresh != 1 {
+		t.Errorf("ProvCounts = %+v, want 3 predicted / 1 fresh", pc)
+	}
+	cl := m.Clone()
+	if c := cl.Conf(x, y); c != want {
+		t.Errorf("clone Conf = %v, want %v", c, want)
+	}
+	// SetPredicted on unknown names errors like Set does.
+	if err := m.SetPredicted("nope", names[0], 1, 0.5); err == nil {
+		t.Error("unknown relay accepted")
+	}
+	if err := m.SetPredicted(names[0], names[0], 1, 0.5); err == nil {
+		t.Error("self pair accepted")
+	}
+}
+
+// TestMatrixEncodePredictedRoundTrip: the text document must carry
+// predicted provenance and confidence through a round trip (exactly — the
+// quantized byte is persisted, not a float), and fully-measured matrices
+// must encode with no trailer at all so old documents stay valid.
+func TestMatrixEncodePredictedRoundTrip(t *testing.T) {
+	names := []string{"a", "b", "c", "d"}
+	m, err := NewMatrix(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			m.Set(names[i], names[j], float64(10*(i+j)))
+			m.SetProv(names[i], names[j], ProvFresh)
+		}
+	}
+	if err := m.SetPredicted("a", "c", 31.5, 0.73); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetPredicted("b", "d", 44.25, 0.41); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "pred "); got != 2 {
+		t.Fatalf("document has %d pred records, want 2:\n%s", got, buf.String())
+	}
+	got, err := DecodeMatrix(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := got.Prov("a", "c"); p != ProvPredicted {
+		t.Errorf("a-c provenance %v after round trip, want predicted", p)
+	}
+	if p := got.Prov("c", "a"); p != ProvPredicted {
+		t.Errorf("pred record applied one-directionally")
+	}
+	if got.Conf("a", "c") != m.Conf("a", "c") || got.Conf("b", "d") != m.Conf("b", "d") {
+		t.Errorf("confidence drifted: (%v,%v) vs (%v,%v)",
+			got.Conf("a", "c"), got.Conf("b", "d"), m.Conf("a", "c"), m.Conf("b", "d"))
+	}
+	if v, _ := got.RTT("a", "c"); v != 31.5 {
+		t.Errorf("predicted value %v after round trip, want 31.5", v)
+	}
+	// Measured provenance stays runtime-only.
+	if p := got.Prov("a", "b"); p == ProvFresh {
+		t.Error("measured provenance unexpectedly persisted")
+	}
+
+	// No predicted cells → no trailer.
+	m2, _ := NewMatrix(names)
+	m2.Set("a", "b", 5)
+	var buf2 bytes.Buffer
+	if err := m2.Encode(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf2.String(), "pred") {
+		t.Errorf("fully-measured matrix grew a trailer:\n%s", buf2.String())
+	}
+
+	// Malformed trailers are errors, not silent skips.
+	for _, bad := range []string{"pred 0 9 100", "pred 1 1 100", "pred 0 2 300", "junk"} {
+		doc := buf2.String() + bad + "\n"
+		if _, err := DecodeMatrix(strings.NewReader(doc)); err == nil {
+			t.Errorf("trailer %q accepted", bad)
+		}
 	}
 }

@@ -52,6 +52,10 @@ type Observer struct {
 	// DeadlineSet fires when the adaptive deadline estimator bounds a
 	// pair's attempt at d instead of the fixed PairTimeout.
 	DeadlineSet func(x, y string, d time.Duration)
+	// BudgetComplete fires once at the end of a ScanBudget campaign with
+	// how many pairs were actually measured out of the full pair space —
+	// the budgeted mode's savings summary.
+	BudgetComplete func(measured, allPairs int)
 }
 
 // HalfCircuitEvent classifies one HalfCache consultation.
@@ -153,6 +157,12 @@ func (o *Observer) deadlineSet(x, y string, d time.Duration) {
 	}
 }
 
+func (o *Observer) budgetComplete(measured, allPairs int) {
+	if o != nil && o.BudgetComplete != nil {
+		o.BudgetComplete(measured, allPairs)
+	}
+}
+
 // NewTelemetryObserver wires an Observer into a telemetry.Registry. All
 // metrics are resolved once here, so the per-event cost is an atomic add
 // (plus a trace record for lifecycle events). Metric names:
@@ -177,6 +187,8 @@ func (o *Observer) deadlineSet(x, y string, d time.Duration) {
 //	ting.churn.rotated                              counter
 //	ting.churn.tombstoned_pairs                     counter
 //	ting.deadline.adaptive_ms                       histogram
+//	ting.budget.measured_pairs                      counter
+//	ting.budget.predicted_pairs                     counter
 //
 // A nil registry yields a valid Observer whose callbacks are no-ops.
 func NewTelemetryObserver(reg *telemetry.Registry) *Observer {
@@ -206,6 +218,8 @@ func NewTelemetryObserver(reg *telemetry.Registry) *Observer {
 		churnRotated = reg.Counter("ting.churn.rotated")
 		tombstoned   = reg.Counter("ting.churn.tombstoned_pairs")
 		adaptiveMs   = reg.Histogram("ting.deadline.adaptive_ms")
+		budgetMeas   = reg.Counter("ting.budget.measured_pairs")
+		budgetPred   = reg.Counter("ting.budget.predicted_pairs")
 		trace        = reg.Trace()
 	)
 	return &Observer{
@@ -303,6 +317,12 @@ func NewTelemetryObserver(reg *telemetry.Registry) *Observer {
 		},
 		DeadlineSet: func(x, y string, d time.Duration) {
 			adaptiveMs.Observe(float64(d) / float64(time.Millisecond))
+		},
+		BudgetComplete: func(measured, allPairs int) {
+			budgetMeas.Add(int64(measured))
+			budgetPred.Add(int64(allPairs - measured))
+			trace.Record("budget", fmt.Sprintf("measured %d of %d pairs, predicted %d",
+				measured, allPairs, allPairs-measured), 0)
 		},
 		SweepDone: func(stats MonitorStats) {
 			sweeps.Inc()

@@ -40,6 +40,12 @@ type CampaignConfig struct {
 	// (one C_xy per pair, one C_x per relay) instead of 3·Pairs. Requires
 	// Relays, since the half-circuit count is the relay population.
 	Memoized bool
+	// Budget, if positive, models a ScanBudget campaign: only Budget pairs
+	// are measured (the coordinate embedding completes the rest for free),
+	// so the effective pair count is min(Budget, Pairs). Composes with
+	// Memoized — a budgeted memoized campaign samples Budget + Relays
+	// series.
+	Budget int
 }
 
 func (c *CampaignConfig) setDefaults() error {
@@ -66,6 +72,12 @@ func (c *CampaignConfig) setDefaults() error {
 	}
 	if c.Parallel <= 0 {
 		c.Parallel = 1
+	}
+	if c.Budget < 0 {
+		return fmt.Errorf("ting: campaign budget %d", c.Budget)
+	}
+	if c.Budget > 0 && c.Budget < c.Pairs {
+		c.Pairs = c.Budget
 	}
 	return nil
 }

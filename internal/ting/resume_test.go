@@ -95,8 +95,8 @@ func TestScannerResumeAfterCancel(t *testing.T) {
 	if partial == nil {
 		t.Fatal("cancelled scan returned no partial matrix")
 	}
-	if fresh, resumed, _, missing := partial.ProvCounts(); fresh != 3 || resumed != 0 || missing != 3 {
-		t.Fatalf("phase 1 provenance = %d/%d/%d, want 3 fresh, 0 resumed, 3 missing", fresh, resumed, missing)
+	if pc := partial.ProvCounts(); pc.Fresh != 3 || pc.Resumed != 0 || pc.Missing != 3 {
+		t.Fatalf("phase 1 provenance = %+v, want 3 fresh, 0 resumed, 3 missing", pc)
 	}
 	if rec1.len() != 3 {
 		t.Fatalf("phase 1 measured %d pairs, want 3", rec1.len())
@@ -152,8 +152,8 @@ func TestScannerResumeAfterCancel(t *testing.T) {
 			}
 		}
 	}
-	if fresh, resumed, _, missing := m.ProvCounts(); fresh != 3 || resumed != 3 || missing != 0 {
-		t.Errorf("final provenance = %d/%d/%d, want 3/3/0", fresh, resumed, missing)
+	if pc := m.ProvCounts(); pc.Fresh != 3 || pc.Resumed != 3 || pc.Missing != 0 {
+		t.Errorf("final provenance = %+v, want 3/3/0", pc)
 	}
 
 	// The resumed campaign's matrix is indistinguishable from one that was
@@ -461,15 +461,15 @@ func TestChaosSoakFlapCancelResume(t *testing.T) {
 	if err != nil {
 		t.Fatalf("resume err = %v (failures: %v)", err, failures)
 	}
-	fresh, resumed, _, missing := m.ProvCounts()
-	if resumed != len(st.Pairs) {
-		t.Errorf("resumed %d pairs, checkpoint held %d", resumed, len(st.Pairs))
+	pc := m.ProvCounts()
+	if pc.Resumed != len(st.Pairs) {
+		t.Errorf("resumed %d pairs, checkpoint held %d", pc.Resumed, len(st.Pairs))
 	}
-	if fresh+resumed+missing != 6 {
-		t.Errorf("provenance %d/%d/%d does not cover 6 pairs", fresh, resumed, missing)
+	if pc.Fresh+pc.Resumed+pc.Missing != 6 {
+		t.Errorf("provenance %+v does not cover 6 pairs", pc)
 	}
-	if missing != len(failures) {
-		t.Errorf("%d missing cells but %d reported failures", missing, len(failures))
+	if pc.Missing != len(failures) {
+		t.Errorf("%d missing cells but %d reported failures", pc.Missing, len(failures))
 	}
 	// Every replayed pair kept its checkpointed value — resume measured
 	// only the rest.

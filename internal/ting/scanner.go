@@ -262,7 +262,7 @@ func assignJobs(todo []pairJob, workers int, shuffled bool) [][]pairJob {
 	pos := 0
 	for _, x := range order {
 		n := counts[x]
-		groups[x] = backing[pos:pos : pos+n]
+		groups[x] = backing[pos : pos : pos+n]
 		pos += n
 	}
 	for _, job := range todo {
@@ -311,7 +311,7 @@ func assignJobs(todo []pairJob, workers int, shuffled bool) [][]pairJob {
 // missing cells — with a Checkpoint configured, nothing measured is ever
 // lost.
 func (s *Scanner) Scan(ctx context.Context, names []string) (*Matrix, []PairError, error) {
-	return s.run(ctx, names, nil, s.Checkpoint, false)
+	return s.run(ctx, names, nil, s.Checkpoint, false, nil)
 }
 
 // Resume continues the interrupted campaign recorded in cp: the log is
@@ -336,10 +336,14 @@ func (s *Scanner) Resume(ctx context.Context, cp Checkpoint) (*Matrix, []PairErr
 	if len(st.Names) == 0 {
 		return nil, nil, errors.New("ting: checkpoint has no campaign header; nothing to resume")
 	}
-	return s.run(ctx, st.Names, st, cp, true)
+	return s.run(ctx, st.Names, st, cp, true, nil)
 }
 
-func (s *Scanner) run(ctx context.Context, names []string, resumed *CheckpointState, cp Checkpoint, resuming bool) (*Matrix, []PairError, error) {
+// run executes one scan over names. With restrict nil every unordered pair
+// is scheduled (the all-pairs campaign); otherwise only the listed pairs
+// are — the budgeted scanner's batches. Restricted pairs still flow
+// through the same replay/tombstone gates as the full sweep.
+func (s *Scanner) run(ctx context.Context, names []string, resumed *CheckpointState, cp Checkpoint, resuming bool, restrict [][2]string) (*Matrix, []PairError, error) {
 	if s.NewMeasurer == nil {
 		return nil, nil, errors.New("ting: scanner missing NewMeasurer")
 	}
@@ -414,43 +418,55 @@ func (s *Scanner) run(ctx context.Context, names []string, resumed *CheckpointSt
 		return nil, nil, err
 	}
 	var failures []PairError
-	todo := make([]pairJob, 0, len(names)*(len(names)-1)/2)
+	todoCap := len(names) * (len(names) - 1) / 2
+	if restrict != nil {
+		todoCap = len(restrict)
+	}
+	todo := make([]pairJob, 0, todoCap)
 	replayedPairs := 0
 	startTombstoned := make(map[string]int)
-	for i := 0; i < len(names); i++ {
-		for j := i + 1; j < len(names); j++ {
-			x, y := names[i], names[j]
-			if resumed != nil {
-				if rtt, ok := resumed.Pairs[pairKey(x, y)]; ok {
-					_ = m.Set(x, y, rtt)
-					_ = m.SetProv(x, y, ProvResumed)
-					replayedPairs++
-					continue
-				}
+	addPair := func(x, y string) {
+		if resumed != nil {
+			if rtt, ok := resumed.Pairs[pairKey(x, y)]; ok {
+				_ = m.Set(x, y, rtt)
+				_ = m.SetProv(x, y, ProvResumed)
+				replayedPairs++
+				return
 			}
-			if len(removedAtStart) > 0 {
-				relay, ok := "", false
-				if ep, hit := removedAtStart[x]; hit {
-					relay, ok = x, true
-					_ = ep
-				} else if _, hit := removedAtStart[y]; hit {
-					relay, ok = y, true
-				}
-				if ok {
-					// The relay left while the campaign was down: its
-					// unfinished pairs are settled here, outside the
-					// progress totals (like replayed pairs, they are not
-					// work this run will do).
-					_ = m.SetProv(x, y, ProvRemoved)
-					failures = append(failures, PairError{
-						X: x, Y: y,
-						Err: &ChurnError{Relay: relay, Epoch: removedAtStart[relay]},
-					})
-					startTombstoned[relay]++
-					continue
-				}
+		}
+		if len(removedAtStart) > 0 {
+			relay, ok := "", false
+			if ep, hit := removedAtStart[x]; hit {
+				relay, ok = x, true
+				_ = ep
+			} else if _, hit := removedAtStart[y]; hit {
+				relay, ok = y, true
 			}
-			todo = append(todo, pairJob{x: x, y: y})
+			if ok {
+				// The relay left while the campaign was down: its
+				// unfinished pairs are settled here, outside the
+				// progress totals (like replayed pairs, they are not
+				// work this run will do).
+				_ = m.SetProv(x, y, ProvRemoved)
+				failures = append(failures, PairError{
+					X: x, Y: y,
+					Err: &ChurnError{Relay: relay, Epoch: removedAtStart[relay]},
+				})
+				startTombstoned[relay]++
+				return
+			}
+		}
+		todo = append(todo, pairJob{x: x, y: y})
+	}
+	if restrict != nil {
+		for _, p := range restrict {
+			addPair(p[0], p[1])
+		}
+	} else {
+		for i := 0; i < len(names); i++ {
+			for j := i + 1; j < len(names); j++ {
+				addPair(names[i], names[j])
+			}
 		}
 	}
 	if s.Shuffle != 0 {

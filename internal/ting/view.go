@@ -27,6 +27,10 @@ type MatrixView interface {
 	// ProvAt returns the provenance of cell (i, j); it panics on
 	// out-of-range indices.
 	ProvAt(i, j int) Provenance
+	// ConfAt returns the confidence of cell (i, j) in [0, 1]: 1 for
+	// measured cells, the embedding's score for ProvPredicted cells, 0 for
+	// missing. It panics on out-of-range indices.
+	ConfAt(i, j int) float64
 	// RTT returns the RTT between two named relays.
 	RTT(x, y string) (float64, error)
 	// Prov returns a cell's provenance by name; unknown relays report
@@ -115,6 +119,9 @@ func (p *PublishedMatrix) At(i, j int) float64 { return p.m.At(i, j) }
 // ProvAt implements MatrixView.
 func (p *PublishedMatrix) ProvAt(i, j int) Provenance { return p.m.ProvAt(i, j) }
 
+// ConfAt implements MatrixView.
+func (p *PublishedMatrix) ConfAt(i, j int) float64 { return p.m.ConfAt(i, j) }
+
 // RTT implements MatrixView.
 func (p *PublishedMatrix) RTT(x, y string) (float64, error) { return p.m.RTT(x, y) }
 
@@ -133,6 +140,6 @@ func (p *PublishedMatrix) Epoch() uint64 { return p.epoch }
 
 // ProvCounts tallies the upper triangle's provenance, like
 // (*Matrix).ProvCounts — the completeness summary a served epoch reports.
-func (p *PublishedMatrix) ProvCounts() (fresh, resumed, removed, missing int) {
+func (p *PublishedMatrix) ProvCounts() ProvCount {
 	return p.m.ProvCounts()
 }
