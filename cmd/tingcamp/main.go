@@ -1,0 +1,301 @@
+// Command tingcamp runs a distributed sharded campaign over the synthetic
+// Internet: one coordinator process partitions the pair space into
+// tile-keyed shard leases, any number of worker processes measure them
+// (crash-tolerantly, resuming their own checkpoints), and the coordinator
+// merges the submissions into a matrix bytewise equal to a single-process
+// scan of the same world.
+//
+// Usage:
+//
+//	tingcamp -coordinator -model 20 -seed 97 -shards 16 -listen 127.0.0.1:0 \
+//	         -addr-file camp.addr -out merged.matrix -state state.json
+//	tingcamp -worker -name w1 -addr $(cut -d= -f2 camp.addr) -model 20 -seed 97 \
+//	         -checkpoint w1.ckpt
+//	tingcamp -single -model 20 -seed 97 -out single.matrix
+//
+// The coordinator exits once every shard is complete (status 0, merged
+// matrix written) or with status 1 if any pair was lost. Workers exit when
+// the coordinator reports the campaign done. All modes use the exact
+// (floor) measurer, so reruns and redistributions reproduce the matrix
+// byte for byte.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ting/internal/campaign"
+	"ting/internal/cliflags"
+	"ting/internal/directory"
+	"ting/internal/experiments"
+	"ting/internal/telemetry"
+	"ting/internal/ting"
+)
+
+var (
+	coordMode  = flag.Bool("coordinator", false, "run the campaign coordinator")
+	workerMode = flag.Bool("worker", false, "run a campaign worker")
+	singleMode = flag.Bool("single", false, "run the whole campaign in-process (the determinism reference)")
+
+	modelFlag = flag.Int("model", 20, "number of relays in the synthetic world")
+	seedFlag  = flag.Int64("seed", 42, "topology seed (coordinator and workers must agree)")
+	samples   = flag.Int("samples", 3, "samples per circuit per measurement")
+
+	// Coordinator.
+	listenAddr = flag.String("listen", "127.0.0.1:0", "coordinator: listen address for the campaign/directory transport")
+	addrFile   = flag.String("addr-file", "", "coordinator: write the bound address (camp=… line) to this file atomically")
+	shardsFlag = flag.Int("shards", 16, "coordinator: target shard count")
+	leaseTTL   = flag.Duration("lease-ttl", 2*time.Second, "coordinator: lease time-to-live without a heartbeat")
+	outFlag    = flag.String("out", "", "coordinator/single: write the final matrix here")
+	stateFlag  = flag.String("state", "", "coordinator: write campaign status snapshots (JSON) here")
+
+	// Worker.
+	nameFlag   = flag.String("name", "", "worker: name (required)")
+	addrFlag   = flag.String("addr", "", "worker: coordinator address (required)")
+	ckptFlag   = flag.String("checkpoint", "", "worker: durable campaign log path (restart with the same path to resume)")
+	scanWk     = flag.Int("scan-workers", 2, "worker/single: scanner parallelism")
+	dallyFlag  = flag.Duration("dally", 0, "worker: pause between leases (soak hook)")
+	delayFlag  = flag.Duration("pair-delay", 0, "worker: sleep this long per circuit series (soak hook: stretches lease hold time without changing any value)")
+	hbFlag     = flag.Duration("heartbeat", 0, "worker: lease renewal cadence (default TTL/3)")
+	pollFlag   = flag.Duration("poll", 200*time.Millisecond, "worker: wait when no shard is free")
+	debugAddrF = cliflags.DebugAddr(flag.CommandLine)
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tingcamp: ")
+	flag.Parse()
+
+	modes := 0
+	for _, m := range []bool{*coordMode, *workerMode, *singleMode} {
+		if m {
+			modes++
+		}
+	}
+	if modes != 1 {
+		log.Fatal("pick exactly one of -coordinator, -worker, -single")
+	}
+
+	reg, _, shutdownTelemetry, err := cliflags.BootTelemetry(*debugAddrF)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer shutdownTelemetry()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	world, err := experiments.NewTestbedWorld(*modelFlag, *seedFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch {
+	case *coordMode:
+		runCoordinator(ctx, world, reg)
+	case *workerMode:
+		runWorker(ctx, world)
+	default:
+		runSingle(ctx, world)
+	}
+}
+
+func runCoordinator(ctx context.Context, world *experiments.World, reg *telemetry.Registry) {
+	shards := campaign.Partition(len(world.Names), *shardsFlag)
+	coord, err := campaign.NewCoordinator(world.Names, shards, *leaseTTL, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := directory.NewServer(directory.NewRegistry())
+	campaign.NewServer(coord).Register(ds)
+	ln, err := net.Listen("tcp", *listenAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := ds.Serve(ln); err != nil && ctx.Err() == nil {
+			select {
+			case <-coord.Done():
+				// Listener closed during shutdown: not an error.
+			default:
+				log.Fatalf("serve: %v", err)
+			}
+		}
+	}()
+	defer ds.Close()
+	fmt.Printf("coordinator: %s (%d relays, %d shards, lease TTL %s)\n",
+		ln.Addr(), len(world.Names), len(shards), *leaseTTL)
+	if *addrFile != "" {
+		writeAddrFile(*addrFile, ln.Addr().String())
+	}
+
+	writeState := func() {
+		if *stateFlag == "" {
+			return
+		}
+		b, err := json.MarshalIndent(coord.Snapshot(), "", "  ")
+		if err != nil {
+			log.Printf("state: %v", err)
+			return
+		}
+		writeFileAtomic(*stateFlag, append(b, '\n'))
+	}
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+wait:
+	for {
+		select {
+		case <-ctx.Done():
+			writeState()
+			log.Fatal("interrupted with shards outstanding")
+		case <-tick.C:
+			writeState()
+		case <-coord.Done():
+			break wait
+		}
+	}
+	writeState()
+
+	st := coord.Snapshot()
+	fmt.Printf("campaign done: %d shards, %d lease reassignments, %d lost pairs\n",
+		st.Total, st.Reassigned, st.LostPairs)
+	m, err := coord.Merged()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *outFlag != "" {
+		f, err := os.Create(*outFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.Encode(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("merged matrix: %s (%d relays)\n", *outFlag, m.N())
+	}
+	if st.LostPairs > 0 {
+		os.Exit(1)
+	}
+}
+
+func runWorker(ctx context.Context, world *experiments.World) {
+	if *nameFlag == "" || *addrFlag == "" {
+		log.Fatal("-worker needs -name and -addr")
+	}
+	var (
+		cp  ting.Checkpoint
+		fcp *ting.FileCheckpoint
+	)
+	if *ckptFlag != "" {
+		var err error
+		fcp, err = ting.OpenFileCheckpoint(*ckptFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer fcp.Close()
+		cp = fcp
+	}
+	sc := &ting.Scanner{
+		NewMeasurer: func(int) (*ting.Measurer, error) {
+			if *delayFlag <= 0 {
+				return world.ExactMeasurer(*samples)
+			}
+			p := world.Prober(0)
+			p.Exact = true
+			return ting.NewMeasurer(ting.Config{
+				Prober:  &slowProber{inner: p, delay: *delayFlag},
+				W:       world.W,
+				Z:       world.Z,
+				Samples: *samples,
+			})
+		},
+		Workers:    *scanWk,
+		Checkpoint: cp,
+	}
+	w := &campaign.Worker{
+		Name:           *nameFlag,
+		Addr:           *addrFlag,
+		Scanner:        sc,
+		Checkpoint:     cp,
+		HeartbeatEvery: *hbFlag,
+		Poll:           *pollFlag,
+		Dally:          *dallyFlag,
+		Log:            log.Default(),
+	}
+	if err := w.Run(ctx); err != nil && ctx.Err() == nil {
+		log.Fatal(err)
+	}
+}
+
+func runSingle(ctx context.Context, world *experiments.World) {
+	sc := &ting.Scanner{
+		NewMeasurer: func(int) (*ting.Measurer, error) { return world.ExactMeasurer(*samples) },
+		Workers:     *scanWk,
+	}
+	m, failures, err := sc.Scan(ctx, world.Names)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(failures) > 0 {
+		log.Fatalf("%d pairs failed", len(failures))
+	}
+	if *outFlag == "" {
+		log.Fatal("-single needs -out")
+	}
+	f, err := os.Create(*outFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Encode(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("single-process matrix: %s (%d relays)\n", *outFlag, m.N())
+}
+
+// slowProber stretches every circuit series by a fixed delay while
+// delegating the samples to the exact prober — lease hold times grow, the
+// measured values do not, so soak kills land mid-lease without perturbing
+// the bytewise-equality gate.
+type slowProber struct {
+	inner ting.CircuitProber
+	delay time.Duration
+}
+
+func (p *slowProber) SampleCircuit(ctx context.Context, path []string, n int) ([]float64, error) {
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-time.After(p.delay):
+	}
+	return p.inner.SampleCircuit(ctx, path, n)
+}
+
+// writeAddrFile publishes the bound address atomically (write + rename),
+// so a watcher polling for the file never reads a half-written one.
+func writeAddrFile(path, addr string) {
+	writeFileAtomic(path, []byte("camp="+addr+"\n"))
+}
+
+func writeFileAtomic(path string, b []byte) {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		log.Fatal(err)
+	}
+}

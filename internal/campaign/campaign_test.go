@@ -1,0 +1,289 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func fakeNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("relay%03d", i)
+	}
+	return names
+}
+
+// TestPartitionCoversAllPairs checks, across tile boundaries (TileDim=64),
+// that every unordered pair lands in exactly one shard.
+func TestPartitionCoversAllPairs(t *testing.T) {
+	for _, n := range []int{2, 5, 20, 64, 70, 130} {
+		for _, target := range []int{1, 4, 12, 1000} {
+			names := fakeNames(n)
+			shards := Partition(n, target)
+			seen := make(map[[2]string]string)
+			for _, sh := range shards {
+				pairs, err := sh.Pairs(names)
+				if err != nil {
+					t.Fatalf("n=%d target=%d shard %s: %v", n, target, sh.ID, err)
+				}
+				if len(pairs) != sh.PairCount() {
+					t.Fatalf("shard %s yielded %d pairs, claims %d", sh.ID, len(pairs), sh.PairCount())
+				}
+				for _, p := range pairs {
+					if owner, dup := seen[p]; dup {
+						t.Fatalf("n=%d target=%d: pair %v in both %s and %s", n, target, p, owner, sh.ID)
+					}
+					seen[p] = sh.ID
+				}
+			}
+			if want := n * (n - 1) / 2; len(seen) != want {
+				t.Fatalf("n=%d target=%d: %d pairs covered, want %d", n, target, len(seen), want)
+			}
+		}
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	a := Partition(70, 12)
+	b := Partition(70, 12)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Partition is not deterministic")
+	}
+	if len(a) < 12 {
+		t.Errorf("Partition(70, 12) made %d shards, want at least the target", len(a))
+	}
+}
+
+func TestLeaseWireRoundTrip(t *testing.T) {
+	in := Lease{Shard: NewShard(1, 2, 10, 64), Epoch: 7, TTL: 1500 * time.Millisecond}
+	out, err := DecodeLease(EncodeLease(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+	for _, bad := range []string{
+		"",
+		"lease",
+		"nonsense id=t0-0.p0-1 ti=0 tj=0 lo=0 hi=1 epoch=1 ttl_ms=100",
+		"lease id=wrong ti=0 tj=0 lo=0 hi=1 epoch=1 ttl_ms=100",       // ID mismatch
+		"lease id=t0-0.p0-1 ti=0 tj=0 lo=0 hi=1 epoch=0 ttl_ms=100",   // epoch 0
+		"lease id=t0-0.p0-1 ti=0 tj=0 lo=0 hi=1 epoch=1 ttl_ms=0",     // no TTL
+		"lease id=t0-0.p1-0 ti=0 tj=0 lo=1 hi=0 epoch=1 ttl_ms=100",   // hi <= lo
+		"lease id=t1-0.p0-1 ti=1 tj=0 lo=0 hi=1 epoch=1 ttl_ms=100",   // tj < ti
+		"lease id=t0-0.p0-1 ti=0 tj=0 lo=0 hi=1 epoch=x ttl_ms=100",   // bad int
+		"lease id=t0-0.p0-1 ti=0 tj=0 lo=0 hi=1 epoch=1 ttl_ms=100 x", // extra field
+	} {
+		if _, err := DecodeLease(bad); err == nil {
+			t.Errorf("DecodeLease(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// fakeClock drives a Coordinator by hand.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func fullResults(t *testing.T, sh Shard, names []string) []PairResult {
+	t.Helper()
+	pairs, err := sh.Pairs(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]PairResult, len(pairs))
+	for i, p := range pairs {
+		out[i] = PairResult{X: p[0], Y: p[1], RTT: float64(10 + i)}
+	}
+	return out
+}
+
+// TestLeaseLifecycle walks grant → heartbeat renewal → expiry →
+// reassignment at a higher epoch → fenced stale writer → completion by the
+// new holder, all on a hand-driven clock.
+func TestLeaseLifecycle(t *testing.T) {
+	names := fakeNames(4)
+	shards := []Shard{NewShard(0, 0, 0, 6)} // all 6 pairs, one shard
+	clock := newFakeClock()
+	c, err := NewCoordinator(names, shards, time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Now = clock.now
+
+	// Grant to w1.
+	l1, res := c.Acquire("w1")
+	if res != AcquireGranted || l1.Epoch != 1 {
+		t.Fatalf("first acquire: %v epoch %d", res, l1.Epoch)
+	}
+	// The only shard is out: nothing for w2.
+	if _, res := c.Acquire("w2"); res != AcquireNone {
+		t.Fatalf("second acquire: %v, want none", res)
+	}
+
+	// Heartbeats keep the lease alive across several TTL-sized windows.
+	for i := 0; i < 3; i++ {
+		clock.advance(700 * time.Millisecond)
+		if err := c.Heartbeat("w1", l1.Shard.ID, l1.Epoch); err != nil {
+			t.Fatalf("heartbeat %d: %v", i, err)
+		}
+	}
+	if _, res := c.Acquire("w2"); res != AcquireNone {
+		t.Fatal("renewed lease was stolen")
+	}
+
+	// Silence past the TTL: the shard is re-granted to w2 at a higher epoch.
+	clock.advance(1100 * time.Millisecond)
+	l2, res := c.Acquire("w2")
+	if res != AcquireGranted {
+		t.Fatalf("post-expiry acquire: %v, want granted", res)
+	}
+	if l2.Shard.ID != l1.Shard.ID || l2.Epoch <= l1.Epoch {
+		t.Fatalf("reassignment: shard %s epoch %d (was %s epoch %d)", l2.Shard.ID, l2.Epoch, l1.Shard.ID, l1.Epoch)
+	}
+
+	// The stale holder is fenced out of everything.
+	if err := c.Heartbeat("w1", l1.Shard.ID, l1.Epoch); !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale heartbeat: %v, want ErrFenced", err)
+	}
+	if err := c.Complete("w1", l1.Shard.ID, l1.Epoch, fullResults(t, l1.Shard, names)); !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale complete: %v, want ErrFenced", err)
+	}
+
+	// The new holder completes; done fires; a duplicate submission at the
+	// winning epoch is an idempotent no-op.
+	if err := c.Complete("w2", l2.Shard.ID, l2.Epoch, fullResults(t, l2.Shard, names)); err != nil {
+		t.Fatalf("complete: %v", err)
+	}
+	select {
+	case <-c.Done():
+	default:
+		t.Fatal("Done not closed after last shard completed")
+	}
+	if err := c.Complete("w2", l2.Shard.ID, l2.Epoch, fullResults(t, l2.Shard, names)); err != nil {
+		t.Fatalf("duplicate complete: %v", err)
+	}
+	if _, res := c.Acquire("w3"); res != AcquireDone {
+		t.Fatalf("acquire after done: %v, want done", res)
+	}
+
+	st := c.Snapshot()
+	if st.Reassigned != 1 || st.Done != 1 || st.LostPairs != 0 {
+		t.Errorf("snapshot = %+v, want 1 reassignment, 1 done, 0 lost", st)
+	}
+}
+
+// TestLeaseResurrection: a worker that went quiet but whose shard was not
+// yet re-granted still holds the highest epoch, so its late heartbeat
+// revives the lease instead of forfeiting the work.
+func TestLeaseResurrection(t *testing.T) {
+	names := fakeNames(3)
+	clock := newFakeClock()
+	c, err := NewCoordinator(names, []Shard{NewShard(0, 0, 0, 3)}, time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Now = clock.now
+	l, res := c.Acquire("w1")
+	if res != AcquireGranted {
+		t.Fatal(res)
+	}
+	clock.advance(1500 * time.Millisecond) // expired, nobody re-acquired
+	if err := c.Heartbeat("w1", l.Shard.ID, l.Epoch); err != nil {
+		t.Fatalf("late heartbeat on un-regranted lease: %v", err)
+	}
+	if _, res := c.Acquire("w2"); res != AcquireNone {
+		t.Fatal("resurrected lease handed to w2")
+	}
+	if err := c.Complete("w1", l.Shard.ID, l.Epoch, fullResults(t, l.Shard, names)); err != nil {
+		t.Fatalf("complete after resurrection: %v", err)
+	}
+}
+
+func TestCompleteDemandsFullCoverage(t *testing.T) {
+	names := fakeNames(3)
+	clock := newFakeClock()
+	c, err := NewCoordinator(names, []Shard{NewShard(0, 0, 0, 3)}, time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Now = clock.now
+	l, _ := c.Acquire("w1")
+	full := fullResults(t, l.Shard, names)
+
+	if err := c.Complete("w1", l.Shard.ID, l.Epoch, full[:len(full)-1]); err == nil {
+		t.Error("partial submission accepted")
+	}
+	if err := c.Complete("w1", l.Shard.ID, l.Epoch, append(append([]PairResult{}, full...), full[0])); err == nil {
+		t.Error("duplicated pair accepted")
+	}
+	stray := append(append([]PairResult{}, full[:len(full)-1]...), PairResult{X: "relay000", Y: "ghost", RTT: 1})
+	if err := c.Complete("w1", l.Shard.ID, l.Epoch, stray); err == nil {
+		t.Error("stray pair accepted")
+	}
+	if err := c.Complete("w1", "no-such-shard", l.Epoch, full); !errors.Is(err, ErrUnknownShard) {
+		t.Errorf("unknown shard: %v", err)
+	}
+	// A failed pair still counts as coverage.
+	full[0].Failed = true
+	full[0].RTT = 0
+	if err := c.Complete("w1", l.Shard.ID, l.Epoch, full); err != nil {
+		t.Fatalf("submission with failed pair: %v", err)
+	}
+	if st := c.Snapshot(); st.LostPairs != 1 {
+		t.Errorf("lost pairs = %d, want 1", st.LostPairs)
+	}
+}
+
+// TestMergedMatchesSubmissions: the coordinator's merge output holds
+// exactly the submitted values, with failed pairs left missing.
+func TestMergedMatchesSubmissions(t *testing.T) {
+	names := fakeNames(5) // 10 pairs
+	shards := Partition(5, 3)
+	clock := newFakeClock()
+	c, err := NewCoordinator(names, shards, time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Now = clock.now
+	if _, err := c.Merged(); err == nil {
+		t.Fatal("Merged before done succeeded")
+	}
+	want := make(map[[2]string]float64)
+	for {
+		l, res := c.Acquire("w")
+		if res == AcquireDone {
+			break
+		}
+		if res != AcquireGranted {
+			t.Fatalf("acquire: %v", res)
+		}
+		results := fullResults(t, l.Shard, names)
+		for i := range results {
+			results[i].RTT = float64(l.Epoch*100) + float64(i)
+			want[[2]string{results[i].X, results[i].Y}] = results[i].RTT
+		}
+		if err := c.Complete("w", l.Shard.ID, l.Epoch, results); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := c.Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, v := range want {
+		got, err := m.RTT(p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != v {
+			t.Errorf("pair %v = %g, want %g", p, got, v)
+		}
+	}
+}

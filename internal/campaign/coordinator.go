@@ -1,0 +1,396 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ting/internal/telemetry"
+	"ting/internal/ting"
+)
+
+// ErrFenced rejects a heartbeat or completion carrying a stale lease
+// epoch: the shard has since been granted to someone else (or completed),
+// and the caller must abandon its work on it.
+var ErrFenced = errors.New("campaign: lease fenced")
+
+// ErrUnknownShard rejects traffic about a shard the coordinator never
+// issued.
+var ErrUnknownShard = errors.New("campaign: unknown shard")
+
+// PairResult is one pair's outcome inside a shard submission. Failed
+// marks a pair the worker gave up on (scanner PairError); it still counts
+// as covered, so the coordinator can tell "worker skipped pairs" (a
+// protocol violation) from "worker measured and failed" (a fact about the
+// network).
+type PairResult struct {
+	X, Y   string
+	RTT    float64
+	Failed bool
+}
+
+type shardPhase int
+
+const (
+	shardPending shardPhase = iota
+	shardLeased
+	shardDone
+)
+
+func (p shardPhase) String() string {
+	switch p {
+	case shardLeased:
+		return "leased"
+	case shardDone:
+		return "done"
+	default:
+		return "pending"
+	}
+}
+
+type shardState struct {
+	shard      Shard
+	phase      shardPhase
+	worker     string
+	epoch      uint64 // highest epoch ever granted for this shard
+	deadline   time.Time
+	reassigned int
+	results    []PairResult
+}
+
+// Coordinator owns a campaign's shard ledger: it grants leases, renews
+// them on heartbeat, expires the silent, re-grants their shards at a
+// higher fencing epoch, and accepts exactly one submission per shard.
+// All methods are safe for concurrent use; expiry is evaluated lazily on
+// every call against Now, so no background ticker is needed and tests can
+// drive the clock by hand.
+type Coordinator struct {
+	// Now supplies the clock; nil means time.Now. Tests inject a fake.
+	Now func() time.Time
+	// TTL is how long a lease lives without a heartbeat.
+	TTL time.Duration
+
+	names []string
+
+	mu        sync.Mutex
+	order     []*shardState // canonical shard order — also the merge order
+	byID      map[string]*shardState
+	nextEpoch uint64
+	remaining int
+	done      chan struct{}
+
+	granted, renewed, expired, fenced, completed *telemetry.Counter
+}
+
+// NewCoordinator builds a coordinator over the campaign's canonical name
+// order and shard partition. A nil telemetry registry disables counters.
+func NewCoordinator(names []string, shards []Shard, ttl time.Duration, treg *telemetry.Registry) (*Coordinator, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("campaign: no shards")
+	}
+	if ttl <= 0 {
+		return nil, errors.New("campaign: non-positive lease TTL")
+	}
+	c := &Coordinator{
+		TTL:       ttl,
+		names:     append([]string(nil), names...),
+		byID:      make(map[string]*shardState, len(shards)),
+		remaining: len(shards),
+		done:      make(chan struct{}),
+		granted:   treg.Counter("campaign.lease.granted"),
+		renewed:   treg.Counter("campaign.lease.renewed"),
+		expired:   treg.Counter("campaign.lease.expired"),
+		fenced:    treg.Counter("campaign.lease.fenced"),
+		completed: treg.Counter("campaign.shards.completed"),
+	}
+	for _, sh := range shards {
+		if err := sh.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := c.byID[sh.ID]; dup {
+			return nil, fmt.Errorf("campaign: duplicate shard %s", sh.ID)
+		}
+		// Reject shards that don't fit the name set now, not at merge time.
+		if _, err := sh.Pairs(c.names); err != nil {
+			return nil, err
+		}
+		st := &shardState{shard: sh}
+		c.order = append(c.order, st)
+		c.byID[sh.ID] = st
+	}
+	return c, nil
+}
+
+func (c *Coordinator) now() time.Time {
+	if c.Now != nil {
+		return c.Now()
+	}
+	return time.Now()
+}
+
+// expireLocked demotes every leased shard whose deadline has passed back
+// to pending, so the next Acquire re-grants it at a higher epoch. Called
+// under c.mu by every entry point.
+func (c *Coordinator) expireLocked(now time.Time) {
+	for _, st := range c.order {
+		if st.phase == shardLeased && now.After(st.deadline) {
+			st.phase = shardPending
+			st.reassigned++
+			c.expired.Inc()
+		}
+	}
+}
+
+// AcquireResult says what Acquire handed back.
+type AcquireResult int
+
+const (
+	// AcquireGranted: the lease is yours; heartbeat it.
+	AcquireGranted AcquireResult = iota
+	// AcquireNone: every shard is leased out but the campaign is not done;
+	// poll again shortly.
+	AcquireNone
+	// AcquireDone: every shard is complete; the worker can exit.
+	AcquireDone
+)
+
+// Acquire grants the first pending shard (canonical order) to worker,
+// stamping a fresh fencing epoch and a TTL deadline.
+func (c *Coordinator) Acquire(worker string) (Lease, AcquireResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	c.expireLocked(now)
+	if c.remaining == 0 {
+		return Lease{}, AcquireDone
+	}
+	for _, st := range c.order {
+		if st.phase != shardPending {
+			continue
+		}
+		c.nextEpoch++
+		st.phase = shardLeased
+		st.worker = worker
+		st.epoch = c.nextEpoch
+		st.deadline = now.Add(c.TTL)
+		c.granted.Inc()
+		return Lease{Shard: st.shard, Epoch: st.epoch, TTL: c.TTL}, AcquireGranted
+	}
+	return Lease{}, AcquireNone
+}
+
+// Heartbeat renews worker's lease on shardID. Only the shard's highest
+// granted epoch renews — a stale holder gets ErrFenced and must stop. A
+// lease that expired but was not yet re-granted still carries the highest
+// epoch, so a late-but-alive worker resurrects it instead of losing work.
+func (c *Coordinator) Heartbeat(worker, shardID string, epoch uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	c.expireLocked(now)
+	st, ok := c.byID[shardID]
+	if !ok {
+		return ErrUnknownShard
+	}
+	if epoch != st.epoch || st.phase == shardDone {
+		c.fenced.Inc()
+		return ErrFenced
+	}
+	st.phase = shardLeased
+	st.worker = worker
+	st.deadline = now.Add(c.TTL)
+	c.renewed.Inc()
+	return nil
+}
+
+// Complete accepts worker's submission for shardID. The epoch must be the
+// shard's highest granted one (ErrFenced otherwise — last writer wins),
+// and results must cover the shard's pair set exactly: every pair once,
+// measured or failed, nothing extra. Completing an already-done shard at
+// its winning epoch is an idempotent no-op, so a worker may safely retry
+// a submission whose ack it lost.
+func (c *Coordinator) Complete(worker, shardID string, epoch uint64, results []PairResult) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(c.now())
+	st, ok := c.byID[shardID]
+	if !ok {
+		return ErrUnknownShard
+	}
+	if epoch != st.epoch {
+		c.fenced.Inc()
+		return ErrFenced
+	}
+	if st.phase == shardDone {
+		return nil
+	}
+	pairs, err := st.shard.Pairs(c.names)
+	if err != nil {
+		return err
+	}
+	want := make(map[[2]string]bool, len(pairs))
+	for _, p := range pairs {
+		want[p] = false
+	}
+	for _, r := range results {
+		k := [2]string{r.X, r.Y}
+		seen, ok := want[k]
+		if !ok {
+			return fmt.Errorf("campaign: shard %s submission has stray pair (%s,%s)", shardID, r.X, r.Y)
+		}
+		if seen {
+			return fmt.Errorf("campaign: shard %s submission repeats pair (%s,%s)", shardID, r.X, r.Y)
+		}
+		want[k] = true
+	}
+	if len(results) != len(pairs) {
+		return fmt.Errorf("campaign: shard %s submission covers %d of %d pairs", shardID, len(results), len(pairs))
+	}
+	st.phase = shardDone
+	st.worker = worker
+	st.results = append([]PairResult(nil), results...)
+	c.remaining--
+	c.completed.Inc()
+	if c.remaining == 0 {
+		close(c.done)
+	}
+	return nil
+}
+
+// Done is closed once every shard has a submission.
+func (c *Coordinator) Done() <-chan struct{} { return c.done }
+
+// Names returns the campaign's canonical relay name order.
+func (c *Coordinator) Names() []string {
+	return append([]string(nil), c.names...)
+}
+
+// Merged folds every shard submission into one matrix, via Matrix.Merge
+// in canonical shard order — bytewise reproducible given the same
+// submissions, and (with a deterministic measurer) bytewise equal to a
+// single-process scan. Requires the campaign to be done.
+func (c *Coordinator) Merged() (*ting.Matrix, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.remaining != 0 {
+		return nil, fmt.Errorf("campaign: merge with %d shards outstanding", c.remaining)
+	}
+	dst, err := ting.NewMatrix(c.names)
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range c.order {
+		sub, err := c.shardMatrixLocked(st)
+		if err != nil {
+			return nil, err
+		}
+		if sub == nil {
+			continue // shard measured nothing (all pairs failed)
+		}
+		if err := dst.Merge(sub); err != nil {
+			return nil, fmt.Errorf("campaign: merging shard %s: %w", st.shard.ID, err)
+		}
+	}
+	return dst, nil
+}
+
+// shardMatrixLocked builds the submission matrix for one shard over just
+// the relays its pairs touch, preserving campaign name order so Merge's
+// name matching lines up.
+func (c *Coordinator) shardMatrixLocked(st *shardState) (*ting.Matrix, error) {
+	touched := make(map[string]bool, len(st.results)*2)
+	any := false
+	for _, r := range st.results {
+		if r.Failed {
+			continue
+		}
+		touched[r.X] = true
+		touched[r.Y] = true
+		any = true
+	}
+	if !any {
+		return nil, nil
+	}
+	var names []string
+	for _, n := range c.names {
+		if touched[n] {
+			names = append(names, n)
+		}
+	}
+	m, err := ting.NewMatrix(names)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range st.results {
+		if r.Failed {
+			continue
+		}
+		if err := m.Set(r.X, r.Y, r.RTT); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// ShardStatus is one shard's row in a Status snapshot.
+type ShardStatus struct {
+	ID         string `json:"id"`
+	State      string `json:"state"`
+	Worker     string `json:"worker,omitempty"`
+	Epoch      uint64 `json:"epoch"`
+	Reassigned int    `json:"reassigned"`
+	Pairs      int    `json:"pairs"`
+	Failed     int    `json:"failed,omitempty"`
+}
+
+// Status is a point-in-time snapshot of the campaign ledger.
+type Status struct {
+	Relays     int           `json:"relays"`
+	Total      int           `json:"total_shards"`
+	Done       int           `json:"done_shards"`
+	Leased     int           `json:"leased_shards"`
+	Pending    int           `json:"pending_shards"`
+	Reassigned int           `json:"reassigned_leases"`
+	LostPairs  int           `json:"lost_pairs"`
+	Shards     []ShardStatus `json:"shards"`
+}
+
+// Snapshot reports the ledger's current state (after an expiry pass).
+// LostPairs counts pairs of completed shards that the winning submission
+// marked failed — the number the shard-soak gate requires to be zero.
+func (c *Coordinator) Snapshot() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(c.now())
+	s := Status{Relays: len(c.names), Total: len(c.order)}
+	for _, st := range c.order {
+		row := ShardStatus{
+			ID:         st.shard.ID,
+			State:      st.phase.String(),
+			Epoch:      st.epoch,
+			Reassigned: st.reassigned,
+			Pairs:      st.shard.PairCount(),
+		}
+		if st.phase != shardPending {
+			row.Worker = st.worker
+		}
+		for _, r := range st.results {
+			if r.Failed {
+				row.Failed++
+			}
+		}
+		switch st.phase {
+		case shardDone:
+			s.Done++
+		case shardLeased:
+			s.Leased++
+		default:
+			s.Pending++
+		}
+		s.Reassigned += st.reassigned
+		s.LostPairs += row.Failed
+		s.Shards = append(s.Shards, row)
+	}
+	return s
+}

@@ -1,0 +1,199 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ting/internal/directory"
+	"ting/internal/experiments"
+	"ting/internal/ting"
+)
+
+// slowProber delays every circuit series, so a worker using it holds its
+// lease long enough for the test to kill it mid-scan. The samples
+// themselves come from the exact prober, so slowness never changes a
+// value.
+type slowProber struct {
+	inner ting.CircuitProber
+	delay time.Duration
+}
+
+func (p *slowProber) SampleCircuit(ctx context.Context, path []string, n int) ([]float64, error) {
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-time.After(p.delay):
+	}
+	return p.inner.SampleCircuit(ctx, path, n)
+}
+
+// TestDistributedCampaignSurvivesKilledWorker is the acceptance scenario:
+// a 4-worker campaign over a 20-relay world, one worker killed while it
+// holds a lease, a replacement resuming the dead worker's checkpoint — and
+// the merged matrix bytewise equal to a single-process scan of the same
+// world, with zero lost pairs and at least one lease reassignment.
+func TestDistributedCampaignSurvivesKilledWorker(t *testing.T) {
+	world, err := experiments.NewTestbedWorld(20, 97)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const samples = 2
+	shards := Partition(len(world.Names), 12)
+	coord, err := NewCoordinator(world.Names, shards, 500*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ds := directory.NewServer(directory.NewRegistry())
+	NewServer(coord).Register(ds)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ds.Serve(ln)
+	defer ds.Close()
+	addr := ln.Addr().String()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	dir := t.TempDir()
+
+	newWorker := func(name, ckpt string, slow time.Duration) (*Worker, *ting.FileCheckpoint) {
+		cp, err := ting.OpenFileCheckpoint(filepath.Join(dir, ckpt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := &ting.Scanner{
+			NewMeasurer: func(int) (*ting.Measurer, error) {
+				if slow <= 0 {
+					return world.ExactMeasurer(samples)
+				}
+				p := world.Prober(0)
+				p.Exact = true
+				return ting.NewMeasurer(ting.Config{
+					Prober:  &slowProber{inner: p, delay: slow},
+					W:       world.W,
+					Z:       world.Z,
+					Samples: samples,
+				})
+			},
+			Workers:    2,
+			Checkpoint: cp,
+		}
+		return &Worker{
+			Name: name, Addr: addr,
+			Scanner: sc, Checkpoint: cp,
+			Poll: 20 * time.Millisecond,
+		}, cp
+	}
+
+	// The doomed worker measures slowly, so it reliably holds a lease when
+	// the kill lands.
+	doomedCtx, kill := context.WithCancel(ctx)
+	defer kill()
+	doomed, doomedCp := newWorker("doomed", "doomed.ckpt", 30*time.Millisecond)
+	doomedExit := make(chan struct{})
+	go func() {
+		defer close(doomedExit)
+		_ = doomed.Run(doomedCtx)
+	}()
+
+	// Kill it the moment the coordinator shows it holding a lease.
+	waitUntil := time.Now().Add(30 * time.Second)
+	for {
+		leased := false
+		for _, sh := range coord.Snapshot().Shards {
+			if sh.State == "leased" && sh.Worker == "doomed" {
+				leased = true
+				break
+			}
+		}
+		if leased {
+			break
+		}
+		if time.Now().After(waitUntil) {
+			t.Fatal("doomed worker never took a lease")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	kill()
+	<-doomedExit
+	if err := doomedCp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Three healthy workers plus one resuming the dead worker's checkpoint.
+	workersDone := make(chan struct{})
+	workerErrs := make(chan error, 4)
+	launch := func(w *Worker, cp *ting.FileCheckpoint) {
+		go func() {
+			defer cp.Close()
+			workerErrs <- w.Run(ctx)
+		}()
+	}
+	for _, name := range []string{"w1", "w2", "w3"} {
+		w, cp := newWorker(name, name+".ckpt", 0)
+		launch(w, cp)
+	}
+	reborn, rebornCp := newWorker("reborn", "doomed.ckpt", 0)
+	launch(reborn, rebornCp)
+	go func() {
+		for i := 0; i < 4; i++ {
+			if err := <-workerErrs; err != nil {
+				t.Errorf("worker: %v", err)
+			}
+		}
+		close(workersDone)
+	}()
+
+	select {
+	case <-coord.Done():
+	case <-ctx.Done():
+		t.Fatalf("campaign did not finish: %+v", coord.Snapshot())
+	}
+	<-workersDone
+
+	st := coord.Snapshot()
+	if st.LostPairs != 0 {
+		t.Fatalf("lost %d pairs", st.LostPairs)
+	}
+	if st.Reassigned < 1 {
+		t.Fatalf("reassigned = %d, want at least the doomed worker's lease", st.Reassigned)
+	}
+	if st.Done != st.Total {
+		t.Fatalf("%d/%d shards done", st.Done, st.Total)
+	}
+
+	merged, err := coord.Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The determinism reference: the same world scanned in one process.
+	single := &ting.Scanner{
+		NewMeasurer: func(int) (*ting.Measurer, error) { return world.ExactMeasurer(samples) },
+		Workers:     4,
+	}
+	ref, failures, err := single.Scan(ctx, world.Names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 0 {
+		t.Fatalf("reference scan failures: %v", failures)
+	}
+
+	var got, want bytes.Buffer
+	if err := merged.Encode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Encode(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("merged matrix differs from single-process scan (%d vs %d bytes)", got.Len(), want.Len())
+	}
+}

@@ -1,0 +1,43 @@
+package campaign
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzDecodeLease: arbitrary lease lines must never panic, and anything
+// DecodeLease accepts must re-encode and re-decode to the identical lease
+// (the wire is canonical: one lease, one line).
+func FuzzDecodeLease(f *testing.F) {
+	f.Add(EncodeLease(Lease{Shard: NewShard(0, 0, 0, 6), Epoch: 1, TTL: time.Second}))
+	f.Add(EncodeLease(Lease{Shard: NewShard(1, 3, 10, 2016), Epoch: 999, TTL: 30 * time.Second}))
+	f.Add("lease id=t0-0.p0-1 ti=0 tj=0 lo=0 hi=1 epoch=1 ttl_ms=100")
+	f.Add("lease id=wrong ti=0 tj=0 lo=0 hi=1 epoch=1 ttl_ms=100")
+	f.Add("lease id=t0-0.p0-1 ti=0 tj=0 lo=0 hi=1 epoch=0 ttl_ms=0")
+	f.Add("lease id=t9-9.p9-9 ti=9 tj=9 lo=9 hi=9 epoch=9 ttl_ms=9")
+	f.Add("lease id=t0-0.p0-1 ti=-1 tj=-2 lo=-3 hi=-4 epoch=1 ttl_ms=-5")
+	f.Add("lease id= ti= tj= lo= hi= epoch= ttl_ms=")
+	f.Add("lease lease lease lease lease lease lease lease")
+	f.Add("")
+	f.Add("done")
+	f.Add("none")
+	f.Fuzz(func(t *testing.T, line string) {
+		l, err := DecodeLease(line)
+		if err != nil {
+			return
+		}
+		if err := l.Shard.Validate(); err != nil {
+			t.Fatalf("accepted lease fails validation: %v", err)
+		}
+		if l.Epoch == 0 || l.TTL <= 0 {
+			t.Fatalf("accepted lease with epoch %d ttl %v", l.Epoch, l.TTL)
+		}
+		again, err := DecodeLease(EncodeLease(l))
+		if err != nil {
+			t.Fatalf("canonical lease does not decode: %v", err)
+		}
+		if again != l {
+			t.Fatalf("round trip changed the lease: %+v → %+v", l, again)
+		}
+	})
+}

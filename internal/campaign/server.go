@@ -1,0 +1,267 @@
+package campaign
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"ting/internal/directory"
+)
+
+// Verb is the request-line verb the campaign service claims on the
+// directory transport. Every campaign request is "CAMP <op> ...".
+const Verb = "CAMP"
+
+// Server exposes a Coordinator over the directory server's line-text
+// protocol. One listener carries both consensus traffic and campaign
+// traffic; the campaign side claims the "CAMP" verb via
+// directory.Server.Extend.
+type Server struct {
+	c *Coordinator
+}
+
+// NewServer wraps c for the wire.
+func NewServer(c *Coordinator) *Server { return &Server{c: c} }
+
+// Register claims the campaign verb on ds.
+func (s *Server) Register(ds *directory.Server) { ds.Extend(Verb, s.handle) }
+
+func (s *Server) handle(conn net.Conn, br *bufio.Reader, req string) {
+	fields := strings.Fields(req)
+	if len(fields) < 2 || fields[0] != Verb {
+		fmt.Fprintln(conn, "error malformed campaign request")
+		return
+	}
+	switch op, args := fields[1], fields[2:]; op {
+	case "names":
+		names := s.c.Names()
+		bw := bufio.NewWriter(conn)
+		fmt.Fprintf(bw, "names n=%d\n", len(names))
+		for _, n := range names {
+			fmt.Fprintln(bw, n)
+		}
+		bw.Flush()
+	case "acquire":
+		if len(args) != 1 {
+			fmt.Fprintln(conn, "error acquire wants: CAMP acquire <worker>")
+			return
+		}
+		lease, res := s.c.Acquire(args[0])
+		switch res {
+		case AcquireGranted:
+			fmt.Fprintln(conn, EncodeLease(lease))
+		case AcquireDone:
+			fmt.Fprintln(conn, "done")
+		default:
+			fmt.Fprintln(conn, "none")
+		}
+	case "heartbeat":
+		worker, id, epoch, err := leaseArgs(args)
+		if err != nil {
+			fmt.Fprintf(conn, "error %v\n", err)
+			return
+		}
+		replyErr(conn, s.c.Heartbeat(worker, id, epoch))
+	case "complete":
+		worker, id, epoch, err := leaseArgs(args)
+		if err != nil {
+			fmt.Fprintf(conn, "error %v\n", err)
+			return
+		}
+		results, err := readResults(br)
+		if err != nil {
+			fmt.Fprintf(conn, "error %v\n", err)
+			return
+		}
+		replyErr(conn, s.c.Complete(worker, id, epoch, results))
+	case "status":
+		st := s.c.Snapshot()
+		fmt.Fprintf(conn, "status total=%d done=%d leased=%d pending=%d reassigned=%d lost=%d\n",
+			st.Total, st.Done, st.Leased, st.Pending, st.Reassigned, st.LostPairs)
+	default:
+		fmt.Fprintf(conn, "error unknown campaign op %q\n", op)
+	}
+}
+
+func leaseArgs(args []string) (worker, id string, epoch uint64, err error) {
+	if len(args) != 3 {
+		return "", "", 0, errors.New("want: <worker> <shard> <epoch>")
+	}
+	epoch, err = strconv.ParseUint(args[2], 10, 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad epoch %q", args[2])
+	}
+	return args[0], args[1], epoch, nil
+}
+
+// readResults consumes a completion body: one "pair <x> <y> <rtt>" or
+// "fail <x> <y>" line per pair, terminated by "end".
+func readResults(br *bufio.Reader) ([]PairResult, error) {
+	var out []PairResult
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return nil, errors.New("truncated completion body")
+		}
+		f := strings.Fields(line)
+		switch {
+		case len(f) == 1 && f[0] == "end":
+			return out, nil
+		case len(f) == 4 && f[0] == "pair":
+			rtt, err := strconv.ParseFloat(f[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad rtt %q", f[3])
+			}
+			out = append(out, PairResult{X: f[1], Y: f[2], RTT: rtt})
+		case len(f) == 3 && f[0] == "fail":
+			out = append(out, PairResult{X: f[1], Y: f[2], Failed: true})
+		default:
+			return nil, fmt.Errorf("bad completion line %q", strings.TrimSpace(line))
+		}
+	}
+}
+
+// replyErr maps a coordinator verdict onto the wire: nil → "ok", fencing
+// → "fenced", anything else → "error <msg>".
+func replyErr(conn net.Conn, err error) {
+	switch {
+	case err == nil:
+		fmt.Fprintln(conn, "ok")
+	case errors.Is(err, ErrFenced):
+		fmt.Fprintln(conn, "fenced")
+	default:
+		fmt.Fprintf(conn, "error %v\n", err)
+	}
+}
+
+// --- client side ---
+
+func dial(addr string, timeout time.Duration) (net.Conn, error) {
+	if timeout <= 0 {
+		timeout = directory.DefaultIOTimeout
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: dial: %w", err)
+	}
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	return conn, nil
+}
+
+// FetchNames asks the coordinator at addr for the campaign's canonical
+// relay name order. Workers must scan against exactly this list.
+func FetchNames(addr string) ([]string, error) {
+	conn, err := dial(addr, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "%s names\n", Verb); err != nil {
+		return nil, fmt.Errorf("campaign: fetch names: %w", err)
+	}
+	br := bufio.NewReader(conn)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("campaign: fetch names: %w", err)
+	}
+	header = strings.TrimSpace(header)
+	var n int
+	if _, err := fmt.Sscanf(header, "names n=%d", &n); err != nil {
+		return nil, fmt.Errorf("campaign: bad names header %q", header)
+	}
+	names := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return nil, errors.New("campaign: truncated names reply")
+		}
+		names = append(names, strings.TrimSpace(line))
+	}
+	return names, nil
+}
+
+// Acquire asks the coordinator at addr for a lease on behalf of worker.
+func Acquire(addr, worker string) (Lease, AcquireResult, error) {
+	conn, err := dial(addr, 0)
+	if err != nil {
+		return Lease{}, AcquireNone, err
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "%s acquire %s\n", Verb, worker); err != nil {
+		return Lease{}, AcquireNone, fmt.Errorf("campaign: acquire: %w", err)
+	}
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return Lease{}, AcquireNone, fmt.Errorf("campaign: acquire: %w", err)
+	}
+	switch line = strings.TrimSpace(line); line {
+	case "none":
+		return Lease{}, AcquireNone, nil
+	case "done":
+		return Lease{}, AcquireDone, nil
+	}
+	lease, err := DecodeLease(line)
+	if err != nil {
+		return Lease{}, AcquireNone, err
+	}
+	return lease, AcquireGranted, nil
+}
+
+// Heartbeat renews worker's lease with the coordinator at addr. Returns
+// ErrFenced when the coordinator has moved the shard on.
+func Heartbeat(addr, worker string, l Lease) error {
+	conn, err := dial(addr, 0)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "%s heartbeat %s %s %d\n", Verb, worker, l.Shard.ID, l.Epoch); err != nil {
+		return fmt.Errorf("campaign: heartbeat: %w", err)
+	}
+	return readVerdict(conn, "heartbeat")
+}
+
+// Complete submits worker's results for lease l to the coordinator at
+// addr. RTTs travel as shortest-round-trip decimal strings, which
+// round-trip float64 exactly — the wire cannot break bytewise merge
+// equality. Returns ErrFenced when a newer epoch owns the shard.
+func Complete(addr, worker string, l Lease, results []PairResult) error {
+	conn, err := dial(addr, 0)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	bw := bufio.NewWriter(conn)
+	fmt.Fprintf(bw, "%s complete %s %s %d\n", Verb, worker, l.Shard.ID, l.Epoch)
+	for _, r := range results {
+		if r.Failed {
+			fmt.Fprintf(bw, "fail %s %s\n", r.X, r.Y)
+			continue
+		}
+		fmt.Fprintf(bw, "pair %s %s %s\n", r.X, r.Y, strconv.FormatFloat(r.RTT, 'g', -1, 64))
+	}
+	fmt.Fprintln(bw, "end")
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("campaign: complete: %w", err)
+	}
+	return readVerdict(conn, "complete")
+}
+
+func readVerdict(conn net.Conn, op string) error {
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return fmt.Errorf("campaign: %s: %w", op, err)
+	}
+	switch line = strings.TrimSpace(line); {
+	case line == "ok":
+		return nil
+	case line == "fenced":
+		return ErrFenced
+	default:
+		return fmt.Errorf("campaign: %s: server said %q", op, line)
+	}
+}

@@ -1,0 +1,273 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"ting/internal/ting"
+)
+
+// Worker runs shard leases against a coordinator until the campaign is
+// done. Its crash-tolerance contract: every measured pair is appended to
+// Checkpoint before the lease completes, and a restarted worker replays
+// its own log first — so a shard it was killed halfway through is
+// finished (not re-measured) when the coordinator re-grants it, to this
+// worker or any other holding the same log.
+type Worker struct {
+	// Name identifies the worker to the coordinator (logs and lease
+	// ownership only; not a credential).
+	Name string
+	// Addr is the coordinator's directory-transport address.
+	Addr string
+	// Scanner does the measuring. Its Checkpoint should be the same log as
+	// Checkpoint below; the worker appends shard records to it and the
+	// scanner appends pair records.
+	Scanner *ting.Scanner
+	// Checkpoint is the worker's durable log (may be nil: no durability).
+	Checkpoint ting.Checkpoint
+	// HeartbeatEvery is the lease renewal cadence; default TTL/3.
+	HeartbeatEvery time.Duration
+	// Poll is how long to wait when every shard is leased out; default 200ms.
+	Poll time.Duration
+	// Dally, if positive, sleeps between leases — test and soak hook that
+	// widens the window in which a kill lands mid-campaign.
+	Dally time.Duration
+	// Log, if non-nil, receives progress lines.
+	Log *log.Logger
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Log != nil {
+		w.Log.Printf(format, args...)
+	}
+}
+
+// Run leases and measures shards until the coordinator reports the
+// campaign done, ctx is cancelled, or the coordinator becomes
+// unreachable. It is the worker process's whole life; restart the process
+// (same checkpoint path) to recover from a crash.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Scanner == nil {
+		return errors.New("campaign: worker needs a scanner")
+	}
+	poll := w.Poll
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+
+	// The campaign's canonical name order frames everything: shard pair
+	// derivation, the scan matrix, the checkpoint header.
+	var names []string
+	for {
+		var err error
+		names, err = FetchNames(w.Addr)
+		if err == nil {
+			break
+		}
+		w.logf("worker %s: fetch names: %v", w.Name, err)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+	if len(names) < 2 {
+		return fmt.Errorf("campaign: coordinator offered %d relays", len(names))
+	}
+
+	// Crash recovery: everything this worker's log already holds is
+	// finished work — resume it, don't redo it.
+	measured := make(map[[2]string]float64)
+	if w.Checkpoint != nil {
+		st, err := ting.ReplayState(w.Checkpoint)
+		if err != nil {
+			return fmt.Errorf("campaign: worker %s: replay: %w", w.Name, err)
+		}
+		for k, v := range st.Pairs {
+			measured[k] = v
+		}
+		if st.Records > 0 {
+			w.logf("worker %s: resumed %d measured pairs from checkpoint", w.Name, len(st.Pairs))
+		}
+	}
+
+	dialFails := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		lease, res, err := Acquire(w.Addr, w.Name)
+		if err != nil {
+			dialFails++
+			if dialFails >= 10 {
+				return fmt.Errorf("campaign: worker %s: coordinator unreachable: %w", w.Name, err)
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(poll):
+			}
+			continue
+		}
+		dialFails = 0
+		switch res {
+		case AcquireDone:
+			w.logf("worker %s: campaign done", w.Name)
+			return nil
+		case AcquireNone:
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(poll):
+			}
+			continue
+		}
+
+		if err := w.runLease(ctx, names, lease, measured); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			// A fenced or failed lease is not fatal to the worker: the
+			// coordinator will re-grant the shard, possibly to us.
+			w.logf("worker %s: lease %s epoch %d: %v", w.Name, lease.Shard.ID, lease.Epoch, err)
+		}
+		if w.Dally > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(w.Dally):
+			}
+		}
+	}
+}
+
+// runLease measures one lease's shard and submits it. The heartbeat
+// goroutine renews the lease while the scan runs; a fencing verdict
+// cancels the scan, because measuring for a lease someone else now holds
+// is wasted work (their submission, not ours, will count).
+func (w *Worker) runLease(ctx context.Context, names []string, lease Lease, measured map[[2]string]float64) error {
+	pairs, err := lease.Shard.Pairs(names)
+	if err != nil {
+		return err
+	}
+	w.logf("worker %s: lease %s epoch %d: %d pairs", w.Name, lease.Shard.ID, lease.Epoch, len(pairs))
+
+	if w.Checkpoint != nil {
+		rec := ting.CheckpointRecord{
+			Kind:   ting.RecordShard,
+			Shard:  lease.Shard.ID,
+			Lease:  lease.Epoch,
+			Worker: w.Name,
+		}
+		if err := w.Checkpoint.Append(rec); err != nil {
+			return fmt.Errorf("campaign: shard record: %w", err)
+		}
+	}
+
+	// Pairs already in the log (a previous life of this worker, or an
+	// earlier lease sharing an endpoint row) are replayed, not re-measured.
+	need := make([][2]string, 0, len(pairs))
+	for _, p := range pairs {
+		if _, ok := measured[normPair(p)]; !ok {
+			need = append(need, p)
+		}
+	}
+
+	leaseCtx, cancelLease := context.WithCancel(ctx)
+	defer cancelLease()
+	hb := w.HeartbeatEvery
+	if hb <= 0 {
+		hb = lease.TTL / 3
+	}
+	if hb <= 0 {
+		hb = 100 * time.Millisecond
+	}
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		t := time.NewTicker(hb)
+		defer t.Stop()
+		for {
+			select {
+			case <-leaseCtx.Done():
+				return
+			case <-t.C:
+			}
+			if err := Heartbeat(w.Addr, w.Name, lease); err != nil {
+				if errors.Is(err, ErrFenced) {
+					w.logf("worker %s: lease %s fenced mid-scan", w.Name, lease.Shard.ID)
+					cancelLease()
+					return
+				}
+				// Transient coordinator trouble: keep the scan going; the
+				// next beat (or the completion) settles it.
+				w.logf("worker %s: heartbeat: %v", w.Name, err)
+			}
+		}
+	}()
+
+	var (
+		m        *ting.Matrix
+		failures []ting.PairError
+		scanErr  error
+	)
+	if len(need) > 0 {
+		m, failures, scanErr = w.Scanner.ScanPairs(leaseCtx, names, need)
+	}
+	cancelLease()
+	<-hbDone
+	if scanErr != nil {
+		return fmt.Errorf("scan: %w", scanErr)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	// Assemble the submission: replayed + fresh + failed, one entry per
+	// shard pair, in the shard's canonical pair order.
+	failed := make(map[[2]string]bool, len(failures))
+	for _, f := range failures {
+		failed[normPair([2]string{f.X, f.Y})] = true
+	}
+	results := make([]PairResult, 0, len(pairs))
+	for _, p := range pairs {
+		k := normPair(p)
+		if rtt, ok := measured[k]; ok {
+			results = append(results, PairResult{X: p[0], Y: p[1], RTT: rtt})
+			continue
+		}
+		if failed[k] {
+			results = append(results, PairResult{X: p[0], Y: p[1], Failed: true})
+			continue
+		}
+		rtt, err := m.RTT(p[0], p[1])
+		if err != nil {
+			return fmt.Errorf("campaign: shard %s: %w", lease.Shard.ID, err)
+		}
+		measured[k] = rtt
+		results = append(results, PairResult{X: p[0], Y: p[1], RTT: rtt})
+	}
+
+	if err := Complete(w.Addr, w.Name, lease, results); err != nil {
+		if errors.Is(err, ErrFenced) {
+			// Someone else's epoch won the shard. Our measurements stay in
+			// our log (and in measured) — if the coordinator re-grants us a
+			// shard overlapping them, they replay for free.
+			return fmt.Errorf("submission fenced: %w", err)
+		}
+		return err
+	}
+	w.logf("worker %s: completed shard %s (%d pairs, %d replayed)",
+		w.Name, lease.Shard.ID, len(pairs), len(pairs)-len(need))
+	return nil
+}
+
+func normPair(p [2]string) [2]string {
+	if p[0] > p[1] {
+		p[0], p[1] = p[1], p[0]
+	}
+	return p
+}

@@ -6,11 +6,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"ting/internal/stats"
+	"ting/internal/telemetry"
 )
 
 // DefaultIOTimeout bounds every directory-protocol conversation, on both
@@ -30,12 +34,36 @@ type Server struct {
 	// DefaultIOTimeout.
 	Timeout time.Duration
 
-	mu sync.Mutex
-	ln net.Listener
+	mu  sync.Mutex
+	ln  net.Listener
+	ext map[string]ExtensionFunc
 }
+
+// ExtensionFunc handles one extension request. req is the full request
+// line (leading verb included); br is the connection's buffered reader,
+// positioned after the request line — multi-line requests must read their
+// body from br, not conn, or they would lose bytes the server already
+// buffered. The handler writes its reply to conn and returns; the server
+// closes the connection.
+type ExtensionFunc func(conn net.Conn, br *bufio.Reader, req string)
 
 // NewServer creates a directory server over reg.
 func NewServer(reg *Registry) *Server { return &Server{reg: reg} }
+
+// Extend registers fn for request lines whose first word is verb, letting
+// other subsystems ride the directory transport — one listener, one
+// timeout discipline, one line-text protocol — instead of growing their
+// own. The campaign coordinator registers its lease/heartbeat verbs here.
+// Built-in requests ("GET …") always win over extensions. Registering a
+// verb twice replaces the handler.
+func (s *Server) Extend(verb string, fn ExtensionFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ext == nil {
+		s.ext = make(map[string]ExtensionFunc)
+	}
+	s.ext[verb] = fn
+}
 
 // Serve accepts and answers requests on ln until the listener closes.
 func (s *Server) Serve(ln net.Listener) error {
@@ -68,7 +96,8 @@ func (s *Server) handle(conn net.Conn) {
 		timeout = DefaultIOTimeout
 	}
 	_ = conn.SetDeadline(time.Now().Add(timeout))
-	line, err := bufio.NewReader(conn).ReadString('\n')
+	br := bufio.NewReader(conn)
+	line, err := br.ReadString('\n')
 	if err != nil {
 		return
 	}
@@ -84,6 +113,17 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		s.serveDeltas(conn, since)
 	default:
+		verb := req
+		if i := strings.IndexByte(req, ' '); i >= 0 {
+			verb = req[:i]
+		}
+		s.mu.Lock()
+		fn := s.ext[verb]
+		s.mu.Unlock()
+		if fn != nil {
+			fn(conn, br, req)
+			return
+		}
 		fmt.Fprintln(conn, "error unknown request")
 	}
 }
@@ -219,28 +259,57 @@ func parseDeltaLine(line string) (ConsensusDelta, error) {
 
 // Mirror keeps reg in step with the directory server at addr by polling
 // for consensus deltas every interval and applying them, so reg's
-// watchers fire as if they were subscribed to the origin registry.
-// Transient fetch errors are silently retried at the next poll; a
+// watchers fire as if they were subscribed to the origin registry. A
 // server-demanded resync (the origin's bounded delta history no longer
 // reaches the mirror's epoch) is folded in as synthesized
 // join/leave/rotate deltas, so no consensus change is ever skipped
-// silently. Blocks until ctx is cancelled; run it in a goroutine.
+// silently. FetchDeltas failures back off exponentially with jitter (see
+// MirrorTelemetry) instead of hammering a struggling origin at the fixed
+// interval. Blocks until ctx is cancelled; run it in a goroutine.
 func Mirror(ctx context.Context, addr string, reg *Registry, interval time.Duration) {
+	MirrorTelemetry(ctx, addr, reg, interval, nil)
+}
+
+// mirrorBackoffCap bounds how far consecutive fetch failures stretch the
+// poll interval: a long-dead origin is probed at interval×2^k, capped at
+// max(32×interval, mirrorBackoffCap), so recovery is noticed within
+// seconds, not after an unbounded exponential.
+const mirrorBackoffCap = 30 * time.Second
+
+// MirrorTelemetry is Mirror with a telemetry registry: each FetchDeltas
+// failure increments directory.mirror.fetch_errors and doubles the next
+// poll delay (jittered ±50% so a fleet of mirrors that lost the same
+// origin does not re-find it in lockstep), up to a cap; the first success
+// snaps the cadence back to interval. A nil registry counts into a no-op.
+func MirrorTelemetry(ctx context.Context, addr string, reg *Registry, interval time.Duration, treg *telemetry.Registry) {
 	if interval <= 0 {
 		interval = time.Second
 	}
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
+	fetchErrors := treg.Counter("directory.mirror.fetch_errors")
+	max := 32 * interval
+	if max < mirrorBackoffCap {
+		max = mirrorBackoffCap
+	}
+	backoff := stats.Backoff{Base: interval, Max: max, Factor: 2, Jitter: 0.5}
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	fails := 0
+	timer := time.NewTimer(interval)
+	defer timer.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-ticker.C:
+		case <-timer.C:
 		}
 		deltas, fresh, err := FetchDeltas(addr, reg.Epoch())
 		if err != nil {
+			fails++
+			fetchErrors.Inc()
+			timer.Reset(backoff.Delay(fails, rng))
 			continue
 		}
+		fails = 0
+		timer.Reset(interval)
 		if fresh != nil {
 			reg.resync(fresh)
 			continue

@@ -81,6 +81,21 @@ func (w *World) Measurer(samples int, seed int64) (*ting.Measurer, error) {
 	})
 }
 
+// ExactMeasurer returns a measurer over a deterministic floor prober:
+// samples carry no queueing noise or jitter, so a pair's measured RTT
+// depends only on the topology — the property distributed campaigns need
+// for their merged matrix to be bytewise equal to a single-process scan.
+func (w *World) ExactMeasurer(samples int) (*ting.Measurer, error) {
+	p := w.Prober(0)
+	p.Exact = true
+	return ting.NewMeasurer(ting.Config{
+		Prober:  p,
+		W:       w.W,
+		Z:       w.Z,
+		Samples: samples,
+	})
+}
+
 // TrueRTT returns the ground-truth RTT between two named relays.
 func (w *World) TrueRTT(x, y string) (float64, error) {
 	xi, ok := w.NodeOf[x]

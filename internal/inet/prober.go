@@ -80,6 +80,34 @@ func (p *Prober) TorPathRTT(host NodeID, relays []NodeID) (float64, error) {
 	return sum + p.jitter(), nil
 }
 
+// TorPathFloorRTT returns the deterministic floor of TorPathRTT's sample
+// distribution: the sum of the path's propagation legs plus each relay's
+// forwarding floor (twice — ping and pong directions), with no queueing,
+// no spikes, and no link jitter. It consumes no randomness, so two probers
+// — or two processes — asking about the same path always get the same
+// number. This is the value TorPathRTT's min-filtered series converges to,
+// and the sampling mode distributed campaigns use when their merged matrix
+// must be bytewise equal to a single-process scan.
+func (p *Prober) TorPathFloorRTT(host NodeID, relays []NodeID) (float64, error) {
+	if len(relays) == 0 {
+		return 0, fmt.Errorf("inet: empty circuit")
+	}
+	var sum float64
+	prev := host
+	for _, r := range relays {
+		if p.topo.Node(r) == nil {
+			return 0, fmt.Errorf("inet: unknown relay %d", r)
+		}
+		sum += p.topo.RTT(prev, r)
+		prev = r
+	}
+	sum += p.topo.RTT(prev, host)
+	for _, r := range relays {
+		sum += 2 * p.topo.Node(r).Fwd.Floor()
+	}
+	return sum, nil
+}
+
 func (p *Prober) jitter() float64 {
 	if p.LinkJitterMs <= 0 {
 		return 0

@@ -23,6 +23,13 @@ const (
 	RecordPair     = "pair"
 	RecordHalf     = "half"
 	RecordChurn    = "churn"
+	// RecordShard marks a distributed-campaign worker taking up a shard
+	// lease: the shard ID and the lease's fencing epoch, written before the
+	// shard's first pair so a crashed worker's log shows what it was
+	// holding. Readers that predate the record kind skip it (ReplayState
+	// ignores unknown kinds), so shard-annotated logs stay replayable
+	// everywhere.
+	RecordShard = "shard"
 )
 
 // Churn record operations.
@@ -57,6 +64,11 @@ type CheckpointRecord struct {
 	Op    string `json:"op,omitempty"`
 	Relay string `json:"relay,omitempty"`
 	Fp    string `json:"fp,omitempty"`
+	// Shard: one distributed-campaign lease this worker took up — the
+	// shard's ID, the lease's fencing epoch, and the worker's name.
+	Shard  string `json:"shard,omitempty"`
+	Lease  uint64 `json:"lease,omitempty"`
+	Worker string `json:"worker,omitempty"`
 }
 
 // Checkpoint is a durable campaign log. Implementations must be safe for
@@ -279,6 +291,10 @@ type CheckpointState struct {
 	Removed map[string]bool
 	// Joined are relays the log saw join mid-campaign, in join order.
 	Joined []string
+	// Shards maps each shard this worker leased to the highest lease epoch
+	// it held — distributed-campaign provenance, also the record a crashed
+	// worker's log leaves of what it was holding.
+	Shards map[string]uint64
 }
 
 // ReplayState replays a campaign log into its aggregated state. Records
@@ -289,6 +305,7 @@ func ReplayState(cp Checkpoint) (*CheckpointState, error) {
 		Pairs:   make(map[[2]string]float64),
 		Fps:     make(map[string]string),
 		Removed: make(map[string]bool),
+		Shards:  make(map[string]uint64),
 	}
 	halfAt := make(map[string]int)
 	err := cp.Replay(func(rec CheckpointRecord) error {
@@ -329,6 +346,13 @@ func ReplayState(cp Checkpoint) (*CheckpointState, error) {
 			} else {
 				halfAt[key] = len(st.Halves)
 				st.Halves = append(st.Halves, HalfSeries{Path: rec.Path, Samples: rec.Samples, Min: rec.Min})
+			}
+		case RecordShard:
+			if rec.Shard == "" {
+				return errors.New("ting: checkpoint: shard record without shard ID")
+			}
+			if rec.Lease > st.Shards[rec.Shard] {
+				st.Shards[rec.Shard] = rec.Lease
 			}
 		case RecordChurn:
 			if rec.Relay == "" {

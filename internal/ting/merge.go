@@ -1,0 +1,116 @@
+package ting
+
+import (
+	"fmt"
+)
+
+// MergeConflictError reports a cell that two matrices both claim to have
+// measured, with different values — the one disagreement Merge refuses to
+// resolve silently, because in a correctly partitioned distributed
+// campaign it cannot happen: every pair belongs to exactly one shard and
+// the coordinator's lease fencing admits exactly one submission per
+// shard. Seeing this error means a partitioning or fencing invariant was
+// violated, and a loud typed error beats a quietly corrupted dataset.
+type MergeConflictError struct {
+	X, Y string
+	// Have/HaveProv are the destination cell's value and provenance;
+	// Incoming/IncomingProv the source's.
+	Have, Incoming         float64
+	HaveProv, IncomingProv Provenance
+}
+
+func (e *MergeConflictError) Error() string {
+	return fmt.Sprintf("ting: merge conflict on pair (%s,%s): have %g (%s), incoming %g (%s)",
+		e.X, e.Y, e.Have, e.HaveProv, e.Incoming, e.IncomingProv)
+}
+
+// measured reports whether a provenance class is backed by a real
+// measurement.
+func measured(p Provenance) bool { return p == ProvFresh || p == ProvResumed }
+
+// Merge folds src's cells into m, pair by pair over src's upper triangle.
+// Every src relay must already be a relay of m (merging never grows the
+// matrix); cells are matched by name, so src may cover any subset of m's
+// relays in any order.
+//
+// The rules make merging idempotent and measurement-preserving:
+//
+//   - a src cell with no value and no provenance is skipped;
+//   - an empty destination cell takes the src cell verbatim;
+//   - a measured cell (fresh or resumed) always beats a predicted or
+//     tombstoned one, in either direction — model opinion and churn
+//     verdicts never overwrite data;
+//   - two measured cells that agree on the value are a no-op (the
+//     double-measured pair of an idempotent retry), regardless of
+//     fresh-vs-resumed provenance;
+//   - two measured cells that disagree on the value are a
+//     *MergeConflictError, returned with the matrix untouched beyond the
+//     cells already merged;
+//   - two predicted cells take the src prediction (last writer wins — the
+//     newer embedding saw more data).
+//
+// The coordinator merges shard submissions in canonical shard order, so a
+// completed campaign's merge output is a pure function of the submissions,
+// not of network timing.
+func (m *Matrix) Merge(src *Matrix) error {
+	srcNames := src.Names()
+	for _, n := range srcNames {
+		if _, ok := m.index[n]; !ok {
+			return fmt.Errorf("ting: merge: relay %q not in destination matrix", n)
+		}
+	}
+	for i := 0; i < len(srcNames); i++ {
+		for j := i + 1; j < len(srcNames); j++ {
+			x, y := srcNames[i], srcNames[j]
+			sv := src.at(i, j)
+			sp := src.Prov(x, y)
+			if sv == 0 && sp == ProvMissing {
+				continue
+			}
+			di, dj := m.index[x], m.index[y]
+			dv := m.at(di, dj)
+			dp := m.Prov(x, y)
+			if dv == 0 && dp == ProvMissing {
+				m.copyCell(src, x, y, sv, sp)
+				continue
+			}
+			switch {
+			case measured(dp) && measured(sp):
+				if dv != sv {
+					return &MergeConflictError{
+						X: x, Y: y,
+						Have: dv, Incoming: sv,
+						HaveProv: dp, IncomingProv: sp,
+					}
+				}
+				// Same measurement twice: idempotent, keep the destination.
+			case measured(dp):
+				// Data beats model opinion and tombstones.
+			case measured(sp):
+				m.copyCell(src, x, y, sv, sp)
+			case dp == ProvPredicted && sp == ProvPredicted:
+				m.copyCell(src, x, y, sv, sp)
+			case sp == ProvPredicted:
+				// Prediction never overwrites a non-missing cell.
+			default:
+				// Tombstone onto tombstone (or onto a bare value): keep the
+				// destination — neither side carries information the other
+				// lacks.
+			}
+		}
+	}
+	return nil
+}
+
+// copyCell writes one cell of src into m, carrying value, provenance, and
+// (for predicted cells) the model confidence.
+func (m *Matrix) copyCell(src *Matrix, x, y string, v float64, p Provenance) {
+	if p == ProvPredicted {
+		_ = m.SetPredicted(x, y, v, src.Conf(x, y))
+		return
+	}
+	_ = m.Set(x, y, v)
+	if p != ProvMissing {
+		_ = m.SetProv(x, y, p)
+	}
+}

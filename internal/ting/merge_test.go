@@ -1,0 +1,172 @@
+package ting
+
+import (
+	"errors"
+	"testing"
+)
+
+func mustMatrix(t *testing.T, names ...string) *Matrix {
+	t.Helper()
+	m, err := NewMatrix(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func setFresh(t *testing.T, m *Matrix, x, y string, v float64) {
+	t.Helper()
+	if err := m.Set(x, y, v); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetProv(x, y, ProvFresh); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeCopiesIntoEmpty(t *testing.T) {
+	dst := mustMatrix(t, "a", "b", "c")
+	src := mustMatrix(t, "a", "b", "c")
+	setFresh(t, src, "a", "b", 10)
+	setFresh(t, src, "b", "c", 20)
+	if err := dst.Merge(src); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := dst.RTT("a", "b"); v != 10 {
+		t.Errorf("a-b = %g, want 10", v)
+	}
+	if p := dst.Prov("a", "b"); p != ProvFresh {
+		t.Errorf("a-b prov = %v, want fresh", p)
+	}
+	if p := dst.Prov("a", "c"); p != ProvMissing {
+		t.Errorf("a-c prov = %v, want missing (src never measured it)", p)
+	}
+	// Idempotent: merging the same submission again changes nothing.
+	if err := dst.Merge(src); err != nil {
+		t.Fatalf("re-merge: %v", err)
+	}
+	if v, _ := dst.RTT("b", "c"); v != 20 {
+		t.Errorf("b-c = %g after re-merge, want 20", v)
+	}
+}
+
+func TestMergeSubsetNames(t *testing.T) {
+	dst := mustMatrix(t, "a", "b", "c", "d")
+	src := mustMatrix(t, "b", "d")
+	setFresh(t, src, "b", "d", 7)
+	if err := dst.Merge(src); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := dst.RTT("b", "d"); v != 7 {
+		t.Errorf("b-d = %g, want 7", v)
+	}
+	// A src relay the destination lacks is an error, not a silent grow.
+	stranger := mustMatrix(t, "a", "zz")
+	setFresh(t, stranger, "a", "zz", 1)
+	if err := dst.Merge(stranger); err == nil {
+		t.Fatal("merging unknown relay succeeded, want error")
+	}
+}
+
+func TestMergeConflictIsTyped(t *testing.T) {
+	dst := mustMatrix(t, "a", "b")
+	src := mustMatrix(t, "a", "b")
+	setFresh(t, dst, "a", "b", 10)
+	setFresh(t, src, "a", "b", 11)
+	err := dst.Merge(src)
+	var mc *MergeConflictError
+	if !errors.As(err, &mc) {
+		t.Fatalf("err = %v, want *MergeConflictError", err)
+	}
+	if mc.X != "a" || mc.Y != "b" || mc.Have != 10 || mc.Incoming != 11 {
+		t.Errorf("conflict = %+v, want a-b 10 vs 11", mc)
+	}
+	// Agreeing measurements are not a conflict, whatever the provenance mix.
+	agree := mustMatrix(t, "a", "b")
+	if err := agree.Set("a", "b", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := agree.SetProv("a", "b", ProvResumed); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Merge(agree); err != nil {
+		t.Fatalf("agreeing merge: %v", err)
+	}
+}
+
+func TestMergeMeasuredBeatsPredicted(t *testing.T) {
+	// Incoming measurement overwrites a destination prediction.
+	dst := mustMatrix(t, "a", "b")
+	if err := dst.SetPredicted("a", "b", 99, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	src := mustMatrix(t, "a", "b")
+	setFresh(t, src, "a", "b", 12)
+	if err := dst.Merge(src); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := dst.RTT("a", "b"); v != 12 {
+		t.Errorf("a-b = %g, want the measurement 12", v)
+	}
+	if p := dst.Prov("a", "b"); p != ProvFresh {
+		t.Errorf("a-b prov = %v, want fresh", p)
+	}
+
+	// And an incoming prediction never overwrites a destination measurement.
+	pred := mustMatrix(t, "a", "b")
+	if err := pred.SetPredicted("a", "b", 99, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Merge(pred); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := dst.RTT("a", "b"); v != 12 {
+		t.Errorf("a-b = %g after predicted merge, want 12 kept", v)
+	}
+}
+
+func TestMergePredictedLastWriterWins(t *testing.T) {
+	dst := mustMatrix(t, "a", "b")
+	if err := dst.SetPredicted("a", "b", 50, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	src := mustMatrix(t, "a", "b")
+	if err := src.SetPredicted("a", "b", 60, 0.75); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Merge(src); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := dst.RTT("a", "b"); v != 60 {
+		t.Errorf("a-b = %g, want the newer prediction 60", v)
+	}
+	if p := dst.Prov("a", "b"); p != ProvPredicted {
+		t.Errorf("a-b prov = %v, want predicted", p)
+	}
+}
+
+func TestMergeMeasurementBeatsTombstone(t *testing.T) {
+	dst := mustMatrix(t, "a", "b")
+	if err := dst.SetProv("a", "b", ProvRemoved); err != nil {
+		t.Fatal(err)
+	}
+	src := mustMatrix(t, "a", "b")
+	setFresh(t, src, "a", "b", 8)
+	if err := dst.Merge(src); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := dst.RTT("a", "b"); v != 8 {
+		t.Errorf("a-b = %g, want 8 (measurement beats tombstone)", v)
+	}
+	// The reverse: a tombstone does not erase a measurement.
+	tomb := mustMatrix(t, "a", "b")
+	if err := tomb.SetProv("a", "b", ProvRemoved); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Merge(tomb); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := dst.RTT("a", "b"); v != 8 {
+		t.Errorf("a-b = %g after tombstone merge, want 8 kept", v)
+	}
+}

@@ -69,6 +69,15 @@ type DirectProber interface {
 // scratch. Give each scanner worker its own (seeded differently), as the
 // experiments' World helper does.
 type ModelProber struct {
+	// Exact replaces stochastic sampling with the model's deterministic
+	// floor: every sample is exactly the path's propagation legs plus the
+	// relays' forwarding floors, with no queueing or jitter and no RNG
+	// draws. Under Exact the measured value of a pair depends only on the
+	// topology — not on which worker measures it, in what order, or in
+	// which process — which is what lets a sharded campaign's merged
+	// matrix be bytewise equal to a single-process scan of the same world.
+	Exact bool
+
 	prober *inet.Prober
 	host   inet.NodeID
 	nodeOf map[string]inet.NodeID
@@ -121,6 +130,16 @@ func (p *ModelProber) SampleCircuitInto(ctx context.Context, path []string, out 
 			return fmt.Errorf("ting: unknown relay %q", name)
 		}
 		ids[i] = id
+	}
+	if p.Exact {
+		s, err := p.prober.TorPathFloorRTT(p.host, ids)
+		if err != nil {
+			return err
+		}
+		for i := range out {
+			out[i] = s
+		}
+		return ctx.Err()
 	}
 	for i := range out {
 		if i%stackProbeBatch == 0 {

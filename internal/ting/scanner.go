@@ -314,6 +314,39 @@ func (s *Scanner) Scan(ctx context.Context, names []string) (*Matrix, []PairErro
 	return s.run(ctx, names, nil, s.Checkpoint, false, nil)
 }
 
+// ScanPairs measures only the listed unordered pairs among names and
+// returns a matrix over the full name set — the distributed-campaign
+// entry point, where a worker's shard lease names a slice of the pair
+// space but the matrix (and the checkpoint's campaign header) must be
+// framed over the whole campaign so per-worker results merge without
+// re-indexing. Every endpoint must appear in names and no pair may be a
+// self-pair. Restricted pairs flow through the same retry, churn, breaker,
+// and checkpoint machinery as a full Scan; the contract is otherwise
+// Scan's.
+func (s *Scanner) ScanPairs(ctx context.Context, names []string, pairs [][2]string) (*Matrix, []PairError, error) {
+	known := make(map[string]bool, len(names))
+	for _, n := range names {
+		known[n] = true
+	}
+	for _, p := range pairs {
+		if p[0] == p[1] {
+			return nil, nil, fmt.Errorf("ting: ScanPairs: self-pair (%s,%s)", p[0], p[1])
+		}
+		if !known[p[0]] {
+			return nil, nil, fmt.Errorf("ting: ScanPairs: pair endpoint %q not in names", p[0])
+		}
+		if !known[p[1]] {
+			return nil, nil, fmt.Errorf("ting: ScanPairs: pair endpoint %q not in names", p[1])
+		}
+	}
+	if pairs == nil {
+		// nil restrict means "all pairs" to run; an explicitly empty
+		// restriction must stay empty.
+		pairs = [][2]string{}
+	}
+	return s.run(ctx, names, nil, s.Checkpoint, false, pairs)
+}
+
 // Resume continues the interrupted campaign recorded in cp: the log is
 // replayed to seed the matrix (cells marked ProvResumed) and the
 // half-circuit cache, and only unfinished pairs are scheduled. New

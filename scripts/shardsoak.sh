@@ -1,0 +1,128 @@
+#!/usr/bin/env sh
+# shardsoak.sh — the distributed-campaign soak: a tingcamp coordinator plus
+# four workers over the same seeded world, one worker SIGKILL'd while the
+# campaign runs and restarted against its own checkpoint. Gates:
+#
+#   1. the campaign completes (every shard submitted, coordinator exits 0 —
+#      which also asserts zero lost pairs);
+#   2. the merged matrix is bytewise identical to a single-process scan of
+#      the same world (cmp, not a tolerance).
+#
+# Usage: shardsoak.sh [relays] [shards] [seed]
+#
+# Artifacts (state.json, worker checkpoints, logs) land in TING_SOAK_DIR if
+# set (CI uploads it on failure), else a mktemp dir removed on success.
+set -eu
+
+RELAYS="${1:-20}"
+SHARDS="${2:-16}"
+SEED="${3:-97}"
+
+if [ -n "${TING_SOAK_DIR:-}" ]; then
+  workdir="$TING_SOAK_DIR"
+  mkdir -p "$workdir"
+  cleanup_dir=""
+else
+  workdir="$(mktemp -d)"
+  cleanup_dir="$workdir"
+fi
+pids=""
+cleanup() {
+  for p in $pids; do kill "$p" 2>/dev/null || true; done
+  [ -n "$cleanup_dir" ] && rm -rf "$cleanup_dir"
+}
+trap cleanup EXIT
+
+echo "building tingcamp…"
+go build -o "$workdir/tingcamp" ./cmd/tingcamp
+
+common="-model $RELAYS -seed $SEED -samples 3"
+
+# shellcheck disable=SC2086
+"$workdir/tingcamp" -coordinator $common -shards "$SHARDS" \
+  -lease-ttl 2s -listen 127.0.0.1:0 -addr-file "$workdir/camp.addr" \
+  -out "$workdir/merged.matrix" -state "$workdir/state.json" \
+  > "$workdir/coordinator.log" 2>&1 &
+coord_pid=$!
+pids="$coord_pid"
+
+i=0
+while [ ! -f "$workdir/camp.addr" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "coordinator never wrote its addr-file; log:" >&2
+    cat "$workdir/coordinator.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+addr="$(sed -n 's/^camp=//p' "$workdir/camp.addr")"
+echo "coordinator at $addr"
+
+start_worker() { # name extra-args…
+  name="$1"; shift
+  # shellcheck disable=SC2086
+  "$workdir/tingcamp" -worker $common -name "$name" -addr "$addr" \
+    -checkpoint "$workdir/$name.ckpt" -scan-workers 2 "$@" \
+    > "$workdir/$name.log" 2>&1 &
+  echo $!
+}
+
+# Workers 1, 3, 4 run normally; worker 2 measures slowly (-pair-delay
+# stretches lease hold time without changing any value), so the SIGKILL
+# below reliably lands while it holds a lease — exercising expiry,
+# reassignment, and the restarted worker's checkpoint replay.
+w2_pid=$(start_worker w2 -pair-delay 250ms); pids="$pids $w2_pid"
+w1_pid=$(start_worker w1 -dally 100ms);  pids="$pids $w1_pid"
+w3_pid=$(start_worker w3 -dally 100ms);  pids="$pids $w3_pid"
+w4_pid=$(start_worker w4 -dally 100ms);  pids="$pids $w4_pid"
+
+# w2's first shard takes seconds at 250ms per circuit series; the kill at
+# +0.6s lands while it still holds that lease.
+sleep 0.6
+echo "SIGKILL worker w2 (pid $w2_pid) mid-campaign"
+kill -9 "$w2_pid" 2>/dev/null || true
+sleep 0.5
+
+# Restart w2 against its own checkpoint: the crash-resume path. Whatever it
+# measured before the kill replays instead of re-measuring.
+w2r_pid=$(start_worker w2 -dally 100ms); pids="$pids $w2r_pid"
+echo "restarted w2 (pid $w2r_pid) from its checkpoint"
+
+# The coordinator exits once every shard is merged (0) or pairs were lost (1).
+i=0
+while kill -0 "$coord_pid" 2>/dev/null; do
+  i=$((i + 1))
+  if [ "$i" -gt 600 ]; then
+    echo "campaign did not finish within 60s; state:" >&2
+    cat "$workdir/state.json" >&2 2>/dev/null || true
+    cat "$workdir/coordinator.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+status=0
+wait "$coord_pid" || status=$?
+if [ "$status" -ne 0 ]; then
+  echo "coordinator exited $status (lost pairs or error); log:" >&2
+  cat "$workdir/coordinator.log" >&2
+  exit "$status"
+fi
+cat "$workdir/coordinator.log"
+
+# The killed worker must actually have cost a lease: a soak where the kill
+# landed between leases exercised nothing.
+if grep -q '"reassigned_leases": 0' "$workdir/state.json"; then
+  echo "no lease was reassigned: the SIGKILL missed the lease window" >&2
+  exit 1
+fi
+
+# The determinism gate: one process, same world, byte-for-byte equality.
+# shellcheck disable=SC2086
+"$workdir/tingcamp" -single $common -scan-workers 4 -out "$workdir/single.matrix" \
+  > "$workdir/single.log" 2>&1
+if ! cmp "$workdir/merged.matrix" "$workdir/single.matrix"; then
+  echo "merged matrix differs from single-process scan" >&2
+  exit 1
+fi
+echo "shard soak passed: merged matrix bytewise equal to single-process scan"
