@@ -118,12 +118,12 @@ func TestLeaseLifecycle(t *testing.T) {
 	c.Now = clock.now
 
 	// Grant to w1.
-	l1, res := c.Acquire("w1")
-	if res != AcquireGranted || l1.Epoch != 1 {
-		t.Fatalf("first acquire: %v epoch %d", res, l1.Epoch)
+	l1, res, err := c.Acquire("w1")
+	if err != nil || res != AcquireGranted || l1.Epoch != 1 {
+		t.Fatalf("first acquire: %v %v epoch %d", res, err, l1.Epoch)
 	}
 	// The only shard is out: nothing for w2.
-	if _, res := c.Acquire("w2"); res != AcquireNone {
+	if _, res, _ := c.Acquire("w2"); res != AcquireNone {
 		t.Fatalf("second acquire: %v, want none", res)
 	}
 
@@ -134,13 +134,16 @@ func TestLeaseLifecycle(t *testing.T) {
 			t.Fatalf("heartbeat %d: %v", i, err)
 		}
 	}
-	if _, res := c.Acquire("w2"); res != AcquireNone {
+	if _, res, _ := c.Acquire("w2"); res != AcquireNone {
 		t.Fatal("renewed lease was stolen")
 	}
 
 	// Silence past the TTL: the shard is re-granted to w2 at a higher epoch.
 	clock.advance(1100 * time.Millisecond)
-	l2, res := c.Acquire("w2")
+	l2, res, err := c.Acquire("w2")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res != AcquireGranted {
 		t.Fatalf("post-expiry acquire: %v, want granted", res)
 	}
@@ -169,7 +172,7 @@ func TestLeaseLifecycle(t *testing.T) {
 	if err := c.Complete("w2", l2.Shard.ID, l2.Epoch, fullResults(t, l2.Shard, names)); err != nil {
 		t.Fatalf("duplicate complete: %v", err)
 	}
-	if _, res := c.Acquire("w3"); res != AcquireDone {
+	if _, res, _ := c.Acquire("w3"); res != AcquireDone {
 		t.Fatalf("acquire after done: %v, want done", res)
 	}
 
@@ -190,15 +193,15 @@ func TestLeaseResurrection(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.Now = clock.now
-	l, res := c.Acquire("w1")
-	if res != AcquireGranted {
-		t.Fatal(res)
+	l, res, err := c.Acquire("w1")
+	if err != nil || res != AcquireGranted {
+		t.Fatal(res, err)
 	}
 	clock.advance(1500 * time.Millisecond) // expired, nobody re-acquired
 	if err := c.Heartbeat("w1", l.Shard.ID, l.Epoch); err != nil {
 		t.Fatalf("late heartbeat on un-regranted lease: %v", err)
 	}
-	if _, res := c.Acquire("w2"); res != AcquireNone {
+	if _, res, _ := c.Acquire("w2"); res != AcquireNone {
 		t.Fatal("resurrected lease handed to w2")
 	}
 	if err := c.Complete("w1", l.Shard.ID, l.Epoch, fullResults(t, l.Shard, names)); err != nil {
@@ -214,7 +217,7 @@ func TestCompleteDemandsFullCoverage(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.Now = clock.now
-	l, _ := c.Acquire("w1")
+	l, _, _ := c.Acquire("w1")
 	full := fullResults(t, l.Shard, names)
 
 	if err := c.Complete("w1", l.Shard.ID, l.Epoch, full[:len(full)-1]); err == nil {
@@ -257,7 +260,10 @@ func TestMergedMatchesSubmissions(t *testing.T) {
 	}
 	want := make(map[[2]string]float64)
 	for {
-		l, res := c.Acquire("w")
+		l, res, err := c.Acquire("w")
+		if err != nil {
+			t.Fatal(err)
+		}
 		if res == AcquireDone {
 			break
 		}

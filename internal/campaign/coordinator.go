@@ -3,6 +3,7 @@ package campaign
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -79,8 +80,12 @@ type Coordinator struct {
 	nextEpoch uint64
 	remaining int
 	done      chan struct{}
+	journal   *Journal
+	recovered bool
 
 	granted, renewed, expired, fenced, completed *telemetry.Counter
+
+	jAppended, jReplayed, jCompacted, recoveries *telemetry.Counter
 }
 
 // NewCoordinator builds a coordinator over the campaign's canonical name
@@ -98,11 +103,15 @@ func NewCoordinator(names []string, shards []Shard, ttl time.Duration, treg *tel
 		byID:      make(map[string]*shardState, len(shards)),
 		remaining: len(shards),
 		done:      make(chan struct{}),
-		granted:   treg.Counter("campaign.lease.granted"),
-		renewed:   treg.Counter("campaign.lease.renewed"),
-		expired:   treg.Counter("campaign.lease.expired"),
-		fenced:    treg.Counter("campaign.lease.fenced"),
-		completed: treg.Counter("campaign.shards.completed"),
+		granted:    treg.Counter("campaign.lease.granted"),
+		renewed:    treg.Counter("campaign.lease.renewed"),
+		expired:    treg.Counter("campaign.lease.expired"),
+		fenced:     treg.Counter("campaign.lease.fenced"),
+		completed:  treg.Counter("campaign.shards.completed"),
+		jAppended:  treg.Counter("campaign.journal.appended"),
+		jReplayed:  treg.Counter("campaign.journal.replayed"),
+		jCompacted: treg.Counter("campaign.journal.compacted"),
+		recoveries: treg.Counter("campaign.coordinator.recoveries"),
 	}
 	for _, sh := range shards {
 		if err := sh.Validate(); err != nil {
@@ -120,6 +129,135 @@ func NewCoordinator(names []string, shards []Shard, ttl time.Duration, treg *tel
 		c.byID[sh.ID] = st
 	}
 	return c, nil
+}
+
+// NewJournaledCoordinator is NewCoordinator plus a write-ahead journal at
+// path: the campaign header is written (and fsynced) before the
+// coordinator exists, every grant and completion is journaled before it is
+// acknowledged, and RecoverCoordinator rebuilds the whole ledger from the
+// file after a crash. Path must not already hold a non-empty journal.
+func NewJournaledCoordinator(names []string, shards []Shard, ttl time.Duration, path string, treg *telemetry.Registry) (*Coordinator, error) {
+	c, err := NewCoordinator(names, shards, ttl, treg)
+	if err != nil {
+		return nil, err
+	}
+	j, err := CreateJournal(path, c.names, shards, ttl)
+	if err != nil {
+		return nil, err
+	}
+	c.journal = j
+	c.jAppended.Inc() // the header record
+	return c, nil
+}
+
+// RecoverCoordinator rebuilds a crashed coordinator from its journal: the
+// campaign header restores names, shard geometry, and lease TTL; grant
+// records restore in-flight leases (worker, epoch, deadline) and — the
+// invariant everything rests on — push the fencing-epoch counter strictly
+// above the highest epoch ever granted, so a reborn coordinator can never
+// reissue an epoch a pre-crash worker might still hold. Complete records
+// restore done shards with their full submissions, so Merged after
+// recovery folds exactly the bytes the live coordinator accepted. Leases
+// whose journaled deadline has passed expire lazily on the next call,
+// exactly as if the coordinator had never died: a pre-crash holder that
+// heartbeats before its shard is re-granted resurrects its lease, and one
+// that shows up after gets ErrFenced.
+func RecoverCoordinator(path string, treg *telemetry.Registry) (*Coordinator, error) {
+	st, err := replayJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewCoordinator(st.names, st.shards, st.ttl, treg)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range c.order {
+		if g, ok := st.grants[s.shard.ID]; ok {
+			s.phase = shardLeased
+			s.worker = g.worker
+			s.epoch = g.epoch
+			s.deadline = g.deadline
+			s.reassigned = g.regrants
+		}
+		if d, ok := st.done[s.shard.ID]; ok {
+			s.phase = shardDone
+			s.worker = d.worker
+			s.epoch = d.epoch
+			s.results = d.results
+			c.remaining--
+		}
+	}
+	c.nextEpoch = st.watermark
+	c.recovered = true
+	if c.remaining == 0 {
+		close(c.done)
+	}
+	j, err := openJournalForAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	c.journal = j
+	c.jReplayed.Add(int64(st.records))
+	c.recoveries.Inc()
+	return c, nil
+}
+
+// Journal returns the coordinator's write-ahead journal, nil when the
+// coordinator runs in-memory only. The owner closes it at shutdown.
+func (c *Coordinator) Journal() *Journal { return c.journal }
+
+// CompactJournal atomically rewrites the journal as a snapshot of the
+// current ledger — header (carrying the epoch watermark), one grant per
+// ever-granted shard in epoch order, one complete per done shard — so
+// done-shard results stop replaying the long way forever. Safe to call on
+// any cadence; a crash mid-compaction leaves either the old journal or the
+// new one. No-op without a journal.
+func (c *Coordinator) CompactJournal() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.journal == nil {
+		return nil
+	}
+	shards := make([]Shard, len(c.order))
+	for i, st := range c.order {
+		shards[i] = st.shard
+	}
+	recs := []journalRecord{journalHeader(c.names, shards, c.TTL, c.nextEpoch)}
+	var granted []*shardState
+	for _, st := range c.order {
+		if st.epoch > 0 {
+			granted = append(granted, st)
+		}
+	}
+	// Grant records stay strictly increasing by epoch within the file —
+	// the monotonic-fencing invariant a journal scan asserts.
+	sort.Slice(granted, func(i, j int) bool { return granted[i].epoch < granted[j].epoch })
+	for _, st := range granted {
+		recs = append(recs, journalRecord{
+			Kind:     journalGrant,
+			Shard:    st.shard.ID,
+			Worker:   st.worker,
+			Epoch:    st.epoch,
+			Deadline: st.deadline.UnixNano(),
+			Regrants: st.reassigned,
+		})
+	}
+	for _, st := range c.order {
+		if st.phase != shardDone {
+			continue
+		}
+		rec := journalRecord{Kind: journalComplete, Shard: st.shard.ID, Worker: st.worker, Epoch: st.epoch}
+		rec.Results = make([]journalResult, len(st.results))
+		for i, r := range st.results {
+			rec.Results[i] = journalResult{X: r.X, Y: r.Y, RTT: r.RTT, Failed: r.Failed}
+		}
+		recs = append(recs, rec)
+	}
+	if err := c.journal.rewrite(recs); err != nil {
+		return err
+	}
+	c.jCompacted.Inc()
+	return nil
 }
 
 func (c *Coordinator) now() time.Time {
@@ -156,28 +294,47 @@ const (
 )
 
 // Acquire grants the first pending shard (canonical order) to worker,
-// stamping a fresh fencing epoch and a TTL deadline.
-func (c *Coordinator) Acquire(worker string) (Lease, AcquireResult) {
+// stamping a fresh fencing epoch and a TTL deadline. On a journaled
+// coordinator the grant record — which carries the epoch watermark — is
+// fsynced to the journal before the lease is handed out, so a recovered
+// coordinator can never reissue an epoch any worker has ever seen. A
+// journal write failure aborts the grant with no state change.
+func (c *Coordinator) Acquire(worker string) (Lease, AcquireResult, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	now := c.now()
 	c.expireLocked(now)
 	if c.remaining == 0 {
-		return Lease{}, AcquireDone
+		return Lease{}, AcquireDone, nil
 	}
 	for _, st := range c.order {
 		if st.phase != shardPending {
 			continue
 		}
-		c.nextEpoch++
+		epoch := c.nextEpoch + 1
+		deadline := now.Add(c.TTL)
+		if c.journal != nil {
+			rec := journalRecord{
+				Kind:     journalGrant,
+				Shard:    st.shard.ID,
+				Worker:   worker,
+				Epoch:    epoch,
+				Deadline: deadline.UnixNano(),
+			}
+			if err := c.journal.append(rec, true); err != nil {
+				return Lease{}, AcquireNone, err
+			}
+			c.jAppended.Inc()
+		}
+		c.nextEpoch = epoch
 		st.phase = shardLeased
 		st.worker = worker
-		st.epoch = c.nextEpoch
-		st.deadline = now.Add(c.TTL)
+		st.epoch = epoch
+		st.deadline = deadline
 		c.granted.Inc()
-		return Lease{Shard: st.shard, Epoch: st.epoch, TTL: c.TTL}, AcquireGranted
+		return Lease{Shard: st.shard, Epoch: st.epoch, TTL: c.TTL}, AcquireGranted, nil
 	}
-	return Lease{}, AcquireNone
+	return Lease{}, AcquireNone, nil
 }
 
 // Heartbeat renews worker's lease on shardID. Only the shard's highest
@@ -246,6 +403,32 @@ func (c *Coordinator) Complete(worker, shardID string, epoch uint64, results []P
 	}
 	if len(results) != len(pairs) {
 		return fmt.Errorf("campaign: shard %s submission covers %d of %d pairs", shardID, len(results), len(pairs))
+	}
+	if c.journal != nil {
+		// WAL discipline: the winning submission reaches disk before the
+		// worker's ack — a recovered coordinator knows every shard it ever
+		// called done, and Merged after recovery folds the same bytes.
+		rec := journalRecord{Kind: journalComplete, Shard: shardID, Worker: worker, Epoch: epoch}
+		rec.Results = make([]journalResult, len(results))
+		for i, r := range results {
+			rec.Results[i] = journalResult{X: r.X, Y: r.Y, RTT: r.RTT, Failed: r.Failed}
+		}
+		if err := c.journal.append(rec, true); err != nil {
+			return err
+		}
+		c.jAppended.Inc()
+		// Lost-pair records are informational (the complete record already
+		// carries the Failed flags), so they ride the fsync batch.
+		for _, r := range results {
+			if !r.Failed {
+				continue
+			}
+			lost := journalRecord{Kind: journalLost, Shard: shardID, Worker: worker, Epoch: epoch, X: r.X, Y: r.Y}
+			if err := c.journal.append(lost, false); err != nil {
+				return err
+			}
+			c.jAppended.Inc()
+		}
 	}
 	st.phase = shardDone
 	st.worker = worker
@@ -346,14 +529,21 @@ type ShardStatus struct {
 
 // Status is a point-in-time snapshot of the campaign ledger.
 type Status struct {
-	Relays     int           `json:"relays"`
-	Total      int           `json:"total_shards"`
-	Done       int           `json:"done_shards"`
-	Leased     int           `json:"leased_shards"`
-	Pending    int           `json:"pending_shards"`
-	Reassigned int           `json:"reassigned_leases"`
-	LostPairs  int           `json:"lost_pairs"`
-	Shards     []ShardStatus `json:"shards"`
+	Relays     int    `json:"relays"`
+	Total      int    `json:"total_shards"`
+	Done       int    `json:"done_shards"`
+	Leased     int    `json:"leased_shards"`
+	Pending    int    `json:"pending_shards"`
+	Reassigned int    `json:"reassigned_leases"`
+	LostPairs  int    `json:"lost_pairs"`
+	// Recoveries is how many crash recoveries produced this coordinator
+	// (0 for a freshly created one, 1 for one rebuilt from its journal) —
+	// the field the coordinator-kill soak gates on.
+	Recoveries int `json:"recoveries"`
+	// EpochWatermark is the highest fencing epoch ever granted; every
+	// future grant is strictly above it, crashes included.
+	EpochWatermark uint64        `json:"epoch_watermark"`
+	Shards         []ShardStatus `json:"shards"`
 }
 
 // Snapshot reports the ledger's current state (after an expiry pass).
@@ -363,7 +553,10 @@ func (c *Coordinator) Snapshot() Status {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.expireLocked(c.now())
-	s := Status{Relays: len(c.names), Total: len(c.order)}
+	s := Status{Relays: len(c.names), Total: len(c.order), EpochWatermark: c.nextEpoch}
+	if c.recovered {
+		s.Recoveries = 1
+	}
 	for _, st := range c.order {
 		row := ShardStatus{
 			ID:         st.shard.ID,

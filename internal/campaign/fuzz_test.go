@@ -1,6 +1,8 @@
 package campaign
 
 import (
+	"bytes"
+	"reflect"
 	"testing"
 	"time"
 )
@@ -38,6 +40,69 @@ func FuzzDecodeLease(f *testing.F) {
 		}
 		if again != l {
 			t.Fatalf("round trip changed the lease: %+v → %+v", l, again)
+		}
+	})
+}
+
+// FuzzDecodeJournal: arbitrary journal lines must never panic, and
+// anything decodeJournalRecord accepts must re-encode and re-decode to the
+// identical record — the journal is canonical JSONL, so compaction
+// (re-encoding replayed records) can never change their meaning.
+func FuzzDecodeJournal(f *testing.F) {
+	seed := func(rec journalRecord) {
+		b, err := encodeJournalRecord(rec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	seed(journalHeader(fakeNames(3), []Shard{NewShard(0, 0, 0, 3)}, time.Second, 0))
+	seed(journalHeader(fakeNames(5), Partition(5, 3), 30*time.Second, 42))
+	seed(journalRecord{Kind: journalGrant, Shard: "t0-0.p0-3", Worker: "w1", Epoch: 1, Deadline: 1700000000000000000})
+	seed(journalRecord{Kind: journalGrant, Shard: "t0-0.p0-3", Worker: "w2", Epoch: 7, Deadline: 1, Regrants: 3})
+	seed(journalRecord{
+		Kind: journalComplete, Shard: "t0-0.p0-3", Worker: "w1", Epoch: 1,
+		Results: []journalResult{{X: "a", Y: "b", RTT: 1.25}, {X: "a", Y: "c", Failed: true}},
+	})
+	seed(journalRecord{Kind: journalLost, Shard: "t0-0.p0-3", Worker: "w1", Epoch: 1, X: "a", Y: "c"})
+	f.Add([]byte(`{"t":"campaign","names":["a"],"shards":[],"ttl_ms":0}`))
+	f.Add([]byte(`{"t":"grant","shard":"","epoch":0}`))
+	f.Add([]byte(`{"t":"complete","shard":"s","epoch":1,"results":[{"x":"a","y":"a"}]}`))
+	f.Add([]byte(`{"t":"lost","shard":"s"}`))
+	f.Add([]byte(`{"t":"future-kind","whatever":1}`))
+	f.Add([]byte(`{"t":"complete","shard":"s","epo`)) // torn tail
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		rec, err := decodeJournalRecord(raw)
+		if err != nil {
+			return
+		}
+		b, err := encodeJournalRecord(rec)
+		if err != nil {
+			t.Fatalf("accepted record does not re-encode: %v", err)
+		}
+		again, err := decodeJournalRecord(bytes.TrimSpace(b))
+		if err != nil {
+			t.Fatalf("canonical record does not decode: %v", err)
+		}
+		// omitempty drops empty-but-non-nil slices, so "[]" canonicalizes to
+		// absent — same meaning, different Go representation.
+		norm := func(r journalRecord) journalRecord {
+			if len(r.Names) == 0 {
+				r.Names = nil
+			}
+			if len(r.Shards) == 0 {
+				r.Shards = nil
+			}
+			if len(r.Results) == 0 {
+				r.Results = nil
+			}
+			return r
+		}
+		if !reflect.DeepEqual(norm(rec), norm(again)) {
+			t.Fatalf("round trip changed the record:\n%+v\n%+v", rec, again)
 		}
 	})
 }

@@ -1,0 +1,479 @@
+package campaign
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"ting/internal/ting"
+)
+
+// Journal record kinds. A coordinator journal is a write-ahead log: the
+// campaign header (canonical names, shard geometry, lease TTL) followed by
+// one grant record per lease issued and one complete record (carrying the
+// winning submission's results) per finished shard. Grants and completes
+// reach disk before the state change they describe is acknowledged, so a
+// coordinator rebuilt from the journal can never contradict anything a
+// worker was told. Informational lost-pair records ride along fsync-batched.
+const (
+	journalCampaign = "campaign"
+	journalGrant    = "grant"
+	journalComplete = "complete"
+	journalLost     = "lost"
+)
+
+// journalShard is a shard's pure geometry as journaled; the ID is
+// rederived on replay, so a journal cannot smuggle in a mismatched name.
+type journalShard struct {
+	TI int `json:"ti"`
+	TJ int `json:"tj"`
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// journalResult is one pair of a journaled submission.
+type journalResult struct {
+	X      string  `json:"x"`
+	Y      string  `json:"y"`
+	RTT    float64 `json:"rtt,omitempty"`
+	Failed bool    `json:"failed,omitempty"`
+}
+
+// journalRecord is one line of the coordinator journal. encoding/json
+// round-trips float64 exactly, so replayed submissions merge bytewise
+// identically to the live ones.
+type journalRecord struct {
+	Kind string `json:"t"`
+	// Campaign header.
+	Names  []string       `json:"names,omitempty"`
+	Shards []journalShard `json:"shards,omitempty"`
+	TTLMs  int64          `json:"ttl_ms,omitempty"`
+	// Campaign header (compacted): the fencing-epoch watermark at snapshot
+	// time, covering grants whose records the compaction dropped.
+	Watermark uint64 `json:"watermark,omitempty"`
+	// Grant/complete.
+	Shard    string          `json:"shard,omitempty"`
+	Worker   string          `json:"worker,omitempty"`
+	Epoch    uint64          `json:"epoch,omitempty"`
+	Deadline int64           `json:"deadline,omitempty"` // grant: lease deadline, unix nanos
+	Results  []journalResult `json:"results,omitempty"`
+	// Grant (compacted snapshots only): re-grants folded away by
+	// compaction, so Status.Reassigned survives a recovery.
+	Regrants int `json:"regrants,omitempty"`
+	// Lost: one pair the winning submission marked failed.
+	X string `json:"x,omitempty"`
+	Y string `json:"y,omitempty"`
+}
+
+func encodeJournalRecord(rec journalRecord) ([]byte, error) {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: journal: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// decodeJournalRecord parses and validates one journal line. Unknown
+// record kinds decode to a record the replay skips (forward
+// compatibility); known kinds with impossible fields are errors.
+func decodeJournalRecord(raw []byte) (journalRecord, error) {
+	var rec journalRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return journalRecord{}, err
+	}
+	switch rec.Kind {
+	case journalCampaign:
+		if len(rec.Names) < 2 {
+			return journalRecord{}, fmt.Errorf("campaign: journal header with %d relays", len(rec.Names))
+		}
+		if len(rec.Shards) == 0 {
+			return journalRecord{}, errors.New("campaign: journal header without shards")
+		}
+		if rec.TTLMs <= 0 {
+			return journalRecord{}, errors.New("campaign: journal header with non-positive TTL")
+		}
+		for _, g := range rec.Shards {
+			if err := (NewShard(g.TI, g.TJ, g.Lo, g.Hi)).Validate(); err != nil {
+				return journalRecord{}, err
+			}
+		}
+	case journalGrant:
+		if rec.Shard == "" || rec.Epoch == 0 {
+			return journalRecord{}, fmt.Errorf("campaign: journal grant %q epoch %d", rec.Shard, rec.Epoch)
+		}
+		if rec.Regrants < 0 {
+			return journalRecord{}, fmt.Errorf("campaign: journal grant with %d regrants", rec.Regrants)
+		}
+	case journalComplete:
+		if rec.Shard == "" || rec.Epoch == 0 {
+			return journalRecord{}, fmt.Errorf("campaign: journal complete %q epoch %d", rec.Shard, rec.Epoch)
+		}
+		for _, r := range rec.Results {
+			if r.X == "" || r.Y == "" || r.X == r.Y {
+				return journalRecord{}, fmt.Errorf("campaign: journal result pair (%q,%q)", r.X, r.Y)
+			}
+		}
+	case journalLost:
+		if rec.Shard == "" || rec.X == "" || rec.Y == "" {
+			return journalRecord{}, errors.New("campaign: journal lost record incomplete")
+		}
+	}
+	return rec, nil
+}
+
+// Journal is the coordinator's durable write-ahead log: one JSON record
+// per line, each appended with a single write syscall. State-machine
+// records (grants, completes) are fsynced before the append returns — the
+// WAL contract: nothing is acknowledged to a worker that a recovered
+// coordinator would not know. Informational records batch their fsyncs.
+type Journal struct {
+	// SyncEvery is the fsync batch size for informational (lost-pair)
+	// records; default 8. State-machine records always sync.
+	SyncEvery int
+
+	path string
+
+	mu       sync.Mutex
+	f        *os.File
+	unsynced int
+}
+
+// CreateJournal starts a fresh journal at path, writing (and syncing) the
+// campaign header. It refuses to overwrite an existing non-empty journal —
+// that is a recovery situation, not a new campaign.
+func CreateJournal(path string, names []string, shards []Shard, ttl time.Duration) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: journal: %w", err)
+	}
+	if fi, err := f.Stat(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("campaign: journal: %w", err)
+	} else if fi.Size() > 0 {
+		f.Close()
+		return nil, fmt.Errorf("campaign: journal %s already exists; recover it instead", path)
+	}
+	j := &Journal{path: path, f: f}
+	if err := j.append(journalHeader(names, shards, ttl, 0), true); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// openJournalForAppend reopens an existing journal's append handle — the
+// recovery path, after its content has been replayed. A torn final write
+// is trimmed first: without that, the first post-recovery append would
+// concatenate onto the torn fragment, turning a tolerated torn tail into
+// mid-file corruption on the next recovery.
+func openJournalForAppend(path string) (*Journal, error) {
+	if err := truncateTornTail(path); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: journal: %w", err)
+	}
+	return &Journal{path: path, f: f}, nil
+}
+
+// truncateTornTail trims the journal back to its longest decodable prefix
+// of whole lines. replayJournal has already vetted the file, so anything
+// this cuts is the single torn tail replay tolerated — a line with no
+// newline, or one that does not decode.
+func truncateTornTail(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("campaign: journal: %w", err)
+	}
+	br := bufio.NewReader(f)
+	var valid, off int64
+	for {
+		line, err := br.ReadBytes('\n')
+		off += int64(len(line))
+		if err != nil {
+			// EOF with a partial (newline-less) line: torn tail, not valid.
+			break
+		}
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) != 0 {
+			if _, derr := decodeJournalRecord(trimmed); derr != nil {
+				break
+			}
+		}
+		valid = off
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	closeErr := f.Close()
+	if err != nil {
+		return fmt.Errorf("campaign: journal: %w", err)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("campaign: journal: %w", closeErr)
+	}
+	if valid < size {
+		if err := os.Truncate(path, valid); err != nil {
+			return fmt.Errorf("campaign: journal: %w", err)
+		}
+	}
+	return nil
+}
+
+func journalHeader(names []string, shards []Shard, ttl time.Duration, watermark uint64) journalRecord {
+	geo := make([]journalShard, len(shards))
+	for i, sh := range shards {
+		geo[i] = journalShard{TI: sh.TI, TJ: sh.TJ, Lo: sh.Lo, Hi: sh.Hi}
+	}
+	return journalRecord{
+		Kind:      journalCampaign,
+		Names:     names,
+		Shards:    geo,
+		TTLMs:     ttl.Milliseconds(),
+		Watermark: watermark,
+	}
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// append writes one record; sync forces it to disk before returning.
+func (j *Journal) append(rec journalRecord, sync bool) error {
+	b, err := encodeJournalRecord(rec)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("campaign: journal: closed")
+	}
+	if _, err := j.f.Write(b); err != nil {
+		return fmt.Errorf("campaign: journal: %w", err)
+	}
+	j.unsynced++
+	every := j.SyncEvery
+	if every <= 0 {
+		every = 8
+	}
+	if sync || j.unsynced >= every {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("campaign: journal: %w", err)
+		}
+		j.unsynced = 0
+	}
+	return nil
+}
+
+// Sync forces any unsynced batch to disk.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil || j.unsynced == 0 {
+		return nil
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("campaign: journal: %w", err)
+	}
+	j.unsynced = 0
+	return nil
+}
+
+// Close syncs and closes the journal. Appending afterwards errors.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	syncErr := j.f.Sync()
+	closeErr := j.f.Close()
+	j.f = nil
+	if syncErr != nil {
+		return fmt.Errorf("campaign: journal: %w", syncErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("campaign: journal: %w", closeErr)
+	}
+	return nil
+}
+
+// rewrite atomically replaces the journal's content with recs (a
+// compacting snapshot): write to a temp file, fsync it, rename over the
+// journal, and swap the append handle. A crash at any point leaves either
+// the old journal or the new one — never a mix.
+func (j *Journal) rewrite(recs []journalRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("campaign: journal: closed")
+	}
+	tmp := j.path + ".tmp"
+	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("campaign: journal: %w", err)
+	}
+	for _, rec := range recs {
+		b, err := encodeJournalRecord(rec)
+		if err != nil {
+			tf.Close()
+			os.Remove(tmp)
+			return err
+		}
+		if _, err := tf.Write(b); err != nil {
+			tf.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("campaign: journal: %w", err)
+		}
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("campaign: journal: %w", err)
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("campaign: journal: %w", err)
+	}
+	// The old handle now points at an unlinked inode; future appends must
+	// land in the renamed snapshot.
+	syncOld := j.f.Close()
+	j.f = tf
+	j.unsynced = 0
+	if syncOld != nil {
+		return fmt.Errorf("campaign: journal: %w", syncOld)
+	}
+	return nil
+}
+
+// grantInfo is the latest journaled grant of one shard.
+type grantInfo struct {
+	worker   string
+	epoch    uint64
+	deadline time.Time
+	regrants int // times the shard was granted beyond the first
+}
+
+// doneInfo is a shard's journaled winning submission.
+type doneInfo struct {
+	worker  string
+	epoch   uint64
+	results []PairResult
+}
+
+// journalState is the aggregated view of a coordinator journal.
+type journalState struct {
+	names     []string
+	shards    []Shard
+	ttl       time.Duration
+	watermark uint64 // highest fencing epoch ever granted
+	grants    map[string]grantInfo
+	done      map[string]doneInfo
+	records   int
+}
+
+// replayJournal reads a coordinator journal back into its aggregated
+// state, torn-tail-tolerantly, enforcing the journal's own invariants:
+// exactly one header, first; grant epochs strictly increasing
+// (coordinator-global monotonic fencing); completes only for journaled
+// shards at their recorded epoch.
+func replayJournal(path string) (*journalState, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: journal: %w", err)
+	}
+	defer f.Close()
+	st := &journalState{
+		grants: make(map[string]grantInfo),
+		done:   make(map[string]doneInfo),
+	}
+	known := make(map[string]bool)
+	lastGrant := uint64(0)
+	err = ting.ReplayJSONL(f, func(raw []byte) error {
+		rec, err := decodeJournalRecord(raw)
+		if err != nil {
+			return &ting.DecodeError{Err: err}
+		}
+		st.records++
+		switch rec.Kind {
+		case journalCampaign:
+			if st.names != nil {
+				return errors.New("campaign: journal has a second campaign header")
+			}
+			st.names = rec.Names
+			st.ttl = time.Duration(rec.TTLMs) * time.Millisecond
+			st.watermark = rec.Watermark
+			for _, g := range rec.Shards {
+				sh := NewShard(g.TI, g.TJ, g.Lo, g.Hi)
+				st.shards = append(st.shards, sh)
+				known[sh.ID] = true
+			}
+		case journalGrant:
+			if st.names == nil {
+				return errors.New("campaign: journal grant before campaign header")
+			}
+			if !known[rec.Shard] {
+				return fmt.Errorf("campaign: journal grant for unknown shard %s", rec.Shard)
+			}
+			// Grant records are strictly increasing by epoch within one
+			// journal file — the coordinator-global monotonic fencing counter
+			// made visible. (A compacted snapshot's header watermark may sit
+			// above its re-emitted grants; appends after recovery resume
+			// strictly above both.)
+			if rec.Epoch <= lastGrant {
+				return fmt.Errorf("campaign: journal grant epoch %d not above previous grant %d (fencing violated)",
+					rec.Epoch, lastGrant)
+			}
+			lastGrant = rec.Epoch
+			if rec.Epoch > st.watermark {
+				st.watermark = rec.Epoch
+			}
+			g := st.grants[rec.Shard]
+			if g.epoch != 0 {
+				g.regrants++ // a re-grant observed directly in this file
+			}
+			g.regrants += rec.Regrants // re-grants folded into a snapshot
+			g.worker = rec.Worker
+			g.epoch = rec.Epoch
+			g.deadline = time.Unix(0, rec.Deadline)
+			st.grants[rec.Shard] = g
+		case journalComplete:
+			if st.names == nil {
+				return errors.New("campaign: journal complete before campaign header")
+			}
+			if !known[rec.Shard] {
+				return fmt.Errorf("campaign: journal complete for unknown shard %s", rec.Shard)
+			}
+			g, granted := st.grants[rec.Shard]
+			if !granted || rec.Epoch != g.epoch {
+				return fmt.Errorf("campaign: journal complete for shard %s at epoch %d, latest grant %d",
+					rec.Shard, rec.Epoch, g.epoch)
+			}
+			if prev, dup := st.done[rec.Shard]; dup && prev.epoch != rec.Epoch {
+				return fmt.Errorf("campaign: journal completes shard %s twice at different epochs", rec.Shard)
+			}
+			results := make([]PairResult, len(rec.Results))
+			for i, r := range rec.Results {
+				results[i] = PairResult{X: r.X, Y: r.Y, RTT: r.RTT, Failed: r.Failed}
+			}
+			st.done[rec.Shard] = doneInfo{worker: rec.Worker, epoch: rec.Epoch, results: results}
+		case journalLost:
+			// Informational; the failed pairs already live in the complete
+			// record's results.
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if st.names == nil {
+		return nil, fmt.Errorf("campaign: journal %s has no campaign header", path)
+	}
+	return st, nil
+}

@@ -50,7 +50,13 @@ func (s *Server) handle(conn net.Conn, br *bufio.Reader, req string) {
 			fmt.Fprintln(conn, "error acquire wants: CAMP acquire <worker>")
 			return
 		}
-		lease, res := s.c.Acquire(args[0])
+		lease, res, err := s.c.Acquire(args[0])
+		if err != nil {
+			// A journal write failed: the grant never happened. The worker
+			// retries; no epoch was burned.
+			fmt.Fprintf(conn, "error %v\n", err)
+			return
+		}
 		switch res {
 		case AcquireGranted:
 			fmt.Fprintln(conn, EncodeLease(lease))
@@ -140,13 +146,37 @@ func replyErr(conn net.Conn, err error) {
 
 // --- client side ---
 
+// TransportError marks a campaign client call that never got a coordinator
+// verdict: the dial, write, or read failed. Unlike a verdict (ErrFenced, a
+// validation error), a transport failure says nothing about the lease —
+// the coordinator may be mid-restart — so callers retry these with backoff
+// instead of abandoning work. Worker.Run and runLease branch on it via
+// IsTransient.
+type TransportError struct {
+	Op  string
+	Err error
+}
+
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("campaign: %s: %v", e.Op, e.Err)
+}
+
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// IsTransient reports whether err is a transport-level campaign failure —
+// one worth retrying against the same coordinator address.
+func IsTransient(err error) bool {
+	var te *TransportError
+	return errors.As(err, &te)
+}
+
 func dial(addr string, timeout time.Duration) (net.Conn, error) {
 	if timeout <= 0 {
 		timeout = directory.DefaultIOTimeout
 	}
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
-		return nil, fmt.Errorf("campaign: dial: %w", err)
+		return nil, &TransportError{Op: "dial", Err: err}
 	}
 	_ = conn.SetDeadline(time.Now().Add(timeout))
 	return conn, nil
@@ -161,12 +191,12 @@ func FetchNames(addr string) ([]string, error) {
 	}
 	defer conn.Close()
 	if _, err := fmt.Fprintf(conn, "%s names\n", Verb); err != nil {
-		return nil, fmt.Errorf("campaign: fetch names: %w", err)
+		return nil, &TransportError{Op: "fetch names", Err: err}
 	}
 	br := bufio.NewReader(conn)
 	header, err := br.ReadString('\n')
 	if err != nil {
-		return nil, fmt.Errorf("campaign: fetch names: %w", err)
+		return nil, &TransportError{Op: "fetch names", Err: err}
 	}
 	header = strings.TrimSpace(header)
 	var n int
@@ -177,7 +207,7 @@ func FetchNames(addr string) ([]string, error) {
 	for i := 0; i < n; i++ {
 		line, err := br.ReadString('\n')
 		if err != nil {
-			return nil, errors.New("campaign: truncated names reply")
+			return nil, &TransportError{Op: "fetch names", Err: errors.New("truncated reply")}
 		}
 		names = append(names, strings.TrimSpace(line))
 	}
@@ -192,11 +222,11 @@ func Acquire(addr, worker string) (Lease, AcquireResult, error) {
 	}
 	defer conn.Close()
 	if _, err := fmt.Fprintf(conn, "%s acquire %s\n", Verb, worker); err != nil {
-		return Lease{}, AcquireNone, fmt.Errorf("campaign: acquire: %w", err)
+		return Lease{}, AcquireNone, &TransportError{Op: "acquire", Err: err}
 	}
 	line, err := bufio.NewReader(conn).ReadString('\n')
 	if err != nil {
-		return Lease{}, AcquireNone, fmt.Errorf("campaign: acquire: %w", err)
+		return Lease{}, AcquireNone, &TransportError{Op: "acquire", Err: err}
 	}
 	switch line = strings.TrimSpace(line); line {
 	case "none":
@@ -220,7 +250,7 @@ func Heartbeat(addr, worker string, l Lease) error {
 	}
 	defer conn.Close()
 	if _, err := fmt.Fprintf(conn, "%s heartbeat %s %s %d\n", Verb, worker, l.Shard.ID, l.Epoch); err != nil {
-		return fmt.Errorf("campaign: heartbeat: %w", err)
+		return &TransportError{Op: "heartbeat", Err: err}
 	}
 	return readVerdict(conn, "heartbeat")
 }
@@ -246,7 +276,7 @@ func Complete(addr, worker string, l Lease, results []PairResult) error {
 	}
 	fmt.Fprintln(bw, "end")
 	if err := bw.Flush(); err != nil {
-		return fmt.Errorf("campaign: complete: %w", err)
+		return &TransportError{Op: "complete", Err: err}
 	}
 	return readVerdict(conn, "complete")
 }
@@ -254,7 +284,7 @@ func Complete(addr, worker string, l Lease, results []PairResult) error {
 func readVerdict(conn net.Conn, op string) error {
 	line, err := bufio.NewReader(conn).ReadString('\n')
 	if err != nil {
-		return fmt.Errorf("campaign: %s: %w", op, err)
+		return &TransportError{Op: op, Err: err}
 	}
 	switch line = strings.TrimSpace(line); {
 	case line == "ok":

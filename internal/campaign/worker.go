@@ -4,11 +4,20 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"log"
+	"math/rand"
 	"time"
 
+	"ting/internal/stats"
 	"ting/internal/ting"
 )
+
+// DefaultUnreachableGrace is how long a worker rides out an unreachable
+// coordinator before giving up — long enough to cover a coordinator
+// crash, journal recovery, and restart, short enough that a fleet pointed
+// at a dead address eventually exits instead of spinning forever.
+const DefaultUnreachableGrace = 2 * time.Minute
 
 // Worker runs shard leases against a coordinator until the campaign is
 // done. Its crash-tolerance contract: every measured pair is appended to
@@ -32,6 +41,17 @@ type Worker struct {
 	HeartbeatEvery time.Duration
 	// Poll is how long to wait when every shard is leased out; default 200ms.
 	Poll time.Duration
+	// Backoff shapes the reconnection delays when the coordinator is
+	// unreachable (transport failures on names/acquire/complete). The zero
+	// value defaults to {Base: Poll, Max: 5s, Factor: 2, Jitter: 0.5} —
+	// jittered so a fleet that lost its coordinator does not re-find it in
+	// lockstep.
+	Backoff stats.Backoff
+	// UnreachableGrace is how long the coordinator may stay unreachable
+	// (consecutive transport failures) before Run gives up; default
+	// DefaultUnreachableGrace. A coordinator restart well inside this
+	// window is invisible to the worker beyond a few retried calls.
+	UnreachableGrace time.Duration
 	// Dally, if positive, sleeps between leases — test and soak hook that
 	// widens the window in which a kill lands mid-campaign.
 	Dally time.Duration
@@ -45,10 +65,46 @@ func (w *Worker) logf(format string, args ...any) {
 	}
 }
 
+// reconnector tracks an outage of the coordinator: consecutive failed
+// calls back off exponentially with jitter, and once the coordinator has
+// been continuously unreachable for the grace window the worker gives up.
+// Any successful call resets it. It is confined to the worker's main
+// goroutine (rand.Rand is not concurrency-safe).
+type reconnector struct {
+	backoff   stats.Backoff
+	grace     time.Duration
+	rng       *rand.Rand
+	fails     int
+	downSince time.Time
+}
+
+func (r *reconnector) reset() { r.fails = 0 }
+
+// wait sleeps before the next retry, or returns a terminal error when the
+// outage has outlived the grace window (or ctx ended).
+func (r *reconnector) wait(ctx context.Context, err error) error {
+	r.fails++
+	if r.fails == 1 {
+		r.downSince = time.Now()
+	}
+	if time.Since(r.downSince) >= r.grace {
+		return fmt.Errorf("campaign: coordinator unreachable for %s: %w", r.grace, err)
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(r.backoff.Delay(r.fails, r.rng)):
+	}
+	return nil
+}
+
 // Run leases and measures shards until the coordinator reports the
-// campaign done, ctx is cancelled, or the coordinator becomes
-// unreachable. It is the worker process's whole life; restart the process
-// (same checkpoint path) to recover from a crash.
+// campaign done, ctx is cancelled, or the coordinator stays unreachable
+// past UnreachableGrace. It is the worker process's whole life; restart
+// the process (same checkpoint path) to recover from a crash. A
+// coordinator restart is survived in place: calls that fail at the
+// transport level retry with jittered exponential backoff until the
+// reborn coordinator answers.
 func (w *Worker) Run(ctx context.Context) error {
 	if w.Scanner == nil {
 		return errors.New("campaign: worker needs a scanner")
@@ -56,6 +112,23 @@ func (w *Worker) Run(ctx context.Context) error {
 	poll := w.Poll
 	if poll <= 0 {
 		poll = 200 * time.Millisecond
+	}
+	backoff := w.Backoff
+	if backoff.Base <= 0 {
+		backoff = stats.Backoff{Base: poll, Max: 5 * time.Second, Factor: 2, Jitter: 0.5}
+	}
+	grace := w.UnreachableGrace
+	if grace <= 0 {
+		grace = DefaultUnreachableGrace
+	}
+	h := fnv.New64a()
+	h.Write([]byte(w.Name))
+	rec := &reconnector{
+		backoff: backoff,
+		grace:   grace,
+		// Seeded per worker name: the fleet's retry schedules decorrelate,
+		// and a given worker's schedule reproduces in tests.
+		rng: rand.New(rand.NewSource(int64(h.Sum64()))),
 	}
 
 	// The campaign's canonical name order frames everything: shard pair
@@ -65,13 +138,12 @@ func (w *Worker) Run(ctx context.Context) error {
 		var err error
 		names, err = FetchNames(w.Addr)
 		if err == nil {
+			rec.reset()
 			break
 		}
 		w.logf("worker %s: fetch names: %v", w.Name, err)
-		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		case <-time.After(poll):
+		if gerr := rec.wait(ctx, err); gerr != nil {
+			return fmt.Errorf("campaign: worker %s: %w", w.Name, gerr)
 		}
 	}
 	if len(names) < 2 {
@@ -94,25 +166,22 @@ func (w *Worker) Run(ctx context.Context) error {
 		}
 	}
 
-	dialFails := 0
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		lease, res, err := Acquire(w.Addr, w.Name)
 		if err != nil {
-			dialFails++
-			if dialFails >= 10 {
-				return fmt.Errorf("campaign: worker %s: coordinator unreachable: %w", w.Name, err)
-			}
-			select {
-			case <-ctx.Done():
-				return ctx.Err()
-			case <-time.After(poll):
+			// Transport failures and coordinator-side errors (a failed
+			// journal write, say) both resolve by waiting for a healthy
+			// coordinator — bounded by the unreachable-grace window.
+			w.logf("worker %s: acquire: %v", w.Name, err)
+			if gerr := rec.wait(ctx, err); gerr != nil {
+				return fmt.Errorf("campaign: worker %s: %w", w.Name, gerr)
 			}
 			continue
 		}
-		dialFails = 0
+		rec.reset()
 		switch res {
 		case AcquireDone:
 			w.logf("worker %s: campaign done", w.Name)
@@ -126,7 +195,7 @@ func (w *Worker) Run(ctx context.Context) error {
 			continue
 		}
 
-		if err := w.runLease(ctx, names, lease, measured); err != nil {
+		if err := w.runLease(ctx, names, lease, measured, rec); err != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
@@ -145,10 +214,15 @@ func (w *Worker) Run(ctx context.Context) error {
 }
 
 // runLease measures one lease's shard and submits it. The heartbeat
-// goroutine renews the lease while the scan runs; a fencing verdict
-// cancels the scan, because measuring for a lease someone else now holds
-// is wasted work (their submission, not ours, will count).
-func (w *Worker) runLease(ctx context.Context, names []string, lease Lease, measured map[[2]string]float64) error {
+// goroutine renews the lease while the scan runs; only a genuine ErrFenced
+// verdict cancels the scan, because measuring for a lease someone else now
+// holds is wasted work (their submission, not ours, will count). A
+// heartbeat that merely failed in transit proves nothing about the lease —
+// the coordinator may be mid-restart — so it is retried on the next TTL/3
+// tick while the scan keeps running; the recovered coordinator either
+// accepts the next beat (resurrecting the lease if it had lazily expired)
+// or finally fences us.
+func (w *Worker) runLease(ctx context.Context, names []string, lease Lease, measured map[[2]string]float64, rec *reconnector) error {
 	pairs, err := lease.Shard.Pairs(names)
 	if err != nil {
 		return err
@@ -197,14 +271,23 @@ func (w *Worker) runLease(ctx context.Context, names []string, lease Lease, meas
 			case <-t.C:
 			}
 			if err := Heartbeat(w.Addr, w.Name, lease); err != nil {
-				if errors.Is(err, ErrFenced) {
+				switch {
+				case errors.Is(err, ErrFenced):
+					// The only verdict that abandons the scan: the shard
+					// verifiably belongs to someone else now.
 					w.logf("worker %s: lease %s fenced mid-scan", w.Name, lease.Shard.ID)
 					cancelLease()
 					return
+				case IsTransient(err):
+					// Never reached the coordinator: says nothing about the
+					// lease. Keep scanning; the next tick retries.
+					w.logf("worker %s: heartbeat (transient): %v", w.Name, err)
+				default:
+					// A non-fencing verdict (validation trouble): the lease
+					// may still be ours, and the submission is the real
+					// test — keep scanning.
+					w.logf("worker %s: heartbeat: %v", w.Name, err)
 				}
-				// Transient coordinator trouble: keep the scan going; the
-				// next beat (or the completion) settles it.
-				w.logf("worker %s: heartbeat: %v", w.Name, err)
 			}
 		}
 	}()
@@ -251,14 +334,30 @@ func (w *Worker) runLease(ctx context.Context, names []string, lease Lease, meas
 		results = append(results, PairResult{X: p[0], Y: p[1], RTT: rtt})
 	}
 
-	if err := Complete(w.Addr, w.Name, lease, results); err != nil {
+	// A fully-measured lease is too expensive to abandon to a transport
+	// blip: retry the submission with backoff while the coordinator is
+	// unreachable. The recorded epoch stays valid across a coordinator
+	// recovery (the journal replays it), so a late submission lands unless
+	// the shard was genuinely re-granted — which only ErrFenced proves.
+	for {
+		err := Complete(w.Addr, w.Name, lease, results)
+		if err == nil {
+			rec.reset()
+			break
+		}
 		if errors.Is(err, ErrFenced) {
 			// Someone else's epoch won the shard. Our measurements stay in
 			// our log (and in measured) — if the coordinator re-grants us a
 			// shard overlapping them, they replay for free.
 			return fmt.Errorf("submission fenced: %w", err)
 		}
-		return err
+		if !IsTransient(err) {
+			return err
+		}
+		w.logf("worker %s: complete %s (transient, will retry): %v", w.Name, lease.Shard.ID, err)
+		if gerr := rec.wait(ctx, err); gerr != nil {
+			return gerr
+		}
 	}
 	w.logf("worker %s: completed shard %s (%d pairs, %d replayed)",
 		w.Name, lease.Shard.ID, len(pairs), len(pairs)-len(need))

@@ -1,0 +1,95 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"ting/internal/stats"
+	"ting/internal/ting"
+)
+
+func TestIsTransient(t *testing.T) {
+	te := &TransportError{Op: "dial", Err: errors.New("connection refused")}
+	if !IsTransient(te) {
+		t.Error("bare TransportError not transient")
+	}
+	wrapped := errors.Join(errors.New("outer"), te)
+	if !IsTransient(wrapped) {
+		t.Error("wrapped TransportError not transient")
+	}
+	if IsTransient(ErrFenced) {
+		t.Error("ErrFenced classified transient")
+	}
+	if IsTransient(errors.New("server said no")) {
+		t.Error("plain verdict classified transient")
+	}
+	if IsTransient(nil) {
+		t.Error("nil classified transient")
+	}
+}
+
+// deadAddr returns an address nothing listens on: bind a port, remember
+// it, close the listener.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestWorkerGivesUpAfterUnreachableGrace: a worker pointed at a dead
+// coordinator retries with backoff for the grace window, then exits with a
+// terminal error instead of spinning forever — and does so on the grace
+// clock, not after a fixed failure count.
+func TestWorkerGivesUpAfterUnreachableGrace(t *testing.T) {
+	w := &Worker{
+		Name:             "lonely",
+		Addr:             deadAddr(t),
+		Scanner:          &ting.Scanner{NewMeasurer: func(int) (*ting.Measurer, error) { return nil, errors.New("unused") }},
+		Backoff:          stats.Backoff{Base: 5 * time.Millisecond, Max: 20 * time.Millisecond, Factor: 2, Jitter: 0.2},
+		UnreachableGrace: 250 * time.Millisecond,
+	}
+	start := time.Now()
+	err := w.Run(context.Background())
+	if err == nil {
+		t.Fatal("worker against dead coordinator returned nil")
+	}
+	if !strings.Contains(err.Error(), "unreachable") {
+		t.Fatalf("error %q does not name the outage", err)
+	}
+	if took := time.Since(start); took < 250*time.Millisecond || took > 10*time.Second {
+		t.Fatalf("gave up after %v, want roughly the 250ms grace window", took)
+	}
+}
+
+// TestWorkerRunHonorsContext: cancellation beats the grace window — a
+// worker stuck retrying a dead coordinator exits promptly when told to.
+func TestWorkerRunHonorsContext(t *testing.T) {
+	w := &Worker{
+		Name:             "cancelled",
+		Addr:             deadAddr(t),
+		Scanner:          &ting.Scanner{NewMeasurer: func(int) (*ting.Measurer, error) { return nil, errors.New("unused") }},
+		Backoff:          stats.Backoff{Base: 10 * time.Millisecond, Max: 50 * time.Millisecond, Factor: 2},
+		UnreachableGrace: time.Hour,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- w.Run(ctx) }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker ignored context cancellation")
+	}
+}

@@ -195,9 +195,23 @@ func (c *FileCheckpoint) Replay(fn func(rec CheckpointRecord) error) error {
 	return replayRecords(rf, fn)
 }
 
-// replayRecords decodes a JSONL record stream, tolerating exactly one
-// undecodable record at the very end (a torn final write).
-func replayRecords(r io.Reader, fn func(rec CheckpointRecord) error) error {
+// DecodeError marks a record ReplayJSONL's callback could not parse. A
+// decode failure on the log's final line is a torn tail — the partial
+// write of a crash, silently dropped; anywhere earlier it is corruption.
+// Callback errors that are not DecodeErrors abort the replay immediately.
+type DecodeError struct{ Err error }
+
+func (e *DecodeError) Error() string { return e.Err.Error() }
+func (e *DecodeError) Unwrap() error { return e.Err }
+
+// ReplayJSONL streams the non-empty lines of an append-only JSONL log to
+// fn, tolerating exactly one undecodable record at the very end (a torn
+// final write). fn signals "this line does not parse" by returning a
+// *DecodeError; any other error is the caller's own and aborts the
+// replay as-is. Both the scan checkpoint and the campaign coordinator's
+// journal replay through this helper, so their crash-tolerance semantics
+// cannot drift apart.
+func ReplayJSONL(r io.Reader, fn func(raw []byte) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 1024*1024)
 	var badErr error
@@ -210,21 +224,33 @@ func replayRecords(r io.Reader, fn func(rec CheckpointRecord) error) error {
 			continue
 		}
 		if badErr != nil {
-			return fmt.Errorf("ting: checkpoint: corrupt record at line %d: %w", badLine, badErr)
+			return fmt.Errorf("ting: corrupt record at line %d: %w", badLine, badErr)
 		}
-		var rec CheckpointRecord
-		if err := json.Unmarshal(raw, &rec); err != nil {
-			badErr, badLine = err, line
-			continue
-		}
-		if err := fn(rec); err != nil {
+		if err := fn(raw); err != nil {
+			var de *DecodeError
+			if errors.As(err, &de) {
+				badErr, badLine = de.Err, line
+				continue
+			}
 			return err
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return fmt.Errorf("ting: checkpoint: %w", err)
+		return fmt.Errorf("ting: replay: %w", err)
 	}
 	return nil
+}
+
+// replayRecords decodes a JSONL record stream, tolerating exactly one
+// undecodable record at the very end (a torn final write).
+func replayRecords(r io.Reader, fn func(rec CheckpointRecord) error) error {
+	return ReplayJSONL(r, func(raw []byte) error {
+		var rec CheckpointRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return &DecodeError{Err: err}
+		}
+		return fn(rec)
+	})
 }
 
 // MemCheckpoint is an in-memory Checkpoint for tests and dry runs: same
